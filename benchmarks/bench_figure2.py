@@ -1,0 +1,25 @@
+"""Figure 2: blow-up while recompressing an already-compressed grammar."""
+
+from repro.experiments import figure2
+
+from benchmarks.conftest import BENCH_SCALES
+
+
+def test_recompression_blowup(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure2.run(scales=BENCH_SCALES, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    blow_up = {row[0]: row[2] for row in result.rows}
+    # Paper: worst just over 2 (exponentially compressing files), many
+    # around a few percent above 1.
+    for name, value in blow_up.items():
+        assert 1.0 <= value <= 4.0, (name, value)
+    worst = max(blow_up, key=blow_up.get)
+    assert worst in ("NCBI", "EXI-Weblog", "EXI-Telecomp", "Medline"), (
+        "the worst blow-up should come from a strongly compressing corpus"
+    )

@@ -1,0 +1,30 @@
+"""Figure 3: fragment-export optimization on the G_n family."""
+
+from repro.experiments import figure3
+
+
+def test_optimization_effect(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure3.run(ns=(5, 6, 7, 8, 9, 10)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    opt = result.column("blow-up opt")
+    non = result.column("blow-up non-opt")
+    finals = result.column("final")
+    bases = result.column("|G_n|")
+
+    # Non-optimized blow-up grows with the generated string (paper: >110
+    # at their largest inputs); optimized stays far below it.
+    assert non[-1] > 10
+    assert non[-1] > 2.5 * opt[-1]
+    growth_non = non[-1] / non[0]
+    growth_opt = opt[-1] / opt[0]
+    assert growth_non > 3 * growth_opt
+
+    # Final grammars stay logarithmic: the doubling structure is found.
+    for final, base in zip(finals, bases):
+        assert final <= base + 2

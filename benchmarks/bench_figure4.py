@@ -1,0 +1,34 @@
+"""Figure 4: update sequences on the moderate-compression corpora."""
+
+from repro.experiments import figure45
+
+from benchmarks.conftest import BENCH_SCALES
+
+
+def test_updates_moderate_corpora(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure45.run(
+            corpora=figure45.MODERATE,
+            n_updates=200,
+            recompress_every=50,
+            scales=BENCH_SCALES,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    result.title = "Figure 4: moderate corpora under updates"
+    print(result.render())
+
+    for row in result.rows:
+        name, _count, naive_ratio, gr_ratio = row
+        # GrammarRePair keeps the grammar at (nearly) the udc size;
+        # the paper reports overhead <= 0.8% at full scale.
+        assert gr_ratio <= 1.35, (name, gr_ratio)
+        # The naive grammar is never smaller than the maintained one.
+        assert naive_ratio >= gr_ratio - 1e-9, (name, naive_ratio, gr_ratio)
+    # And by the end of the sequence naive shows real overhead
+    # (paper: around 40%).
+    final_rows = result.rows[-1]
+    assert final_rows[2] > 1.05

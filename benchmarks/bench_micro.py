@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the core operations.
+
+These are not paper figures; they quantify the primitives the macro
+results are built from: compression throughput, path isolation latency
+(the cost of a single update), streaming navigation, and decompression --
+useful when tuning and when comparing against other implementations.
+"""
+
+import random
+
+import pytest
+
+from repro.core.grammar_repair import GrammarRePair
+from repro.datasets.synthetic import make_corpus
+from repro.grammar.derivation import expand
+from repro.grammar.navigation import stream_preorder
+from repro.repair.tree_repair import TreeRePair
+from repro.trees.binary import encode_binary
+from repro.trees.node import deep_copy
+from repro.trees.symbols import Alphabet
+from repro.updates.grammar_updates import rename
+from repro.updates.path_isolation import isolate
+
+
+def _prepared(name="Medline", edges=2500, seed=0):
+    doc = make_corpus(name, edges=edges, seed=seed)
+    alphabet = Alphabet()
+    return encode_binary(doc, alphabet), alphabet
+
+
+def test_tree_repair_compression(benchmark):
+    tree, alphabet = _prepared()
+    result = benchmark.pedantic(
+        lambda: TreeRePair().compress(deep_copy(tree), alphabet,
+                                      copy_input=False),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.size > 0
+
+
+def test_grammar_repair_on_tree(benchmark):
+    tree, alphabet = _prepared()
+    result = benchmark.pedantic(
+        lambda: GrammarRePair().compress_tree(tree, alphabet),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.size > 0
+
+
+def test_path_isolation_latency(benchmark):
+    tree, alphabet = _prepared()
+    grammar = GrammarRePair().compress_tree(tree, alphabet)
+    from repro.grammar.properties import generated_node_count
+
+    total = generated_node_count(grammar)
+    rng = random.Random(1)
+
+    def one_isolation():
+        working = grammar.copy()
+        return isolate(working, rng.randrange(total))
+
+    result = benchmark(one_isolation)
+    assert result.node is not None
+
+
+def test_single_rename_on_grammar(benchmark):
+    tree, alphabet = _prepared()
+    grammar = GrammarRePair().compress_tree(tree, alphabet)
+
+    def one_rename():
+        working = grammar.copy()
+        rename(working, 1, "renamed")
+        return working
+
+    result = benchmark(one_rename)
+    assert result.size >= grammar.size
+
+
+def test_streaming_traversal(benchmark):
+    tree, alphabet = _prepared()
+    grammar = GrammarRePair().compress_tree(tree, alphabet)
+
+    def stream_all():
+        return sum(1 for _ in stream_preorder(grammar))
+
+    count = benchmark(stream_all)
+    assert count > 1000
+
+
+def test_decompression(benchmark):
+    tree, alphabet = _prepared()
+    grammar = GrammarRePair().compress_tree(tree, alphabet)
+    result = benchmark.pedantic(
+        lambda: expand(grammar), rounds=3, iterations=1
+    )
+    from repro.trees.node import node_count
+
+    assert node_count(result) > 1000

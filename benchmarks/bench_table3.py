@@ -1,0 +1,28 @@
+"""Table III: GrammarRePair static compression over the six corpora."""
+
+from repro.experiments import table3
+
+from benchmarks.conftest import BENCH_SCALES
+
+
+def test_table3_compression(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3.run(scales=BENCH_SCALES, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    ratio = {row[0]: row[4] for row in result.rows}
+    # Shape of Table III: the three list-like corpora compress orders of
+    # magnitude better than the three moderate ones, Treebank is worst.
+    for extreme in ("EXI-Weblog", "EXI-Telecomp", "NCBI"):
+        assert ratio[extreme] < 1.0
+    assert ratio["Treebank"] == max(ratio.values())
+    assert ratio["Medline"] < ratio["XMark"] < ratio["Treebank"]
+
+    # The extreme corpora's grammars are tiny constants (paper: 42/107/59).
+    c_edges = {row[0]: row[3] for row in result.rows}
+    for extreme in ("EXI-Weblog", "EXI-Telecomp", "NCBI"):
+        assert c_edges[extreme] < 150

@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one table/figure of the paper via the
+same ``repro.experiments`` drivers the CLI uses, at a scale sized for
+pure-Python macro-benchmarks.  Tables are printed to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and the shape
+assertions from EXPERIMENTS.md are re-checked on every run.
+"""
+
+import pytest
+
+#: One reduced scale set shared by the macro-benchmarks so the whole suite
+#: finishes in a few minutes on a laptop.
+BENCH_SCALES = {
+    "EXI-Weblog": 6_000,
+    "XMark": 2_500,
+    "EXI-Telecomp": 6_000,
+    "Treebank": 2_500,
+    "Medline": 3_000,
+    "NCBI": 8_000,
+}
+
+
+@pytest.fixture
+def bench_scales():
+    return dict(BENCH_SCALES)

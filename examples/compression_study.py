@@ -1,0 +1,67 @@
+"""Compression study: DAG vs TreeRePair vs GrammarRePair on six corpora.
+
+Reproduces the spirit of Table III / Section V-B on synthetic analogs of
+the paper's datasets, at a scale chosen for a quick interactive run.
+
+Run with::
+
+    python examples/compression_study.py [edge_budget]
+"""
+
+import sys
+import time
+
+from repro import GrammarRePair, TreeRePair
+from repro.dag import dag_statistics, dag_to_grammar
+from repro.datasets import CORPORA
+from repro.experiments.common import format_table
+from repro.trees.binary import encode_binary
+from repro.trees.node import deep_copy
+from repro.trees.stats import document_stats
+from repro.trees.symbols import Alphabet
+
+
+def main(edge_budget: int = 2500) -> None:
+    rows = []
+    for name, spec in CORPORA.items():
+        doc = spec.generate(edge_budget, seed=7)
+        stats = document_stats(doc)
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+
+        dag = dag_statistics(binary)
+        dag_grammar = dag_to_grammar(binary, alphabet)
+
+        started = time.perf_counter()
+        tree_rp = TreeRePair().compress(deep_copy(binary), alphabet,
+                                        copy_input=False)
+        tr_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        gr = GrammarRePair().compress_tree(binary, alphabet)
+        gr_seconds = time.perf_counter() - started
+
+        rows.append([
+            name,
+            stats.edges,
+            dag_grammar.size,
+            tree_rp.size,
+            gr.size,
+            f"{100 * gr.size / stats.edges:.2f}%",
+            f"{tr_seconds:.2f}/{gr_seconds:.2f}",
+        ])
+
+    print(format_table(
+        f"Compression study ({edge_budget}-edge corpora)",
+        ["dataset", "#edges", "DAG", "TreeRePair", "GrammarRePair",
+         "GR ratio", "sec TR/GR"],
+        rows,
+        notes=[
+            "DAG shares repeated subtrees (Buneman et al.); the RePair "
+            "family shares repeated *patterns* and wins across the board",
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2500)

@@ -1,0 +1,4 @@
+from setuptools import setup
+
+# Shim for environments without the `wheel` package (legacy editable install).
+setup()

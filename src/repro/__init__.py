@@ -1,0 +1,33 @@
+"""repro -- grammar-compressed XML with incremental updates.
+
+A from-scratch reproduction of Böttcher, Hartel, Jacobs & Maneth,
+*Incremental Updates on Compressed XML* (ICDE 2016): SLCF tree grammars,
+the TreeRePair and GrammarRePair compressors, path-isolation updates, and
+the full experimental harness.
+
+Typical use::
+
+    from repro import CompressedXml
+
+    doc = CompressedXml.from_xml("<a><b/><b/></a>")
+    doc.rename(1, "c")            # relabel the first <b>
+    doc.recompress()              # GrammarRePair keeps the grammar small
+    print(doc.to_xml())
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import CompressedXml
+from repro.core.grammar_repair import GrammarRePair, grammar_repair
+from repro.grammar.slcf import Grammar
+from repro.repair.tree_repair import TreeRePair, tree_repair
+
+__all__ = [
+    "CompressedXml",
+    "GrammarRePair",
+    "grammar_repair",
+    "TreeRePair",
+    "tree_repair",
+    "Grammar",
+    "__version__",
+]

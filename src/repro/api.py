@@ -1,0 +1,281 @@
+"""High-level facade: a mutable, grammar-compressed XML document.
+
+:class:`CompressedXml` is the API a downstream user (e.g. a DOM
+implementation, the paper's motivating application) programs against:
+
+* build from XML text / a file / an :class:`~repro.trees.unranked.XmlNode`,
+* query statistics without decompression,
+* update by *element index* (document order) -- rename, insert, delete,
+* keep the grammar small with explicit or automatic recompression,
+* serialize back to XML or to the grammar text format.
+
+Example::
+
+    doc = CompressedXml.from_xml("<log>" + "<entry/>" * 1000 + "</log>")
+    doc.rename(1, "first")                  # relabel the first <entry>
+    doc.insert(2, XmlNode("marker"))        # insert before element #2
+    doc.delete(3)
+    doc.recompress()
+    assert doc.compressed_size < 60
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.core.grammar_repair import GrammarRePair
+from repro.grammar.navigation import stream_preorder
+from repro.grammar.serialize import format_grammar, parse_grammar
+from repro.grammar.slcf import Grammar
+from repro.trees.binary import decode_binary, encode_binary, encode_forest
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+from repro.trees.xml_io import parse_xml, serialize_xml
+from repro.updates import grammar_updates
+from repro.updates.operations import UpdateError
+
+__all__ = ["CompressedXml"]
+
+
+class CompressedXml:
+    """A grammar-compressed XML document supporting incremental updates.
+
+    ``auto_recompress_factor``: when set to ``f``, any update that leaves
+    the grammar more than ``f`` times larger than after the last
+    recompression triggers GrammarRePair automatically -- the maintenance
+    policy the paper's dynamic experiments emulate with fixed batches.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        kin: int = 4,
+        auto_recompress_factor: Optional[float] = None,
+    ) -> None:
+        self._grammar = grammar
+        self._kin = kin
+        self._auto_factor = auto_recompress_factor
+        self._last_compressed_size = max(1, grammar.size)
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_document(
+        cls,
+        document: XmlNode,
+        kin: int = 4,
+        compress: bool = True,
+        auto_recompress_factor: Optional[float] = None,
+    ) -> "CompressedXml":
+        """Compress a structure tree into a document."""
+        alphabet = Alphabet()
+        binary = encode_binary(document, alphabet)
+        if compress:
+            grammar = GrammarRePair(kin=kin).compress_tree(
+                binary, alphabet, copy_input=False
+            )
+        else:
+            grammar = Grammar.from_tree(binary, alphabet)
+        return cls(grammar, kin=kin,
+                   auto_recompress_factor=auto_recompress_factor)
+
+    @classmethod
+    def from_xml(cls, text: str, **kwargs) -> "CompressedXml":
+        """Parse structure-only XML text and compress it."""
+        return cls.from_document(parse_xml(text), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "CompressedXml":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_xml(handle.read(), **kwargs)
+
+    @classmethod
+    def from_grammar_file(cls, path: str, **kwargs) -> "CompressedXml":
+        """Load a previously saved grammar (text format)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(parse_grammar(handle.read()), **kwargs)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def grammar(self) -> Grammar:
+        """The underlying SLCF grammar (mutating it is the caller's risk)."""
+        return self._grammar
+
+    @property
+    def compressed_size(self) -> int:
+        """Grammar size in edges (the paper's c-edges)."""
+        return self._grammar.size
+
+    @property
+    def element_count(self) -> int:
+        """Number of elements, computed on the grammar."""
+        return sum(
+            1 for symbol in stream_preorder(self._grammar)
+            if not symbol.is_bottom
+        )
+
+    @property
+    def edge_count(self) -> int:
+        """Edges of the (unranked) document tree."""
+        return self.element_count - 1
+
+    @property
+    def compression_ratio(self) -> float:
+        """c-edges / #edges, as in Table III (1.0 for a lone root)."""
+        edges = self.edge_count
+        if edges == 0:
+            return 1.0
+        return self.compressed_size / edges
+
+    def tags(self) -> Iterator[str]:
+        """Element tags in document order, streamed without decompression."""
+        for symbol in stream_preorder(self._grammar):
+            if not symbol.is_bottom:
+                yield symbol.name
+
+    def tag_of(self, element_index: int) -> str:
+        """Tag of the ``element_index``-th element (document order)."""
+        for current, symbol in enumerate(self._iter_elements()):
+            if current == element_index:
+                return symbol.name
+        raise IndexError(f"element index {element_index} out of range")
+
+    def _iter_elements(self):
+        for symbol in stream_preorder(self._grammar):
+            if not symbol.is_bottom:
+                yield symbol
+
+    # ------------------------------------------------------------------
+    # element-index addressing
+    # ------------------------------------------------------------------
+    def _binary_index_of_element(self, element_index: int) -> int:
+        """Map an element index to its binary-tree preorder index."""
+        if element_index < 0:
+            raise IndexError("element index must be >= 0")
+        seen = 0
+        for position, symbol in enumerate(stream_preorder(self._grammar)):
+            if symbol.is_bottom:
+                continue
+            if seen == element_index:
+                return position
+            seen += 1
+        raise IndexError(
+            f"element index {element_index} out of range ({seen} elements)"
+        )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def rename(self, element_index: int, new_tag: str) -> None:
+        """Relabel the ``element_index``-th element (document order)."""
+        position = self._binary_index_of_element(element_index)
+        grammar_updates.rename(self._grammar, position, new_tag)
+        self._after_update()
+
+    def insert(
+        self,
+        element_index: int,
+        content: Union[XmlNode, Sequence[XmlNode]],
+    ) -> None:
+        """Insert elements *before* the ``element_index``-th element."""
+        siblings = [content] if isinstance(content, XmlNode) else list(content)
+        fragment = encode_forest(siblings, self._grammar.alphabet)
+        position = self._binary_index_of_element(element_index)
+        grammar_updates.insert(self._grammar, position, fragment)
+        self._after_update()
+
+    def append_child(
+        self,
+        parent_element_index: int,
+        content: Union[XmlNode, Sequence[XmlNode]],
+    ) -> None:
+        """Append elements as the last children of an element.
+
+        This is the "insert on a null pointer" case of Section V-C: the
+        insertion point is the terminating ``⊥`` of the parent's child
+        list, found by walking the parent's subtree on the grammar.
+        """
+        siblings = [content] if isinstance(content, XmlNode) else list(content)
+        fragment = encode_forest(siblings, self._grammar.alphabet)
+        position = self._end_of_children_position(parent_element_index)
+        grammar_updates.insert(self._grammar, position, fragment)
+        self._after_update()
+
+    def _end_of_children_position(self, parent_element_index: int) -> int:
+        """Binary preorder index of the parent's child-list terminator."""
+        start = self._binary_index_of_element(parent_element_index)
+        # Walk the parent's first-child chain on the symbol stream: the
+        # child list ends at the first ⊥ whose depth returns to the
+        # first-child spine.  Easiest robust way at this layer: simulate
+        # with a skeleton walk over the stream.
+        stream = list(stream_preorder(self._grammar))
+        # The parent's first child starts at start+1; follow next-sibling
+        # (second child) chains to the terminating bottom.
+        def subtree_end(position: int) -> int:
+            """Index just past the subtree rooted at ``position``."""
+            depth = 0
+            index = position
+            while True:
+                depth += stream[index].rank - 1
+                index += 1
+                if depth < 0:
+                    return index
+        first_child = start + 1
+        position = first_child
+        while not stream[position].is_bottom:
+            # Skip this element's own subtree (its first child), then move
+            # to its next sibling slot.
+            own_children_end = subtree_end(position + 1)
+            position = own_children_end
+        return position
+
+    def delete(self, element_index: int) -> None:
+        """Delete the ``element_index``-th element and its subtree."""
+        if element_index == 0:
+            raise UpdateError("deleting the document root is not allowed")
+        position = self._binary_index_of_element(element_index)
+        grammar_updates.delete(self._grammar, position)
+        self._after_update()
+
+    def _after_update(self) -> None:
+        self.updates_applied += 1
+        if self._auto_factor is None:
+            return
+        if self._grammar.size > self._auto_factor * self._last_compressed_size:
+            self.recompress()
+
+    # ------------------------------------------------------------------
+    # maintenance and output
+    # ------------------------------------------------------------------
+    def recompress(self) -> int:
+        """Run GrammarRePair in place; returns the new grammar size."""
+        self._grammar = GrammarRePair(kin=self._kin).compress(
+            self._grammar, in_place=True
+        )
+        self._last_compressed_size = max(1, self._grammar.size)
+        return self._grammar.size
+
+    def to_document(self, budget: int = 50_000_000) -> XmlNode:
+        """Decompress to a structure tree (guarded by a node budget)."""
+        from repro.grammar.derivation import expand
+
+        return decode_binary(expand(self._grammar, budget=budget))
+
+    def to_xml(self, indent: Optional[int] = None, budget: int = 50_000_000) -> str:
+        """Decompress and serialize to XML text."""
+        return serialize_xml(self.to_document(budget=budget), indent=indent)
+
+    def save_grammar(self, path: str) -> None:
+        """Persist the grammar in the text format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(format_grammar(self._grammar))
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompressedXml {self.element_count} elements, "
+            f"grammar size {self.compressed_size}>"
+        )

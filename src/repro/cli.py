@@ -1,0 +1,155 @@
+"""``repro-xml``: command-line front end.
+
+Subcommands::
+
+    repro-xml compress  doc.xml -o doc.grammar      # XML -> grammar
+    repro-xml decompress doc.grammar -o doc.xml     # grammar -> XML
+    repro-xml stats     doc.xml | doc.grammar       # Table III-style row
+    repro-xml update    doc.grammar rename 3 newtag [-o out.grammar]
+    repro-xml experiment table3 figure2 ...         # regenerate results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import CompressedXml
+from repro.trees.xml_io import parse_xml
+
+
+def _load(path: str, **kwargs) -> CompressedXml:
+    if path.endswith(".grammar"):
+        return CompressedXml.from_grammar_file(path, **kwargs)
+    return CompressedXml.from_file(path, **kwargs)
+
+
+def _cmd_compress(args) -> int:
+    doc = CompressedXml.from_file(args.input, kin=args.kin)
+    output = args.output or (args.input + ".grammar")
+    doc.save_grammar(output)
+    print(
+        f"{args.input}: {doc.edge_count} edges -> grammar of "
+        f"{doc.compressed_size} edges "
+        f"({100.0 * doc.compression_ratio:.2f}%) -> {output}"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    doc = CompressedXml.from_grammar_file(args.input)
+    xml = doc.to_xml(indent=2 if args.pretty else None)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        print(f"wrote {args.output} ({doc.element_count} elements)")
+    else:
+        print(xml)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    doc = _load(args.input)
+    print(f"elements:    {doc.element_count}")
+    print(f"edges:       {doc.edge_count}")
+    print(f"c-edges:     {doc.compressed_size}")
+    print(f"ratio:       {100.0 * doc.compression_ratio:.3f}%")
+    return 0
+
+
+def _cmd_update(args) -> int:
+    doc = _load(args.input)
+    operation = args.operation
+    if operation == "rename":
+        doc.rename(int(args.args[0]), args.args[1])
+    elif operation == "delete":
+        doc.delete(int(args.args[0]))
+    elif operation == "insert":
+        fragment = parse_xml(args.args[1])
+        doc.insert(int(args.args[0]), fragment)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(operation)
+    if not args.no_recompress:
+        doc.recompress()
+    output = args.output or args.input
+    if output.endswith(".grammar"):
+        doc.save_grammar(output)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(doc.to_xml())
+    print(
+        f"{operation} applied; grammar size {doc.compressed_size} "
+        f"-> {output}"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    for name in args.names:
+        module = EXPERIMENTS.get(name)
+        if module is None:
+            print(
+                f"unknown experiment {name!r}; known: "
+                f"{', '.join(EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        module.main()
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xml",
+        description="Grammar-compressed XML with incremental updates "
+        "(ICDE 2016 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress XML into a grammar")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.add_argument("--kin", type=int, default=4)
+    p.set_defaults(handler=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="expand a grammar back to XML")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.add_argument("--pretty", action="store_true")
+    p.set_defaults(handler=_cmd_decompress)
+
+    p = sub.add_parser("stats", help="document/grammar statistics")
+    p.add_argument("input")
+    p.set_defaults(handler=_cmd_stats)
+
+    p = sub.add_parser("update", help="apply one update operation")
+    p.add_argument("input")
+    p.add_argument("operation", choices=("rename", "insert", "delete"))
+    p.add_argument(
+        "args",
+        nargs="+",
+        help="rename: INDEX NEWTAG | insert: INDEX XMLFRAGMENT | "
+        "delete: INDEX (element indices in document order)",
+    )
+    p.add_argument("-o", "--output")
+    p.add_argument("--no-recompress", action="store_true")
+    p.set_defaults(handler=_cmd_update)
+
+    p = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    p.add_argument("names", nargs="+")
+    p.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""GrammarRePair: the paper's primary contribution."""
+
+from repro.core.grammar_repair import (
+    GrammarRePair,
+    GrammarRePairStats,
+    grammar_repair,
+)
+from repro.core.replace_optimized import (
+    OptimizedReplacer,
+    replace_all_occurrences_optimized,
+)
+from repro.core.replace_simple import replace_all_occurrences_simple
+from repro.core.resolve import Resolver
+from repro.core.retrieve import (
+    GrammarOccurrence,
+    OccurrenceTable,
+    retrieve_occurrences,
+)
+from repro.core.rewrite import inline_node, replace_digram_in_rule
+
+__all__ = [
+    "GrammarRePair",
+    "GrammarRePairStats",
+    "grammar_repair",
+    "Resolver",
+    "GrammarOccurrence",
+    "OccurrenceTable",
+    "retrieve_occurrences",
+    "replace_all_occurrences_simple",
+    "replace_all_occurrences_optimized",
+    "OptimizedReplacer",
+    "inline_node",
+    "replace_digram_in_rule",
+]

@@ -1,0 +1,183 @@
+"""GrammarRePair (Algorithm 1): RePair compression directly on a grammar.
+
+Given an SLCF grammar ``G``, produce a smaller grammar ``G'`` with
+``valG'(S) = valG(S)`` *without decompressing*:
+
+1. ``RETRIEVEOCCS`` counts usage-weighted, non-overlapping digram
+   occurrences over the whole grammar,
+2. a most frequent appropriate digram is replaced by a fresh nonterminal,
+   using either the DependencyDAG (Algorithm 5) or the optimized
+   ReplacementDAG with fragment export (Algorithms 6-8),
+3. occurrence counts are refreshed and the loop continues,
+4. the pruning phase removes unproductive rules.
+
+Applied to the trivial grammar ``{S -> t}`` this is a tree compressor
+(Section V-B); applied to an updated grammar it is the paper's incremental
+recompressor (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.core.replace_optimized import replace_all_occurrences_optimized
+from repro.core.replace_simple import replace_all_occurrences_simple
+from repro.core.retrieve import retrieve_occurrences
+from repro.grammar.properties import collect_garbage
+from repro.grammar.slcf import Grammar
+from repro.repair.digram import Digram, digram_pattern
+from repro.repair.pruning import prune_grammar
+from repro.repair.tree_repair import DEFAULT_KIN
+from repro.trees.node import Node
+from repro.trees.symbols import Alphabet, Symbol
+
+__all__ = ["GrammarRePair", "GrammarRePairStats", "grammar_repair"]
+
+
+class GrammarRePairError(RuntimeError):
+    """Internal invariant violation during recompression."""
+
+
+@dataclass
+class GrammarRePairStats:
+    """Trace of one recompression run (drives Figures 2 and 3)."""
+
+    rounds: int = 0
+    rules_created: int = 0
+    rules_pruned: int = 0
+    replacements: int = 0
+    initial_size: int = 0
+    final_size: int = 0
+    max_intermediate_size: int = 0
+    size_trace: List[int] = field(default_factory=list)
+
+    @property
+    def blow_up(self) -> float:
+        """Figure 2: max intermediate grammar size over final size."""
+        if self.final_size == 0:
+            return 1.0
+        return self.max_intermediate_size / self.final_size
+
+
+class GrammarRePair:
+    """Configurable GrammarRePair compressor.
+
+    Parameters
+    ----------
+    kin:
+        Maximum rank of replacement nonterminals.
+    prune:
+        Run the pruning phase (Section IV-D) at the end.
+    optimized:
+        Use the ReplacementDAG with fragment export (Algorithms 6-8)
+        instead of plain DependencyDAG inlining (Algorithm 5).  The
+        non-optimized variant is exponentially worse on some inputs
+        (Figure 3) but useful as a reference.
+    rule_prefix / export_prefix:
+        Name prefixes for digram rules and exported fragment rules.
+    """
+
+    def __init__(
+        self,
+        kin: int = DEFAULT_KIN,
+        prune: bool = True,
+        optimized: bool = True,
+        rule_prefix: str = "X",
+        export_prefix: str = "F",
+    ) -> None:
+        self.kin = kin
+        self.prune = prune
+        self.optimized = optimized
+        self.rule_prefix = rule_prefix
+        self.export_prefix = export_prefix
+        self.stats = GrammarRePairStats()
+
+    # ------------------------------------------------------------------
+    def compress(self, grammar: Grammar, in_place: bool = False) -> Grammar:
+        """Recompress ``grammar``; returns the new grammar.
+
+        With ``in_place=False`` (default) the input grammar is left
+        untouched.
+        """
+        working = grammar if in_place else grammar.copy()
+        stats = self.stats = GrammarRePairStats()
+        stats.initial_size = working.size
+        stats.max_intermediate_size = stats.initial_size
+        stats.size_trace.append(stats.initial_size)
+
+        opaque: Set[Symbol] = set()
+        dead_digrams: Set[Digram] = set()
+        while True:
+            table = retrieve_occurrences(working, opaque)
+            best = table.best(self.kin, skip=dead_digrams)
+            if best is None:
+                break
+            digram, _weight = best
+            occurrences = table.occurrences(digram)
+            replacement = working.alphabet.fresh_nonterminal(
+                digram.rank, self.rule_prefix
+            )
+            working.set_rule(replacement, digram_pattern(digram))
+            opaque.add(replacement)
+            if self.optimized:
+                replaced = replace_all_occurrences_optimized(
+                    working, digram, replacement, occurrences, opaque
+                )
+            else:
+                replaced = replace_all_occurrences_simple(
+                    working, digram, replacement, occurrences
+                )
+            if replaced == 0:
+                # Defensive: never loop on an irreplaceable digram.  The
+                # fresh rule is dropped again by garbage collection.
+                working.remove_rule(replacement)
+                opaque.discard(replacement)
+                dead_digrams.add(digram)
+                continue
+            collect_garbage(working)
+            stats.rounds += 1
+            stats.rules_created += 1
+            stats.replacements += replaced
+            size = working.size
+            stats.size_trace.append(size)
+            if size > stats.max_intermediate_size:
+                stats.max_intermediate_size = size
+
+        if self.prune:
+            stats.rules_pruned = prune_grammar(working)
+        stats.final_size = working.size
+        stats.size_trace.append(stats.final_size)
+        if stats.final_size > stats.max_intermediate_size:
+            stats.max_intermediate_size = stats.final_size
+        return working
+
+    # ------------------------------------------------------------------
+    def compress_tree(
+        self,
+        root: Node,
+        alphabet: Alphabet,
+        copy_input: bool = True,
+    ) -> Grammar:
+        """GrammarRePair "applied to a tree": wrap in a trivial grammar.
+
+        This is the configuration the paper calls *GrammarRePair applied to
+        trees* in Section V-B.
+        """
+        from repro.trees.node import deep_copy
+
+        working_tree = deep_copy(root) if copy_input else root
+        trivial = Grammar.from_tree(working_tree, alphabet)
+        return self.compress(trivial, in_place=True)
+
+
+def grammar_repair(
+    grammar: Grammar,
+    kin: int = DEFAULT_KIN,
+    prune: bool = True,
+    optimized: bool = True,
+) -> Grammar:
+    """Convenience wrapper with default settings."""
+    return GrammarRePair(kin=kin, prune=prune, optimized=optimized).compress(
+        grammar
+    )

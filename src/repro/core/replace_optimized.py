@@ -1,0 +1,353 @@
+"""Optimized digram replacement (Algorithms 6-8).
+
+Instead of inlining whole rules, the replacement maintains *rule versions*
+``Q^F`` per isolation flag set ``F ⊆ {r, y1, y2, ...}``:
+
+* ``r`` -- the version's root must be made an explicit terminal (a caller's
+  generator resolves its tree *child* through this rule's root),
+* ``yi`` -- the parent of parameter ``yi`` must be explicit (a caller's
+  generator resolves its tree *parent* through ``yi``).
+
+Versions are built lazily from the already-replaced original rule, marking
+the isolated nodes, and *exporting* every maximal connected fragment of
+unmarked non-parameter nodes into a fresh rule (Algorithm 8, the paper's
+"lemma generation").  Inlining a version therefore copies only the marked
+skeleton plus references to shared fragment rules -- this is what keeps the
+intermediate grammar small (Figure 3's optimized curve).
+
+The ReplacementDAG of the paper is realized implicitly: ``_version`` is
+memoized on ``(symbol, flags)`` and recurses into sub-versions exactly
+along the DAG's edges, while the driver visits the rules containing
+occurrence generators bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.retrieve import GrammarOccurrence
+from repro.core.rewrite import inline_node, replace_digram_in_rule
+from repro.grammar.derivation import inline_at
+from repro.grammar.properties import anti_sl_order, reference_counts
+from repro.grammar.slcf import Grammar
+from repro.repair.digram import Digram
+from repro.trees.node import Node, deep_copy_with_map
+from repro.trees.symbols import Symbol
+
+__all__ = ["replace_all_occurrences_optimized", "OptimizedReplacer"]
+
+#: Flag values: the root flag, or a parameter index.
+Flag = Union[str, int]
+ROOT_FLAG = "r"
+
+
+class OptimizedReplacer:
+    """One digram-replacement round with version/export optimization."""
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        digram: Digram,
+        replacement: Symbol,
+        occurrences: Sequence[GrammarOccurrence],
+        opaque: Set[Symbol],
+        export_prefix: str = "F",
+    ) -> None:
+        self.grammar = grammar
+        self.digram = digram
+        self.replacement = replacement
+        self.opaque = opaque
+        self.export_prefix = export_prefix
+        self.occ_by_rule: Dict[Symbol, List[GrammarOccurrence]] = {}
+        for occurrence in occurrences:
+            self.occ_by_rule.setdefault(occurrence.rule, []).append(occurrence)
+        # Marks are keyed by id() but must hold the node objects too:
+        # a bare id-set would misfire when a dead node's address is reused
+        # by a fresh allocation within the same round.
+        self.marked: Dict[int, Node] = {}
+        self.versions: Dict[Tuple[Symbol, FrozenSet[Flag]], Node] = {}
+        self.export_cache: Dict[str, Symbol] = {}
+        self.ref_counts = reference_counts(grammar)
+        self.processed: Set[Symbol] = set()
+        self.replaced = 0
+        self.exported_rules = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        for head in anti_sl_order(self.grammar):
+            if head in self.occ_by_rule:
+                self._process_original(head)
+        return self.replaced
+
+    # ------------------------------------------------------------------
+    def _is_transparent(self, symbol: Symbol) -> bool:
+        return symbol.is_nonterminal and symbol not in self.opaque
+
+    def _ref_count(self, symbol: Symbol) -> int:
+        """|refG(symbol)|, correct also for rules created this round.
+
+        The round-start snapshot covers the input rules; exported fragment
+        rules appear later and must be counted live, otherwise their
+        versions would never export and full inlining would sneak back in
+        (exactly the blow-up Algorithm 8 exists to prevent).
+        """
+        cached = self.ref_counts.get(symbol)
+        if cached is not None:
+            return cached
+        count = 0
+        for rhs in self.grammar.rules.values():
+            stack = [rhs]
+            while stack:
+                node = stack.pop()
+                if node.symbol is symbol:
+                    count += 1
+                stack.extend(node.children)
+        return count
+
+    def _process_original(self, head: Symbol) -> None:
+        """Isolate, replace and export within the original rule ``head``."""
+        if head in self.processed:
+            return
+        self.processed.add(head)
+        rhs = self.grammar.rules[head]
+
+        # Flag assignment (ReplacementDAG construction, Section IV-E): every
+        # generator that is a transparent nonterminal needs its root
+        # isolated; every generator whose in-rule parent is a transparent
+        # nonterminal needs that parent's corresponding parameter isolated.
+        flags: Dict[int, Tuple[Node, Set[Flag]]] = {}
+
+        def flag(node: Node, value: Flag) -> None:
+            entry = flags.get(id(node))
+            if entry is None:
+                entry = (node, set())
+                flags[id(node)] = entry
+            entry[1].add(value)
+
+        for occurrence in self.occ_by_rule.get(head, ()):
+            generator = occurrence.generator
+            if self._is_transparent(generator.symbol):
+                flag(generator, ROOT_FLAG)
+            parent = generator.parent
+            if parent is not None and self._is_transparent(parent.symbol):
+                flag(parent, generator.child_index())
+
+        # Inline the matching version at each flagged node, parents before
+        # children (preorder snapshot; node objects survive the mutations).
+        ordered: List[Node] = []
+        stack = [rhs]
+        while stack:
+            node = stack.pop()
+            if id(node) in flags:
+                ordered.append(node)
+            stack.extend(reversed(node.children))
+        for node in ordered:
+            _, flag_set = flags[id(node)]
+            template = self._version(node.symbol, frozenset(flag_set))
+            inline_node(self.grammar, head, node, template=template,
+                        marked=self.marked)
+
+        self.replaced += replace_digram_in_rule(
+            self.grammar, head, self.digram, self.replacement
+        )
+        if self._ref_count(head) > 1:
+            new_root = self._export_fragments(self.grammar.rhs(head))
+            self.grammar.set_rule(head, new_root)
+        self._unmark(self.grammar.rhs(head))
+
+    # ------------------------------------------------------------------
+    def _version(self, symbol: Symbol, flag_set: FrozenSet[Flag]) -> Node:
+        """The processed version ``symbol^flag_set`` (memoized template)."""
+        key = (symbol, flag_set)
+        cached = self.versions.get(key)
+        if cached is not None:
+            return cached
+        # The original must have had its own occurrences replaced first;
+        # rules without occurrences are processed trivially.
+        self._process_original(symbol)
+
+        copy_root, _ = deep_copy_with_map(self.grammar.rhs(symbol))
+        # Locate the copy's parameter nodes once; they survive inlining.
+        params: Dict[int, Node] = {}
+        stack = [copy_root]
+        while stack:
+            node = stack.pop()
+            if node.symbol.is_parameter:
+                params[node.symbol.param_index] = node
+            stack.extend(node.children)
+
+        # Collect isolation targets on the copy: the root for ``r``, the
+        # parameter parents for ``yi`` -- merged per node, because the root
+        # may itself be a parameter parent.
+        targets: Dict[int, Tuple[Node, Set[Flag]]] = {}
+
+        def target(node: Node, value: Flag) -> None:
+            entry = targets.get(id(node))
+            if entry is None:
+                entry = (node, set())
+                targets[id(node)] = entry
+            entry[1].add(value)
+
+        if ROOT_FLAG in flag_set and self._is_transparent(copy_root.symbol):
+            target(copy_root, ROOT_FLAG)
+        for value in flag_set:
+            if value == ROOT_FLAG:
+                continue
+            param = params[value]
+            parent = param.parent
+            if parent is not None and self._is_transparent(parent.symbol):
+                target(parent, param.child_index())
+
+        for node, sub_flags in list(targets.values()):
+            template = self._version(node.symbol, frozenset(sub_flags))
+            was_root = node is copy_root
+            new_root, copy_map = inline_at(
+                self.grammar, node, rhs_override=template
+            )
+            for original_id, copy in copy_map.items():
+                if original_id in self.marked:
+                    self.marked[id(copy)] = copy
+            if was_root:
+                copy_root = new_root
+
+        # Mark the isolated nodes (Algorithm 7 lines 9 and 13).
+        if ROOT_FLAG in flag_set:
+            self.marked[id(copy_root)] = copy_root
+        for value in flag_set:
+            if value == ROOT_FLAG:
+                continue
+            parent = params[value].parent
+            if parent is not None:
+                self.marked[id(parent)] = parent
+
+        if self._ref_count(symbol) > 1:
+            copy_root = self._export_fragments(copy_root)
+        self.versions[key] = copy_root
+        return copy_root
+
+    # ------------------------------------------------------------------
+    def _export_fragments(self, root: Node) -> Node:
+        """Algorithm 8: factor unmarked multi-node fragments into rules.
+
+        Returns the (possibly new) root of the rewritten tree.
+        """
+        marked = self.marked
+        if not any(id(n) in marked for n in _preorder(root)):
+            return root
+
+        # Fragment roots: unmarked non-parameter nodes whose parent is
+        # marked or absent.  Regions below different roots are disjoint.
+        fragment_roots: List[Node] = []
+        for node in _preorder(root):
+            if id(node) in marked or node.symbol.is_parameter:
+                continue
+            parent = node.parent
+            if parent is None or id(parent) in marked:
+                fragment_roots.append(node)
+
+        for fragment_root in fragment_roots:
+            region_size, holes = self._scan_region(fragment_root)
+            if region_size < 2:
+                continue
+            rule_head, argument_order = self._export_rule(fragment_root, holes)
+            # Splice: the fragment subtree becomes a rule reference whose
+            # arguments are the hole subtrees, in preorder order.
+            for hole in argument_order:
+                hole.parent = None
+            reference = Node(rule_head, argument_order)
+            parent = fragment_root.parent
+            if parent is None:
+                root = reference
+            else:
+                slot = fragment_root.child_index()
+                fragment_root.parent = None
+                parent.set_child(slot, reference)
+        return root
+
+    def _scan_region(self, fragment_root: Node) -> Tuple[int, List[Node]]:
+        """Size of the unmarked region and its hole roots, in preorder."""
+        size = 0
+        holes: List[Node] = []
+        stack = [fragment_root]
+        while stack:
+            node = stack.pop()
+            if id(node) in self.marked or node.symbol.is_parameter:
+                holes.append(node)
+                continue
+            size += 1
+            stack.extend(reversed(node.children))
+        return size, holes
+
+    def _export_rule(
+        self, fragment_root: Node, holes: List[Node]
+    ) -> Tuple[Symbol, List[Node]]:
+        """Create (or reuse) the rule for a fragment; returns (head, holes)."""
+        hole_ids = {id(hole): position for position, hole in enumerate(holes, 1)}
+        body = _copy_with_holes(fragment_root, hole_ids)
+        canonical = body.to_sexpr()
+        head = self.export_cache.get(canonical)
+        if head is None:
+            head = self.grammar.alphabet.fresh_nonterminal(
+                len(holes), self.export_prefix
+            )
+            self.grammar.set_rule(head, body)
+            self.export_cache[canonical] = head
+            self.exported_rules += 1
+        return head, holes
+
+    def _unmark(self, root: Node) -> None:
+        for node in _preorder(root):
+            self.marked.pop(id(node), None)
+
+
+def _preorder(root: Node):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def _copy_with_holes(root: Node, hole_ids: Dict[int, int]) -> Node:
+    """Copy a fragment, substituting hole subtrees by parameters."""
+    from repro.trees.symbols import parameter_symbol
+
+    def shell(node: Node) -> Node:
+        position = hole_ids.get(id(node))
+        if position is not None:
+            return Node(parameter_symbol(position))
+        copy = Node.__new__(Node)
+        copy.symbol = node.symbol
+        copy.children = []
+        copy.parent = None
+        return copy
+
+    copy_root = shell(root)
+    if not copy_root.symbol.is_parameter:
+        stack = [(root, copy_root)]
+        while stack:
+            original, copy = stack.pop()
+            for child in original.children:
+                child_copy = shell(child)
+                child_copy.parent = copy
+                copy.children.append(child_copy)
+                if id(child) not in hole_ids:
+                    stack.append((child, child_copy))
+    return copy_root
+
+
+def replace_all_occurrences_optimized(
+    grammar: Grammar,
+    digram: Digram,
+    replacement: Symbol,
+    occurrences: Sequence[GrammarOccurrence],
+    opaque: Set[Symbol],
+) -> int:
+    """Replace every occurrence of ``digram`` with version/export reuse.
+
+    Returns the number of in-rule replacements performed.
+    """
+    replacer = OptimizedReplacer(
+        grammar, digram, replacement, occurrences, opaque
+    )
+    return replacer.run()

@@ -1,0 +1,75 @@
+"""Non-optimized digram replacement (Algorithm 5).
+
+The DependencyDAG ``DD_α`` is the set of transparent-nonterminal nodes
+visited by the TREEPARENT/TREECHILD resolutions of the accepted occurrence
+generators: exactly the rule applications needed to make every occurrence
+explicit.  Processing rules bottom-up (anti-SL), each such node is inlined
+*in full*, then the rule is rescanned and every explicit occurrence is
+replaced.
+
+Full inlining is what makes this variant blow the grammar up (Figure 3's
+non-optimized curve): a rule inlined at the root of another rule is copied
+wholesale into every context that needs only a fragment of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.retrieve import GrammarOccurrence
+from repro.core.rewrite import inline_node, replace_digram_in_rule
+from repro.grammar.properties import anti_sl_order
+from repro.grammar.slcf import Grammar
+from repro.repair.digram import Digram
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+
+__all__ = ["replace_all_occurrences_simple"]
+
+
+def replace_all_occurrences_simple(
+    grammar: Grammar,
+    digram: Digram,
+    replacement: Symbol,
+    occurrences: List[GrammarOccurrence],
+) -> int:
+    """Replace every occurrence of ``digram``; returns replacement count.
+
+    The count is *unweighted* (replacements performed in rules); callers
+    weight it by rule usage for statistics.
+    """
+    # DependencyDAG: rule head -> nodes of that rule's RHS to inline.  The
+    # association to the *containing* rule is positional: resolution paths
+    # were recorded while walking, so just group by current rule via the
+    # occurrence's own bookkeeping.
+    dependency: Dict[int, Node] = {}
+    rules_with_work: Set[Symbol] = set()
+    for occurrence in occurrences:
+        rules_with_work.add(occurrence.rule)
+        for node in occurrence.parent_path + occurrence.child_path:
+            dependency[id(node)] = node
+
+    if not dependency and not rules_with_work:
+        return 0
+
+    inlined: Set[int] = set()
+    replaced = 0
+    for head in anti_sl_order(grammar):
+        rhs = grammar.rules[head]
+        # Collect this rule's dependency nodes in preorder (the tree is
+        # about to be mutated, so snapshot first).
+        targets: List[Node] = []
+        touches_rule = head in rules_with_work
+        stack = [rhs]
+        while stack:
+            node = stack.pop()
+            if id(node) in dependency and id(node) not in inlined:
+                targets.append(node)
+            stack.extend(reversed(node.children))
+        if not targets and not touches_rule:
+            continue
+        for node in targets:
+            inlined.add(id(node))
+            inline_node(grammar, head, node)
+        replaced += replace_digram_in_rule(grammar, head, digram, replacement)
+    return replaced

@@ -1,0 +1,105 @@
+"""``TREECHILD`` / ``TREEPARENT`` resolution on a grammar (Algorithms 2, 3).
+
+A digram occurrence *generator* is any non-root, non-parameter node of a
+right-hand side.  Its *tree child* is found by descending through rule
+roots while they are (transparent) nonterminals; its *tree parent* by
+ascending, jumping from a nonterminal's ``i``-th child slot to the parent
+of parameter ``yi`` inside that nonterminal's rule.
+
+"Transparent" means: a nonterminal of the *input* grammar, through which
+digrams resolve.  Nonterminals freshly introduced for digrams during the
+current GrammarRePair run are *opaque* -- they act as terminals (Algorithm
+1 adds ``X`` to ``F``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.grammar.slcf import Grammar
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+
+__all__ = ["Resolver"]
+
+
+class Resolver:
+    """Cached resolution walks over one grammar snapshot.
+
+    The caches (parameter locations, rule-root lookups) are valid as long
+    as the grammar's rules are not mutated; build a fresh resolver per
+    counting pass.
+    """
+
+    def __init__(self, grammar: Grammar, opaque: Optional[Set[Symbol]] = None):
+        self.grammar = grammar
+        self.opaque: Set[Symbol] = opaque if opaque is not None else set()
+        self._param_nodes: Dict[Symbol, Dict[int, Node]] = {}
+        self._rule_of_root: Dict[int, Symbol] = {
+            id(rhs): head for head, rhs in grammar.rules.items()
+        }
+
+    # ------------------------------------------------------------------
+    def is_transparent(self, symbol: Symbol) -> bool:
+        """Digrams resolve *through* transparent nonterminals."""
+        return symbol.is_nonterminal and symbol not in self.opaque
+
+    def rule_of_node(self, node: Node) -> Symbol:
+        """The rule head whose right-hand side contains ``node``."""
+        current = node
+        while current.parent is not None:
+            current = current.parent
+        head = self._rule_of_root.get(id(current))
+        if head is None:
+            raise ValueError("node is not part of any rule of this grammar")
+        return head
+
+    def _param_node(self, head: Symbol, index: int) -> Node:
+        per_rule = self._param_nodes.get(head)
+        if per_rule is None:
+            per_rule = {}
+            stack = [self.grammar.rhs(head)]
+            while stack:
+                node = stack.pop()
+                if node.symbol.is_parameter:
+                    per_rule[node.symbol.param_index] = node
+                stack.extend(node.children)
+            self._param_nodes[head] = per_rule
+        return per_rule[index]
+
+    # ------------------------------------------------------------------
+    def tree_child(self, node: Node) -> Tuple[Node, List[Node]]:
+        """Algorithm 2: descend through rule roots to the explicit child.
+
+        Returns ``(resolved node, visited)`` where ``visited`` lists the
+        transparent nonterminal nodes that would have to be inlined to make
+        the child explicit where the walk started (the descent path).
+        """
+        visited: List[Node] = []
+        current = node
+        while self.is_transparent(current.symbol):
+            visited.append(current)
+            current = self.grammar.rhs(current.symbol)
+        return current, visited
+
+    def tree_parent(self, node: Node) -> Tuple[Node, int, List[Node]]:
+        """Algorithm 3: ascend to the explicit parent.
+
+        ``node`` must not be the root of its rule.  Returns
+        ``(parent node, child index, visited)`` with ``visited`` the
+        transparent nonterminal nodes on the ascent (each is the in-rule
+        parent through which the walk jumped into a callee rule).
+        """
+        visited: List[Node] = []
+        current = node
+        while True:
+            parent = current.parent
+            if parent is None:
+                raise ValueError(
+                    "tree_parent called on (or resolved to) a rule root"
+                )
+            index = current.child_index()
+            if not self.is_transparent(parent.symbol):
+                return parent, index, visited
+            visited.append(parent)
+            current = self._param_node(parent.symbol, index)

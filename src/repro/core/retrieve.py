@@ -1,0 +1,164 @@
+"""``RETRIEVEOCCS`` (Algorithm 4): one-pass digram census over a grammar.
+
+Rules are traversed in anti-SL order (callees first), each rule in
+preorder -- the "top-down greedy" pairing of equal-label digrams.  Every
+non-root, non-parameter node is a potential occurrence generator; its tree
+parent and tree child are resolved through transparent nonterminals.
+
+An occurrence generated in rule ``C`` stands for ``usageG(C)`` occurrences
+in the generated tree ``T``, so digram weights are usage-weighted.
+
+Two suppression rules keep stored occurrences non-overlapping:
+
+* equal-label digrams never cross a rule root (a nonterminal generator
+  with ``label(parent) == label(child)`` is skipped),
+* an equal-label occurrence whose tree parent is the tree child of an
+  already stored occurrence is skipped (the anti-SL + preorder order makes
+  this single check sufficient, Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.resolve import Resolver
+from repro.grammar.properties import anti_sl_order, usage
+from repro.grammar.slcf import Grammar
+from repro.repair.digram import Digram
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+
+__all__ = ["GrammarOccurrence", "OccurrenceTable", "retrieve_occurrences"]
+
+
+@dataclass
+class GrammarOccurrence:
+    """One stored digram occurrence, described on the grammar.
+
+    ``generator`` is the node ``(C, n)`` that generates the occurrence;
+    ``parent_node`` / ``child_node`` are the resolved endpoints (terminal
+    or opaque-nonterminal nodes, possibly in other rules);
+    ``parent_path`` / ``child_path`` list the transparent nonterminal nodes
+    that must be expanded to make the endpoints explicit (the
+    DependencyDAG's raw material, Section IV-B).
+    """
+
+    rule: Symbol
+    generator: Node
+    parent_node: Node
+    child_index: int
+    child_node: Node
+    parent_path: List[Node] = field(default_factory=list)
+    child_path: List[Node] = field(default_factory=list)
+
+
+class OccurrenceTable:
+    """digram -> occurrences, with usage-weighted counts."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[Digram, List[GrammarOccurrence]] = {}
+        self.weights: Dict[Digram, int] = {}
+
+    def add(self, digram: Digram, occurrence: GrammarOccurrence, weight: int) -> None:
+        self.entries.setdefault(digram, []).append(occurrence)
+        self.weights[digram] = self.weights.get(digram, 0) + weight
+
+    def weight(self, digram: Digram) -> int:
+        return self.weights.get(digram, 0)
+
+    def occurrences(self, digram: Digram) -> List[GrammarOccurrence]:
+        return self.entries.get(digram, [])
+
+    def best(
+        self,
+        kin: int,
+        skip: Optional[Set[Digram]] = None,
+    ) -> Optional[Tuple[Digram, int]]:
+        """Most frequent appropriate digram (deterministic tie-break)."""
+        best_digram: Optional[Digram] = None
+        best_weight = 0
+        for digram, weight in self.weights.items():
+            if skip and digram in skip:
+                continue
+            if not digram.is_appropriate(kin, weight):
+                continue
+            if (
+                best_digram is None
+                or weight > best_weight
+                or (weight == best_weight
+                    and digram.sort_key() < best_digram.sort_key())
+            ):
+                best_digram = digram
+                best_weight = weight
+        if best_digram is None:
+            return None
+        return best_digram, best_weight
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def retrieve_occurrences(
+    grammar: Grammar,
+    opaque: Optional[Set[Symbol]] = None,
+    resolver: Optional[Resolver] = None,
+    usage_map: Optional[Dict[Symbol, int]] = None,
+) -> OccurrenceTable:
+    """Run RETRIEVEOCCS over the whole grammar."""
+    if resolver is None:
+        resolver = Resolver(grammar, opaque)
+    if usage_map is None:
+        usage_map = usage(grammar)
+    table = OccurrenceTable()
+    # Per digram: resolved tree-child nodes of stored occurrences; used for
+    # the equal-label overlap check (ids, since nodes are unhashable by
+    # structure on purpose).
+    claimed_children: Dict[Digram, Set[int]] = {}
+
+    for head in anti_sl_order(grammar):
+        if head in resolver.opaque:
+            # An opaque rule's body is the digram pattern itself; with X
+            # "added to F" (Algorithm 1 line 5) the generated tree treats
+            # X-nodes as atoms, so the pattern's interior is not part of T
+            # and must not be counted.
+            continue
+        rule_weight = usage_map.get(head, 0)
+        rhs = grammar.rules[head]
+        stack = [rhs]
+        order: List[Node] = []
+        while stack:  # preorder
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(node.children))
+        for node in order:
+            if node.parent is None or node.symbol.is_parameter:
+                continue
+            parent_node, child_index, parent_path = resolver.tree_parent(node)
+            child_node, child_path = resolver.tree_child(node)
+            digram = Digram(
+                parent_node.symbol, child_index, child_node.symbol
+            )
+            if digram.is_equal_label:
+                if resolver.is_transparent(node.symbol):
+                    # Equal-label occurrences crossing a rule root are
+                    # never collected (Algorithm 4's missing case).
+                    continue
+                claimed = claimed_children.setdefault(digram, set())
+                if id(parent_node) in claimed:
+                    continue  # overlaps a stored occurrence
+                claimed.add(id(child_node))
+            table.add(
+                digram,
+                GrammarOccurrence(
+                    rule=head,
+                    generator=node,
+                    parent_node=parent_node,
+                    child_index=child_index,
+                    child_node=child_node,
+                    parent_path=parent_path,
+                    child_path=child_path,
+                ),
+                rule_weight,
+            )
+    return table

@@ -1,0 +1,83 @@
+"""Shared rewriting helpers for digram replacement on grammars.
+
+* :func:`replace_digram_in_rule` -- the intra-rule replacement "as done in
+  TreeRePair" (Algorithm 5 line 6 / Algorithm 6 line 4): a preorder,
+  top-down greedy scan that replaces every explicit, non-overlapping
+  occurrence of the digram inside one right-hand side.
+* :func:`inline_node` -- inlining with rule-root bookkeeping and node-mark
+  transfer (marks implement Algorithm 7's isolation bookkeeping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.grammar.derivation import inline_at
+from repro.grammar.slcf import Grammar
+from repro.repair.digram import Digram, replace_occurrence_in_tree
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+
+__all__ = ["replace_digram_in_rule", "inline_node"]
+
+
+def replace_digram_in_rule(
+    grammar: Grammar,
+    head: Symbol,
+    digram: Digram,
+    replacement: Symbol,
+) -> int:
+    """Replace explicit occurrences of ``digram`` in ``head``'s RHS.
+
+    Top-down greedy: scanning in preorder, a match consumes both nodes and
+    scanning resumes below the fresh ``X`` node, which matches the paper's
+    generalization of left-greedy string matching (Section III-C).
+    Returns the number of replacements.
+    """
+    replaced = 0
+    root = grammar.rhs(head)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.symbol is digram.parent:
+            child = node.children[digram.index - 1]
+            if child.symbol is digram.child:
+                x = replace_occurrence_in_tree(
+                    node, digram.index, child, replacement
+                )
+                if node is root:
+                    root = x
+                    grammar.set_rule(head, x)
+                replaced += 1
+                # Continue below the replacement; the consumed nodes are
+                # gone, so no overlap is possible.
+                stack.extend(reversed(x.children))
+                continue
+        stack.extend(reversed(node.children))
+    return replaced
+
+
+def inline_node(
+    grammar: Grammar,
+    head: Symbol,
+    node: Node,
+    template: Optional[Node] = None,
+    marked: Optional[Dict[int, Node]] = None,
+) -> Node:
+    """Inline at ``node`` inside ``head``'s rule, handling root replacement.
+
+    ``template`` overrides the inlined right-hand side (rule *versions*);
+    ``marked`` is the replacer's mark table (id -> node; the node reference
+    keeps ids stable) -- marks on template nodes are transferred to their
+    copies, implementing "the mark is copied during the inlining step"
+    (Section II).  Returns the root of the inlined subtree.
+    """
+    was_root = node is grammar.rhs(head)
+    new_root, copy_map = inline_at(grammar, node, rhs_override=template)
+    if was_root:
+        grammar.set_rule(head, new_root)
+    if marked is not None:
+        for original_id, copy in copy_map.items():
+            if original_id in marked:
+                marked[id(copy)] = copy
+    return new_root

@@ -1,0 +1,15 @@
+"""Minimal DAG compression (Buneman/Grohe/Koch baseline)."""
+
+from repro.dag.minimal_dag import (
+    DagStats,
+    dag_statistics,
+    dag_to_grammar,
+    minimal_dag_signatures,
+)
+
+__all__ = [
+    "DagStats",
+    "dag_statistics",
+    "dag_to_grammar",
+    "minimal_dag_signatures",
+]

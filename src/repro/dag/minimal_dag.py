@@ -1,0 +1,171 @@
+"""Minimal DAGs of ranked trees.
+
+The paper's lineage starts here: Buneman, Grohe & Koch showed XML trees
+shrink to ~10% of their edges when repeated *subtrees* are shared (the
+minimal DAG); SLCF grammars generalize the sharing to repeated *patterns*
+(connected subgraphs) and reach ~3%.  This module provides
+
+* :func:`minimal_dag_signatures` -- hash-consing of subtrees,
+* :func:`dag_statistics` -- edge counts of tree vs. minimal DAG,
+* :func:`dag_to_grammar` -- the DAG as an SLCF grammar (every shared
+  subtree becomes a rank-0 rule), the natural input for GrammarRePair and
+  a baseline in the static-compression experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.grammar.slcf import Grammar
+from repro.repair.pruning import prune_grammar
+from repro.trees.node import Node, node_count
+from repro.trees.symbols import Alphabet, Symbol
+
+__all__ = [
+    "minimal_dag_signatures",
+    "DagStats",
+    "dag_statistics",
+    "dag_to_grammar",
+]
+
+
+def minimal_dag_signatures(root: Node) -> Tuple[Dict[int, int], Dict[int, int], Dict[int, Node]]:
+    """Hash-cons the subtrees of ``root``.
+
+    Returns ``(signature_of, occurrences, representative)``:
+
+    * ``signature_of``: ``id(node) -> signature`` (equal subtrees share a
+      signature),
+    * ``occurrences``: ``signature -> number of occurrences in the tree``,
+    * ``representative``: ``signature -> first node with that signature``.
+    """
+    signature_of: Dict[int, int] = {}
+    interned: Dict[Tuple, int] = {}
+    occurrences: Dict[int, int] = {}
+    representative: Dict[int, Node] = {}
+
+    # Postorder: children are signed before their parents.
+    order: List[Node] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(node.children)
+    for node in reversed(order):
+        key = (node.symbol,) + tuple(
+            signature_of[id(child)] for child in node.children
+        )
+        signature = interned.get(key)
+        if signature is None:
+            signature = len(interned)
+            interned[key] = signature
+            representative[signature] = node
+        signature_of[id(node)] = signature
+        occurrences[signature] = occurrences.get(signature, 0) + 1
+    return signature_of, occurrences, representative
+
+
+@dataclass(frozen=True)
+class DagStats:
+    """Sharing statistics of a tree's minimal DAG."""
+
+    tree_nodes: int
+    tree_edges: int
+    dag_nodes: int
+    dag_edges: int
+
+    @property
+    def ratio(self) -> float:
+        """DAG edges over tree edges -- the Buneman et al. measure."""
+        if self.tree_edges == 0:
+            return 1.0
+        return self.dag_edges / self.tree_edges
+
+
+def dag_statistics(root: Node) -> DagStats:
+    """Compute minimal-DAG sharing statistics in one pass."""
+    signature_of, _occ, representative = minimal_dag_signatures(root)
+    dag_nodes = len(representative)
+    dag_edges = sum(
+        len(node.children) for node in representative.values()
+    )
+    total = node_count(root)
+    return DagStats(
+        tree_nodes=total,
+        tree_edges=total - 1,
+        dag_nodes=dag_nodes,
+        dag_edges=dag_edges,
+    )
+
+
+def dag_to_grammar(
+    root: Node,
+    alphabet: Alphabet,
+    min_subtree_nodes: int = 2,
+    start_name: str = "S",
+    rule_prefix: str = "D",
+    prune: bool = True,
+) -> Grammar:
+    """Express the minimal DAG as an SLCF grammar.
+
+    Every subtree occurring more than once (and having at least
+    ``min_subtree_nodes`` nodes) becomes a rank-0 rule referenced wherever
+    the subtree occurs.  With ``prune=True`` the standard pruning phase
+    drops shares that do not pay for themselves, mirroring how DAG
+    compressors only count *beneficial* sharing.
+
+    The input tree is not modified.
+    """
+    from repro.trees.node import deep_copy
+
+    signature_of, occurrences, representative = minimal_dag_signatures(root)
+
+    start = alphabet.get(start_name)
+    if start is None:
+        start = alphabet.nonterminal(start_name, 0)
+    elif not (start.is_nonterminal and start.rank == 0):
+        # Document labels may shadow the default name (e.g. Treebank's "S").
+        start = alphabet.fresh_nonterminal(0, prefix=start_name)
+    grammar = Grammar(alphabet, start)
+
+    rule_for: Dict[int, Symbol] = {}
+    for signature, node in representative.items():
+        if (
+            occurrences[signature] > 1
+            and node_count(node) >= min_subtree_nodes
+        ):
+            rule_for[signature] = alphabet.fresh_nonterminal(0, rule_prefix)
+
+    # Build each signature's expression bottom-up: signature numbers are
+    # assigned in a children-first order, so every child expression exists
+    # when its parent is built.  Shared children become rule references;
+    # unshared multi-occurrence children are necessarily tiny (below the
+    # sharing threshold) and are copied per use.
+    expression: Dict[int, Node] = {}
+    used: Dict[int, bool] = {}
+
+    def instance(signature: int) -> Node:
+        head = rule_for.get(signature)
+        if head is not None:
+            return Node(head)
+        template = expression[signature]
+        if used.get(signature):
+            return deep_copy(template)
+        used[signature] = True
+        return template
+
+    root_signature = signature_of[id(root)]
+    for signature in sorted(representative):
+        node = representative[signature]
+        expression[signature] = Node(
+            node.symbol,
+            [instance(signature_of[id(child)]) for child in node.children],
+        )
+
+    for signature, head in rule_for.items():
+        grammar.set_rule(head, expression[signature])
+    grammar.set_rule(start, expression[root_signature])
+    if prune:
+        prune_grammar(grammar)
+    return grammar

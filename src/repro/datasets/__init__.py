@@ -1,0 +1,25 @@
+"""Synthetic structural analogs of the paper's six corpora."""
+
+from repro.datasets.synthetic import (
+    CORPORA,
+    CorpusSpec,
+    exi_telecomp,
+    exi_weblog,
+    make_corpus,
+    medline,
+    ncbi,
+    treebank,
+    xmark,
+)
+
+__all__ = [
+    "CORPORA",
+    "CorpusSpec",
+    "make_corpus",
+    "exi_weblog",
+    "exi_telecomp",
+    "ncbi",
+    "xmark",
+    "medline",
+    "treebank",
+]

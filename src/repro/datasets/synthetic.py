@@ -1,0 +1,318 @@
+"""Synthetic structural analogs of the paper's evaluation corpora.
+
+The six Table III files are not redistributable, so each generator below
+reproduces the *structural regime* the compressors are sensitive to (see
+DESIGN.md §3):
+
+========== ======== ===== ============ ====================================
+corpus     paper    dp    paper ratio  regime reproduced here
+           #edges
+========== ======== ===== ============ ====================================
+EXI-Weblog 93 434    2      0.04%      flat list of identical records
+EXI-Telec. 177 633   6      0.06%      deep records, periodic variants
+NCBI       3 642 224 3     <0.01%      huge uniform list, tiny alphabet
+XMark      167 864   11    13.17%      auction site, random optional parts
+Medline    2 866 079 6      4.12%      citations, variable-length sublists
+Treebank   2 437 665 35    20.67%      high-entropy deep parse trees
+========== ======== ===== ============ ====================================
+
+All generators are deterministic in ``seed`` and scale by an approximate
+*edge count* so experiments can sweep document sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.trees.unranked import XmlNode
+
+__all__ = [
+    "CorpusSpec",
+    "CORPORA",
+    "make_corpus",
+    "exi_weblog",
+    "exi_telecomp",
+    "ncbi",
+    "xmark",
+    "medline",
+    "treebank",
+]
+
+
+def exi_weblog(edges: int = 4000, seed: int = 0) -> XmlNode:
+    """Web-server log: one flat record shape repeated verbatim (dp 2)."""
+    fields = ("ip", "user", "ts", "request", "status", "bytes")
+    per_entry = 1 + len(fields)
+    entries = max(1, edges // per_entry)
+    root = XmlNode("log")
+    for _ in range(entries):
+        root.children.append(
+            XmlNode("entry", [XmlNode(field) for field in fields])
+        )
+    return root
+
+
+def ncbi(edges: int = 6000, seed: int = 0) -> XmlNode:
+    """SNP list: an extremely long, perfectly uniform list (dp 3)."""
+    per_record = 4  # snp(position, alleles(observed))
+    records = max(1, edges // per_record)
+    root = XmlNode("snps")
+    for _ in range(records):
+        root.children.append(
+            XmlNode(
+                "snp",
+                [XmlNode("position"), XmlNode("alleles", [XmlNode("observed")])],
+            )
+        )
+    return root
+
+
+def exi_telecomp(edges: int = 4000, seed: int = 0) -> XmlNode:
+    """Telemetry messages: deeper records with a *periodic* variant (dp 6).
+
+    Every fourth message carries an extra diagnostics block -- regular
+    enough to compress extremely well, but not a single repeated shape.
+    """
+    def message(with_diagnostics: bool) -> XmlNode:
+        header = XmlNode(
+            "header",
+            [
+                XmlNode("source", [XmlNode("address", [XmlNode("octets")])]),
+                XmlNode("target", [XmlNode("address", [XmlNode("octets")])]),
+            ],
+        )
+        body_children = [
+            XmlNode("payload", [XmlNode("value", [XmlNode("unit")])]),
+        ]
+        if with_diagnostics:
+            body_children.append(
+                XmlNode("diagnostics", [XmlNode("code"), XmlNode("severity")])
+            )
+        return XmlNode("message", [header, XmlNode("body", body_children)])
+
+    per_message = 11  # without diagnostics
+    messages = max(1, edges // per_message)
+    root = XmlNode("telemetry")
+    for index in range(messages):
+        root.children.append(message(index % 4 == 3))
+    return root
+
+
+def xmark(edges: int = 4000, seed: int = 0) -> XmlNode:
+    """Auction-site analog of XMark: randomized optional content (dp ~11).
+
+    Regions hold items with optional ``payment``/``shipping`` and a
+    description of randomly nested ``parlist``/``listitem`` markup; people
+    have optional phone/homepage; auctions reference items with variable
+    bidder lists.  Moderate compressibility.
+    """
+    rng = random.Random(seed)
+    root = XmlNode("site")
+    regions = XmlNode("regions")
+    people = XmlNode("people")
+    auctions = XmlNode("open_auctions")
+    root.children = [regions, people, auctions]
+    edge_budget = [edges]
+
+    def spend(node_edges: int) -> bool:
+        edge_budget[0] -= node_edges
+        return edge_budget[0] > 0
+
+    def description(depth: int = 0) -> XmlNode:
+        if depth >= 3 or rng.random() < 0.5:
+            return XmlNode("text")
+        items = [
+            XmlNode("listitem", [description(depth + 1)])
+            for _ in range(rng.randint(1, 3))
+        ]
+        return XmlNode("parlist", items)
+
+    def item() -> XmlNode:
+        children = [
+            XmlNode("location"),
+            XmlNode("quantity"),
+            XmlNode("name"),
+            XmlNode("description", [description()]),
+        ]
+        if rng.random() < 0.4:
+            children.append(XmlNode("payment"))
+        if rng.random() < 0.3:
+            children.append(XmlNode("shipping"))
+        return XmlNode("item", children)
+
+    def person() -> XmlNode:
+        children = [XmlNode("name"), XmlNode("emailaddress")]
+        if rng.random() < 0.5:
+            children.append(XmlNode("phone"))
+        if rng.random() < 0.25:
+            children.append(
+                XmlNode("address",
+                        [XmlNode("street"), XmlNode("city"), XmlNode("country")])
+            )
+        if rng.random() < 0.3:
+            children.append(XmlNode("homepage"))
+        return XmlNode("person", children)
+
+    def auction() -> XmlNode:
+        bidders = [
+            XmlNode("bidder", [XmlNode("date"), XmlNode("increase")])
+            for _ in range(rng.randint(0, 4))
+        ]
+        return XmlNode(
+            "auction",
+            [XmlNode("itemref"), XmlNode("reserve")] + bidders
+            + [XmlNode("current")],
+        )
+
+    region_names = ("africa", "asia", "europe", "namerica")
+    region_nodes = [XmlNode(name) for name in region_names]
+    regions.children = region_nodes
+    while True:
+        choice = rng.random()
+        if choice < 0.45:
+            node = item()
+            rng.choice(region_nodes).children.append(node)
+        elif choice < 0.75:
+            node = person()
+            people.children.append(node)
+        else:
+            node = auction()
+            auctions.children.append(node)
+        if not spend(sum(1 for _ in node.preorder())):
+            return root
+
+
+def medline(edges: int = 4000, seed: int = 0) -> XmlNode:
+    """Citation records: fixed skeleton, variable-length author/mesh lists."""
+    rng = random.Random(seed)
+    root = XmlNode("MedlineCitationSet")
+    edge_budget = edges
+    while edge_budget > 0:
+        authors = [
+            XmlNode("Author",
+                    [XmlNode("LastName"), XmlNode("ForeName"), XmlNode("Initials")])
+            for _ in range(1 + min(rng.randrange(1, 9), rng.randrange(1, 9)))
+        ]
+        mesh = [
+            XmlNode("MeshHeading", [XmlNode("DescriptorName")])
+            for _ in range(rng.randint(1, 6))
+        ]
+        journal = XmlNode(
+            "Journal",
+            [
+                XmlNode("ISSN"),
+                XmlNode("JournalIssue",
+                        [XmlNode("Volume"), XmlNode("Issue"),
+                         XmlNode("PubDate", [XmlNode("Year"), XmlNode("Month")])]),
+            ],
+        )
+        article_children = [journal, XmlNode("ArticleTitle"),
+                            XmlNode("AuthorList", authors), XmlNode("Language")]
+        if rng.random() < 0.35:
+            article_children.append(XmlNode("Abstract", [XmlNode("AbstractText")]))
+        citation = XmlNode(
+            "MedlineCitation",
+            [
+                XmlNode("PMID"),
+                XmlNode("DateCreated",
+                        [XmlNode("Year"), XmlNode("Month"), XmlNode("Day")]),
+                XmlNode("Article", article_children),
+                XmlNode("MeshHeadingList", mesh),
+            ],
+        )
+        root.children.append(citation)
+        edge_budget -= sum(1 for _ in citation.preorder())
+    return root
+
+
+#: A toy probabilistic grammar for the Treebank analog: weighted
+#: productions per constituent.  Real parse trees mix strong local
+#: regularity (recurring constituent shapes) with deep, varied nesting --
+#: pure random shapes would be incompressible, pure templates too regular.
+_TREEBANK_PCFG = {
+    "S": ((("NP", "VP"), 6), (("NP", "VP", "PU"), 2), (("S", "CC", "S"), 1)),
+    "NP": ((("DT", "NN"), 5), (("DT", "JJ", "NN"), 3), (("NP", "PP"), 2),
+           (("PRP",), 2), (("NNP",), 2), (("NP", "SBAR"), 1)),
+    "VP": ((("VBD", "NP"), 4), (("VBZ", "NP"), 3), (("VP", "PP"), 2),
+           (("MD", "VP"), 1), (("VBD",), 2)),
+    "PP": ((("IN", "NP"), 1),),
+    "SBAR": ((("WDT", "VP"), 1), (("IN", "S"), 1)),
+}
+
+_TREEBANK_LEAVES = (
+    "DT NN JJ PRP NNP VBD VBZ MD IN WDT CC PU".split()
+)
+
+
+def treebank(edges: int = 4000, seed: int = 0, max_depth: int = 28) -> XmlNode:
+    """Parse-tree corpus: deep, varied structure (poorest compression).
+
+    Sentences are drawn from a small probabilistic grammar, so constituent
+    shapes recur (some compression is possible) while the trees remain deep
+    and diverse (far less than the list-like corpora).
+    """
+    rng = random.Random(seed)
+    root = XmlNode("corpus")
+    edge_budget = edges
+
+    def constituent(label: str, depth: int) -> XmlNode:
+        productions = _TREEBANK_PCFG.get(label)
+        if productions is None or depth >= max_depth:
+            return XmlNode(label)
+        total = sum(weight for _, weight in productions)
+        pick = rng.uniform(0, total)
+        for body, weight in productions:
+            pick -= weight
+            if pick <= 0:
+                break
+        return XmlNode(
+            label, [constituent(child, depth + 1) for child in body]
+        )
+
+    while edge_budget > 0:
+        sentence = XmlNode("sentence", [constituent("S", 1)])
+        root.children.append(sentence)
+        edge_budget -= sum(1 for _ in sentence.preorder())
+    return root
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A corpus generator plus the paper's reference statistics."""
+
+    name: str
+    short: str
+    generator: Callable[[int, int], XmlNode]
+    default_edges: int
+    paper_edges: int
+    paper_depth: int
+    paper_ratio_percent: float  # Table III's "ratio" column
+
+    def generate(self, edges: Optional[int] = None, seed: int = 0) -> XmlNode:
+        return self.generator(edges or self.default_edges, seed)
+
+
+#: The evaluation corpora, in Table III order.
+CORPORA: Dict[str, CorpusSpec] = {
+    spec.name: spec
+    for spec in (
+        CorpusSpec("EXI-Weblog", "EW", exi_weblog, 4000, 93434, 2, 0.04),
+        CorpusSpec("XMark", "XM", xmark, 6000, 167864, 11, 13.17),
+        CorpusSpec("EXI-Telecomp", "ET", exi_telecomp, 4000, 177633, 6, 0.06),
+        CorpusSpec("Treebank", "TB", treebank, 6000, 2437665, 35, 20.67),
+        CorpusSpec("Medline", "MD", medline, 6000, 2866079, 6, 4.12),
+        CorpusSpec("NCBI", "NC", ncbi, 6000, 3642224, 3, 0.01),
+    )
+}
+
+
+def make_corpus(name: str, edges: Optional[int] = None, seed: int = 0) -> XmlNode:
+    """Generate the named corpus analog (see :data:`CORPORA` for names)."""
+    try:
+        spec = CORPORA[name]
+    except KeyError:
+        known = ", ".join(sorted(CORPORA))
+        raise KeyError(f"unknown corpus {name!r}; known: {known}") from None
+    return spec.generate(edges, seed)

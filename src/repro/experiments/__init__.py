@@ -1,0 +1,33 @@
+"""Experiment drivers: one module per table/figure of the paper."""
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure45,
+    figure6,
+    static_comparison,
+    table3,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+#: Registry used by the CLI and the benchmark harness.
+EXPERIMENTS = {
+    "table3": table3,
+    "static": static_comparison,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure45": figure45,
+    "figure6": figure6,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "table3",
+    "static_comparison",
+    "figure2",
+    "figure3",
+    "figure45",
+    "figure6",
+]

@@ -1,0 +1,35 @@
+"""``python -m repro.experiments [name ...]`` -- run experiment drivers."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help=f"experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+    for name in args.names:
+        module = EXPERIMENTS.get(name)
+        if module is None:
+            parser.error(
+                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+            )
+        module.main()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Shared infrastructure for the experiment drivers.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` plus a
+``main()`` that prints the paper-shaped table; the benchmarks wrap the same
+``run`` functions so numbers in EXPERIMENTS.md and bench output agree.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.grammar_repair import GrammarRePair
+from repro.datasets.synthetic import CORPORA, CorpusSpec
+from repro.trees.binary import encode_binary
+from repro.trees.node import Node
+from repro.trees.stats import DocumentStats, document_stats
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+
+__all__ = [
+    "ExperimentResult",
+    "timed",
+    "average_timed",
+    "prepared_corpus",
+    "PreparedCorpus",
+    "format_table",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """A generic tabular experiment outcome."""
+
+    title: str
+    columns: List[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+    def column(self, name: str) -> List[object]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Plain-text aligned table (the harness's output format)."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in rendered), 1)
+        if rendered else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = [title, "=" * len(title)]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` once, returning ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def average_timed(fn: Callable[[], object], runs: int = 1) -> Tuple[object, float]:
+    """The paper averages four consecutive runs; we default to fewer.
+
+    Returns the last result and the average seconds.
+    """
+    total = 0.0
+    result: object = None
+    for _ in range(max(1, runs)):
+        result, seconds = timed(fn)
+        total += seconds
+    return result, total / max(1, runs)
+
+
+@dataclass
+class PreparedCorpus:
+    """A generated corpus with its binary encoding and statistics."""
+
+    spec: CorpusSpec
+    document: XmlNode
+    stats: DocumentStats
+    alphabet: Alphabet
+    binary: Node
+
+
+def prepared_corpus(
+    name: str,
+    edges: Optional[int] = None,
+    seed: int = 0,
+) -> PreparedCorpus:
+    """Generate a corpus analog and its binary encoding."""
+    spec = CORPORA[name]
+    document = spec.generate(edges, seed)
+    alphabet = Alphabet()
+    return PreparedCorpus(
+        spec=spec,
+        document=document,
+        stats=document_stats(document),
+        alphabet=alphabet,
+        binary=encode_binary(document, alphabet),
+    )

@@ -1,0 +1,192 @@
+"""Derivation: inlining rules and full decompression (``valG``).
+
+*Inlining* a rule ``Q -> tQ`` at a ``Q``-labeled node replaces the node by a
+fresh copy of ``tQ`` in which parameter ``yi`` is substituted by the node's
+``i``-th child subtree (Section II).  It is the single mutation primitive
+underlying path isolation, digram replacement, and pruning.
+
+Full decompression (:func:`expand`) applies inlining until no nonterminal
+remains; because grammars compress exponentially, it takes a mandatory node
+budget and raises :class:`DecompressionBudgetExceeded` when the generated
+tree would be larger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.grammar.slcf import Grammar, GrammarError
+from repro.trees.node import Node, deep_copy_with_map
+from repro.trees.symbols import Symbol
+
+__all__ = [
+    "inline_at",
+    "inline_all_references",
+    "expand",
+    "DecompressionBudgetExceeded",
+    "DEFAULT_EXPAND_BUDGET",
+]
+
+#: Generous default for tests and mid-size experiments.
+DEFAULT_EXPAND_BUDGET = 5_000_000
+
+
+class DecompressionBudgetExceeded(RuntimeError):
+    """valG(S) would exceed the caller's node budget."""
+
+
+def inline_at(
+    grammar: Grammar,
+    node: Node,
+    rhs_override: Optional[Node] = None,
+) -> Tuple[Node, Dict[int, Node]]:
+    """Inline the rule for ``node``'s nonterminal at ``node``.
+
+    ``node`` must be labeled by a nonterminal with a rule (or
+    ``rhs_override`` must supply the right-hand side to use -- the optimized
+    replacement inlines *rule versions* this way).  Returns
+    ``(new_subtree_root, copy_map)`` where ``copy_map`` maps
+    ``id(original RHS node) -> copied node``.
+
+    If ``node`` is the root of some rule's RHS, the caller must re-install
+    the returned root via ``grammar.set_rule`` -- this function only splices
+    within the tree when a parent exists.
+    """
+    symbol = node.symbol
+    if not symbol.is_nonterminal:
+        raise GrammarError(f"cannot inline at non-nonterminal node {symbol!r}")
+    template = rhs_override if rhs_override is not None else grammar.rhs(symbol)
+    copy_root, copy_map = deep_copy_with_map(template)
+
+    # Locate parameter nodes in the copy, then substitute the argument
+    # subtrees.  Arguments are moved (not copied): each argument occurs once.
+    params: Dict[int, Node] = {}
+    stack = [copy_root]
+    while stack:
+        current = stack.pop()
+        if current.symbol.is_parameter:
+            params[current.symbol.param_index] = current
+        else:
+            stack.extend(current.children)
+    if len(params) != symbol.rank:
+        raise GrammarError(
+            f"rule for {symbol!r} has {len(params)} parameters, "
+            f"rank is {symbol.rank}"
+        )
+
+    arguments = list(node.children)
+    node.children = []
+    for index, argument in enumerate(arguments, start=1):
+        param_node = params[index]
+        argument.parent = None
+        parent = param_node.parent
+        if parent is None:
+            # The whole RHS is deeper than a bare parameter (validated), so
+            # a parameter can only be the root if rank >= 1 and tQ == yi,
+            # which the model forbids.
+            raise GrammarError("RHS is a bare parameter")  # pragma: no cover
+        parent.set_child(param_node.child_index(), argument)
+
+    parent = node.parent
+    if parent is not None:
+        index = node.child_index()
+        node.parent = None
+        parent.set_child(index, copy_root)
+    else:
+        copy_root.parent = None
+    return copy_root, copy_map
+
+
+def inline_all_references(grammar: Grammar, nonterminal: Symbol) -> int:
+    """Inline ``nonterminal`` at every reference and drop its rule.
+
+    Returns the number of inlined references.  Used by pruning.
+    """
+    template = grammar.rhs(nonterminal)
+    count = 0
+    for head in list(grammar.rules.keys()):
+        if head is nonterminal:
+            continue
+        rhs = grammar.rules[head]
+        # Collect references first: inlining mutates the tree under us.
+        targets = [
+            candidate
+            for candidate in _preorder(rhs)
+            if candidate.symbol is nonterminal
+        ]
+        for target in targets:
+            is_rule_root = target.parent is None
+            new_root, _ = inline_at(grammar, target, rhs_override=template)
+            if is_rule_root:
+                grammar.set_rule(head, new_root)
+            count += 1
+    grammar.remove_rule(nonterminal)
+    return count
+
+
+def _preorder(root: Node):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def expand(
+    grammar: Grammar,
+    symbol: Optional[Symbol] = None,
+    budget: int = DEFAULT_EXPAND_BUDGET,
+) -> Node:
+    """Compute ``valG(symbol)`` (default: the start symbol) as a plain tree.
+
+    Rank-``m`` nonterminals expand to trees whose parameters remain as
+    parameter leaves, matching the paper's ``valG(R)``.
+
+    Raises :class:`DecompressionBudgetExceeded` once more than ``budget``
+    nodes have been materialized; decompression can be exponential
+    (Section I), so an unbounded expand is never safe.
+    """
+    head = symbol if symbol is not None else grammar.start
+    root, _ = deep_copy_with_map(grammar.rhs(head))
+    produced = 0
+    # Worklist of not-yet-expanded nonterminal nodes within the result.
+    worklist: List[Node] = []
+
+    def scan(subtree: Node) -> None:
+        nonlocal produced
+        stack = [subtree]
+        while stack:
+            node = stack.pop()
+            produced += 1
+            if produced > budget:
+                raise DecompressionBudgetExceeded(
+                    f"valG exceeds {budget} nodes; "
+                    "raise the budget only if you know the generated size"
+                )
+            if node.symbol.is_nonterminal:
+                worklist.append(node)
+            stack.extend(node.children)
+
+    scan(root)
+    while worklist:
+        node = worklist.pop()
+        is_root = node.parent is None
+        new_subtree, copy_map = inline_at(grammar, node)
+        if is_root:
+            root = new_subtree
+        # Only the freshly copied rule body needs accounting: argument
+        # subtrees were moved (same node objects), so they were counted --
+        # and their nonterminals enqueued -- when first materialized.
+        produced -= 1  # the inlined nonterminal node itself disappeared
+        for copied in copy_map.values():
+            if copied.symbol.is_parameter:
+                continue  # substituted by an argument subtree
+            produced += 1
+            if produced > budget:
+                raise DecompressionBudgetExceeded(
+                    f"valG exceeds {budget} nodes; "
+                    "raise the budget only if you know the generated size"
+                )
+            if copied.symbol.is_nonterminal:
+                worklist.append(copied)
+    return root

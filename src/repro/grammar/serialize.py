@@ -1,0 +1,111 @@
+"""Plain-text grammar format.
+
+Example::
+
+    # anything after '#' ... wait, '#' is the empty symbol; comments use ';'
+    start S
+    S    -> f(A(B,#),#)
+    A/2  -> a(y1, a(#, y2))
+    B    -> b(#,#)
+
+* ``start <name>`` names the start nonterminal (required, first directive),
+* each rule line is ``NAME[/rank] -> term``; the rank defaults to 0 and must
+  match the number of parameters in the term,
+* ``#`` is the empty node ``⊥``; ``y1, y2, ...`` are parameters,
+* ``;`` starts a line comment; blank lines are ignored.
+
+The format round-trips: ``parse_grammar(format_grammar(g))`` generates the
+same tree as ``g``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.grammar.slcf import Grammar, GrammarError
+from repro.trees.builder import parse_term
+from repro.trees.node import Node
+from repro.trees.symbols import Alphabet, Symbol
+
+__all__ = ["format_grammar", "parse_grammar", "GrammarFormatError"]
+
+
+class GrammarFormatError(ValueError):
+    """Raised on malformed grammar text."""
+
+
+_RULE_LINE = re.compile(
+    r"^(?P<name>[^\s/;]+)(?:/(?P<rank>\d+))?\s*->\s*(?P<body>.+)$"
+)
+
+
+def format_grammar(grammar: Grammar) -> str:
+    """Render a grammar in the text format (start rule first)."""
+    lines: List[str] = [f"start {grammar.start.name}"]
+    heads = [grammar.start] + [
+        head for head in grammar.rules if head is not grammar.start
+    ]
+    for head in heads:
+        rank = f"/{head.rank}" if head.rank else ""
+        lines.append(f"{head.name}{rank} -> {grammar.rules[head].to_sexpr()}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_grammar(text: str, alphabet: Optional[Alphabet] = None) -> Grammar:
+    """Parse the text format into a validated :class:`Grammar`."""
+    if alphabet is None:
+        alphabet = Alphabet()
+    start_name: Optional[str] = None
+    raw_rules: List[Tuple[str, int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("start "):
+            if start_name is not None:
+                raise GrammarFormatError(f"line {lineno}: duplicate start")
+            start_name = line[len("start "):].strip()
+            continue
+        match = _RULE_LINE.match(line)
+        if match is None:
+            raise GrammarFormatError(f"line {lineno}: cannot parse {line!r}")
+        rank = int(match.group("rank") or 0)
+        raw_rules.append((match.group("name"), rank, match.group("body")))
+    if start_name is None:
+        raise GrammarFormatError("missing 'start <name>' directive")
+    if not raw_rules:
+        raise GrammarFormatError("grammar has no rules")
+
+    # First pass: intern all rule heads so the term parser can classify
+    # occurrences of nonterminals.
+    names = {name for name, _, _ in raw_rules}
+    if start_name not in names:
+        raise GrammarFormatError(f"start symbol {start_name!r} has no rule")
+    for name, rank, _ in raw_rules:
+        existing = alphabet.get(name)
+        if existing is not None and not existing.is_nonterminal:
+            raise GrammarFormatError(
+                f"rule head {name!r} clashes with a non-nonterminal symbol"
+            )
+        alphabet.nonterminal(name, rank)
+
+    start = alphabet.get(start_name)
+    assert start is not None
+    grammar = Grammar(alphabet, start)
+    frozen_names = frozenset(names)
+    for name, rank, body in raw_rules:
+        head = alphabet.get(name)
+        assert head is not None
+        if head in grammar.rules:
+            raise GrammarFormatError(f"duplicate rule for {name!r}")
+        try:
+            rhs = parse_term(body, alphabet, nonterminal_names=frozen_names)
+        except ValueError as exc:
+            raise GrammarFormatError(f"rule {name!r}: {exc}") from exc
+        grammar.set_rule(head, rhs)
+    try:
+        grammar.validate()
+    except GrammarError as exc:
+        raise GrammarFormatError(str(exc)) from exc
+    return grammar

@@ -1,0 +1,207 @@
+"""Straight-line linear context-free (SLCF) tree grammars.
+
+This is the paper's formal model (Section II): a grammar
+``G = (F, N, P, S)`` with ranked terminals ``F`` (including ``⊥``), ranked
+nonterminals ``N``, exactly one rule ``R -> tR`` per nonterminal, parameters
+``y1..ym`` each occurring exactly once in ``tR``, a start nonterminal ``S``
+of rank 0 that no right-hand side references, and an acyclic
+(*straight-line*) call relation.
+
+One additional invariant is enforced throughout this code base: parameters
+appear in *increasing order in preorder* within every right-hand side.  All
+grammars produced by (Tree/Grammar)RePair satisfy it, and it makes the
+``size(A, i)`` segment computation (Section III-A) well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.trees.node import Node, deep_copy, edge_count, node_count
+from repro.trees.symbols import Alphabet, Symbol
+
+__all__ = ["Grammar", "GrammarError"]
+
+
+class GrammarError(ValueError):
+    """Raised when a grammar violates the SLCF model."""
+
+
+class Grammar:
+    """A mutable SLCF tree grammar.
+
+    ``rules`` maps each nonterminal symbol to the root node of its
+    right-hand side.  The grammar owns an :class:`Alphabet` from which all
+    of its symbols (and fresh nonterminals created during compression) are
+    drawn.
+    """
+
+    __slots__ = ("alphabet", "start", "rules")
+
+    def __init__(self, alphabet: Alphabet, start: Symbol) -> None:
+        if not start.is_nonterminal:
+            raise GrammarError(f"start symbol {start!r} must be a nonterminal")
+        if start.rank != 0:
+            raise GrammarError(f"start symbol {start!r} must have rank 0")
+        self.alphabet = alphabet
+        self.start = start
+        self.rules: Dict[Symbol, Node] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, root: Node, alphabet: Alphabet, start_name: str = "S") -> "Grammar":
+        """The trivial grammar ``{S -> t}`` generating exactly ``t``.
+
+        This is how GrammarRePair doubles as a tree compressor (Section V-B):
+        a tree is a one-rule grammar.  The tree is *not* copied.
+        """
+        start = alphabet.get(start_name)
+        if start is None:
+            start = alphabet.nonterminal(start_name, 0)
+        elif not (start.is_nonterminal and start.rank == 0):
+            # The requested name is taken by a document label (e.g. the
+            # Penn-Treebank tag "S"): mint a fresh start symbol instead.
+            start = alphabet.fresh_nonterminal(0, prefix=start_name)
+        grammar = cls(alphabet, start)
+        grammar.set_rule(start, root)
+        return grammar
+
+    def set_rule(self, nonterminal: Symbol, rhs: Node) -> None:
+        """Install (or overwrite) the rule ``nonterminal -> rhs``."""
+        if not nonterminal.is_nonterminal:
+            raise GrammarError(f"{nonterminal!r} is not a nonterminal")
+        if rhs.symbol.is_parameter:
+            raise GrammarError(
+                "a right-hand side must not be a single parameter node"
+            )
+        rhs.parent = None
+        self.rules[nonterminal] = rhs
+
+    def remove_rule(self, nonterminal: Symbol) -> None:
+        if nonterminal is self.start:
+            raise GrammarError("cannot remove the start rule")
+        del self.rules[nonterminal]
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def rhs(self, nonterminal: Symbol) -> Node:
+        try:
+            return self.rules[nonterminal]
+        except KeyError:
+            raise GrammarError(f"no rule for nonterminal {nonterminal!r}") from None
+
+    def has_rule(self, nonterminal: Symbol) -> bool:
+        return nonterminal in self.rules
+
+    def nonterminals(self) -> List[Symbol]:
+        """Rule heads, in insertion order."""
+        return list(self.rules.keys())
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Tuple[Symbol, Node]]:
+        return iter(self.rules.items())
+
+    @property
+    def size(self) -> int:
+        """``|G|`` = total number of edges over all right-hand sides."""
+        return sum(edge_count(rhs) for rhs in self.rules.values())
+
+    @property
+    def node_size(self) -> int:
+        """Total number of RHS nodes (size + number of rules)."""
+        return sum(node_count(rhs) for rhs in self.rules.values())
+
+    def copy(self) -> "Grammar":
+        """Deep copy: fresh rule trees, shared symbols/alphabet."""
+        clone = Grammar(self.alphabet, self.start)
+        for nonterminal, rhs in self.rules.items():
+            clone.rules[nonterminal] = deep_copy(rhs)
+        return clone
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every SLCF model invariant; raise :class:`GrammarError`.
+
+        Intended for tests and debugging -- it walks the entire grammar.
+        """
+        if self.start not in self.rules:
+            raise GrammarError("missing start rule")
+        called: Dict[Symbol, Set[Symbol]] = {}
+        for head, rhs in self.rules.items():
+            if rhs.symbol.is_parameter:
+                raise GrammarError(f"rule {head!r}: RHS is a bare parameter")
+            if rhs.parent is not None:
+                raise GrammarError(f"rule {head!r}: RHS root has a parent")
+            seen_params: List[int] = []
+            callees: Set[Symbol] = set()
+            stack = [rhs]
+            while stack:
+                node = stack.pop()
+                symbol = node.symbol
+                if len(node.children) != symbol.rank:
+                    raise GrammarError(
+                        f"rule {head!r}: node {symbol!r} has "
+                        f"{len(node.children)} children, rank is {symbol.rank}"
+                    )
+                for child in node.children:
+                    if child.parent is not node:
+                        raise GrammarError(
+                            f"rule {head!r}: broken parent pointer at {symbol!r}"
+                        )
+                if symbol.is_parameter:
+                    seen_params.append(symbol.param_index)
+                elif symbol.is_nonterminal:
+                    if symbol is self.start:
+                        raise GrammarError(
+                            f"rule {head!r} references the start symbol"
+                        )
+                    if symbol not in self.rules:
+                        raise GrammarError(
+                            f"rule {head!r} references undefined {symbol!r}"
+                        )
+                    callees.add(symbol)
+                stack.extend(reversed(node.children))
+            expected = list(range(1, head.rank + 1))
+            if seen_params != expected:
+                raise GrammarError(
+                    f"rule {head!r}: parameters {seen_params} in preorder, "
+                    f"expected exactly {expected} (linear, ordered)"
+                )
+            called[head] = callees
+        self._check_acyclic(called)
+
+    def _check_acyclic(self, called: Dict[Symbol, Set[Symbol]]) -> None:
+        """Straight-line check: the call relation must be a DAG."""
+        state: Dict[Symbol, int] = {}  # 0 = visiting, 1 = done
+
+        for origin in self.rules:
+            if origin in state:
+                continue
+            stack: List[Tuple[Symbol, Iterator[Symbol]]] = [
+                (origin, iter(called[origin]))
+            ]
+            state[origin] = 0
+            while stack:
+                head, it = stack[-1]
+                advanced = False
+                for callee in it:
+                    status = state.get(callee)
+                    if status == 0:
+                        raise GrammarError(
+                            f"grammar is recursive: cycle through {callee!r}"
+                        )
+                    if status is None:
+                        state[callee] = 0
+                        stack.append((callee, iter(called[callee])))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[head] = 1
+                    stack.pop()

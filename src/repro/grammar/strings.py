@@ -1,0 +1,97 @@
+"""String grammars as monadic tree grammars.
+
+The paper's Section III examples (``G8``, ``Gexp``, ``Gn``) are straight-
+line *string* grammars.  A string ``s1 s2 ... sn`` embeds as the chain
+``s1(s2(...sn(#)))`` of rank-1 terminals, and an SL string grammar becomes
+an SLCF tree grammar whose nonterminals have rank 1 (a trailing "rest of
+string" parameter); the start symbol stays rank 0 and ends the chain
+with ``⊥``.
+
+This embedding preserves RePair semantics exactly: the string digram
+``xy`` is the tree digram ``(x, 1, y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.grammar.slcf import Grammar, GrammarError
+from repro.trees.node import Node
+from repro.trees.symbols import Alphabet, parameter_symbol
+
+__all__ = ["string_grammar", "grammar_string", "gn_family_grammar"]
+
+
+def string_grammar(
+    rules: Dict[str, str],
+    start: str = "S",
+    alphabet: Alphabet = None,
+) -> Grammar:
+    """Build a monadic tree grammar from string-grammar rules.
+
+    ``rules`` maps head names to bodies; body tokens are either head names
+    (longest match wins) or single terminal letters.  Example::
+
+        string_grammar({"S": "BBa", "B": "ab"})   # the paper's G_w
+
+    Every non-start nonterminal gets rank 1 (its parameter is the rest of
+    the string); the start rule's chain ends with ``⊥``.
+    """
+    if alphabet is None:
+        alphabet = Alphabet()
+    if start not in rules:
+        raise GrammarError(f"missing start rule {start!r}")
+    heads = {
+        name: alphabet.nonterminal(name, 0 if name == start else 1)
+        for name in rules
+    }
+    by_length = sorted(rules, key=len, reverse=True)
+    grammar = Grammar(alphabet, heads[start])
+
+    for name, body in rules.items():
+        tokens: List[Tuple[str, str]] = []
+        i = 0
+        while i < len(body):
+            for head_name in by_length:
+                if body.startswith(head_name, i):
+                    tokens.append(("nonterminal", head_name))
+                    i += len(head_name)
+                    break
+            else:
+                tokens.append(("terminal", body[i]))
+                i += 1
+        if name == start:
+            current = Node(alphabet.bottom())
+        else:
+            current = Node(parameter_symbol(1))
+        for kind, token in reversed(tokens):
+            if kind == "terminal":
+                current = Node(alphabet.terminal(token, 1), [current])
+            else:
+                current = Node(heads[token], [current])
+        grammar.set_rule(heads[name], current)
+    grammar.validate()
+    return grammar
+
+
+def grammar_string(grammar: Grammar) -> str:
+    """Decode a monadic grammar back into its string."""
+    from repro.grammar.navigation import stream_preorder
+
+    return "".join(
+        symbol.name for symbol in stream_preorder(grammar) if symbol.rank == 1
+    )
+
+
+def gn_family_grammar(n: int, alphabet: Alphabet = None) -> Grammar:
+    """The Figure 3 family ``G_n``.
+
+    ``S -> a An An b``, ``Ai -> A(i-1) A(i-1)``, ``A0 -> ba``; generates
+    ``a (ba)^(2^(n+1)) b = (ab)^(2^(n+1)+1)``, exponentially compressed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rules = {"S": f"aA{n}A{n}b", "A0": "ba"}
+    for i in range(1, n + 1):
+        rules[f"A{i}"] = f"A{i-1}A{i-1}"
+    return string_grammar(rules, alphabet=alphabet)

@@ -1,0 +1,36 @@
+"""RePair substrate: digrams, occurrence tracking, TreeRePair, pruning."""
+
+from repro.repair.digram import (
+    Digram,
+    digram_pattern,
+    replace_occurrence_in_tree,
+)
+from repro.repair.occurrences import (
+    TreeOccurrence,
+    TreeOccurrenceIndex,
+    count_tree_digrams,
+)
+from repro.repair.priority import DigramPriorityQueue
+from repro.repair.pruning import prune_grammar, saving
+from repro.repair.tree_repair import (
+    DEFAULT_KIN,
+    RePairStats,
+    TreeRePair,
+    tree_repair,
+)
+
+__all__ = [
+    "Digram",
+    "digram_pattern",
+    "replace_occurrence_in_tree",
+    "TreeOccurrence",
+    "TreeOccurrenceIndex",
+    "count_tree_digrams",
+    "DigramPriorityQueue",
+    "prune_grammar",
+    "saving",
+    "TreeRePair",
+    "tree_repair",
+    "RePairStats",
+    "DEFAULT_KIN",
+]

@@ -1,0 +1,102 @@
+"""Digrams and their replacement patterns (Section II).
+
+A digram ``α = (a, i, b)`` denotes an edge from an ``a``-labeled node to its
+``i``-th child labeled ``b``.  Its *pattern* is the tree
+
+    ``a(y1, ..., y(i-1), b(yi, ..., y(i+n-1)), y(i+n), ..., y(m+n-1))``
+
+for ``m = rank(a)``, ``n = rank(b)``; replacing an occurrence by a fresh
+nonterminal ``X`` with rule ``X -> pattern`` is the inverse of inlining.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.trees.node import Node
+from repro.trees.symbols import Alphabet, Symbol, parameter_symbol
+
+__all__ = ["Digram", "digram_pattern", "replace_occurrence_in_tree"]
+
+
+class Digram(NamedTuple):
+    """``(a, i, b)``: ``b`` is the ``i``-th (1-based) child of ``a``."""
+
+    parent: Symbol
+    index: int
+    child: Symbol
+
+    @property
+    def rank(self) -> int:
+        """Rank of the replacement nonterminal: ``rank(a) + rank(b) - 1``."""
+        return self.parent.rank + self.child.rank - 1
+
+    @property
+    def is_equal_label(self) -> bool:
+        """Occurrences of equal-label digrams may overlap (Section II)."""
+        return self.parent is self.child
+
+    def is_appropriate(self, kin: int, occurrence_weight: int) -> bool:
+        """Appropriateness (Section II): bounded rank, >= 2 occurrences."""
+        return self.rank <= kin and occurrence_weight > 1
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        """Deterministic tie-break ordering for digram selection."""
+        return (self.parent.name, self.index, self.child.name)
+
+    def __repr__(self) -> str:
+        return f"({self.parent.name},{self.index},{self.child.name})"
+
+
+def digram_pattern(digram: Digram) -> Node:
+    """Build the pattern tree ``tX`` representing ``digram``."""
+    m = digram.parent.rank
+    n = digram.child.rank
+    i = digram.index
+    if not 1 <= i <= m:
+        raise ValueError(f"child index {i} out of range for rank {m}")
+    inner = Node(
+        digram.child,
+        [Node(parameter_symbol(i + k)) for k in range(n)],
+    )
+    outer_children = []
+    for position in range(1, m + 1):
+        if position < i:
+            outer_children.append(Node(parameter_symbol(position)))
+        elif position == i:
+            outer_children.append(inner)
+        else:
+            outer_children.append(Node(parameter_symbol(position + n - 1)))
+    return Node(digram.parent, outer_children)
+
+
+def replace_occurrence_in_tree(
+    parent_node: Node,
+    index: int,
+    child_node: Node,
+    replacement_symbol: Symbol,
+) -> Node:
+    """Replace one digram occurrence by an ``X``-node, as TreeRePair does.
+
+    The new node's children are
+    ``v.1, ..., v.(i-1), w.1, ..., w.rank(b), v.(i+1), ..., v.rank(a)``
+    (Section IV-B).  Returns the new node; the caller must have verified
+    that ``child_node`` is the ``index``-th child of ``parent_node``.
+    """
+    if parent_node.children[index - 1] is not child_node:
+        raise ValueError("occurrence is stale: child moved away from parent")
+    gathered = (
+        parent_node.children[: index - 1]
+        + child_node.children
+        + parent_node.children[index:]
+    )
+    for grandchild in gathered:
+        grandchild.parent = None
+    replacement = Node(replacement_symbol, gathered)
+
+    outer = parent_node.parent
+    if outer is not None:
+        slot = parent_node.child_index()
+        parent_node.parent = None
+        outer.set_child(slot, replacement)
+    return replacement

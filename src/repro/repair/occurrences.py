@@ -1,0 +1,147 @@
+"""Digram occurrence tracking on plain trees.
+
+TreeRePair needs, at every round, the most frequent digram together with a
+maximal set of non-overlapping occurrences.  :class:`TreeOccurrenceIndex`
+maintains exactly that *incrementally*: the initial postorder count is done
+once, and each replacement only touches the occurrences overlapping the
+replaced edge (Section IV-C: "only the occurrences that overlap with an
+occurrence of the replaced digram have to be adapted").
+
+Occurrences are keyed by their child node (its parent in the tree is
+unique, Section IV-A).  Overlap -- possible only for equal-label digrams --
+is suppressed greedily with a per-digram set of nodes already claimed by a
+stored occurrence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from repro.repair.digram import Digram
+from repro.repair.priority import DigramPriorityQueue
+from repro.trees.node import Node
+
+__all__ = ["TreeOccurrence", "TreeOccurrenceIndex", "count_tree_digrams"]
+
+
+class TreeOccurrence(NamedTuple):
+    """One stored occurrence ``(v, i, w)``."""
+
+    parent: Node
+    index: int
+    child: Node
+
+
+class TreeOccurrenceIndex:
+    """Mutable digram -> occurrence-list index over one working tree."""
+
+    def __init__(self) -> None:
+        # digram -> {id(child node) -> occurrence}
+        self._lists: Dict[Digram, Dict[int, TreeOccurrence]] = {}
+        # digram -> ids of nodes claimed by stored occurrences (equal-label
+        # digrams only; disjointness makes a flat set sufficient).
+        self._claimed: Dict[Digram, Set[int]] = {}
+        self.queue = DigramPriorityQueue()
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, root: Node) -> "TreeOccurrenceIndex":
+        """Initial count: postorder, bottom-up greedy (Section IV-A)."""
+        index = cls()
+        # Postorder = reversed right-to-left preorder.
+        order: List[Node] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children)
+        for node in reversed(order):
+            parent = node.parent
+            if parent is None:
+                continue
+            index.add(parent, node.child_index(), node)
+        return index
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, parent: Node, child_index: int, child: Node) -> bool:
+        """Register the edge ``(parent, i, child)``; returns True if stored.
+
+        Equal-label occurrences overlapping an already stored occurrence of
+        the same digram are suppressed.
+        """
+        digram = Digram(parent.symbol, child_index, child.symbol)
+        if digram.is_equal_label:
+            claimed = self._claimed.setdefault(digram, set())
+            if id(parent) in claimed or id(child) in claimed:
+                return False
+            claimed.add(id(parent))
+            claimed.add(id(child))
+        occurrences = self._lists.setdefault(digram, {})
+        occurrences[id(child)] = TreeOccurrence(parent, child_index, child)
+        self.queue.update(digram, len(occurrences))
+        return True
+
+    def remove_edge(self, parent: Node, child: Node) -> None:
+        """Forget the occurrence whose child is ``child``, if stored.
+
+        The child's position is recovered from the stored occurrence rather
+        than the (possibly already mutated) tree, so removal stays correct
+        mid-replacement.
+        """
+        for child_index in range(1, parent.symbol.rank + 1):
+            candidate = Digram(parent.symbol, child_index, child.symbol)
+            occurrences = self._lists.get(candidate)
+            if not occurrences:
+                continue
+            occurrence = occurrences.get(id(child))
+            if occurrence is None or occurrence.parent is not parent:
+                continue
+            del occurrences[id(child)]
+            if candidate.is_equal_label:
+                claimed = self._claimed.get(candidate)
+                if claimed is not None:
+                    claimed.discard(id(occurrence.parent))
+                    claimed.discard(id(occurrence.child))
+            self.queue.update(candidate, len(occurrences))
+            return
+
+    def drop_digram(self, digram: Digram) -> None:
+        """Delete a digram's whole list (after its replacement round)."""
+        self._lists.pop(digram, None)
+        self._claimed.pop(digram, None)
+        self.queue.update(digram, 0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def occurrences(self, digram: Digram) -> List[TreeOccurrence]:
+        """Stored occurrences in insertion order."""
+        return list(self._lists.get(digram, {}).values())
+
+    def count(self, digram: Digram) -> int:
+        return len(self._lists.get(digram, {}))
+
+    def digrams(self) -> Iterator[Tuple[Digram, int]]:
+        for digram, occurrences in self._lists.items():
+            if occurrences:
+                yield digram, len(occurrences)
+
+    def best(self, kin: int) -> Optional[Tuple[Digram, int]]:
+        """Most frequent appropriate digram, deterministic tie-break."""
+        return self.queue.pop_best(
+            lambda digram, weight: digram.is_appropriate(kin, weight)
+        )
+
+
+def count_tree_digrams(root: Node) -> Dict[Digram, List[TreeOccurrence]]:
+    """One-shot digram census of a tree (reference implementation).
+
+    Used by tests to cross-check the incremental index and by the
+    ``recount`` compression strategy.
+    """
+    index = TreeOccurrenceIndex.build(root)
+    return {digram: index.occurrences(digram) for digram, _ in index.digrams()}

@@ -1,0 +1,62 @@
+"""Lazy max-priority queue over digram weights.
+
+RePair repeatedly asks for the currently most frequent digram while weights
+change after every replacement.  A binary heap with *lazy invalidation*
+gives O(log n) updates: every weight change pushes a fresh entry; stale
+entries are discarded at pop time by checking them against the live weight
+table.  (Larsson & Moffat's √n bucket queue achieves the same effect for
+strings; a lazy heap is the idiomatic Python equivalent.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.repair.digram import Digram
+
+__all__ = ["DigramPriorityQueue"]
+
+
+class DigramPriorityQueue:
+    """Max-queue of digrams keyed by weight with deterministic tie-breaks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, Tuple[str, int, str], Digram]] = []
+        self._weights: Dict[Digram, int] = {}
+
+    def update(self, digram: Digram, weight: int) -> None:
+        """Record ``digram``'s current weight (0 removes it)."""
+        if weight <= 0:
+            self._weights.pop(digram, None)
+            return
+        self._weights[digram] = weight
+        heapq.heappush(self._heap, (-weight, digram.sort_key(), digram))
+
+    def weight(self, digram: Digram) -> int:
+        return self._weights.get(digram, 0)
+
+    def pop_best(
+        self,
+        accept: Optional[Callable[[Digram, int], bool]] = None,
+    ) -> Optional[Tuple[Digram, int]]:
+        """Return the heaviest digram accepted by ``accept`` (or ``None``).
+
+        Rejected digrams are *not* reinserted: RePair never replaces a
+        digram it has rejected (its weight can only decrease by replacing
+        overlapping digrams, which pushes fresh entries anyway).  Stale
+        heap entries are discarded.
+        """
+        while self._heap:
+            negated, _key, digram = heapq.heappop(self._heap)
+            current = self._weights.get(digram)
+            if current is None or current != -negated:
+                continue  # stale entry
+            if accept is not None and not accept(digram, current):
+                continue
+            del self._weights[digram]
+            return digram, current
+        return None
+
+    def __len__(self) -> int:
+        return len(self._weights)

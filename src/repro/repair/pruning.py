@@ -1,0 +1,101 @@
+"""The pruning phase shared by TreeRePair and GrammarRePair (Section IV-D).
+
+A rule ``R -> tR`` is *unproductive* when
+
+    ``savG(R) = |refG(R)| * (size(tR) - rank(R)) - size(tR) < 0``
+
+with ``size`` counting edges.  Unproductive rules are removed by inlining.
+Following TreeRePair's greedy strategy, rules referenced exactly once are
+inlined first, then the grammar is scanned in anti-SL order (callees first,
+so a caller's size already reflects earlier inlinings when it is judged).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.grammar.derivation import inline_all_references
+from repro.grammar.properties import anti_sl_order, reference_counts
+from repro.grammar.slcf import Grammar
+from repro.trees.node import Node, edge_count
+from repro.trees.symbols import Symbol
+
+__all__ = ["saving", "prune_grammar"]
+
+
+def saving(grammar: Grammar, head: Symbol, ref_count: int) -> int:
+    """``savG(R)`` for the rule as it currently stands."""
+    size = edge_count(grammar.rhs(head))
+    return ref_count * (size - head.rank) - size
+
+
+def _callee_histogram(rhs: Node) -> Counter:
+    histogram: Counter = Counter()
+    stack = [rhs]
+    while stack:
+        node = stack.pop()
+        if node.symbol.is_nonterminal:
+            histogram[node.symbol] += 1
+        stack.extend(node.children)
+    return histogram
+
+
+def prune_grammar(
+    grammar: Grammar,
+    protected: Iterable[Symbol] = (),
+) -> int:
+    """Remove unproductive rules by inlining; returns how many were removed.
+
+    ``protected`` rules (besides the start rule, which is always kept) are
+    never inlined away.
+    """
+    keep: Set[Symbol] = {grammar.start, *protected}
+    counts: Dict[Symbol, int] = reference_counts(grammar)
+    removed = 0
+
+    def inline_away(head: Symbol) -> None:
+        nonlocal removed
+        histogram = _callee_histogram(grammar.rhs(head))
+        n = counts.pop(head)
+        if n == 0:
+            # Dead rule: just account for the disappearing references.
+            for callee, occurrences in histogram.items():
+                counts[callee] -= occurrences
+            grammar.remove_rule(head)
+        else:
+            inline_all_references(grammar, head)
+            for callee, occurrences in histogram.items():
+                counts[callee] += (n - 1) * occurrences
+        removed += 1
+
+    # Phase 0: drop rules unreachable via references (cascading).
+    worklist: List[Symbol] = [
+        head for head, count in counts.items()
+        if count == 0 and head not in keep
+    ]
+    while worklist:
+        head = worklist.pop()
+        if not grammar.has_rule(head) or counts.get(head) != 0:
+            continue
+        inline_away(head)
+        worklist.extend(
+            callee for callee, count in counts.items()
+            if count == 0 and callee not in keep and grammar.has_rule(callee)
+        )
+
+    # Phase 1: rules referenced exactly once never pay for themselves.
+    for head in anti_sl_order(grammar):
+        if head in keep or not grammar.has_rule(head):
+            continue
+        if counts.get(head) == 1:
+            inline_away(head)
+
+    # Phase 2: anti-SL saving scan.
+    for head in anti_sl_order(grammar):
+        if head in keep or not grammar.has_rule(head):
+            continue
+        if saving(grammar, head, counts[head]) < 0:
+            inline_away(head)
+
+    return removed

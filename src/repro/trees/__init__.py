@@ -1,0 +1,69 @@
+"""Tree substrate: ranked/unranked trees, XML I/O, binary encoding."""
+
+from repro.trees.binary import (
+    BinaryEncodingError,
+    decode_binary,
+    decode_forest,
+    encode_binary,
+    encode_forest,
+)
+from repro.trees.builder import TermSyntaxError, parse_term
+from repro.trees.node import (
+    Node,
+    deep_copy,
+    deep_copy_with_map,
+    edge_count,
+    node_count,
+    replace_node,
+    tree_depth,
+    tree_equal,
+)
+from repro.trees.stats import DocumentStats, document_stats
+from repro.trees.symbols import Alphabet, Symbol, SymbolKind, parameter_symbol
+from repro.trees.traversal import (
+    node_at_preorder,
+    postorder,
+    preorder,
+    preorder_index_of,
+    preorder_labels,
+    preorder_with_index,
+)
+from repro.trees.unranked import XmlNode, xml_depth, xml_edge_count, xml_equal
+from repro.trees.xml_io import XmlParseError, parse_xml, serialize_xml
+
+__all__ = [
+    "Alphabet",
+    "Symbol",
+    "SymbolKind",
+    "parameter_symbol",
+    "Node",
+    "deep_copy",
+    "deep_copy_with_map",
+    "edge_count",
+    "node_count",
+    "replace_node",
+    "tree_depth",
+    "tree_equal",
+    "parse_term",
+    "TermSyntaxError",
+    "preorder",
+    "postorder",
+    "preorder_with_index",
+    "preorder_labels",
+    "preorder_index_of",
+    "node_at_preorder",
+    "XmlNode",
+    "xml_equal",
+    "xml_depth",
+    "xml_edge_count",
+    "parse_xml",
+    "serialize_xml",
+    "XmlParseError",
+    "encode_binary",
+    "encode_forest",
+    "decode_binary",
+    "decode_forest",
+    "BinaryEncodingError",
+    "DocumentStats",
+    "document_stats",
+]

@@ -1,0 +1,123 @@
+"""First-child / next-sibling binary encoding (Figure 1 of the paper).
+
+An unranked XML tree is encoded as a *binary* ranked tree: every element
+label becomes a rank-2 terminal whose first child encodes the element's
+first child and whose second child encodes its next sibling; absent
+children/siblings are the rank-0 empty node ``⊥`` (spelled ``#`` here).
+
+The root element's encoding keeps an explicit ``⊥`` next-sibling, exactly as
+in Figure 1 (``f(a(...), ⊥)``), so decoding is total on well-formed
+encodings.  Sibling *sequences* (forests) are supported for update fragments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.trees.node import Node
+from repro.trees.symbols import Alphabet, Symbol
+from repro.trees.unranked import XmlNode
+
+__all__ = [
+    "encode_binary",
+    "encode_forest",
+    "decode_binary",
+    "decode_forest",
+    "BinaryEncodingError",
+]
+
+
+class BinaryEncodingError(ValueError):
+    """Raised when decoding a tree that is not a valid binary encoding."""
+
+
+def _element_symbol(alphabet: Alphabet, tag: str) -> Symbol:
+    return alphabet.terminal(tag, 2)
+
+
+def encode_forest(siblings: List[XmlNode], alphabet: Alphabet) -> Node:
+    """Encode a sibling sequence; an empty sequence encodes to ``⊥``.
+
+    The encoding is built iteratively (explicit stack) because real XML can
+    nest or chain deeply.
+    """
+    bottom = alphabet.bottom()
+    # Work items: (xml_node, parent_binary_node, slot_index 1|2).  A None
+    # parent installs the result as the overall root.
+    root_holder: List[Optional[Node]] = [None]
+
+    def install(node: Node, parent: Optional[Node], slot: int) -> None:
+        if parent is None:
+            root_holder[0] = node
+        else:
+            parent.set_child(slot, node)
+
+    stack: List[Tuple[List[XmlNode], int, Optional[Node], int]] = [
+        (siblings, 0, None, 0)
+    ]
+    while stack:
+        seq, index, parent, slot = stack.pop()
+        if index >= len(seq):
+            install(Node(bottom), parent, slot)
+            continue
+        element = seq[index]
+        binary = Node(
+            _element_symbol(alphabet, element.tag),
+            [Node(bottom), Node(bottom)],
+        )
+        install(binary, parent, slot)
+        # Order on the stack does not matter; each work item carries its
+        # destination slot.
+        stack.append((seq, index + 1, binary, 2))
+        stack.append((element.children, 0, binary, 1))
+    result = root_holder[0]
+    assert result is not None
+    return result
+
+
+def encode_binary(root: XmlNode, alphabet: Alphabet) -> Node:
+    """Encode a single-rooted document; the result's 2nd child is ``⊥``."""
+    return encode_forest([root], alphabet)
+
+
+def decode_forest(root: Node) -> List[XmlNode]:
+    """Decode a binary encoding back into a sibling sequence.
+
+    Raises :class:`BinaryEncodingError` on nonterminals, parameters, or
+    terminals whose rank is neither 0 (``⊥``) nor 2.
+    """
+    results: List[XmlNode] = []
+    # Work items: (binary_node, xml_parent, append_to_results?).  Children
+    # lists are filled in document order by processing next-siblings after
+    # first-children via an explicit continuation stack.
+    stack: List[Tuple[Node, Optional[XmlNode]]] = [(root, None)]
+    while stack:
+        node, xml_parent = stack.pop()
+        symbol = node.symbol
+        if symbol.is_bottom:
+            continue
+        if not symbol.is_terminal or symbol.rank != 2:
+            raise BinaryEncodingError(
+                f"node {symbol!r} is not a valid binary-encoding terminal"
+            )
+        element = XmlNode(symbol.name)
+        if xml_parent is None:
+            results.append(element)
+        else:
+            xml_parent.children.append(element)
+        # Process the next sibling *after* the first child so children end
+        # up in document order; with a LIFO stack that means pushing the
+        # sibling first.
+        stack.append((node.child(2), xml_parent))
+        stack.append((node.child(1), element))
+    return results
+
+
+def decode_binary(root: Node) -> XmlNode:
+    """Decode a single-rooted encoding; raises if the forest size is not 1."""
+    forest = decode_forest(root)
+    if len(forest) != 1:
+        raise BinaryEncodingError(
+            f"expected a single root element, decoded {len(forest)}"
+        )
+    return forest[0]

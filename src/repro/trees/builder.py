@@ -1,0 +1,128 @@
+"""Building ranked trees from term notation.
+
+The paper writes trees as terms like ``f(a(⊥, a(y1, y2)), ⊥)``.  This module
+parses that notation (with ``#`` standing for ``⊥``) against an
+:class:`~repro.trees.symbols.Alphabet`, inferring terminal ranks from use.
+It is used pervasively by the tests and the grammar text format.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.trees.node import Node
+from repro.trees.symbols import Alphabet, Symbol, parameter_symbol
+
+__all__ = ["parse_term", "TermSyntaxError"]
+
+
+class TermSyntaxError(ValueError):
+    """Raised when a term string is malformed."""
+
+
+_PUNCT = {"(", ")", ","}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(ch)
+            i += 1
+            continue
+        j = i
+        while j < n and not text[j].isspace() and text[j] not in _PUNCT:
+            j += 1
+        tokens.append(text[i:j])
+        i = j
+    return tokens
+
+
+def _is_parameter_name(name: str) -> bool:
+    return (
+        len(name) >= 2
+        and name[0] == "y"
+        and name[1:].isdigit()
+        and int(name[1:]) >= 1
+    )
+
+
+def parse_term(
+    text: str,
+    alphabet: Alphabet,
+    nonterminal_names: Optional[frozenset] = None,
+) -> Node:
+    """Parse a term such as ``f(a(#,#),y1)`` into a :class:`Node` tree.
+
+    Names listed in ``nonterminal_names`` (or already interned as
+    nonterminals) become nonterminal symbols; ``y<k>`` become parameters;
+    everything else becomes a terminal.  Ranks are inferred from the number
+    of arguments and must be consistent with prior uses in the alphabet.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise TermSyntaxError("empty term")
+    pos = 0
+
+    def peek() -> Optional[str]:
+        return tokens[pos] if pos < len(tokens) else None
+
+    def take() -> str:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise TermSyntaxError(f"unexpected end of term in {text!r}")
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    def expect(token: str) -> None:
+        got = take()
+        if got != token:
+            raise TermSyntaxError(f"expected {token!r}, got {got!r} in {text!r}")
+
+    def resolve(name: str, rank: int) -> Symbol:
+        if _is_parameter_name(name):
+            if rank != 0:
+                raise TermSyntaxError(f"parameter {name} cannot have children")
+            return parameter_symbol(int(name[1:]))
+        existing = alphabet.get(name)
+        if existing is not None:
+            if existing.rank != rank:
+                raise TermSyntaxError(
+                    f"symbol {name!r} used with rank {rank}, "
+                    f"previously rank {existing.rank}"
+                )
+            return existing
+        if nonterminal_names and name in nonterminal_names:
+            return alphabet.nonterminal(name, rank)
+        return alphabet.terminal(name, rank)
+
+    def parse_one() -> Node:
+        name = take()
+        if name in _PUNCT:
+            raise TermSyntaxError(f"unexpected {name!r} in {text!r}")
+        children: List[Node] = []
+        if peek() == "(":
+            take()
+            if peek() == ")":
+                raise TermSyntaxError(f"empty argument list after {name!r}")
+            children.append(parse_one())
+            while peek() == ",":
+                take()
+                children.append(parse_one())
+            expect(")")
+        symbol = resolve(name, len(children))
+        return Node(symbol, children)
+
+    root = parse_one()
+    if pos != len(tokens):
+        raise TermSyntaxError(
+            f"trailing tokens {tokens[pos:]!r} after term in {text!r}"
+        )
+    return root

@@ -1,0 +1,239 @@
+"""Ranked ordered trees with parent pointers.
+
+:class:`Node` is the workhorse structure shared by plain binary XML trees and
+grammar right-hand sides.  A node is labeled by a :class:`~repro.trees.symbols.Symbol`
+and has exactly ``symbol.rank`` children.  Parent pointers are maintained by
+the mutation API so compression algorithms can splice subtrees in O(1).
+
+All traversals are iterative (explicit stacks); XML documents can be deep
+enough to overflow Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.trees.symbols import Symbol
+
+__all__ = [
+    "Node",
+    "deep_copy",
+    "deep_copy_with_map",
+    "tree_equal",
+    "subtree_nodes",
+    "node_count",
+    "edge_count",
+    "tree_depth",
+    "detach_from_parent",
+    "replace_node",
+]
+
+
+class Node:
+    """A node of a ranked ordered tree.
+
+    ``children`` always has length ``symbol.rank``.  ``parent`` is ``None``
+    for roots and is maintained automatically by the construction and
+    mutation helpers in this module.
+    """
+
+    __slots__ = ("symbol", "children", "parent")
+
+    def __init__(self, symbol: Symbol, children: Optional[List["Node"]] = None):
+        kids = list(children) if children else []
+        if len(kids) != symbol.rank:
+            raise ValueError(
+                f"symbol {symbol!r} has rank {symbol.rank}, "
+                f"got {len(kids)} children"
+            )
+        self.symbol = symbol
+        self.children = kids
+        self.parent: Optional[Node] = None
+        for child in kids:
+            child.parent = self
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """The symbol's name (handy in tests and debugging output)."""
+        return self.symbol.name
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def child_index(self) -> int:
+        """1-based index of this node among its parent's children.
+
+        The paper indexes digram child positions from 1, so the whole code
+        base follows that convention.  Raises if the node has no parent.
+        """
+        parent = self.parent
+        if parent is None:
+            raise ValueError("root node has no child index")
+        for i, child in enumerate(parent.children):
+            if child is self:
+                return i + 1
+        raise RuntimeError("corrupt parent pointer: node not among children")
+
+    def child(self, index: int) -> "Node":
+        """The ``index``-th child (1-based), mirroring the paper's ``v.i``."""
+        return self.children[index - 1]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_child(self, index: int, node: "Node") -> "Node":
+        """Replace the 1-based ``index``-th child, returning the old child.
+
+        The displaced child's parent pointer is cleared; the new child is
+        reparented here.
+        """
+        old = self.children[index - 1]
+        old.parent = None
+        self.children[index - 1] = node
+        node.parent = self
+        return old
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_sexpr(self) -> str:
+        """Render as a term, e.g. ``f(a(#,#),y1)`` -- inverse of the builder."""
+        parts: List[str] = []
+        # Iterative rendering: stack entries are either nodes or literal
+        # strings (for the punctuation emitted after a node's children).
+        stack: List[object] = [self]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):
+                parts.append(item)
+                continue
+            node = item  # type: ignore[assignment]
+            parts.append(node.symbol.name)
+            if node.children:
+                parts.append("(")
+                stack.append(")")
+                for i, child in enumerate(reversed(node.children)):
+                    stack.append(child)
+                    if i != len(node.children) - 1:
+                        stack.append(",")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        rendered = self.to_sexpr()
+        if len(rendered) > 72:
+            rendered = rendered[:69] + "..."
+        return f"<Node {rendered}>"
+
+
+# ----------------------------------------------------------------------
+# traversal-independent helpers (iterative implementations)
+# ----------------------------------------------------------------------
+
+def subtree_nodes(root: Node) -> Iterator[Node]:
+    """Yield the nodes of the subtree rooted at ``root`` in preorder."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def node_count(root: Node) -> int:
+    """Number of nodes in the subtree (terminals, nonterminals, parameters)."""
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        stack.extend(node.children)
+    return count
+
+
+def edge_count(root: Node) -> int:
+    """Number of edges in the subtree; the paper's ``size`` of a RHS."""
+    return node_count(root) - 1
+
+
+def tree_depth(root: Node) -> int:
+    """Depth of the subtree: a single node has depth 0."""
+    best = 0
+    stack: List[Tuple[Node, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if depth > best:
+            best = depth
+        for child in node.children:
+            stack.append((child, depth + 1))
+    return best
+
+
+def deep_copy(root: Node) -> Node:
+    """Structurally copy a subtree (symbols are shared, nodes are fresh)."""
+    return deep_copy_with_map(root)[0]
+
+
+def deep_copy_with_map(root: Node) -> Tuple[Node, Dict[int, Node]]:
+    """Copy a subtree and return ``(copy, mapping)``.
+
+    ``mapping`` maps ``id(original_node) -> copied_node``; the optimized
+    digram replacement uses it to transfer node marks across inlining.
+    """
+    mapping: Dict[int, Node] = {}
+    copy_root = Node.__new__(Node)
+    copy_root.symbol = root.symbol
+    copy_root.children = []
+    copy_root.parent = None
+    mapping[id(root)] = copy_root
+    stack: List[Tuple[Node, Node]] = [(root, copy_root)]
+    while stack:
+        original, copy = stack.pop()
+        for child in original.children:
+            child_copy = Node.__new__(Node)
+            child_copy.symbol = child.symbol
+            child_copy.children = []
+            child_copy.parent = copy
+            copy.children.append(child_copy)
+            mapping[id(child)] = child_copy
+            stack.append((child, child_copy))
+    return copy_root, mapping
+
+
+def tree_equal(a: Node, b: Node) -> bool:
+    """Structural equality by symbol identity, iteratively."""
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x.symbol is not y.symbol:
+            return False
+        if len(x.children) != len(y.children):  # defensive; ranks should match
+            return False
+        stack.extend(zip(x.children, y.children))
+    return True
+
+
+def detach_from_parent(node: Node) -> Tuple[Node, int]:
+    """Remove ``node`` from its parent, returning ``(parent, index)``.
+
+    The parent's child slot is left dangling (``None`` is never inserted);
+    callers must immediately install a replacement via ``set_child`` --
+    :func:`replace_node` is the safe combined operation.
+    """
+    parent = node.parent
+    if parent is None:
+        raise ValueError("cannot detach a root node")
+    index = node.child_index()
+    return parent, index
+
+
+def replace_node(old: Node, new: Node) -> None:
+    """Replace ``old`` by ``new`` under ``old``'s parent (1 splice, O(rank))."""
+    parent, index = detach_from_parent(old)
+    parent.set_child(index, new)

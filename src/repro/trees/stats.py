@@ -1,0 +1,45 @@
+"""Document statistics in the shape of Table III."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.trees.unranked import XmlNode, xml_depth, xml_edge_count, xml_node_count
+
+__all__ = ["DocumentStats", "document_stats"]
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Structural statistics of an unranked document tree.
+
+    ``edges`` and ``depth`` are the paper's ``#edges`` and ``dp`` columns.
+    """
+
+    elements: int
+    edges: int
+    depth: int
+    distinct_labels: int
+    label_histogram: Dict[str, int]
+
+    def describe(self) -> str:
+        return (
+            f"{self.elements} elements, {self.edges} edges, depth {self.depth}, "
+            f"{self.distinct_labels} distinct labels"
+        )
+
+
+def document_stats(root: XmlNode) -> DocumentStats:
+    """Compute :class:`DocumentStats` in one traversal."""
+    histogram: Counter = Counter()
+    for node in root.preorder():
+        histogram[node.tag] += 1
+    return DocumentStats(
+        elements=xml_node_count(root),
+        edges=xml_edge_count(root),
+        depth=xml_depth(root),
+        distinct_labels=len(histogram),
+        label_histogram=dict(histogram),
+    )

@@ -1,0 +1,99 @@
+"""Iterative traversals and node addressing for ranked trees.
+
+Nodes are addressed by their 0-based *preorder index*, the same convention
+the update operations (Section V-C) use to designate update positions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.trees.node import Node
+
+__all__ = [
+    "preorder",
+    "postorder",
+    "preorder_with_index",
+    "node_at_preorder",
+    "preorder_index_of",
+    "preorder_labels",
+    "leaves",
+    "ancestors",
+    "find_first",
+]
+
+
+def preorder(root: Node) -> Iterator[Node]:
+    """Preorder (node before children) traversal."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def postorder(root: Node) -> Iterator[Node]:
+    """Postorder (children before node) traversal, iteratively."""
+    # Classic two-stack postorder: reverse of a right-to-left preorder.
+    stack = [root]
+    output: List[Node] = []
+    while stack:
+        node = stack.pop()
+        output.append(node)
+        stack.extend(node.children)
+    return reversed(output)
+
+
+def preorder_with_index(root: Node) -> Iterator[Tuple[int, Node]]:
+    """Preorder traversal paired with 0-based preorder indices."""
+    for index, node in enumerate(preorder(root)):
+        yield index, node
+
+
+def node_at_preorder(root: Node, index: int) -> Node:
+    """Return the node with the given 0-based preorder index.
+
+    Raises :class:`IndexError` if the tree has fewer nodes.
+    """
+    if index < 0:
+        raise IndexError(f"preorder index must be >= 0, got {index}")
+    for i, node in preorder_with_index(root):
+        if i == index:
+            return node
+    raise IndexError(f"preorder index {index} out of range")
+
+
+def preorder_index_of(root: Node, target: Node) -> int:
+    """Inverse of :func:`node_at_preorder`; raises ValueError if absent."""
+    for i, node in preorder_with_index(root):
+        if node is target:
+            return i
+    raise ValueError("target node is not in this tree")
+
+
+def preorder_labels(root: Node) -> List[str]:
+    """List of symbol names in preorder; a cheap structural fingerprint."""
+    return [node.symbol.name for node in preorder(root)]
+
+
+def leaves(root: Node) -> Iterator[Node]:
+    """All leaves (rank-0 nodes) in left-to-right order."""
+    for node in preorder(root):
+        if not node.children:
+            yield node
+
+
+def ancestors(node: Node) -> Iterator[Node]:
+    """Proper ancestors from parent to root."""
+    current = node.parent
+    while current is not None:
+        yield current
+        current = current.parent
+
+
+def find_first(root: Node, predicate: Callable[[Node], bool]) -> Optional[Node]:
+    """First node in preorder satisfying ``predicate``, or ``None``."""
+    for node in preorder(root):
+        if predicate(node):
+            return node
+    return None

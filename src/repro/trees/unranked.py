@@ -1,0 +1,73 @@
+"""Unranked XML document trees (structure only).
+
+The paper evaluates on *structure-only* XML: element nodes with their
+ordering, no text, attributes, comments, or processing instructions.
+:class:`XmlNode` models exactly that.  The ranked binary view used by the
+compressors lives in :mod:`repro.trees.binary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["XmlNode", "xml_equal", "xml_node_count", "xml_edge_count", "xml_depth"]
+
+
+class XmlNode:
+    """An element node of an unranked ordered tree."""
+
+    __slots__ = ("tag", "children")
+
+    def __init__(self, tag: str, children: Optional[List["XmlNode"]] = None):
+        if not tag:
+            raise ValueError("element tag must be non-empty")
+        self.tag = tag
+        self.children: List[XmlNode] = list(children) if children else []
+
+    def append(self, child: "XmlNode") -> "XmlNode":
+        self.children.append(child)
+        return child
+
+    def preorder(self) -> Iterator["XmlNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:
+        return f"<XmlNode {self.tag} ({len(self.children)} children)>"
+
+
+def xml_equal(a: XmlNode, b: XmlNode) -> bool:
+    """Structural equality of two unranked trees."""
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x.tag != y.tag or len(x.children) != len(y.children):
+            return False
+        stack.extend(zip(x.children, y.children))
+    return True
+
+
+def xml_node_count(root: XmlNode) -> int:
+    """Number of element nodes."""
+    return sum(1 for _ in root.preorder())
+
+
+def xml_edge_count(root: XmlNode) -> int:
+    """Number of edges of the unranked tree -- Table III's ``#edges``."""
+    return xml_node_count(root) - 1
+
+
+def xml_depth(root: XmlNode) -> int:
+    """Depth of the document: a lone root has depth 0 (Table III's ``dp``)."""
+    best = 0
+    stack: List[Tuple[XmlNode, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if depth > best:
+            best = depth
+        for child in node.children:
+            stack.append((child, depth + 1))
+    return best

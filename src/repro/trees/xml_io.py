@@ -1,0 +1,106 @@
+"""Structure-only XML parsing and serialization.
+
+The evaluation corpora are XML documents *stripped to element structure*
+(Section V-A).  This parser therefore keeps only element tags and their
+nesting; text, attributes, comments, CDATA, processing instructions and the
+DOCTYPE are recognized and discarded.  It is a single-pass scanner over the
+raw string -- considerably faster than building a full DOM for multi-
+megabyte structure-only documents, and dependency-free.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.trees.unranked import XmlNode
+
+__all__ = ["parse_xml", "serialize_xml", "XmlParseError"]
+
+
+class XmlParseError(ValueError):
+    """Raised on malformed input (unbalanced or mis-nested tags)."""
+
+
+_NAME = r"[A-Za-z_][\w.\-:]*"
+
+# One token per markup construct.  Text between constructs is skipped by the
+# scanner loop (finditer naturally jumps over it).
+_TOKEN = re.compile(
+    r"<!--.*?-->"                                   # comment
+    r"|<!\[CDATA\[.*?\]\]>"                         # CDATA section
+    r"|<\?.*?\?>"                                   # processing instruction
+    r"|<!DOCTYPE[^>\[]*(?:\[[^\]]*\])?[^>]*>"       # doctype (w/ internal subset)
+    rf"|<\s*(?P<close>/)?\s*(?P<name>{_NAME})"      # open / close tag ...
+    r"(?P<attrs>(?:[^>\"']|\"[^\"]*\"|'[^']*')*?)"  # ... attributes
+    r"(?P<selfclose>/)?\s*>",
+    re.DOTALL,
+)
+
+
+def parse_xml(text: str) -> XmlNode:
+    """Parse a document into its element-structure tree.
+
+    Only the first top-level element is expected; trailing content after the
+    root closes is ignored (many benchmark files end with whitespace).
+    """
+    root: Optional[XmlNode] = None
+    stack: List[XmlNode] = []
+    for match in _TOKEN.finditer(text):
+        name = match.group("name")
+        if name is None:
+            continue  # comment / CDATA / PI / doctype
+        if match.group("close"):
+            if not stack:
+                raise XmlParseError(f"unexpected closing tag </{name}>")
+            open_element = stack.pop()
+            if open_element.tag != name:
+                raise XmlParseError(
+                    f"mismatched tags: <{open_element.tag}> closed by </{name}>"
+                )
+            if not stack and root is not None:
+                break  # the root element is complete
+            continue
+        element = XmlNode(name)
+        if stack:
+            stack[-1].children.append(element)
+        elif root is None:
+            root = element
+        else:
+            raise XmlParseError("multiple top-level elements")
+        if not match.group("selfclose"):
+            stack.append(element)
+    if root is None:
+        raise XmlParseError("no element found")
+    if stack:
+        raise XmlParseError(f"unclosed element <{stack[-1].tag}>")
+    return root
+
+
+def serialize_xml(root: XmlNode, indent: Optional[int] = None) -> str:
+    """Serialize back to XML text.
+
+    With ``indent=None`` the output is compact (``<a/>`` for leaves); with an
+    integer it is pretty-printed with that many spaces per nesting level.
+    The output parses back to an equal structure tree.
+    """
+    parts: List[str] = []
+    # Stack entries: (node, depth) for elements, or a literal string for a
+    # pending closing tag.
+    stack: List[object] = [(root, 0)]
+    newline = "" if indent is None else "\n"
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        node, depth = item  # type: ignore[misc]
+        pad = "" if indent is None else " " * (indent * depth)
+        if not node.children:
+            parts.append(f"{pad}<{node.tag}/>{newline}")
+            continue
+        parts.append(f"{pad}<{node.tag}>{newline}")
+        stack.append(f"{pad}</{node.tag}>{newline}")
+        for child in reversed(node.children):
+            stack.append((child, depth + 1))
+    return "".join(parts)

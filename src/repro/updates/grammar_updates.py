@@ -1,0 +1,95 @@
+"""Updates on grammar-compressed trees (Section III / V-C).
+
+Each operation isolates the target node into the start rule (path
+isolation), applies the tree-level edit there, and garbage-collects rules
+that lost their last reference.  *No recompression happens here* -- this is
+the paper's "naive update"; callers interleave
+:class:`repro.core.GrammarRePair` runs to keep the grammar small
+(Figures 4 and 5) or decompress-and-recompress for the udc baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.grammar.properties import collect_garbage
+from repro.grammar.slcf import Grammar
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+from repro.updates.operations import (
+    DeleteOp,
+    InsertOp,
+    RenameOp,
+    UpdateError,
+    UpdateOp,
+    delete_subtree,
+    insert_before,
+    rename_node,
+)
+from repro.updates.path_isolation import isolate
+
+__all__ = [
+    "rename",
+    "insert",
+    "delete",
+    "apply_op",
+    "apply_ops",
+]
+
+
+def rename(grammar: Grammar, index: int, new_label: str) -> None:
+    """Relabel the (non-``⊥``) node at preorder ``index`` of ``valG(S)``."""
+    target = isolate(grammar, index).node
+    symbol = grammar.alphabet.terminal(new_label, target.symbol.rank)
+    rename_node(target, symbol)
+
+
+def insert(grammar: Grammar, index: int, fragment: Node) -> None:
+    """Insert an encoded forest before the node at preorder ``index``.
+
+    ``fragment`` must be built over the grammar's alphabet (e.g. by
+    :func:`repro.trees.binary.encode_forest`); its right-most leaf must be
+    ``⊥``.  The fragment is copied, so it can be reused.
+    """
+    target = isolate(grammar, index).node
+    new_root = insert_before(grammar.rhs(grammar.start), target, fragment)
+    grammar.set_rule(grammar.start, new_root)
+
+
+def delete(grammar: Grammar, index: int) -> None:
+    """Delete the subtree rooted at the node at preorder ``index``.
+
+    Rules referenced only from the deleted subtree are collected.
+    """
+    target = isolate(grammar, index).node
+    if target is grammar.rhs(grammar.start) and target.children:
+        # Deleting the document root: the tree becomes the sibling chain,
+        # which for a well-formed document is just ⊥ -- refuse, as the
+        # result would not encode an XML document.
+        sibling = target.children[1]
+        if sibling.symbol.is_bottom:
+            raise UpdateError("deleting the document root is not allowed")
+    new_root = delete_subtree(grammar.rhs(grammar.start), target)
+    grammar.set_rule(grammar.start, new_root)
+    collect_garbage(grammar)
+
+
+def apply_op(grammar: Grammar, op: UpdateOp) -> None:
+    """Apply one :class:`~repro.updates.operations.UpdateOp`."""
+    if isinstance(op, RenameOp):
+        rename(grammar, op.position, op.new_label)
+    elif isinstance(op, InsertOp):
+        insert(grammar, op.position, op.fragment)
+    elif isinstance(op, DeleteOp):
+        delete(grammar, op.position)
+    else:
+        raise UpdateError(f"unknown update operation {op!r}")
+
+
+def apply_ops(grammar: Grammar, ops: Iterable[UpdateOp]) -> int:
+    """Apply a sequence of updates; returns how many were applied."""
+    count = 0
+    for op in ops:
+        apply_op(grammar, op)
+        count += 1
+    return count

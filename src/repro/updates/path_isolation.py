@@ -1,0 +1,73 @@
+"""Path isolation (Section III-A).
+
+To update the node at preorder index ``u`` of ``valG(S)``, the grammar is
+partially unfolded until a terminal node *uniquely representing* ``u`` sits
+in the start rule's right-hand side.  The derivation path is found with the
+precomputed ``size(A, i)`` segments (no decompression), then replayed with
+one inlining per entered rule -- which yields Lemma 1:
+``|iso(G, u)| <= 2 * |G|``.
+
+Only the start rule grows; every other rule is shared and untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.grammar.derivation import inline_at
+from repro.grammar.navigation import resolve_preorder_path
+from repro.grammar.properties import parameter_segments
+from repro.grammar.slcf import Grammar
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+
+__all__ = ["isolate", "IsolationResult"]
+
+
+class IsolationResult:
+    """Outcome of a path isolation.
+
+    ``node`` is the now-explicit terminal node in the start rule's RHS that
+    corresponds to the requested preorder index; ``inlined_rules`` counts
+    the rule applications performed (at most one per rule, Lemma 1).
+    """
+
+    __slots__ = ("node", "inlined_rules")
+
+    def __init__(self, node: Node, inlined_rules: int) -> None:
+        self.node = node
+        self.inlined_rules = inlined_rules
+
+
+def isolate(
+    grammar: Grammar,
+    index: int,
+    segments: Optional[Dict[Symbol, List[int]]] = None,
+) -> IsolationResult:
+    """Make the node at preorder ``index`` of ``valG(S)`` explicit.
+
+    Mutates only the start rule.  Returns the isolated node, which after
+    this call is a terminal node whose subtree in the start rule generates
+    exactly the subtree of ``valG(S)`` rooted at the target.
+    """
+    steps = resolve_preorder_path(grammar, index, segments=segments)
+    inlined = 0
+    # Replay: each "enter" step names a node inside the *rule template* of
+    # the previously entered nonterminal; inlining copies templates, so the
+    # concrete node to inline at is tracked through the copy maps.
+    current: Optional[Dict[int, Node]] = None  # template id -> concrete node
+    concrete_target: Optional[Node] = None
+    for step in steps:
+        node = step.node if current is None else current[id(step.node)]
+        if not step.enters_rule:
+            concrete_target = node
+            break
+        was_root = node is grammar.rhs(grammar.start)
+        new_root, copy_map = inline_at(grammar, node)
+        if was_root:
+            grammar.set_rule(grammar.start, new_root)
+        current = copy_map
+        inlined += 1
+    assert concrete_target is not None
+    assert concrete_target.symbol.is_terminal
+    return IsolationResult(concrete_target, inlined)

@@ -1,0 +1,72 @@
+"""Shared fixtures: canonical example trees and grammars from the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar.slcf import Grammar
+from repro.trees.builder import parse_term
+from repro.trees.symbols import Alphabet
+
+
+@pytest.fixture
+def alphabet() -> Alphabet:
+    return Alphabet()
+
+
+@pytest.fixture
+def figure1_grammar() -> Grammar:
+    """The Section II example grammar.
+
+    ``S -> f(A(B,B), ⊥)``, ``B -> A(⊥,⊥)``, ``A -> a(⊥, a(y1,y2))``;
+    ``valG(S)`` is the binary tree of Figure 1.
+    """
+    alphabet = Alphabet()
+    S = alphabet.nonterminal("S", 0)
+    A = alphabet.nonterminal("A", 2)
+    B = alphabet.nonterminal("B", 0)
+    nts = frozenset({"S", "A", "B"})
+    grammar = Grammar(alphabet, S)
+    grammar.set_rule(S, parse_term("f(A(B,B),#)", alphabet, nts))
+    grammar.set_rule(B, parse_term("A(#,#)", alphabet, nts))
+    grammar.set_rule(A, parse_term("a(#,a(y1,y2))", alphabet, nts))
+    grammar.validate()
+    return grammar
+
+
+@pytest.fixture
+def grammar1_fragment() -> Grammar:
+    """Section IV-A's "Grammar 1" fragment, completed with a start rule.
+
+    ``C -> A(B(⊥),⊥)``, ``A -> a(y1, a(B(⊥), a(⊥,y2)))``, ``B -> b(y1,⊥)``.
+    The paper leaves it a fragment; tests wrap it under ``S -> g(C)`` so it
+    is a complete grammar.
+    """
+    alphabet = Alphabet()
+    S = alphabet.nonterminal("S", 0)
+    C = alphabet.nonterminal("C", 0)
+    A = alphabet.nonterminal("A", 2)
+    B = alphabet.nonterminal("B", 1)
+    nts = frozenset({"S", "C", "A", "B"})
+    grammar = Grammar(alphabet, S)
+    grammar.set_rule(S, parse_term("g(C)", alphabet, nts))
+    grammar.set_rule(C, parse_term("A(B(#),#)", alphabet, nts))
+    grammar.set_rule(A, parse_term("a(y1,a(B(#),a(#,y2)))", alphabet, nts))
+    grammar.set_rule(B, parse_term("b(y1,#)", alphabet, nts))
+    grammar.validate()
+    return grammar
+
+
+def make_string_grammar(rules: dict, start: str = "S") -> Grammar:
+    """Build a *string* grammar as a monadic tree grammar (see
+    :mod:`repro.grammar.strings`; kept here as a short alias for tests)."""
+    from repro.grammar.strings import string_grammar
+
+    return string_grammar(rules, start=start)
+
+
+def string_of(grammar: Grammar) -> str:
+    """Decode a monadic (string) grammar back to its string."""
+    from repro.grammar.strings import grammar_string
+
+    return grammar_string(grammar)

@@ -1,0 +1,281 @@
+"""Tests for digram replacement on grammars (Algorithms 5-8).
+
+The centerpiece is the paper's concluding example (Section IV-F): replacing
+``(a,1,b)`` on Grammar 1 with the optimized algorithm must produce
+
+    C -> X(#,#,D(#))        (D is the exported fragment rule)
+    D -> X(#,#,a(#,y1))
+    X -> a(b(y1,y2),y3)
+
+with rule ``B`` becoming superfluous, while the non-optimized algorithm
+reaches an equivalent grammar by full inlining.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.replace_optimized import (
+    OptimizedReplacer,
+    replace_all_occurrences_optimized,
+)
+from repro.core.replace_simple import replace_all_occurrences_simple
+from repro.core.retrieve import retrieve_occurrences
+from repro.grammar.derivation import expand
+from repro.grammar.navigation import generates_same_tree, grammar_generates_tree
+from repro.grammar.properties import collect_garbage
+from repro.grammar.serialize import parse_grammar
+from repro.grammar.slcf import Grammar
+from repro.repair.digram import Digram, digram_pattern
+from repro.trees.symbols import Alphabet
+
+from tests.strategies import slcf_grammars
+
+
+def paper_grammar1():
+    """Grammar 1 with the paper's side conditions materialized.
+
+    Section IV-F assumes A, B and C are called from elsewhere; wrapping
+    them under a root r3 realizes that without adding occurrences of
+    (a,1,b).
+    """
+    return parse_grammar(
+        "start S\n"
+        "S -> r3(C,A(#,#),A(#,#))\n"
+        "C -> A(B(#),#)\n"
+        "A/2 -> a(y1,a(B(#),a(#,y2)))\n"
+        "B/1 -> b(y1,#)\n"
+    )
+
+
+def alpha_of(grammar):
+    a = grammar.alphabet.get("a")
+    b = grammar.alphabet.get("b")
+    return Digram(a, 1, b)
+
+
+def run_replacement(grammar, optimized):
+    digram = alpha_of(grammar)
+    table = retrieve_occurrences(grammar)
+    occurrences = table.occurrences(digram)
+    X = grammar.alphabet.nonterminal("X", 3)
+    grammar.set_rule(X, digram_pattern(digram))
+    if optimized:
+        replaced = replace_all_occurrences_optimized(
+            grammar, digram, X, occurrences, opaque={X}
+        )
+    else:
+        replaced = replace_all_occurrences_simple(
+            grammar, digram, X, occurrences
+        )
+    collect_garbage(grammar)
+    return replaced
+
+
+class TestConcludingExample:
+    def test_optimized_reproduces_paper_rules(self):
+        grammar = paper_grammar1()
+        reference = grammar.copy()
+        replaced = run_replacement(grammar, optimized=True)
+        grammar.validate()
+        assert generates_same_tree(grammar, reference)
+        assert replaced == 2
+
+        rules = {
+            head.name: rhs.to_sexpr() for head, rhs in grammar.rules.items()
+        }
+        # X -> a(b(y1,y2),y3): the digram pattern.
+        assert rules["X"] == "a(b(y1,y2),y3)"
+        # C -> X(#,#,D(#)) where D is the exported fragment.
+        c_body = rules["C"]
+        assert c_body.startswith("X(#,#,") and c_body.endswith("(#))")
+        export_name = c_body[len("X(#,#,"):-len("(#))")]
+        # D -> X(#,#,a(#,y1)) (the paper writes y2; renumbered linearly).
+        assert rules[export_name] == "X(#,#,a(#,y1))"
+        # B became superfluous and was collected.
+        assert "B" not in rules
+        # The original A keeps its replaced body for its unflagged callers.
+        assert rules["A"] == "a(y1,X(#,#,a(#,y2)))"
+
+    def test_non_optimized_is_equivalent_but_larger(self):
+        optimized = paper_grammar1()
+        plain = paper_grammar1()
+        reference = optimized.copy()
+        run_replacement(optimized, optimized=True)
+        run_replacement(plain, optimized=False)
+        plain.validate()
+        assert generates_same_tree(plain, reference)
+        assert generates_same_tree(plain, optimized)
+        # On an example this small a single-use export costs about as much
+        # as it saves; the asymptotic gap is exercised by the Figure 3
+        # benchmark on the G_n family.
+        assert optimized.size <= plain.size + 2
+
+    def test_replacement_counts_agree(self):
+        grammar = paper_grammar1()
+        replaced_simple = run_replacement(paper_grammar1(), optimized=False)
+        replaced_optimized = run_replacement(grammar, optimized=True)
+        assert replaced_simple == replaced_optimized == 2
+
+
+class TestCrossRuleIsolation:
+    def test_parent_isolated_through_parameter(self):
+        # The occurrence's a-parent lives in P, reached through y1.
+        g = parse_grammar(
+            "start S\n"
+            "S -> r2(P(b(#,#)),P(b(#,#)))\n"
+            "P/1 -> a(y1,#)\n"
+        )
+        reference = g.copy()
+        replaced = run_replacement(g, optimized=True)
+        g.validate()
+        assert replaced == 2
+        assert generates_same_tree(g, reference)
+
+    def test_child_isolated_through_chain_of_roots(self):
+        # The b-child is the root of Q, reached through P's root.
+        g = parse_grammar(
+            "start S\n"
+            "S -> r2(a(P,#),a(P,#))\n"
+            "P -> Q\n"
+            "Q -> b(#,#)\n"
+        )
+        reference = g.copy()
+        replaced = run_replacement(g, optimized=True)
+        g.validate()
+        assert replaced == 2
+        assert generates_same_tree(g, reference)
+
+    def test_both_sides_cross_rules(self):
+        g = parse_grammar(
+            "start S\n"
+            "S -> r2(P(Q),P(Q))\n"
+            "P/1 -> a(y1,#)\n"
+            "Q -> b(#,#)\n"
+        )
+        reference = g.copy()
+        replaced = run_replacement(g, optimized=True)
+        g.validate()
+        assert replaced == 2
+        assert generates_same_tree(g, reference)
+
+    def test_simple_variant_on_cross_rule_cases(self):
+        for text in (
+            "start S\nS -> r2(P(b(#,#)),P(b(#,#)))\nP/1 -> a(y1,#)\n",
+            "start S\nS -> r2(a(P,#),a(P,#))\nP -> Q\nQ -> b(#,#)\n",
+            "start S\nS -> r2(P(Q),P(Q))\nP/1 -> a(y1,#)\nQ -> b(#,#)\n",
+        ):
+            g = parse_grammar(text)
+            reference = g.copy()
+            replaced = run_replacement(g, optimized=False)
+            g.validate()
+            assert replaced == 2, text
+            assert generates_same_tree(g, reference), text
+
+
+class TestGrammar2Versions:
+    """Section IV-E's Grammar 2: one rule needs four distinct versions."""
+
+    def grammar2(self):
+        return parse_grammar(
+            "start S\n"
+            "S -> r2(C,C)\n"
+            "C -> A(#,A(A(B,#),A(B,A(#,#))))\n"
+            "A/2 -> b(a(y1,c(d(a(y2,#),#),#)),#)\n"
+            "B -> b(#,#)\n"
+        )
+
+    def test_all_versions_materialize(self):
+        g = self.grammar2()
+        digram = alpha_of(g)
+        table = retrieve_occurrences(g)
+        occurrences = table.occurrences(digram)
+        X = g.alphabet.nonterminal("X", 3)
+        g.set_rule(X, digram_pattern(digram))
+        replacer = OptimizedReplacer(g, digram, X, occurrences, opaque={X})
+        replacer.run()
+        version_keys = {
+            (head.name, frozenset(flags)) for (head, flags) in replacer.versions
+        }
+        A_versions = {flags for head, flags in version_keys if head == "A"}
+        # The paper derives A^{y2}, A^{r,y1,y2}, A^{r,y1}, A^{r}.
+        assert frozenset({"r"}) in A_versions
+        assert frozenset({"r", 1}) in A_versions
+        assert frozenset({"r", 1, 2}) in A_versions
+        assert frozenset({2}) in A_versions
+
+    def test_grammar2_replacement_correct(self):
+        g = self.grammar2()
+        reference = g.copy()
+        replaced = run_replacement(g, optimized=True)
+        g.validate()
+        assert generates_same_tree(g, reference)
+        # Six generators in C plus the intra-rule occurrence in A.
+        assert replaced >= 6
+
+
+class TestPropertyReplacement:
+    def _first_appropriate(self, grammar):
+        table = retrieve_occurrences(grammar)
+        return table.best(kin=4), table
+
+    @settings(max_examples=40, deadline=None)
+    @given(slcf_grammars())
+    def test_optimized_preserves_tree(self, grammar):
+        best, table = self._first_appropriate(grammar)
+        if best is None:
+            return
+        digram, _ = best
+        reference = grammar.copy()
+        X = grammar.alphabet.fresh_nonterminal(digram.rank)
+        grammar.set_rule(X, digram_pattern(digram))
+        replaced = replace_all_occurrences_optimized(
+            grammar, digram, X, table.occurrences(digram), opaque={X}
+        )
+        collect_garbage(grammar)
+        grammar.validate()
+        assert replaced > 0
+        assert generates_same_tree(grammar, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(slcf_grammars())
+    def test_simple_preserves_tree(self, grammar):
+        best, table = self._first_appropriate(grammar)
+        if best is None:
+            return
+        digram, _ = best
+        reference = grammar.copy()
+        X = grammar.alphabet.fresh_nonterminal(digram.rank)
+        grammar.set_rule(X, digram_pattern(digram))
+        replaced = replace_all_occurrences_simple(
+            grammar, digram, X, table.occurrences(digram)
+        )
+        collect_garbage(grammar)
+        grammar.validate()
+        assert replaced > 0
+        assert generates_same_tree(grammar, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(slcf_grammars())
+    def test_optimized_never_larger_than_simple(self, grammar):
+        best, table = self._first_appropriate(grammar)
+        if best is None:
+            return
+        digram, _ = best
+        twin = grammar.copy()
+        # Replay on both copies.
+        for g, optimized in ((grammar, True), (twin, False)):
+            t = retrieve_occurrences(g)
+            X = g.alphabet.fresh_nonterminal(digram.rank, "X" if optimized else "Z")
+            d = Digram(
+                g.alphabet.get(digram.parent.name),
+                digram.index,
+                g.alphabet.get(digram.child.name),
+            )
+            g.set_rule(X, digram_pattern(d))
+            occs = t.occurrences(d)
+            if optimized:
+                replace_all_occurrences_optimized(g, d, X, occs, opaque={X})
+            else:
+                replace_all_occurrences_simple(g, d, X, occs)
+            collect_garbage(g)
+        assert generates_same_tree(grammar, twin)

@@ -1,0 +1,120 @@
+"""Tests for TREECHILD / TREEPARENT (Algorithms 2 and 3).
+
+The expected values for "Grammar 1" come from the paper's Tables I and II.
+"""
+
+import pytest
+
+from repro.core.resolve import Resolver
+from repro.trees.traversal import node_at_preorder
+
+
+def rule_node(grammar, head_name, preorder_pos):
+    """The paper's (R, n) node addressing: n is 1-based preorder."""
+    head = grammar.alphabet.get(head_name)
+    return node_at_preorder(grammar.rhs(head), preorder_pos - 1)
+
+
+class TestTreeChild:
+    def test_terminal_resolves_to_itself(self, grammar1_fragment):
+        resolver = Resolver(grammar1_fragment)
+        node = rule_node(grammar1_fragment, "A", 3)  # inner a
+        resolved, visited = resolver.tree_child(node)
+        assert resolved is node
+        assert visited == []
+
+    def test_nonterminal_descends_to_rule_root(self, grammar1_fragment):
+        """TREECHILD(C,2) = (B,1) with label b (Table II)."""
+        resolver = Resolver(grammar1_fragment)
+        node = rule_node(grammar1_fragment, "C", 2)  # the B(#) node
+        resolved, visited = resolver.tree_child(node)
+        assert resolved.symbol.name == "b"
+        B = grammar1_fragment.alphabet.get("B")
+        assert resolved is grammar1_fragment.rhs(B)
+        assert visited == [node]
+
+    def test_descends_through_chains(self):
+        from repro.grammar.serialize import parse_grammar
+
+        g = parse_grammar(
+            "start S\nS -> f(P,x)\nP -> Q\nQ -> g(x)\n"
+        )
+        resolver = Resolver(g)
+        p_node = g.rhs(g.start).child(1)
+        resolved, visited = resolver.tree_child(p_node)
+        assert resolved.symbol.name == "g"
+        assert [n.symbol.name for n in visited] == ["P", "Q"]
+
+    def test_opaque_nonterminal_is_a_terminal(self, grammar1_fragment):
+        g = grammar1_fragment
+        B = g.alphabet.get("B")
+        resolver = Resolver(g, opaque={B})
+        node = rule_node(g, "C", 2)
+        resolved, visited = resolver.tree_child(node)
+        assert resolved is node  # stops at the opaque symbol
+        assert visited == []
+
+
+class TestTreeParent:
+    def test_in_rule_terminal_parent(self, grammar1_fragment):
+        """TREEPARENT(A,4) = ((A,3),1) (Table I)."""
+        resolver = Resolver(grammar1_fragment)
+        node = rule_node(grammar1_fragment, "A", 4)  # the B(#) inside tA
+        parent, index, visited = resolver.tree_parent(node)
+        assert parent is rule_node(grammar1_fragment, "A", 3)
+        assert index == 1
+        assert visited == []
+
+    def test_parent_through_parameter(self, grammar1_fragment):
+        """TREEPARENT(C,2) = ((A,1),1) (Table II)."""
+        resolver = Resolver(grammar1_fragment)
+        node = rule_node(grammar1_fragment, "C", 2)
+        parent, index, visited = resolver.tree_parent(node)
+        assert parent is rule_node(grammar1_fragment, "A", 1)
+        assert index == 1
+        assert [n.symbol.name for n in visited] == ["A"]
+
+    def test_parent_of_second_subtree(self, grammar1_fragment):
+        """The ⊥ at (C,4) hangs below (A,6) via y2."""
+        resolver = Resolver(grammar1_fragment)
+        node = rule_node(grammar1_fragment, "C", 4)
+        parent, index, visited = resolver.tree_parent(node)
+        assert parent is rule_node(grammar1_fragment, "A", 6)
+        assert index == 2
+
+    def test_parent_through_two_parameter_hops(self):
+        from repro.grammar.serialize import parse_grammar
+
+        g = parse_grammar(
+            "start S\n"
+            "S -> P(x)\n"
+            "P/1 -> Q(y1)\n"
+            "Q/1 -> f(a,y1)\n"
+        )
+        resolver = Resolver(g)
+        x_node = g.rhs(g.start).child(1)
+        parent, index, visited = resolver.tree_parent(x_node)
+        assert parent.symbol.name == "f"
+        assert index == 2
+        assert [n.symbol.name for n in visited] == ["P", "Q"]
+
+    def test_rule_root_rejected(self, grammar1_fragment):
+        resolver = Resolver(grammar1_fragment)
+        C = grammar1_fragment.alphabet.get("C")
+        with pytest.raises(ValueError):
+            resolver.tree_parent(grammar1_fragment.rhs(C))
+
+
+class TestRuleOfNode:
+    def test_rule_lookup(self, grammar1_fragment):
+        resolver = Resolver(grammar1_fragment)
+        node = rule_node(grammar1_fragment, "A", 4)
+        assert resolver.rule_of_node(node).name == "A"
+
+    def test_foreign_node_rejected(self, grammar1_fragment):
+        from repro.trees.node import Node
+
+        resolver = Resolver(grammar1_fragment)
+        foreign = Node(grammar1_fragment.alphabet.bottom())
+        with pytest.raises(ValueError):
+            resolver.rule_of_node(foreign)

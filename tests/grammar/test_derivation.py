@@ -1,0 +1,141 @@
+"""Tests for inlining and decompression (Section II semantics)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grammar.derivation import (
+    DecompressionBudgetExceeded,
+    expand,
+    inline_all_references,
+    inline_at,
+)
+from repro.grammar.navigation import grammar_generates_tree
+from repro.grammar.slcf import Grammar
+from repro.trees.builder import parse_term
+from repro.trees.node import node_count
+from repro.trees.traversal import find_first
+
+from tests.conftest import make_string_grammar, string_of
+from tests.strategies import slcf_grammars
+
+
+class TestInlineAt:
+    def test_paper_example_inline_b_into_s(self, figure1_grammar):
+        """Inlining B at (S,3) gives S -> f(A(A(#,#),B),#) (Section II)."""
+        g = figure1_grammar
+        rhs = g.rhs(g.start)
+        target = rhs.child(1).child(1)  # first B under A
+        assert target.label == "B"
+        inline_at(g, target)
+        assert g.rhs(g.start).to_sexpr() == "f(A(A(#,#),B),#)"
+        g.validate()
+
+    def test_inline_substitutes_parameters(self, figure1_grammar):
+        """A(#,#) => a(#, a(#,#)): parameters replaced by arguments."""
+        g = figure1_grammar
+        B = g.alphabet.get("B")
+        target = g.rhs(B)  # the A(#,#) node, root of B's rule
+        new_root, _ = inline_at(g, target)
+        g.set_rule(B, new_root)
+        assert g.rhs(B).to_sexpr() == "a(#,a(#,#))"
+        g.validate()
+
+    def test_inline_moves_argument_subtrees(self, figure1_grammar):
+        g = figure1_grammar
+        rhs = g.rhs(g.start)
+        a_node = rhs.child(1)  # A(B,B)
+        first_b = a_node.child(1)
+        inline_at(g, a_node)
+        # The same B node object must now appear inside the expansion.
+        survivor = find_first(g.rhs(g.start), lambda n: n is first_b)
+        assert survivor is first_b
+
+    def test_inline_copy_map_identifies_rule_body_copies(self, figure1_grammar):
+        g = figure1_grammar
+        A = g.alphabet.get("A")
+        template = g.rhs(A)
+        inner_a = template.child(2)  # the nested a(y1,y2)
+        rhs = g.rhs(g.start)
+        _, copy_map = inline_at(g, rhs.child(1))
+        assert copy_map[id(inner_a)].label == "a"
+        assert copy_map[id(inner_a)] is not inner_a
+
+    def test_inline_at_terminal_rejected(self, figure1_grammar):
+        g = figure1_grammar
+        from repro.grammar.slcf import GrammarError
+
+        with pytest.raises(GrammarError):
+            inline_at(g, g.rhs(g.start))  # root is terminal f
+
+    def test_inline_preserves_generated_tree(self, figure1_grammar):
+        g = figure1_grammar
+        before = expand(g)
+        target = g.rhs(g.start).child(1).child(2)  # second B
+        inline_at(g, target)
+        assert grammar_generates_tree(g, before)
+
+
+class TestInlineAllReferences:
+    def test_rule_disappears_and_tree_is_preserved(self, figure1_grammar):
+        g = figure1_grammar
+        before = expand(g)
+        B = g.alphabet.get("B")
+        count = inline_all_references(g, B)
+        assert count == 2
+        assert not g.has_rule(B)
+        g.validate()
+        assert grammar_generates_tree(g, before)
+
+    def test_inline_rule_referenced_at_rule_root(self, figure1_grammar):
+        g = figure1_grammar
+        before = expand(g)
+        A = g.alphabet.get("A")
+        # B's RHS is rooted at an A node: inlining A must reroot B's rule.
+        inline_all_references(g, A)
+        g.validate()
+        assert grammar_generates_tree(g, before)
+
+
+class TestExpand:
+    def test_figure1_tree(self, figure1_grammar):
+        tree = expand(figure1_grammar)
+        t = "a(#,a(#,#))"
+        assert tree.to_sexpr() == f"f(a(#,a({t},{t})),#)"
+
+    def test_expand_nonterminal_keeps_parameters(self, figure1_grammar):
+        A = figure1_grammar.alphabet.get("A")
+        val = expand(figure1_grammar, A)
+        assert val.to_sexpr() == "a(#,a(y1,y2))"
+
+    def test_string_grammar_g8(self):
+        """G8 from Section III-A represents (ab)^8."""
+        g = make_string_grammar(
+            {"S": "BB", "B": "CC", "C": "DD", "D": "ab"}
+        )
+        assert string_of(g) == "ab" * 8
+
+    def test_exponential_grammar_budget(self):
+        """Gexp generates a^1024; a tight budget must trip."""
+        rules = {"S": "A1A1"}
+        for i in range(1, 10):
+            rules[f"A{i}"] = f"A{i+1}A{i+1}"
+        rules["A10"] = "a"
+        g = make_string_grammar(rules)
+        with pytest.raises(DecompressionBudgetExceeded):
+            expand(g, budget=100)
+        tree = expand(g, budget=5000)
+        assert node_count(tree) == 1025  # 1024 letters + terminating #
+
+    def test_grammar_size_logarithmic_in_tree(self):
+        rules = {"S": "A1A1"}
+        for i in range(1, 10):
+            rules[f"A{i}"] = f"A{i+1}A{i+1}"
+        rules["A10"] = "a"
+        g = make_string_grammar(rules)
+        assert g.size == 21  # the paper: |Gexp| = 21
+
+    @settings(max_examples=30)
+    @given(slcf_grammars())
+    def test_expand_matches_streaming(self, grammar):
+        tree = expand(grammar, budget=100_000)
+        assert grammar_generates_tree(grammar, tree)

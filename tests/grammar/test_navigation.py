@@ -1,0 +1,126 @@
+"""Tests for decompression-free navigation over the generated tree."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grammar.derivation import expand
+from repro.grammar.navigation import (
+    generates_same_tree,
+    grammar_generates_tree,
+    resolve_preorder_path,
+    stream_preorder,
+)
+from repro.grammar.properties import generated_node_count
+from repro.grammar.serialize import parse_grammar
+from repro.trees.node import node_count
+from repro.trees.traversal import preorder
+
+from tests.conftest import make_string_grammar
+from tests.strategies import slcf_grammars
+
+
+class TestStreaming:
+    def test_stream_matches_figure1(self, figure1_grammar):
+        names = [s.name for s in stream_preorder(figure1_grammar)]
+        tree = expand(figure1_grammar)
+        assert names == [n.symbol.name for n in preorder(tree)]
+
+    def test_stream_is_lazy_on_exponential_grammars(self):
+        rules = {"S": "A1A1"}
+        for i in range(1, 17):
+            rules[f"A{i}"] = f"A{i+1}A{i+1}"
+        rules["A17"] = "a"
+        g = make_string_grammar(rules)
+        # 2^17 leaves; take only the first few symbols.
+        stream = stream_preorder(g)
+        first = [next(stream).name for _ in range(5)]
+        assert first == ["a"] * 5
+
+    @settings(max_examples=30)
+    @given(slcf_grammars())
+    def test_stream_matches_expansion(self, grammar):
+        tree = expand(grammar, budget=100_000)
+        streamed = [s.name for s in stream_preorder(grammar)]
+        assert streamed == [n.symbol.name for n in preorder(tree)]
+
+
+class TestEquality:
+    def test_same_grammar_generates_same_tree(self, figure1_grammar):
+        assert generates_same_tree(figure1_grammar, figure1_grammar.copy())
+
+    def test_different_compressions_of_same_tree_are_equal(self):
+        a = parse_grammar("start S\nS -> f(a(b,b),a(b,b))\n")
+        b = parse_grammar(
+            "start S\nS -> f(A,A)\nA -> a(B,B)\nB -> b\n"
+        )
+        assert generates_same_tree(a, b)
+
+    def test_inequality_on_label(self):
+        a = parse_grammar("start S\nS -> f(a,b)\n")
+        b = parse_grammar("start S\nS -> f(a,c)\n")
+        assert not generates_same_tree(a, b)
+
+    def test_inequality_on_size(self):
+        a = parse_grammar("start S\nS -> g(a)\n")
+        b = parse_grammar("start S\nS -> g(g(a))\n")
+        assert not generates_same_tree(a, b)
+        assert not generates_same_tree(b, a)
+
+    def test_grammar_generates_tree(self, figure1_grammar):
+        tree = expand(figure1_grammar)
+        assert grammar_generates_tree(figure1_grammar, tree)
+        tree.children[1].symbol = figure1_grammar.alphabet.terminal("zz", 0)
+        assert not grammar_generates_tree(figure1_grammar, tree)
+
+
+class TestResolvePreorderPath:
+    def _check_all_indices(self, grammar):
+        """Replaying every path must land on the right label."""
+        tree = expand(grammar, budget=200_000)
+        labels = [n.symbol.name for n in preorder(tree)]
+        n_rules = len(grammar.rules)
+        for index, expected in enumerate(labels):
+            steps = resolve_preorder_path(grammar, index)
+            assert steps, f"no steps for index {index}"
+            target = steps[-1]
+            assert not target.enters_rule
+            assert target.node.symbol.name == expected, (
+                f"index {index}: resolved {target.node.symbol.name}, "
+                f"expected {expected}"
+            )
+            # Lemma 1's mechanism: each rule is entered at most once.
+            assert sum(1 for s in steps if s.enters_rule) <= n_rules
+
+    def test_figure1_all_indices(self, figure1_grammar):
+        self._check_all_indices(figure1_grammar)
+
+    def test_grammar1_all_indices(self, grammar1_fragment):
+        self._check_all_indices(grammar1_fragment)
+
+    def test_paper_position_333(self):
+        """Section III-A: position 333 (1-based) of a^1024 under Gexp.
+
+        The letter is produced after the derivation
+        A2 A4 A7 A8 a A10 A9 A6 A5 A3 A1 -- our check: the resolved node is
+        a terminal 'a', and the path enters at most one rule per level.
+        """
+        rules = {"S": "A1A1"}
+        for i in range(1, 10):
+            rules[f"A{i}"] = f"A{i+1}A{i+1}"
+        rules["A10"] = "a"
+        g = make_string_grammar(rules)
+        steps = resolve_preorder_path(g, 332)  # 0-based
+        assert steps[-1].node.symbol.name == "a"
+        assert sum(1 for s in steps if s.enters_rule) <= len(g.rules)
+
+    def test_out_of_range(self, figure1_grammar):
+        total = generated_node_count(figure1_grammar)
+        with pytest.raises(IndexError):
+            resolve_preorder_path(figure1_grammar, total)
+        with pytest.raises(IndexError):
+            resolve_preorder_path(figure1_grammar, -1)
+
+    @settings(max_examples=25)
+    @given(slcf_grammars(max_rules=4, rule_size=6))
+    def test_resolution_property(self, grammar):
+        self._check_all_indices(grammar)

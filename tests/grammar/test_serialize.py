@@ -1,0 +1,90 @@
+"""Tests for the grammar text format."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grammar.navigation import generates_same_tree
+from repro.grammar.serialize import (
+    GrammarFormatError,
+    format_grammar,
+    parse_grammar,
+)
+
+from tests.strategies import slcf_grammars
+
+FIGURE1_TEXT = """\
+start S
+S -> f(A(B,B),#)
+A/2 -> a(#,a(y1,y2))
+B -> A(#,#)
+"""
+
+
+class TestParsing:
+    def test_parse_figure1(self):
+        g = parse_grammar(FIGURE1_TEXT)
+        assert g.start.name == "S"
+        assert len(g) == 3
+        assert g.alphabet.get("A").rank == 2
+
+    def test_comments_and_blank_lines(self):
+        text = "; header comment\n\nstart S\nS -> a ; trailing\n"
+        g = parse_grammar(text)
+        assert g.rhs(g.start).label == "a"
+
+    def test_missing_start_directive(self):
+        with pytest.raises(GrammarFormatError, match="start"):
+            parse_grammar("S -> a\n")
+
+    def test_start_without_rule(self):
+        with pytest.raises(GrammarFormatError, match="no rule"):
+            parse_grammar("start T\nS -> a\n")
+
+    def test_duplicate_rule(self):
+        with pytest.raises(GrammarFormatError, match="duplicate"):
+            parse_grammar("start S\nS -> a\nS -> b\n")
+
+    def test_duplicate_start_directive(self):
+        with pytest.raises(GrammarFormatError, match="duplicate start"):
+            parse_grammar("start S\nstart S\nS -> a\n")
+
+    def test_unparseable_line(self):
+        with pytest.raises(GrammarFormatError, match="cannot parse"):
+            parse_grammar("start S\nS => a\n")
+
+    def test_invalid_grammar_rejected(self):
+        # Parameters out of preorder order.
+        text = "start S\nS -> A(a,b)\nA/2 -> f(y2,y1)\n"
+        with pytest.raises(GrammarFormatError):
+            parse_grammar(text)
+
+    def test_rank_mismatch_rejected(self):
+        text = "start S\nS -> A(a)\nA/2 -> f(y1,y2)\n"
+        with pytest.raises(GrammarFormatError):
+            parse_grammar(text)
+
+
+class TestFormatting:
+    def test_format_puts_start_rule_first(self, figure1_grammar):
+        text = format_grammar(figure1_grammar)
+        lines = text.strip().splitlines()
+        assert lines[0] == "start S"
+        assert lines[1].startswith("S ->")
+
+    def test_rank_annotations_only_for_positive_rank(self, figure1_grammar):
+        text = format_grammar(figure1_grammar)
+        assert "A/2 ->" in text
+        assert "B ->" in text and "B/0" not in text
+
+    def test_roundtrip_figure1(self, figure1_grammar):
+        text = format_grammar(figure1_grammar)
+        reparsed = parse_grammar(text)
+        assert generates_same_tree(figure1_grammar, reparsed)
+
+    @settings(max_examples=40)
+    @given(slcf_grammars())
+    def test_roundtrip_property(self, grammar):
+        reparsed = parse_grammar(format_grammar(grammar))
+        assert generates_same_tree(grammar, reparsed)
+        # And the rendered text is stable under a second roundtrip.
+        assert format_grammar(reparsed) == format_grammar(grammar)

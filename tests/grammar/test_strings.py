@@ -1,0 +1,69 @@
+"""Tests for the string-grammar embedding (Section III examples)."""
+
+import pytest
+
+from repro.grammar.slcf import GrammarError
+from repro.grammar.strings import (
+    gn_family_grammar,
+    grammar_string,
+    string_grammar,
+)
+
+
+class TestEmbedding:
+    def test_gw_example(self):
+        """Section I: Gw = {S -> BBa, B -> AA, A -> ab} has size 7."""
+        g = string_grammar({"S": "BBa", "B": "AA", "A": "ab"})
+        assert grammar_string(g) == "ababababa"
+        # Exactly the paper's size-7 grammar: the tree embedding's edge
+        # count coincides with the string measure (sum of RHS lengths).
+        assert g.size == 7
+
+    def test_g8(self):
+        g = string_grammar({"S": "BB", "B": "CC", "C": "DD", "D": "ab"})
+        assert grammar_string(g) == "ab" * 8
+
+    def test_single_rule(self):
+        g = string_grammar({"S": "hello"})
+        assert grammar_string(g) == "hello"
+
+    def test_longest_head_name_wins(self):
+        # 'A1' must tokenize as the nonterminal A1, not 'A' then '1'.
+        g = string_grammar({"S": "A1A1", "A1": "xy", "A": "zz"})
+        assert grammar_string(g) == "xyxy"
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GrammarError):
+            string_grammar({"B": "ab"})
+
+    def test_ranks(self):
+        g = string_grammar({"S": "Ba", "B": "ab"})
+        assert g.start.rank == 0
+        assert g.alphabet.get("B").rank == 1
+        assert g.alphabet.get("a").rank == 1
+
+
+class TestGnFamily:
+    def test_generated_string(self):
+        g = gn_family_grammar(3)
+        # a (ba)^(2^4) b == (ab)^(2^4 + 1)
+        assert grammar_string(g) == "ab" * 17
+
+    def test_size_is_linear_in_n(self):
+        sizes = [gn_family_grammar(n).size for n in (2, 4, 6)]
+        assert sizes[1] - sizes[0] == sizes[2] - sizes[1] == 4
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            gn_family_grammar(-1)
+
+    def test_recompression_finds_doubling(self):
+        """The Figure 3 claim: G_n recompresses to the B-family shape."""
+        from repro.core.grammar_repair import grammar_repair
+
+        g = gn_family_grammar(6)
+        out = grammar_repair(g)
+        assert grammar_string(out) == grammar_string(g)
+        bodies = {rhs.to_sexpr() for rhs in out.rules.values()}
+        assert "a(b(y1))" in bodies  # B0 -> ab
+        assert out.size <= g.size

@@ -1,0 +1,117 @@
+"""Tests for digram patterns and single-occurrence replacement."""
+
+import pytest
+
+from repro.repair.digram import (
+    Digram,
+    digram_pattern,
+    replace_occurrence_in_tree,
+)
+from repro.trees.builder import parse_term
+from repro.trees.symbols import Alphabet
+
+
+class TestDigramBasics:
+    def test_rank_formula(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        b = alphabet.terminal("b", 3)
+        assert Digram(a, 1, b).rank == 4  # 2 + 3 - 1
+
+    def test_equal_label_detection(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        b = alphabet.terminal("b", 2)
+        assert Digram(a, 1, a).is_equal_label
+        assert not Digram(a, 1, b).is_equal_label
+
+    def test_appropriateness(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        digram = Digram(a, 2, a)  # rank 3
+        assert digram.is_appropriate(kin=4, occurrence_weight=2)
+        assert not digram.is_appropriate(kin=2, occurrence_weight=2)
+        assert not digram.is_appropriate(kin=4, occurrence_weight=1)
+
+    def test_sort_key_is_deterministic(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        b = alphabet.terminal("b", 2)
+        keys = sorted([Digram(b, 1, a), Digram(a, 2, b), Digram(a, 1, b)],
+                      key=lambda d: d.sort_key())
+        assert [k.sort_key() for k in keys] == [
+            ("a", 1, "b"), ("a", 2, "b"), ("b", 1, "a")
+        ]
+
+
+class TestPattern:
+    def test_paper_pattern_shape(self, alphabet):
+        """(a,1,b) with binary a and b: a(b(y1,y2),y3) (Section IV-F)."""
+        a = alphabet.terminal("a", 2)
+        b = alphabet.terminal("b", 2)
+        pattern = digram_pattern(Digram(a, 1, b))
+        assert pattern.to_sexpr() == "a(b(y1,y2),y3)"
+
+    def test_pattern_second_child(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        b = alphabet.terminal("b", 2)
+        pattern = digram_pattern(Digram(a, 2, b))
+        assert pattern.to_sexpr() == "a(y1,b(y2,y3))"
+
+    def test_pattern_with_rank0_child(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        bottom = alphabet.bottom()
+        pattern = digram_pattern(Digram(a, 2, bottom))
+        assert pattern.to_sexpr() == "a(y1,#)"
+
+    def test_pattern_with_mixed_ranks(self, alphabet):
+        f = alphabet.terminal("f", 3)
+        g = alphabet.terminal("g", 1)
+        pattern = digram_pattern(Digram(f, 2, g))
+        assert pattern.to_sexpr() == "f(y1,g(y2),y3)"
+
+    def test_invalid_index_rejected(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        b = alphabet.terminal("b", 0)
+        with pytest.raises(ValueError):
+            digram_pattern(Digram(a, 3, b))
+
+
+class TestReplacement:
+    def test_child_subtrees_are_rewired_in_order(self, alphabet):
+        """Replacing (a,1,b) in a(b(s1,s2),s3) yields X(s1,s2,s3)."""
+        tree = parse_term("a(b(s1,s2),s3)", alphabet)
+        X = alphabet.nonterminal("X", 3)
+        child = tree.child(1)
+        x = replace_occurrence_in_tree(tree, 1, child, X)
+        assert x.to_sexpr() == "X(s1,s2,s3)"
+
+    def test_replacement_splices_into_outer_tree(self, alphabet):
+        tree = parse_term("f(a(b(c,d),e),z)", alphabet)
+        X = alphabet.nonterminal("X", 3)
+        a_node = tree.child(1)
+        replace_occurrence_in_tree(a_node, 1, a_node.child(1), X)
+        assert tree.to_sexpr() == "f(X(c,d,e),z)"
+
+    def test_replacement_is_inverse_of_inlining(self, alphabet):
+        """Replacing then inlining X restores the original tree."""
+        from repro.grammar.slcf import Grammar
+        from repro.grammar.derivation import inline_at
+        from repro.trees.node import tree_equal, deep_copy
+
+        tree = parse_term("f(a(b(c,d),e),z)", alphabet)
+        original = deep_copy(tree)
+        a = alphabet.get("a")
+        b = alphabet.get("b")
+        digram = Digram(a, 1, b)
+        X = alphabet.nonterminal("X", 3)
+        a_node = tree.child(1)
+        x = replace_occurrence_in_tree(a_node, 1, a_node.child(1), X)
+
+        grammar = Grammar.from_tree(tree, alphabet)
+        grammar.set_rule(X, digram_pattern(digram))
+        inline_at(grammar, x)
+        assert tree_equal(grammar.rhs(grammar.start), original)
+
+    def test_stale_occurrence_detected(self, alphabet):
+        tree = parse_term("a(b(c,d),e)", alphabet)
+        X = alphabet.nonterminal("X", 3)
+        stranger = parse_term("b(x,x2)", alphabet)
+        with pytest.raises(ValueError, match="stale"):
+            replace_occurrence_in_tree(tree, 1, stranger, X)

@@ -1,0 +1,71 @@
+"""Tests for the lazy digram priority queue."""
+
+from repro.repair.digram import Digram
+from repro.repair.priority import DigramPriorityQueue
+from repro.trees.symbols import Alphabet
+
+
+def _digrams(alphabet):
+    a = alphabet.terminal("a", 2)
+    b = alphabet.terminal("b", 2)
+    c = alphabet.terminal("c", 2)
+    return Digram(a, 1, b), Digram(b, 1, c), Digram(a, 2, c)
+
+
+class TestQueue:
+    def test_pop_returns_heaviest(self, alphabet):
+        d1, d2, d3 = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 3)
+        q.update(d2, 7)
+        q.update(d3, 5)
+        assert q.pop_best() == (d2, 7)
+
+    def test_stale_entries_are_skipped(self, alphabet):
+        d1, d2, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 10)
+        q.update(d2, 5)
+        q.update(d1, 2)  # d1 decreased; the old entry is stale
+        assert q.pop_best() == (d2, 5)
+
+    def test_zero_weight_removes(self, alphabet):
+        d1, _, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 4)
+        q.update(d1, 0)
+        assert q.pop_best() is None
+
+    def test_accept_filter(self, alphabet):
+        d1, d2, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 10)
+        q.update(d2, 5)
+        result = q.pop_best(lambda d, w: d is d2)
+        assert result == (d2, 5)
+
+    def test_rejected_then_updated_digram_is_reachable(self, alphabet):
+        d1, _, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 1)
+        assert q.pop_best(lambda d, w: w > 1) is None
+        q.update(d1, 3)  # grew later: a fresh heap entry revives it
+        assert q.pop_best(lambda d, w: w > 1) == (d1, 3)
+
+    def test_weight_lookup(self, alphabet):
+        d1, _, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        assert q.weight(d1) == 0
+        q.update(d1, 6)
+        assert q.weight(d1) == 6
+
+    def test_deterministic_tie_break_by_sort_key(self, alphabet):
+        d1, d2, d3 = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        for d in (d3, d2, d1):
+            q.update(d, 4)
+        first, _ = q.pop_best()
+        assert first == d1  # ("a",1,"b") sorts first
+
+    def test_empty_pop(self):
+        assert DigramPriorityQueue().pop_best() is None

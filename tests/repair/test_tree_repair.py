@@ -1,0 +1,150 @@
+"""Correctness and behavior tests for the TreeRePair baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grammar.navigation import grammar_generates_tree
+from repro.grammar.properties import reference_counts
+from repro.repair.tree_repair import TreeRePair, tree_repair
+from repro.trees.binary import encode_binary
+from repro.trees.builder import parse_term
+from repro.trees.node import Node, deep_copy, node_count, tree_equal
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+
+from tests.strategies import ranked_trees, xml_documents
+
+
+def chain_doc(n: int, tag: str = "e") -> XmlNode:
+    """A root with n identical leaf children: compresses very well."""
+    return XmlNode("root", [XmlNode(tag) for _ in range(n)])
+
+
+class TestCorrectness:
+    def test_val_preserved_on_figure1_tree(self, alphabet):
+        t = "a(#,a(#,#))"
+        tree = parse_term(f"f(a(#,a({t},{t})),#)", alphabet)
+        grammar = tree_repair(tree, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, tree)
+
+    def test_input_tree_untouched_by_default(self, alphabet):
+        tree = parse_term("f(a(#,#),a(#,#))", alphabet)
+        snapshot = deep_copy(tree)
+        tree_repair(tree, alphabet)
+        assert tree_equal(tree, snapshot)
+
+    def test_single_node_tree(self, alphabet):
+        tree = Node(alphabet.terminal("only", 0))
+        grammar = tree_repair(tree, alphabet)
+        assert grammar_generates_tree(grammar, tree)
+        assert grammar.size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(ranked_trees(max_nodes=80))
+    def test_val_preserved_incremental(self, tree):
+        alphabet = Alphabet()
+        grammar = TreeRePair(strategy="incremental").compress(tree, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, tree)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ranked_trees(max_nodes=80))
+    def test_val_preserved_recount(self, tree):
+        alphabet = Alphabet()
+        grammar = TreeRePair(strategy="recount").compress(tree, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, tree)
+
+    @settings(max_examples=25, deadline=None)
+    @given(xml_documents(max_elements=40))
+    def test_val_preserved_on_xml_encodings(self, doc):
+        alphabet = Alphabet()
+        tree = encode_binary(doc, alphabet)
+        grammar = tree_repair(tree, alphabet)
+        assert grammar_generates_tree(grammar, tree)
+
+    @settings(max_examples=25, deadline=None)
+    @given(ranked_trees(max_nodes=80))
+    def test_incremental_matches_recount_closely(self, tree):
+        """Both strategies must generate the input; sizes nearly agree.
+
+        They may differ slightly because the incremental index re-greedies
+        equal-label chains in replacement order rather than postorder.
+        """
+        inc = TreeRePair(strategy="incremental").compress(tree, Alphabet())
+        rec = TreeRePair(strategy="recount").compress(tree, Alphabet())
+        assert grammar_generates_tree(inc, tree)
+        assert grammar_generates_tree(rec, tree)
+        assert abs(inc.size - rec.size) <= max(3, 0.25 * rec.size)
+
+
+class TestCompressionBehavior:
+    def test_repetitive_list_compresses_exponentially(self, alphabet):
+        tree = encode_binary(chain_doc(256), alphabet)
+        grammar = tree_repair(tree, alphabet)
+        assert grammar_generates_tree(grammar, tree)
+        # 513 binary nodes compress to a logarithmic-size grammar.
+        assert grammar.size <= 40
+
+    def test_incompressible_tree_keeps_single_rule(self, alphabet):
+        # All distinct labels: no digram occurs twice.
+        labels = [alphabet.terminal(f"t{i}", 1) for i in range(6)]
+        tree = Node(alphabet.terminal("z", 0))
+        for symbol in labels:
+            tree = Node(symbol, [tree])
+        grammar = tree_repair(tree, alphabet)
+        assert len(grammar) == 1
+        assert grammar.size == 6
+
+    def test_kin_limits_rule_rank(self, alphabet):
+        wide = alphabet.terminal("w", 3)
+        x = alphabet.terminal("x", 0)
+
+        def wide_node():
+            return Node(wide, [Node(wide, [Node(x)] * 3), Node(x), Node(x)])
+
+        tree = Node(alphabet.terminal("r", 2), [wide_node(), wide_node()])
+        for kin in (2, 3, 4, 5):
+            fresh = Alphabet()
+            t = deep_copy(tree)
+            grammar = TreeRePair(kin=kin).compress(t, fresh)
+            for head in grammar.nonterminals():
+                if head is grammar.start:
+                    continue
+                assert head.rank <= kin
+            assert grammar_generates_tree(grammar, tree)
+
+    def test_string_repair_example(self):
+        """Section I: RePair on w = ababababa yields a size-7-ish grammar."""
+        alphabet = Alphabet()
+        a = alphabet.terminal("a", 1)
+        b = alphabet.terminal("b", 1)
+        end = alphabet.terminal("$", 0)
+        tree = Node(end)
+        for symbol in reversed([a, b] * 4 + [a]):
+            tree = Node(symbol, [tree])
+        grammar = tree_repair(tree, alphabet)
+        assert grammar_generates_tree(grammar, tree)
+        # The paper's grammar has size 7 (plus our explicit terminator).
+        assert grammar.size <= 9
+
+    def test_pruning_removes_singly_used_rules(self, alphabet):
+        tree = encode_binary(chain_doc(64), alphabet)
+        pruned = TreeRePair(prune=True).compress(deep_copy(tree), alphabet)
+        unpruned = TreeRePair(prune=False).compress(deep_copy(tree), alphabet)
+        assert pruned.size <= unpruned.size
+        counts = reference_counts(pruned)
+        for head, count in counts.items():
+            if head is not pruned.start:
+                assert count >= 2
+
+    def test_stats_recorded(self, alphabet):
+        tree = encode_binary(chain_doc(32), alphabet)
+        compressor = TreeRePair()
+        grammar = compressor.compress(tree, alphabet)
+        stats = compressor.stats
+        assert stats.rounds == stats.rules_created
+        assert stats.final_size == grammar.size
+        assert stats.max_intermediate_size >= stats.final_size
+        assert stats.replaced_occurrences > 0

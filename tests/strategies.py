@@ -1,0 +1,188 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Two generators matter:
+
+* :func:`binary_xml_trees` -- random structure-only XML documents, the input
+  domain of the compressors,
+* :func:`slcf_grammars` -- random *valid* SLCF grammars (acyclic, linear,
+  parameters in preorder order, all rules reachable), the input domain of
+  GrammarRePair and the update machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from hypothesis import strategies as st
+
+from repro.grammar.properties import collect_garbage
+from repro.grammar.slcf import Grammar
+from repro.trees.node import Node
+from repro.trees.symbols import Alphabet, Symbol, parameter_symbol
+from repro.trees.unranked import XmlNode
+
+DEFAULT_TAGS = ("a", "b", "c", "d")
+
+
+@st.composite
+def xml_documents(
+    draw,
+    tags: Tuple[str, ...] = DEFAULT_TAGS,
+    max_elements: int = 25,
+) -> XmlNode:
+    """A random unranked XML structure tree."""
+    rng = draw(st.randoms(use_true_random=False))
+    n = draw(st.integers(min_value=1, max_value=max_elements))
+    root = XmlNode(rng.choice(tags))
+    pool = [root]
+    for _ in range(n - 1):
+        parent = rng.choice(pool)
+        child = XmlNode(rng.choice(tags))
+        # Insert at a random sibling position to exercise ordering.
+        position = rng.randint(0, len(parent.children))
+        parent.children.insert(position, child)
+        pool.append(child)
+    return root
+
+
+@st.composite
+def ranked_trees(
+    draw,
+    alphabet: Optional[Alphabet] = None,
+    max_nodes: int = 40,
+) -> Node:
+    """A random ranked tree over terminals ``f/2, g/1, a/0, #/0``.
+
+    This exercises general ranked trees, not only binary XML encodings.
+    """
+    if alphabet is None:
+        alphabet = Alphabet()
+    f = alphabet.terminal("f", 2)
+    g = alphabet.terminal("g", 1)
+    a = alphabet.terminal("a", 0)
+    bottom = alphabet.bottom()
+    rng = draw(st.randoms(use_true_random=False))
+    budget = draw(st.integers(min_value=1, max_value=max_nodes))
+
+    def build(remaining: int) -> Tuple[Node, int]:
+        if remaining <= 1:
+            return Node(rng.choice((a, bottom))), remaining - 1
+        symbol = rng.choice((f, g, a, bottom))
+        children: List[Node] = []
+        remaining -= 1
+        for _ in range(symbol.rank):
+            child, remaining = build(max(remaining, 1))
+            children.append(child)
+        return Node(symbol, children), remaining
+
+    tree, _ = build(budget)
+    return tree
+
+
+def _random_rhs(
+    rng,
+    alphabet: Alphabet,
+    callees: List[Symbol],
+    rank: int,
+    size_budget: int,
+) -> Node:
+    """A random rule body with exactly ``rank`` parameters, preordered."""
+    f = alphabet.terminal("f", 2)
+    g = alphabet.terminal("g", 1)
+    a = alphabet.terminal("a", 0)
+    bottom = alphabet.bottom()
+
+    placeholder = object()  # leaf sentinel later replaced by parameters
+
+    def build(remaining: int):
+        choices: List[object] = [a, bottom, f, g]
+        choices.extend(callees)
+        if remaining <= 1:
+            choices = [a, bottom]
+        symbol = rng.choice(choices)
+        children = [build(max(1, remaining // max(1, symbol.rank) - 1))
+                    for _ in range(symbol.rank)]
+        return [symbol, children]
+
+    # Build a mutable spine, then force exactly ``rank`` placeholders onto
+    # leaf positions (replacing ``#`` or ``a`` leaves, adding depth if the
+    # tree has too few leaves).
+    spine = build(max(size_budget, rank + 1))
+
+    def leaf_slots(node, acc):
+        symbol, children = node
+        if not children and symbol in (a, bottom):
+            acc.append(node)
+        for child in children:
+            leaf_slots(child, acc)
+        return acc
+
+    slots = leaf_slots(spine, [])
+    while len(slots) < rank:
+        # Replace the spine root with g(spine) to add another leaf via f.
+        spine = [f, [spine, [bottom, []]]]
+        slots = leaf_slots(spine, [])
+    chosen = sorted(rng.sample(range(len(slots)), rank))
+    for param_index, slot_pos in enumerate(chosen, start=1):
+        slots[slot_pos][0] = parameter_symbol(param_index)
+
+    # The root must not be a bare parameter.
+    if spine[0].is_parameter:
+        spine = [g, [spine]]
+
+    def materialize(node) -> Node:
+        symbol, children = node
+        return Node(symbol, [materialize(child) for child in children])
+
+    rhs = materialize(spine)
+    _renumber_parameters_in_preorder(rhs)
+    return rhs
+
+
+def _renumber_parameters_in_preorder(root: Node) -> None:
+    """Renumber parameter leaves 1..k by preorder position (model invariant)."""
+    counter = 0
+    stack = [root]
+    ordered: List[Node] = []
+    while stack:
+        node = stack.pop()
+        if node.symbol.is_parameter:
+            ordered.append(node)
+        stack.extend(reversed(node.children))
+    for index, node in enumerate(ordered, start=1):
+        node.symbol = parameter_symbol(index)
+
+
+@st.composite
+def slcf_grammars(
+    draw,
+    max_rules: int = 5,
+    max_rank: int = 2,
+    rule_size: int = 8,
+) -> Grammar:
+    """A random valid SLCF grammar with every rule reachable from the start.
+
+    Rules are generated bottom-up so the call relation is acyclic by
+    construction; afterwards unreachable rules are garbage-collected and the
+    grammar is validated.
+    """
+    rng = draw(st.randoms(use_true_random=False))
+    alphabet = Alphabet()
+    n_rules = draw(st.integers(min_value=1, max_value=max_rules))
+
+    heads: List[Symbol] = []
+    for index in range(n_rules - 1):
+        rank = rng.randint(0, max_rank)
+        heads.append(alphabet.nonterminal(f"N{index}", rank))
+    start = alphabet.nonterminal("S", 0)
+
+    grammar = Grammar(alphabet, start)
+    # Bottom-up: rule i may call rules defined before it.
+    for index, head in enumerate(heads):
+        rhs = _random_rhs(rng, alphabet, heads[:index], head.rank, rule_size)
+        grammar.set_rule(head, rhs)
+    grammar.set_rule(start, _random_rhs(rng, alphabet, heads, 0, rule_size))
+
+    collect_garbage(grammar)
+    grammar.validate()
+    return grammar

@@ -1,0 +1,166 @@
+"""Tests for the CompressedXml facade."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import CompressedXml
+from repro.trees.unranked import XmlNode, xml_equal
+from repro.trees.xml_io import parse_xml
+from repro.updates.operations import UpdateError
+
+from tests.strategies import xml_documents
+
+
+def listy_xml(n=50, tag="e"):
+    return "<log>" + f"<{tag}/>" * n + "</log>"
+
+
+class TestConstruction:
+    def test_from_xml_roundtrip(self):
+        doc = CompressedXml.from_xml("<a><b/><c><d/></c></a>")
+        assert doc.to_xml() == "<a><b/><c><d/></c></a>"
+
+    def test_from_document(self):
+        tree = XmlNode("r", [XmlNode("x"), XmlNode("x")])
+        doc = CompressedXml.from_document(tree)
+        assert xml_equal(doc.to_document(), tree)
+
+    def test_uncompressed_mode(self):
+        doc = CompressedXml.from_xml(listy_xml(50), compress=False)
+        assert len(doc.grammar) == 1
+        assert doc.to_xml() == listy_xml(50)
+
+    def test_compression_happens(self):
+        doc = CompressedXml.from_xml(listy_xml(200))
+        assert doc.compressed_size < 60
+        assert doc.compression_ratio < 0.3
+
+    def test_file_roundtrip(self, tmp_path):
+        source = tmp_path / "doc.xml"
+        source.write_text(listy_xml(20))
+        doc = CompressedXml.from_file(str(source))
+        saved = tmp_path / "doc.grammar"
+        doc.save_grammar(str(saved))
+        loaded = CompressedXml.from_grammar_file(str(saved))
+        assert loaded.to_xml() == listy_xml(20)
+
+    @given(xml_documents(max_elements=25))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, tree):
+        doc = CompressedXml.from_document(tree)
+        assert xml_equal(doc.to_document(), tree)
+
+
+class TestInspection:
+    def test_counts(self):
+        doc = CompressedXml.from_xml("<a><b/><c><d/></c></a>")
+        assert doc.element_count == 4
+        assert doc.edge_count == 3
+
+    def test_tags_stream(self):
+        doc = CompressedXml.from_xml("<a><b/><c><d/></c></a>")
+        assert list(doc.tags()) == ["a", "b", "c", "d"]
+
+    def test_tag_of(self):
+        doc = CompressedXml.from_xml("<a><b/><c><d/></c></a>")
+        assert doc.tag_of(0) == "a"
+        assert doc.tag_of(2) == "c"
+        with pytest.raises(IndexError):
+            doc.tag_of(4)
+
+    def test_repr(self):
+        doc = CompressedXml.from_xml("<a><b/></a>")
+        assert "2 elements" in repr(doc)
+
+
+class TestUpdates:
+    def test_rename_by_element_index(self):
+        doc = CompressedXml.from_xml("<a><b/><b/><b/></a>")
+        doc.rename(2, "mid")
+        assert doc.to_xml() == "<a><b/><mid/><b/></a>"
+
+    def test_insert_before_element(self):
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        doc.insert(2, XmlNode("x", [XmlNode("y")]))
+        assert doc.to_xml() == "<a><b/><x><y/></x><c/></a>"
+
+    def test_insert_multiple_siblings(self):
+        doc = CompressedXml.from_xml("<a><b/></a>")
+        doc.insert(1, [XmlNode("p"), XmlNode("q")])
+        assert doc.to_xml() == "<a><p/><q/><b/></a>"
+
+    def test_append_child_to_leaf(self):
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        doc.append_child(1, XmlNode("inner"))
+        assert doc.to_xml() == "<a><b><inner/></b><c/></a>"
+
+    def test_append_child_after_existing_children(self):
+        doc = CompressedXml.from_xml("<a><b><x/><y/></b></a>")
+        doc.append_child(1, XmlNode("z"))
+        assert doc.to_xml() == "<a><b><x/><y/><z/></b></a>"
+
+    def test_append_child_to_root(self):
+        doc = CompressedXml.from_xml("<a><b/></a>")
+        doc.append_child(0, XmlNode("tail"))
+        assert doc.to_xml() == "<a><b/><tail/></a>"
+
+    def test_delete_element(self):
+        doc = CompressedXml.from_xml("<a><b><x/></b><c/></a>")
+        doc.delete(1)
+        assert doc.to_xml() == "<a><c/></a>"
+
+    def test_delete_root_rejected(self):
+        doc = CompressedXml.from_xml("<a><b/></a>")
+        with pytest.raises(UpdateError):
+            doc.delete(0)
+
+    def test_update_counter(self):
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        doc.rename(1, "z")
+        doc.delete(2)
+        assert doc.updates_applied == 2
+
+    def test_update_sequence_end_to_end(self):
+        doc = CompressedXml.from_xml(listy_xml(30))
+        doc.rename(5, "special")
+        doc.insert(10, XmlNode("gap"))
+        doc.delete(20)
+        doc.recompress()
+        plain = parse_xml(doc.to_xml())
+        assert plain.children[4].tag == "special"
+        assert plain.children[9].tag == "gap"
+        assert len(plain.children) == 30  # +1 insert, -1 delete
+
+
+class TestMaintenance:
+    def test_recompress_shrinks_after_updates(self):
+        doc = CompressedXml.from_xml(listy_xml(300))
+        for index in (3, 50, 100, 150, 200):
+            doc.rename(index, f"t{index}")
+        inflated = doc.compressed_size
+        doc.recompress()
+        assert doc.compressed_size <= inflated
+
+    def test_auto_recompress_policy(self):
+        doc = CompressedXml.from_xml(
+            listy_xml(300), auto_recompress_factor=1.5
+        )
+        sizes = []
+        for step in range(25):
+            doc.rename(7 * step % 290 + 1, f"n{step}")
+            sizes.append(doc.compressed_size)
+        # The automatic policy must have bounded the growth.  Each rename
+        # introduces a fresh singleton label the grammar must spell out, so
+        # the bound accounts for the 25 new labels too.
+        baseline = CompressedXml.from_xml(listy_xml(300)).compressed_size
+        assert max(sizes) <= 8 * baseline
+
+    def test_manual_policy_grows_unboundedly_in_comparison(self):
+        auto = CompressedXml.from_xml(listy_xml(300),
+                                      auto_recompress_factor=1.5)
+        manual = CompressedXml.from_xml(listy_xml(300))
+        for step in range(25):
+            position = 7 * step % 290 + 1
+            auto.rename(position, f"n{step}")
+            manual.rename(position, f"n{step}")
+        assert auto.compressed_size <= manual.compressed_size

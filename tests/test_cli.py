@@ -1,0 +1,82 @@
+"""Tests for the repro-xml command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text("<log>" + "<entry><ip/><ts/></entry>" * 40 + "</log>")
+    return path
+
+
+class TestCompressDecompress:
+    def test_compress_writes_grammar(self, xml_file, capsys):
+        assert main(["compress", str(xml_file)]) == 0
+        out = capsys.readouterr().out
+        assert "grammar of" in out
+        assert (xml_file.parent / "doc.xml.grammar").exists()
+
+    def test_roundtrip_through_files(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        out_path = tmp_path / "restored.xml"
+        main(["decompress", str(grammar_path), "-o", str(out_path)])
+        assert out_path.read_text() == xml_file.read_text()
+
+    def test_decompress_to_stdout(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        capsys.readouterr()
+        main(["decompress", str(grammar_path)])
+        assert "<entry>" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_on_xml(self, xml_file, capsys):
+        assert main(["stats", str(xml_file)]) == 0
+        out = capsys.readouterr().out
+        assert "elements:    121" in out
+        assert "ratio:" in out
+
+    def test_stats_on_grammar(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        capsys.readouterr()
+        main(["stats", str(grammar_path)])
+        assert "elements:    121" in capsys.readouterr().out
+
+
+class TestUpdate:
+    def test_rename_roundtrip(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        main(["update", str(grammar_path), "rename", "1", "first"])
+        out_path = tmp_path / "out.xml"
+        main(["decompress", str(grammar_path), "-o", str(out_path)])
+        assert "<first>" in out_path.read_text()
+
+    def test_insert_fragment(self, xml_file, tmp_path):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        main(["update", str(grammar_path), "insert", "1",
+              "<marker><why/></marker>"])
+        out_path = tmp_path / "out.xml"
+        main(["decompress", str(grammar_path), "-o", str(out_path)])
+        assert "<marker><why/></marker><entry>" in out_path.read_text()
+
+    def test_delete(self, xml_file, tmp_path):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        main(["update", str(grammar_path), "delete", "1"])
+        out_path = tmp_path / "out.xml"
+        main(["decompress", str(grammar_path), "-o", str(out_path)])
+        assert out_path.read_text().count("<entry>") == 39
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,126 @@
+"""Tests for minimal DAG compression."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dag import dag_statistics, dag_to_grammar, minimal_dag_signatures
+from repro.grammar.navigation import grammar_generates_tree
+from repro.trees.binary import encode_binary
+from repro.trees.builder import parse_term
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+
+from tests.strategies import ranked_trees, xml_documents
+
+
+class TestSignatures:
+    def test_equal_subtrees_share_signatures(self, alphabet):
+        tree = parse_term("f(g(a),g(a))", alphabet)
+        signature_of, occurrences, _rep = minimal_dag_signatures(tree)
+        left, right = tree.children
+        assert signature_of[id(left)] == signature_of[id(right)]
+        assert occurrences[signature_of[id(left)]] == 2
+
+    def test_distinct_subtrees_get_distinct_signatures(self, alphabet):
+        tree = parse_term("f(g(a),g(b))", alphabet)
+        signature_of, _occ, _rep = minimal_dag_signatures(tree)
+        left, right = tree.children
+        assert signature_of[id(left)] != signature_of[id(right)]
+
+    def test_root_occurs_once(self, alphabet):
+        tree = parse_term("f(a,a)", alphabet)
+        signature_of, occurrences, _ = minimal_dag_signatures(tree)
+        assert occurrences[signature_of[id(tree)]] == 1
+
+
+class TestStats:
+    def test_figure1_dag(self, alphabet):
+        # Figure 1's tree: the two big a-subtrees are equal.
+        t = "a(#,a(#,#))"
+        tree = parse_term(f"f(a(#,a({t},{t})),#)", alphabet)
+        stats = dag_statistics(tree)
+        assert stats.tree_nodes == 15
+        assert stats.dag_nodes < stats.tree_nodes
+        assert 0 < stats.ratio < 1
+
+    def test_incompressible_tree(self, alphabet):
+        tree = parse_term("f(g(a),h(b))", alphabet)
+        stats = dag_statistics(tree)
+        assert stats.dag_edges == stats.tree_edges
+
+    def test_flat_list_defeats_dag_sharing(self, alphabet):
+        """A flat list's binary encoding has all-distinct suffix chains,
+        so the DAG shares almost nothing -- the very weakness pattern-based
+        SLCF sharing (Section I) fixes."""
+        doc = XmlNode("r", [XmlNode("e") for _ in range(128)])
+        tree = encode_binary(doc, alphabet)
+        stats = dag_statistics(tree)
+        assert stats.ratio > 0.9
+
+    def test_repeated_record_bodies_do_share(self, alphabet):
+        doc = XmlNode(
+            "db",
+            [XmlNode("rec", [XmlNode("a"), XmlNode("b")]) for _ in range(64)],
+        )
+        tree = encode_binary(doc, alphabet)
+        stats = dag_statistics(tree)
+        assert stats.dag_edges < 0.7 * stats.tree_edges
+
+    @given(ranked_trees(max_nodes=50))
+    def test_dag_never_larger(self, tree):
+        stats = dag_statistics(tree)
+        assert stats.dag_edges <= stats.tree_edges
+        assert stats.dag_nodes <= stats.tree_nodes
+
+
+class TestDagToGrammar:
+    def test_val_preserved(self, alphabet):
+        t = "a(#,a(#,#))"
+        tree = parse_term(f"f(a(#,a({t},{t})),#)", alphabet)
+        grammar = dag_to_grammar(tree, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, tree)
+
+    def test_sharing_reduces_size(self, alphabet):
+        doc = XmlNode(
+            "db",
+            [XmlNode("rec", [XmlNode("a"), XmlNode("b")]) for _ in range(64)],
+        )
+        tree = encode_binary(doc, alphabet)
+        from repro.trees.node import edge_count
+
+        grammar = dag_to_grammar(tree, alphabet)
+        assert grammar.size < edge_count(tree)
+        assert grammar_generates_tree(grammar, tree)
+
+    def test_all_rules_are_rank0(self, alphabet):
+        doc = XmlNode("r", [XmlNode("e", [XmlNode("x")]) for _ in range(16)])
+        tree = encode_binary(doc, alphabet)
+        grammar = dag_to_grammar(tree, alphabet, prune=False)
+        for head in grammar.nonterminals():
+            assert head.rank == 0
+
+    def test_input_not_modified(self, alphabet):
+        tree = parse_term("f(g(a),g(a))", alphabet)
+        before = tree.to_sexpr()
+        dag_to_grammar(tree, alphabet)
+        assert tree.to_sexpr() == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(xml_documents(max_elements=40))
+    def test_val_preserved_property(self, doc):
+        alphabet = Alphabet()
+        tree = encode_binary(doc, alphabet)
+        grammar = dag_to_grammar(tree, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, tree)
+
+    def test_grammar_repair_improves_on_dag(self, alphabet):
+        """SLCF pattern sharing beats pure subtree sharing (Section I)."""
+        from repro.core.grammar_repair import GrammarRePair
+
+        doc = XmlNode("r", [XmlNode("e") for _ in range(256)])
+        tree = encode_binary(doc, alphabet)
+        dag_grammar = dag_to_grammar(tree, alphabet)
+        recompressed = GrammarRePair().compress(dag_grammar)
+        assert recompressed.size < dag_grammar.size

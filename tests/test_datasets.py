@@ -1,0 +1,88 @@
+"""Tests for the synthetic corpus generators."""
+
+import pytest
+
+from repro.datasets import CORPORA, make_corpus
+from repro.trees.stats import document_stats
+
+
+class TestRegistry:
+    def test_all_six_corpora_present(self):
+        assert set(CORPORA) == {
+            "EXI-Weblog", "XMark", "EXI-Telecomp",
+            "Treebank", "Medline", "NCBI",
+        }
+
+    def test_make_corpus_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown corpus"):
+            make_corpus("nope")
+
+    def test_paper_reference_stats_recorded(self):
+        assert CORPORA["NCBI"].paper_edges == 3642224
+        assert CORPORA["Treebank"].paper_depth == 35
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", sorted(CORPORA))
+    def test_edge_budget_respected(self, name):
+        for budget in (500, 2000):
+            doc = make_corpus(name, edges=budget, seed=1)
+            stats = document_stats(doc)
+            # Generators overshoot by at most one record.
+            assert budget * 0.8 <= stats.edges <= budget * 1.6
+
+    @pytest.mark.parametrize("name", sorted(CORPORA))
+    def test_deterministic_in_seed(self, name):
+        a = document_stats(make_corpus(name, edges=800, seed=7))
+        b = document_stats(make_corpus(name, edges=800, seed=7))
+        assert a == b
+
+    def test_random_corpora_vary_with_seed(self):
+        for name in ("XMark", "Medline", "Treebank"):
+            a = document_stats(make_corpus(name, edges=800, seed=1))
+            b = document_stats(make_corpus(name, edges=800, seed=2))
+            assert a.label_histogram != b.label_histogram or a.edges != b.edges
+
+
+class TestStructuralRegimes:
+    def test_depths_match_paper_regime(self):
+        assert document_stats(make_corpus("EXI-Weblog", 1000)).depth == 2
+        assert document_stats(make_corpus("NCBI", 1000)).depth == 3
+        assert 4 <= document_stats(make_corpus("EXI-Telecomp", 1000)).depth <= 7
+        assert 5 <= document_stats(make_corpus("Medline", 2000)).depth <= 8
+        assert document_stats(make_corpus("XMark", 2000)).depth >= 8
+        assert document_stats(make_corpus("Treebank", 2000)).depth >= 10
+
+    def test_compression_ordering_matches_table3(self):
+        """Extreme corpora compress far better than moderate ones."""
+        from repro.core.grammar_repair import GrammarRePair
+        from repro.trees.binary import encode_binary
+        from repro.trees.symbols import Alphabet
+
+        ratios = {}
+        for name in ("EXI-Weblog", "Medline", "Treebank"):
+            doc = make_corpus(name, edges=1500, seed=3)
+            stats = document_stats(doc)
+            alphabet = Alphabet()
+            grammar = GrammarRePair().compress_tree(
+                encode_binary(doc, alphabet), alphabet, copy_input=False
+            )
+            ratios[name] = grammar.size / stats.edges
+        assert ratios["EXI-Weblog"] < ratios["Medline"] / 3
+        assert ratios["Medline"] < ratios["Treebank"]
+
+    def test_extreme_corpora_have_constant_size_grammars(self):
+        """Doubling the document barely grows the grammar (list regime)."""
+        from repro.core.grammar_repair import GrammarRePair
+        from repro.trees.binary import encode_binary
+        from repro.trees.symbols import Alphabet
+
+        sizes = []
+        for budget in (2000, 4000):
+            doc = make_corpus("NCBI", edges=budget)
+            alphabet = Alphabet()
+            grammar = GrammarRePair().compress_tree(
+                encode_binary(doc, alphabet), alphabet, copy_input=False
+            )
+            sizes.append(grammar.size)
+        assert sizes[1] <= sizes[0] + 8

@@ -1,0 +1,138 @@
+"""Smoke + shape tests for the experiment drivers (small scales).
+
+These run every experiment at reduced scale and assert the *shape* claims
+the paper makes -- the full-scale numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    figure2,
+    figure3,
+    figure45,
+    figure6,
+    static_comparison,
+    table3,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+SMALL = {
+    "EXI-Weblog": 1200,
+    "XMark": 1200,
+    "EXI-Telecomp": 1200,
+    "Treebank": 1200,
+    "Medline": 1200,
+    "NCBI": 1500,
+}
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in text and "0.125" in text
+
+    def test_result_add_validates_arity(self):
+        result = ExperimentResult("t", ["x", "y"])
+        with pytest.raises(ValueError):
+            result.add(1)
+
+    def test_column_accessor(self):
+        result = ExperimentResult("t", ["x", "y"])
+        result.add(1, 2)
+        result.add(3, 4)
+        assert result.column("y") == [2, 4]
+
+    def test_registry_is_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table3", "static", "figure2", "figure3", "figure45", "figure6",
+        }
+
+
+class TestTable3:
+    def test_shape(self):
+        result = table3.run(scales=SMALL, seed=1)
+        assert len(result.rows) == 6
+        by_name = {row[0]: row for row in result.rows}
+        ratio = {name: row[4] for name, row in by_name.items()}
+        # Extreme corpora compress at least an order of magnitude better.
+        for extreme in ("EXI-Weblog", "EXI-Telecomp", "NCBI"):
+            for moderate in ("XMark", "Treebank"):
+                assert ratio[extreme] < ratio[moderate] / 4
+        # Treebank is the worst case, as in the paper.
+        assert ratio["Treebank"] == max(ratio.values())
+        assert "c-edges" in result.render()
+
+
+class TestStaticComparison:
+    def test_three_compressors_agree_in_regime(self):
+        result = static_comparison.run(scales=SMALL, seed=1)
+        for row in result.rows:
+            name, edges, dag, tree_rp, gr_tree, gr_grammar = row
+            # All three RePair variants beat (or match) the DAG.
+            assert tree_rp <= dag * 1.2 + 4
+            assert gr_tree <= dag * 1.2 + 4
+            assert gr_grammar <= dag * 1.2 + 4
+            # And they land in the same ballpark as each other.
+            ceiling = 2.0 * min(tree_rp, gr_tree, gr_grammar) + 16
+            assert max(tree_rp, gr_tree, gr_grammar) <= ceiling
+
+
+class TestFigure2:
+    def test_blowup_bounded(self):
+        result = figure2.run(scales=SMALL, seed=1)
+        for row in result.rows:
+            blow_up = row[2]
+            assert 1.0 <= blow_up <= 6.0  # paper: just over 2 at full scale
+
+
+class TestFigure3:
+    def test_optimized_beats_non_optimized_asymptotically(self):
+        result = figure3.run(ns=(4, 6, 8))
+        opt = result.column("blow-up opt")
+        non = result.column("blow-up non-opt")
+        # Non-optimized blow-up grows with the generated string length...
+        assert non[-1] > non[0] * 3
+        # ... and is far above the optimized one at the largest n.
+        assert non[-1] > 2.5 * opt[-1]
+
+    def test_final_sizes_stay_logarithmic(self):
+        result = figure3.run(ns=(4, 6, 8))
+        finals = result.column("final")
+        base_sizes = result.column("|G_n|")
+        for final, base in zip(finals, base_sizes):
+            assert final <= base + 2
+
+
+class TestFigure45:
+    def test_grammarrepair_tracks_from_scratch(self):
+        result = figure45.run(
+            corpora=("XMark",), n_updates=60, recompress_every=30,
+            scales=SMALL, seed=1,
+        )
+        for row in result.rows:
+            naive_ratio, gr_ratio = row[2], row[3]
+            assert gr_ratio <= naive_ratio + 1e-9
+            assert gr_ratio <= 1.6  # paper: ~1.008 at full scale
+
+    def test_extreme_corpus_naive_blowup(self):
+        result = figure45.run(
+            corpora=("EXI-Weblog",), n_updates=60, recompress_every=30,
+            scales=SMALL, seed=1,
+        )
+        last = result.rows[-1]
+        assert last[2] > last[3]  # naive much worse than maintained
+
+
+class TestFigure6:
+    def test_runs_and_reports_ratios(self):
+        result = figure6.run(
+            corpora=("EXI-Weblog", "XMark"), n_renames=20,
+            scales=SMALL, seed=1,
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[2] > 0  # GR/udc ratio present
+            assert 0 < row[5] < 400  # space percentage sane

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import random
+
+import pytest
+
+from repro.core.grammar_repair import GrammarRePair
+from repro.dag.minimal_dag import dag_to_grammar
+from repro.datasets.synthetic import make_corpus
+from repro.grammar.navigation import (
+    generates_same_tree,
+    grammar_generates_tree,
+)
+from repro.grammar.serialize import format_grammar, parse_grammar
+from repro.repair.tree_repair import TreeRePair
+from repro.trees.binary import decode_binary, encode_binary
+from repro.trees.node import deep_copy
+from repro.trees.stats import document_stats
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import xml_equal
+from repro.updates.grammar_updates import apply_ops
+from repro.updates.operations import apply_op_to_tree
+from repro.updates.udc import udc_recompress
+from repro.updates.workload import generate_update_workload
+
+
+CORPUS_NAMES = (
+    "EXI-Weblog", "XMark", "EXI-Telecomp", "Treebank", "Medline", "NCBI",
+)
+
+
+class TestCompressionPipelines:
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_corpus_roundtrip_through_grammar_repair(self, name):
+        doc = make_corpus(name, edges=700, seed=5)
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+        grammar = GrammarRePair().compress_tree(binary, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, binary)
+        assert xml_equal(decode_binary(binary), doc)
+
+    @pytest.mark.parametrize("name", ("XMark", "Medline"))
+    def test_three_pipelines_generate_identical_trees(self, name):
+        doc = make_corpus(name, edges=700, seed=5)
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+        via_tree = TreeRePair().compress(deep_copy(binary), alphabet,
+                                         copy_input=False)
+        via_gr = GrammarRePair().compress_tree(deep_copy(binary), alphabet,
+                                               copy_input=False)
+        via_dag = GrammarRePair().compress(
+            dag_to_grammar(binary, alphabet), in_place=True
+        )
+        assert generates_same_tree(via_tree, via_gr)
+        assert generates_same_tree(via_gr, via_dag)
+
+    @pytest.mark.parametrize("name", ("EXI-Weblog", "Treebank"))
+    def test_grammar_file_roundtrip_for_corpora(self, name, tmp_path):
+        doc = make_corpus(name, edges=700, seed=5)
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+        grammar = GrammarRePair().compress_tree(binary, alphabet)
+        path = tmp_path / "c.grammar"
+        path.write_text(format_grammar(grammar))
+        reparsed = parse_grammar(path.read_text())
+        assert generates_same_tree(grammar, reparsed)
+
+
+class TestUpdatePipelines:
+    @pytest.mark.parametrize("name", ("XMark", "EXI-Weblog"))
+    def test_workload_replay_grammar_equals_tree(self, name):
+        doc = make_corpus(name, edges=600, seed=9)
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+        workload = generate_update_workload(
+            binary, 40, alphabet, rng=random.Random(13)
+        )
+        grammar = GrammarRePair().compress_tree(workload.seed, alphabet)
+        reference = deep_copy(workload.seed)
+        apply_ops(grammar, workload.operations)
+        for op in workload.operations:
+            reference = apply_op_to_tree(reference, op, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, reference)
+        assert grammar_generates_tree(grammar, binary)
+
+    def test_update_recompress_matches_udc_result_quality(self):
+        doc = make_corpus("EXI-Weblog", edges=1500, seed=2)
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+        workload = generate_update_workload(
+            binary, 30, alphabet, rng=random.Random(3)
+        )
+        grammar = GrammarRePair().compress_tree(workload.seed, alphabet)
+        apply_ops(grammar, workload.operations)
+        incremental = GrammarRePair().compress(grammar)
+        udc = udc_recompress(grammar, compressor="tree_repair")
+        assert generates_same_tree(incremental, udc.grammar)
+        # Virtually the same compression (paper: <1% overhead for typical
+        # files); give pure-Python small-scale runs some slack.
+        assert incremental.size <= 2.0 * udc.grammar.size + 10
+
+    def test_interleaved_update_recompress_cycles(self):
+        """Several update->recompress cycles stay correct and compact."""
+        doc = make_corpus("Medline", edges=800, seed=4)
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+        workload = generate_update_workload(
+            binary, 45, alphabet, rng=random.Random(8)
+        )
+        grammar = GrammarRePair().compress_tree(workload.seed, alphabet)
+        reference = deep_copy(workload.seed)
+        for start in range(0, 45, 15):
+            chunk = workload.operations[start:start + 15]
+            apply_ops(grammar, chunk)
+            for op in chunk:
+                reference = apply_op_to_tree(reference, op, alphabet)
+            grammar = GrammarRePair().compress(grammar, in_place=True)
+            grammar.validate()
+            assert grammar_generates_tree(grammar, reference)
+        assert grammar_generates_tree(grammar, binary)
+
+
+class TestStatsConsistency:
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_grammar_counts_match_document_stats(self, name):
+        """Element counts derived from the grammar match the document."""
+        from repro.api import CompressedXml
+
+        doc = make_corpus(name, edges=500, seed=6)
+        stats = document_stats(doc)
+        compressed = CompressedXml.from_document(doc)
+        assert compressed.element_count == stats.elements
+        assert compressed.edge_count == stats.edges

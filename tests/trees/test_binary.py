@@ -1,0 +1,106 @@
+"""Tests for the first-child/next-sibling binary encoding (Figure 1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.trees.binary import (
+    BinaryEncodingError,
+    decode_binary,
+    decode_forest,
+    encode_binary,
+    encode_forest,
+)
+from repro.trees.builder import parse_term
+from repro.trees.node import tree_depth
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode, xml_equal
+
+from tests.strategies import xml_documents
+
+
+def doc_figure1() -> XmlNode:
+    """The unranked tree of Figure 1: f with three a-children, the first two
+    of which have two a-children each."""
+    return XmlNode(
+        "f",
+        [
+            XmlNode("a", [XmlNode("a"), XmlNode("a")]),
+            XmlNode("a", [XmlNode("a"), XmlNode("a")]),
+            XmlNode("a"),
+        ],
+    )
+
+
+class TestEncoding:
+    def test_figure1_shape(self, alphabet):
+        binary = encode_binary(doc_figure1(), alphabet)
+        expected = parse_term(
+            "f(a(a(#,a(#,#)),a(a(#,a(#,#)),a(#,#))),#)", alphabet
+        )
+        assert binary.to_sexpr() == expected.to_sexpr()
+
+    def test_root_has_bottom_sibling(self, alphabet):
+        binary = encode_binary(XmlNode("r"), alphabet)
+        assert binary.child(2).symbol.is_bottom
+
+    def test_element_symbols_have_rank_two(self, alphabet):
+        encode_binary(doc_figure1(), alphabet)
+        assert alphabet.get("f").rank == 2
+        assert alphabet.get("a").rank == 2
+
+    def test_binary_node_count_is_2n_plus_1(self, alphabet):
+        # n elements yield n rank-2 nodes and n+1 bottom leaves.
+        doc = doc_figure1()
+        binary = encode_binary(doc, alphabet)
+        from repro.trees.node import node_count
+
+        elements = sum(1 for _ in doc.preorder())
+        assert node_count(binary) == 2 * elements + 1
+
+    def test_empty_forest_is_bottom(self, alphabet):
+        assert encode_forest([], alphabet).symbol.is_bottom
+
+    def test_deep_document_does_not_overflow(self, alphabet):
+        # A 5000-deep chain would crash a recursive implementation.
+        root = XmlNode("e")
+        current = root
+        for _ in range(5000):
+            current = current.append(XmlNode("e"))
+        binary = encode_binary(root, alphabet)
+        assert tree_depth(binary) >= 5000
+
+
+class TestDecoding:
+    def test_figure1_roundtrip(self, alphabet):
+        doc = doc_figure1()
+        assert xml_equal(decode_binary(encode_binary(doc, alphabet)), doc)
+
+    def test_forest_roundtrip(self, alphabet):
+        forest = [XmlNode("a"), XmlNode("b", [XmlNode("c")]), XmlNode("a")]
+        encoded = encode_forest(forest, alphabet)
+        decoded = decode_forest(encoded)
+        assert len(decoded) == 3
+        assert [e.tag for e in decoded] == ["a", "b", "a"]
+        assert decoded[1].children[0].tag == "c"
+
+    def test_decode_rejects_wrong_rank(self, alphabet):
+        bad = parse_term("g(a(#,#))", alphabet)  # g has rank 1
+        with pytest.raises(BinaryEncodingError):
+            decode_forest(bad)
+
+    def test_decode_rejects_nonterminal(self, alphabet):
+        A = alphabet.nonterminal("A", 0)
+        from repro.trees.node import Node
+
+        with pytest.raises(BinaryEncodingError):
+            decode_forest(Node(A))
+
+    def test_decode_binary_rejects_sibling_chain(self, alphabet):
+        forest = encode_forest([XmlNode("a"), XmlNode("b")], alphabet)
+        with pytest.raises(BinaryEncodingError, match="single root"):
+            decode_binary(forest)
+
+    @given(xml_documents())
+    def test_roundtrip_property(self, doc):
+        alphabet = Alphabet()
+        assert xml_equal(decode_binary(encode_binary(doc, alphabet)), doc)

@@ -1,0 +1,74 @@
+"""Unit tests for the term parser."""
+
+import pytest
+
+from repro.trees.builder import TermSyntaxError, parse_term
+from repro.trees.symbols import Alphabet
+
+
+class TestParsing:
+    def test_single_leaf(self, alphabet):
+        tree = parse_term("a", alphabet)
+        assert tree.label == "a" and tree.is_leaf
+
+    def test_nested_structure(self, alphabet):
+        tree = parse_term("f(a, g(b))", alphabet)
+        assert tree.label == "f"
+        assert tree.child(2).label == "g"
+        assert tree.child(2).child(1).label == "b"
+
+    def test_bottom_shorthand(self, alphabet):
+        tree = parse_term("f(#,#)", alphabet)
+        assert tree.child(1).symbol.is_bottom
+
+    def test_parameters_recognized(self, alphabet):
+        tree = parse_term("f(y1,y2)", alphabet)
+        assert tree.child(1).symbol.is_parameter
+        assert tree.child(2).symbol.param_index == 2
+
+    def test_parameter_like_names_require_digits(self, alphabet):
+        tree = parse_term("ya", alphabet)
+        assert tree.symbol.is_terminal  # 'ya' is a plain terminal
+
+    def test_nonterminal_names_classified(self, alphabet):
+        tree = parse_term("A(a)", alphabet, nonterminal_names=frozenset({"A"}))
+        assert tree.symbol.is_nonterminal
+
+    def test_whitespace_is_insignificant(self, alphabet):
+        a = parse_term("f( a , b )", alphabet)
+        b = parse_term("f(a,b)", alphabet)
+        assert a.to_sexpr() == b.to_sexpr()
+
+    def test_ranks_inferred_and_remembered(self, alphabet):
+        parse_term("f(a,b)", alphabet)
+        assert alphabet.get("f").rank == 2
+
+
+class TestErrors:
+    def test_empty_input(self, alphabet):
+        with pytest.raises(TermSyntaxError):
+            parse_term("", alphabet)
+
+    def test_unbalanced_parens(self, alphabet):
+        with pytest.raises(TermSyntaxError):
+            parse_term("f(a", alphabet)
+
+    def test_trailing_tokens(self, alphabet):
+        with pytest.raises(TermSyntaxError):
+            parse_term("f(a,b) c", alphabet)
+
+    def test_rank_conflict_across_uses(self, alphabet):
+        with pytest.raises(TermSyntaxError, match="rank"):
+            parse_term("f(f(a,b))", alphabet)
+
+    def test_parameter_with_children_rejected(self, alphabet):
+        with pytest.raises(TermSyntaxError):
+            parse_term("y1(a)", alphabet)
+
+    def test_empty_argument_list_rejected(self, alphabet):
+        with pytest.raises(TermSyntaxError):
+            parse_term("f()", alphabet)
+
+    def test_stray_comma(self, alphabet):
+        with pytest.raises(TermSyntaxError):
+            parse_term("f(,a)", alphabet)

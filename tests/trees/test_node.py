@@ -1,0 +1,137 @@
+"""Unit tests for ranked tree nodes and structural helpers."""
+
+import pytest
+from hypothesis import given
+
+from repro.trees.builder import parse_term
+from repro.trees.node import (
+    Node,
+    deep_copy,
+    deep_copy_with_map,
+    edge_count,
+    node_count,
+    replace_node,
+    tree_depth,
+    tree_equal,
+)
+from repro.trees.symbols import Alphabet
+
+from tests.strategies import ranked_trees
+
+
+def make(alphabet, term):
+    return parse_term(term, alphabet)
+
+
+class TestConstruction:
+    def test_children_count_must_match_rank(self, alphabet):
+        f = alphabet.terminal("f", 2)
+        with pytest.raises(ValueError, match="rank"):
+            Node(f, [Node(alphabet.bottom())])
+
+    def test_children_get_parent_pointers(self, alphabet):
+        tree = make(alphabet, "f(a,b)")
+        assert tree.children[0].parent is tree
+        assert tree.children[1].parent is tree
+        assert tree.parent is None
+
+    def test_leaf_properties(self, alphabet):
+        leaf = Node(alphabet.bottom())
+        assert leaf.is_leaf and leaf.is_root
+
+
+class TestChildAccess:
+    def test_child_index_is_one_based(self, alphabet):
+        tree = make(alphabet, "f(a,b)")
+        assert tree.children[0].child_index() == 1
+        assert tree.children[1].child_index() == 2
+
+    def test_child_accessor_matches_paper_notation(self, alphabet):
+        tree = make(alphabet, "f(a,b)")
+        assert tree.child(1).label == "a"
+        assert tree.child(2).label == "b"
+
+    def test_child_index_of_root_raises(self, alphabet):
+        tree = make(alphabet, "f(a,b)")
+        with pytest.raises(ValueError):
+            tree.child_index()
+
+
+class TestMutation:
+    def test_set_child_reparents_both_nodes(self, alphabet):
+        tree = make(alphabet, "f(a,b)")
+        new = Node(alphabet.terminal("c", 0))
+        old = tree.set_child(1, new)
+        assert old.label == "a" and old.parent is None
+        assert tree.child(1) is new and new.parent is tree
+
+    def test_replace_node_splices(self, alphabet):
+        tree = make(alphabet, "f(g(a),b)")
+        target = tree.child(1)
+        replacement = Node(alphabet.terminal("c", 0))
+        replace_node(target, replacement)
+        assert tree.to_sexpr() == "f(c,b)"
+
+    def test_replace_root_raises(self, alphabet):
+        tree = make(alphabet, "f(a,b)")
+        with pytest.raises(ValueError):
+            replace_node(tree, Node(alphabet.bottom()))
+
+
+class TestCopyAndEquality:
+    def test_deep_copy_is_structurally_equal_but_fresh(self, alphabet):
+        tree = make(alphabet, "f(g(a),f(b,c))")
+        copy = deep_copy(tree)
+        assert tree_equal(tree, copy)
+        assert copy is not tree
+        assert copy.children[0] is not tree.children[0]
+
+    def test_deep_copy_map_covers_every_node(self, alphabet):
+        tree = make(alphabet, "f(g(a),b)")
+        copy, mapping = deep_copy_with_map(tree)
+        assert len(mapping) == node_count(tree)
+        assert mapping[id(tree)] is copy
+        inner = tree.children[0].children[0]
+        assert mapping[id(inner)].label == "a"
+
+    def test_tree_equal_detects_label_difference(self, alphabet):
+        assert not tree_equal(make(alphabet, "f(a,b)"), make(alphabet, "f(a,c)"))
+
+    def test_tree_equal_same_shape(self, alphabet):
+        assert tree_equal(make(alphabet, "f(a,b)"), make(alphabet, "f(a,b)"))
+
+    @given(ranked_trees())
+    def test_deep_copy_roundtrip_property(self, tree):
+        copy = deep_copy(tree)
+        assert tree_equal(tree, copy)
+        assert node_count(copy) == node_count(tree)
+
+
+class TestMeasures:
+    def test_node_and_edge_count(self, alphabet):
+        tree = make(alphabet, "f(g(a),b)")
+        assert node_count(tree) == 4
+        assert edge_count(tree) == 3
+
+    def test_depth_of_single_node(self, alphabet):
+        assert tree_depth(Node(alphabet.bottom())) == 0
+
+    def test_depth_of_chain(self, alphabet):
+        tree = make(alphabet, "g(g(g(a)))")
+        assert tree_depth(tree) == 3
+
+    @given(ranked_trees())
+    def test_edges_are_nodes_minus_one(self, tree):
+        assert edge_count(tree) == node_count(tree) - 1
+
+
+class TestRendering:
+    def test_sexpr_roundtrips_through_parser(self, alphabet):
+        source = "f(g(f(a,#)),f(#,a))"
+        tree = make(alphabet, source)
+        assert tree.to_sexpr() == source
+
+    def test_repr_is_truncated_for_large_trees(self, alphabet):
+        deep = "g(" * 50 + "a" + ")" * 50
+        tree = make(alphabet, deep)
+        assert len(repr(tree)) < 100

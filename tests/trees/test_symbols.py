@@ -1,0 +1,114 @@
+"""Unit tests for ranked alphabets and symbol interning."""
+
+import pytest
+
+from repro.trees.symbols import (
+    BOTTOM_NAME,
+    Alphabet,
+    Symbol,
+    SymbolKind,
+    parameter_symbol,
+)
+
+
+class TestInterning:
+    def test_terminal_interned_by_identity(self, alphabet):
+        assert alphabet.terminal("a", 2) is alphabet.terminal("a", 2)
+
+    def test_nonterminal_interned_by_identity(self, alphabet):
+        assert alphabet.nonterminal("A", 1) is alphabet.nonterminal("A", 1)
+
+    def test_rank_conflict_rejected(self, alphabet):
+        alphabet.terminal("a", 2)
+        with pytest.raises(ValueError, match="already interned"):
+            alphabet.terminal("a", 0)
+
+    def test_kind_conflict_rejected(self, alphabet):
+        alphabet.terminal("a", 2)
+        with pytest.raises(ValueError, match="already interned"):
+            alphabet.nonterminal("a", 2)
+
+    def test_get_returns_none_for_unknown(self, alphabet):
+        assert alphabet.get("missing") is None
+
+    def test_contains_and_len(self, alphabet):
+        alphabet.terminal("a", 0)
+        alphabet.nonterminal("A", 1)
+        assert "a" in alphabet and "A" in alphabet
+        assert len(alphabet) == 2
+
+    def test_terminals_and_nonterminals_partition(self, alphabet):
+        a = alphabet.terminal("a", 0)
+        A = alphabet.nonterminal("A", 1)
+        assert alphabet.terminals() == [a]
+        assert alphabet.nonterminals() == [A]
+
+
+class TestBottom:
+    def test_bottom_is_rank0_terminal(self, alphabet):
+        bottom = alphabet.bottom()
+        assert bottom.rank == 0
+        assert bottom.is_terminal
+        assert bottom.is_bottom
+        assert bottom.name == BOTTOM_NAME
+
+    def test_bottom_interned(self, alphabet):
+        assert alphabet.bottom() is alphabet.bottom()
+
+    def test_non_bottom_terminal_is_not_bottom(self, alphabet):
+        assert not alphabet.terminal("a", 0).is_bottom
+
+
+class TestParameters:
+    def test_parameter_names_and_indices(self):
+        y3 = parameter_symbol(3)
+        assert y3.name == "y3"
+        assert y3.param_index == 3
+        assert y3.rank == 0
+        assert y3.is_parameter
+
+    def test_parameters_are_globally_interned(self):
+        assert parameter_symbol(2) is parameter_symbol(2)
+
+    def test_parameter_index_must_be_positive(self):
+        with pytest.raises(ValueError):
+            parameter_symbol(0)
+
+    def test_direct_parameter_construction_validated(self):
+        with pytest.raises(ValueError):
+            Symbol("y1", 1, SymbolKind.PARAMETER, param_index=1)
+
+
+class TestFreshNames:
+    def test_fresh_nonterminal_avoids_existing_names(self, alphabet):
+        alphabet.nonterminal("X_0", 0)
+        fresh = alphabet.fresh_nonterminal(2)
+        assert fresh.name != "X_0"
+        assert fresh.rank == 2
+        assert fresh.is_nonterminal
+
+    def test_fresh_names_are_distinct(self, alphabet):
+        names = {alphabet.fresh_nonterminal(0).name for _ in range(20)}
+        assert len(names) == 20
+
+    def test_fresh_terminal_prefix(self, alphabet):
+        fresh = alphabet.fresh_terminal(2, prefix="lbl")
+        assert fresh.name.startswith("lbl_")
+        assert fresh.is_terminal
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("x", -1, SymbolKind.TERMINAL)
+
+
+class TestCloneNamespace:
+    def test_clone_shares_symbol_objects(self, alphabet):
+        a = alphabet.terminal("a", 2)
+        clone = alphabet.clone_namespace()
+        assert clone.get("a") is a
+
+    def test_clone_counters_independent(self, alphabet):
+        clone = alphabet.clone_namespace()
+        fresh_in_clone = clone.fresh_nonterminal(0)
+        # The original can still mint the same name (clone is independent).
+        assert fresh_in_clone.name not in alphabet

@@ -1,0 +1,95 @@
+"""Unit and property tests for traversals and preorder addressing."""
+
+import pytest
+from hypothesis import given
+
+from repro.trees.builder import parse_term
+from repro.trees.node import node_count
+from repro.trees.traversal import (
+    ancestors,
+    find_first,
+    leaves,
+    node_at_preorder,
+    postorder,
+    preorder,
+    preorder_index_of,
+    preorder_labels,
+    preorder_with_index,
+)
+
+from tests.strategies import ranked_trees
+
+
+@pytest.fixture
+def tree(alphabet):
+    #        f
+    #      /   \
+    #     g     f
+    #     |    / \
+    #     a   b   c
+    return parse_term("f(g(a),f(b,c))", alphabet)
+
+
+class TestOrders:
+    def test_preorder_visits_parent_first(self, tree):
+        assert preorder_labels(tree) == ["f", "g", "a", "f", "b", "c"]
+
+    def test_postorder_visits_children_first(self, tree):
+        labels = [n.label for n in postorder(tree)]
+        assert labels == ["a", "g", "b", "c", "f", "f"]
+
+    def test_orders_visit_every_node_once(self, tree):
+        assert len(list(preorder(tree))) == node_count(tree)
+        assert len(list(postorder(tree))) == node_count(tree)
+
+    @given(ranked_trees())
+    def test_postorder_is_preorder_permutation(self, tree):
+        pre = {id(n) for n in preorder(tree)}
+        post = {id(n) for n in postorder(tree)}
+        assert pre == post
+
+
+class TestAddressing:
+    def test_indices_are_sequential(self, tree):
+        indices = [i for i, _ in preorder_with_index(tree)]
+        assert indices == list(range(6))
+
+    def test_node_at_preorder(self, tree):
+        assert node_at_preorder(tree, 0) is tree
+        assert node_at_preorder(tree, 2).label == "a"
+        assert node_at_preorder(tree, 5).label == "c"
+
+    def test_node_at_preorder_out_of_range(self, tree):
+        with pytest.raises(IndexError):
+            node_at_preorder(tree, 6)
+        with pytest.raises(IndexError):
+            node_at_preorder(tree, -1)
+
+    def test_preorder_index_of_unknown_node(self, tree, alphabet):
+        from repro.trees.node import Node
+
+        foreign = Node(alphabet.bottom())
+        with pytest.raises(ValueError):
+            preorder_index_of(tree, foreign)
+
+    @given(ranked_trees())
+    def test_addressing_roundtrip(self, tree):
+        for index, node in preorder_with_index(tree):
+            assert node_at_preorder(tree, index) is node
+            assert preorder_index_of(tree, node) == index
+
+
+class TestQueries:
+    def test_leaves_left_to_right(self, tree):
+        assert [n.label for n in leaves(tree)] == ["a", "b", "c"]
+
+    def test_ancestors_bottom_up(self, tree):
+        leaf = node_at_preorder(tree, 2)  # the 'a'
+        assert [n.label for n in ancestors(leaf)] == ["g", "f"]
+
+    def test_find_first_in_preorder(self, tree):
+        found = find_first(tree, lambda n: n.label == "f" and not n.is_root)
+        assert found is node_at_preorder(tree, 3)
+
+    def test_find_first_missing(self, tree):
+        assert find_first(tree, lambda n: n.label == "zzz") is None

@@ -1,0 +1,111 @@
+"""Tests for the structure-only XML scanner and serializer."""
+
+import pytest
+from hypothesis import given
+
+from repro.trees.stats import document_stats
+from repro.trees.unranked import XmlNode, xml_equal
+from repro.trees.xml_io import XmlParseError, parse_xml, serialize_xml
+
+from tests.strategies import xml_documents
+
+
+class TestParsing:
+    def test_simple_document(self):
+        root = parse_xml("<a><b/><c></c></a>")
+        assert root.tag == "a"
+        assert [c.tag for c in root.children] == ["b", "c"]
+
+    def test_text_content_is_discarded(self):
+        root = parse_xml("<a>hello <b>world</b> bye</a>")
+        assert [c.tag for c in root.children] == ["b"]
+
+    def test_attributes_are_discarded(self):
+        root = parse_xml('<a id="1" href=\'x > y\'><b class="z"/></a>')
+        assert root.tag == "a"
+        assert root.children[0].tag == "b"
+
+    def test_comments_and_pis_ignored(self):
+        text = "<?xml version='1.0'?><!-- c --><a><!-- <b/> --><?pi data?><c/></a>"
+        root = parse_xml(text)
+        assert [c.tag for c in root.children] == ["c"]
+
+    def test_cdata_ignored(self):
+        root = parse_xml("<a><![CDATA[<fake/>]]><b/></a>")
+        assert [c.tag for c in root.children] == ["b"]
+
+    def test_doctype_ignored(self):
+        text = '<!DOCTYPE a [<!ELEMENT a (b)>]><a><b/></a>'
+        assert parse_xml(text).tag == "a"
+
+    def test_namespaced_and_dashed_names(self):
+        root = parse_xml("<ns:a><x-y.z/></ns:a>")
+        assert root.tag == "ns:a"
+        assert root.children[0].tag == "x-y.z"
+
+    def test_deep_nesting(self):
+        depth = 4000
+        text = "".join(f"<e{i}>" for i in range(depth))
+        text += "".join(f"</e{i}>" for i in reversed(range(depth)))
+        root = parse_xml(text)
+        assert document_stats(root).depth == depth - 1
+
+    def test_trailing_whitespace_tolerated(self):
+        assert parse_xml("<a/>\n\n").tag == "a"
+
+
+class TestParseErrors:
+    def test_mismatched_tags(self):
+        with pytest.raises(XmlParseError, match="mismatched"):
+            parse_xml("<a><b></a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XmlParseError, match="unclosed"):
+            parse_xml("<a><b/>")
+
+    def test_stray_closing_tag(self):
+        with pytest.raises(XmlParseError, match="unexpected closing"):
+            parse_xml("</a>")
+
+    def test_empty_input(self):
+        with pytest.raises(XmlParseError, match="no element"):
+            parse_xml("   ")
+
+    def test_multiple_roots(self):
+        with pytest.raises(XmlParseError, match="multiple top-level"):
+            parse_xml("<a/><b/>")
+
+
+class TestSerialization:
+    def test_compact_output(self):
+        doc = XmlNode("a", [XmlNode("b"), XmlNode("c", [XmlNode("d")])])
+        assert serialize_xml(doc) == "<a><b/><c><d/></c></a>"
+
+    def test_pretty_output_parses_back(self):
+        doc = XmlNode("a", [XmlNode("b", [XmlNode("c")])])
+        pretty = serialize_xml(doc, indent=2)
+        assert "\n" in pretty
+        assert xml_equal(parse_xml(pretty), doc)
+
+    @given(xml_documents())
+    def test_roundtrip_property(self, doc):
+        assert xml_equal(parse_xml(serialize_xml(doc)), doc)
+
+    @given(xml_documents(tags=("ns:x", "a-b", "q.r")))
+    def test_roundtrip_with_exotic_names(self, doc):
+        assert xml_equal(parse_xml(serialize_xml(doc)), doc)
+
+
+class TestStats:
+    def test_document_stats_on_known_doc(self):
+        doc = parse_xml("<a><b><c/></b><b/></a>")
+        stats = document_stats(doc)
+        assert stats.elements == 4
+        assert stats.edges == 3
+        assert stats.depth == 2
+        assert stats.distinct_labels == 3
+        assert stats.label_histogram == {"a": 1, "b": 2, "c": 1}
+
+    def test_single_element_stats(self):
+        stats = document_stats(XmlNode("root"))
+        assert stats.edges == 0 and stats.depth == 0

@@ -1,0 +1,170 @@
+"""Grammar-level updates must match tree-level reference semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.derivation import expand
+from repro.grammar.navigation import grammar_generates_tree
+from repro.grammar.slcf import Grammar
+from repro.repair.tree_repair import tree_repair
+from repro.trees.binary import encode_binary, encode_forest
+from repro.trees.node import deep_copy, node_count
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+from repro.updates.grammar_updates import apply_op, apply_ops, delete, insert, rename
+from repro.updates.operations import (
+    DeleteOp,
+    InsertOp,
+    RenameOp,
+    UpdateError,
+    apply_op_to_tree,
+)
+
+from tests.strategies import xml_documents
+
+
+def compressed(doc, alphabet):
+    tree = encode_binary(doc, alphabet)
+    return tree_repair(tree, alphabet), tree
+
+
+class TestRename:
+    def test_rename_on_shared_rule_affects_one_node(self, alphabet):
+        """The G8 lesson (Section III-A): only one occurrence changes."""
+        doc = XmlNode("r", [XmlNode("e") for _ in range(8)])
+        grammar, tree = compressed(doc, alphabet)
+        # Rename the first e (binary preorder index 1).
+        rename(grammar, 1, "z")
+        expected = apply_op_to_tree(deep_copy(tree), RenameOp(1, "z"), alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, expected)
+
+    def test_rename_bottom_rejected(self, alphabet):
+        doc = XmlNode("r", [XmlNode("e")])
+        grammar, tree = compressed(doc, alphabet)
+        # Index 2 is e's first-child ⊥ slot.
+        with pytest.raises(UpdateError):
+            rename(grammar, 2, "z")
+
+
+class TestInsertDelete:
+    def test_insert_matches_reference(self, alphabet):
+        doc = XmlNode("r", [XmlNode("e") for _ in range(6)])
+        grammar, tree = compressed(doc, alphabet)
+        fragment = encode_forest([XmlNode("x", [XmlNode("y")])], alphabet)
+        op = InsertOp(3, fragment)
+        insert(grammar, op.position, op.fragment)
+        expected = apply_op_to_tree(deep_copy(tree), op, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, expected)
+
+    def test_delete_matches_reference(self, alphabet):
+        doc = XmlNode("r", [XmlNode("e", [XmlNode("f")]) for _ in range(4)])
+        grammar, tree = compressed(doc, alphabet)
+        op = DeleteOp(1)
+        delete(grammar, op.position)
+        expected = apply_op_to_tree(deep_copy(tree), op, alphabet)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, expected)
+
+    def test_delete_collects_orphaned_rules(self, alphabet):
+        # Deleting the only region that uses a rule must drop the rule.
+        doc = XmlNode(
+            "r",
+            [XmlNode("special", [XmlNode("deep", [XmlNode("deeper")])])]
+            + [XmlNode("e") for _ in range(8)],
+        )
+        grammar, _tree = compressed(doc, alphabet)
+        rule_count_before = len(grammar)
+        delete(grammar, 1)  # removes the 'special' subtree
+        grammar.validate()
+        assert len(grammar) <= rule_count_before
+
+    def test_delete_document_root_rejected(self, alphabet):
+        doc = XmlNode("r", [XmlNode("e")])
+        grammar, _ = compressed(doc, alphabet)
+        with pytest.raises(UpdateError, match="root"):
+            delete(grammar, 0)
+
+
+class TestOpSequences:
+    @settings(max_examples=20, deadline=None)
+    @given(xml_documents(max_elements=25), st.integers(0, 2**32 - 1))
+    def test_random_op_sequence_matches_tree_replay(self, doc, seed):
+        """Interleaved renames/inserts/deletes: grammar == tree replay."""
+        alphabet = Alphabet()
+        tree = encode_binary(doc, alphabet)
+        grammar = tree_repair(tree, alphabet)
+        reference = deep_copy(tree)
+        rng = random.Random(seed)
+
+        for _step in range(6):
+            n = node_count(reference)
+            kind = rng.choice(("rename", "insert", "delete"))
+            if kind == "rename":
+                # Pick a non-bottom node.
+                from repro.trees.traversal import preorder_with_index
+
+                candidates = [
+                    i for i, node in preorder_with_index(reference)
+                    if not node.symbol.is_bottom
+                ]
+                op = RenameOp(rng.choice(candidates), f"new{_step}")
+            elif kind == "insert":
+                fragment = encode_forest(
+                    [XmlNode(rng.choice("abc"))], alphabet
+                )
+                op = InsertOp(rng.randrange(n), fragment)
+            else:
+                from repro.trees.traversal import preorder_with_index
+
+                candidates = [
+                    i for i, node in preorder_with_index(reference)
+                    if not node.symbol.is_bottom and node.parent is not None
+                ]
+                if not candidates:
+                    continue
+                op = DeleteOp(rng.choice(candidates))
+            reference = apply_op_to_tree(reference, op, alphabet)
+            apply_op(grammar, op)
+            grammar.validate()
+            assert grammar_generates_tree(grammar, reference)
+
+    def test_apply_ops_counts(self, alphabet):
+        doc = XmlNode("r", [XmlNode("e") for _ in range(4)])
+        grammar, _ = compressed(doc, alphabet)
+        ops = [RenameOp(1, "a1"), RenameOp(3, "a2")]
+        assert apply_ops(grammar, ops) == 2
+
+
+class TestUpdateBlowupBehavior:
+    def test_naive_updates_degrade_compression(self, alphabet):
+        """Figures 4/5 top: updates without recompression grow the grammar."""
+        doc = XmlNode("r", [XmlNode("e") for _ in range(256)])
+        grammar, tree = compressed(doc, alphabet)
+        compact = grammar.size
+        rng = random.Random(7)
+        for step in range(20):
+            rename(grammar, 1 + 2 * rng.randrange(250), f"u{step}")
+        assert grammar.size > compact
+
+    def test_recompression_restores_compression(self, alphabet):
+        """Figures 4/5 bottom: GrammarRePair removes the update overhead."""
+        from repro.core.grammar_repair import grammar_repair
+        from repro.repair.tree_repair import TreeRePair
+        from repro.grammar.derivation import expand
+
+        doc = XmlNode("r", [XmlNode("e") for _ in range(256)])
+        grammar, _ = compressed(doc, alphabet)
+        rng = random.Random(7)
+        for step in range(10):
+            rename(grammar, 1 + 2 * rng.randrange(250), "zz")
+        inflated = grammar.size
+        recompressed = grammar_repair(grammar)
+        assert recompressed.size < inflated
+        # Compare with compress-from-scratch (udc's compression step).
+        scratch = TreeRePair().compress(expand(grammar), alphabet)
+        assert recompressed.size <= scratch.size * 2 + 8

@@ -1,0 +1,167 @@
+"""Tests for the tree-level update semantics (Section III / V-C)."""
+
+import pytest
+
+from repro.trees.binary import decode_binary, encode_binary, encode_forest
+from repro.trees.builder import parse_term
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode, xml_equal
+from repro.updates.operations import (
+    DeleteOp,
+    InsertOp,
+    RenameOp,
+    UpdateError,
+    apply_op_to_tree,
+    delete_subtree,
+    insert_before,
+    rename_node,
+    rightmost_null,
+)
+from repro.trees.traversal import node_at_preorder
+
+
+@pytest.fixture
+def doc_tree(alphabet):
+    # <a><b/><c><d/></c></a>
+    doc = XmlNode("a", [XmlNode("b"), XmlNode("c", [XmlNode("d")])])
+    return encode_binary(doc, alphabet)
+
+
+class TestRename:
+    def test_paper_example(self, alphabet):
+        """rename(f(d(#,b(...))), u=d-node, a) relabels just that node."""
+        tree = parse_term("f(d(#,b(#,a(#,b(#,#)))),#)", alphabet)
+        target = tree.child(1)
+        rename_node(target, alphabet.terminal("a", 2))
+        assert tree.to_sexpr() == "f(a(#,b(#,a(#,b(#,#)))),#)"
+
+    def test_rename_bottom_rejected(self, alphabet):
+        tree = parse_term("f(#,#)", alphabet)
+        with pytest.raises(UpdateError):
+            rename_node(tree.child(1), alphabet.terminal("z", 0))
+
+    def test_rename_to_bottom_rejected(self, doc_tree, alphabet):
+        with pytest.raises(UpdateError):
+            rename_node(doc_tree, alphabet.bottom())
+
+    def test_rename_must_preserve_rank(self, doc_tree, alphabet):
+        with pytest.raises(UpdateError, match="rank"):
+            rename_node(doc_tree, alphabet.terminal("leafy", 0))
+
+
+class TestInsert:
+    def test_insert_before_element(self, doc_tree, alphabet):
+        # Insert <x/> before the <c> element.
+        fragment = encode_forest([XmlNode("x")], alphabet)
+        c_node = doc_tree.child(1).child(2)  # b's next sibling is c
+        assert c_node.label == "c"
+        root = insert_before(doc_tree, c_node, fragment)
+        decoded = decode_binary(root)
+        assert xml_equal(
+            decoded,
+            XmlNode("a", [XmlNode("b"), XmlNode("x"),
+                          XmlNode("c", [XmlNode("d")])]),
+        )
+
+    def test_insert_at_null_appends(self, doc_tree, alphabet):
+        """Inserting at a null pointer is an 'insert after' (Section V-C)."""
+        fragment = encode_forest([XmlNode("x")], alphabet)
+        c_node = doc_tree.child(1).child(2)
+        null_after_c = c_node.child(2)
+        assert null_after_c.symbol.is_bottom
+        root = insert_before(doc_tree, null_after_c, fragment)
+        decoded = decode_binary(root)
+        assert [e.tag for e in decoded.children] == ["b", "c", "x"]
+
+    def test_insert_into_empty_child_list(self, doc_tree, alphabet):
+        fragment = encode_forest([XmlNode("x")], alphabet)
+        b_node = doc_tree.child(1)
+        empty_children = b_node.child(1)
+        assert empty_children.symbol.is_bottom
+        root = insert_before(doc_tree, empty_children, fragment)
+        decoded = decode_binary(root)
+        assert [e.tag for e in decoded.children[0].children] == ["x"]
+
+    def test_insert_forest_of_multiple_siblings(self, doc_tree, alphabet):
+        fragment = encode_forest([XmlNode("x"), XmlNode("y")], alphabet)
+        b_node = doc_tree.child(1)
+        root = insert_before(doc_tree, b_node, fragment)
+        decoded = decode_binary(root)
+        assert [e.tag for e in decoded.children] == ["x", "y", "b", "c"]
+
+    def test_insert_before_root_rewraps_document(self, doc_tree, alphabet):
+        fragment = encode_forest([XmlNode("x")], alphabet)
+        root = insert_before(doc_tree, doc_tree, fragment)
+        assert root.label == "x"
+        assert root.child(2).label == "a"
+
+    def test_insert_empty_forest_is_identity(self, doc_tree, alphabet):
+        before = doc_tree.to_sexpr()
+        root = insert_before(
+            doc_tree, doc_tree.child(1), encode_forest([], alphabet)
+        )
+        assert root.to_sexpr() == before
+
+    def test_fragment_is_copied_not_moved(self, doc_tree, alphabet):
+        fragment = encode_forest([XmlNode("x")], alphabet)
+        snapshot = fragment.to_sexpr()
+        insert_before(doc_tree, doc_tree.child(1), fragment)
+        assert fragment.to_sexpr() == snapshot
+
+    def test_rightmost_null_validation(self, alphabet):
+        bad = parse_term("x(#,q)", alphabet)
+        with pytest.raises(UpdateError, match="right-most"):
+            rightmost_null(bad)
+
+
+class TestDelete:
+    def test_delete_leaf_element(self, doc_tree, alphabet):
+        b_node = doc_tree.child(1)
+        root = delete_subtree(doc_tree, b_node)
+        decoded = decode_binary(root)
+        assert xml_equal(decoded, XmlNode("a", [XmlNode("c", [XmlNode("d")])]))
+
+    def test_delete_element_with_children(self, doc_tree, alphabet):
+        c_node = doc_tree.child(1).child(2)
+        root = delete_subtree(doc_tree, c_node)
+        decoded = decode_binary(root)
+        assert xml_equal(decoded, XmlNode("a", [XmlNode("b")]))
+
+    def test_delete_keeps_following_siblings(self, alphabet):
+        doc = XmlNode("r", [XmlNode("a"), XmlNode("b"), XmlNode("c")])
+        tree = encode_binary(doc, alphabet)
+        b_binary = tree.child(1).child(2)
+        assert b_binary.label == "b"
+        root = delete_subtree(tree, b_binary)
+        assert [e.tag for e in decode_binary(root).children] == ["a", "c"]
+
+    def test_delete_bottom_rejected(self, doc_tree):
+        with pytest.raises(UpdateError):
+            delete_subtree(doc_tree, doc_tree.child(2))
+
+    def test_insert_then_delete_roundtrip(self, doc_tree, alphabet):
+        """delete at p inverts insert at p (the workload's foundation)."""
+        before = doc_tree.to_sexpr()
+        fragment = encode_forest([XmlNode("x", [XmlNode("y")])], alphabet)
+        target = doc_tree.child(1)
+        position = 1  # preorder index of the b node
+        root = insert_before(doc_tree, target, fragment)
+        inserted = node_at_preorder(root, position)
+        assert inserted.label == "x"
+        root = delete_subtree(root, inserted)
+        assert root.to_sexpr() == before
+
+
+class TestApplyOp:
+    def test_rename_op(self, doc_tree, alphabet):
+        root = apply_op_to_tree(doc_tree, RenameOp(1, "z"), alphabet)
+        assert decode_binary(root).children[0].tag == "z"
+
+    def test_insert_op(self, doc_tree, alphabet):
+        fragment = encode_forest([XmlNode("x")], alphabet)
+        root = apply_op_to_tree(doc_tree, InsertOp(1, fragment), alphabet)
+        assert [e.tag for e in decode_binary(root).children] == ["x", "b", "c"]
+
+    def test_delete_op(self, doc_tree, alphabet):
+        root = apply_op_to_tree(doc_tree, DeleteOp(1), alphabet)
+        assert [e.tag for e in decode_binary(root).children] == ["c"]

@@ -1,0 +1,93 @@
+"""Tests for path isolation (Section III-A, Lemma 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grammar.derivation import expand
+from repro.grammar.navigation import grammar_generates_tree
+from repro.grammar.properties import generated_node_count
+from repro.trees.node import edge_count
+from repro.trees.traversal import preorder
+from repro.updates.path_isolation import isolate
+
+from tests.conftest import make_string_grammar
+from tests.strategies import slcf_grammars
+
+
+class TestIsolation:
+    def test_isolated_node_has_right_label(self, figure1_grammar):
+        tree = expand(figure1_grammar)
+        labels = [n.symbol.name for n in preorder(tree)]
+        for index, expected in enumerate(labels):
+            g = figure1_grammar.copy()
+            result = isolate(g, index)
+            assert result.node.symbol.name == expected
+            g.validate()
+            assert grammar_generates_tree(g, tree)
+
+    def test_isolation_preserves_value_on_gexp(self):
+        """Section III-A's G_exp: isolate position 333 of a^1024."""
+        rules = {"S": "A1A1"}
+        for i in range(1, 10):
+            rules[f"A{i}"] = f"A{i+1}A{i+1}"
+        rules["A10"] = "a"
+        g = make_string_grammar(rules)
+        total = generated_node_count(g)
+        result = isolate(g, 332)
+        assert result.node.symbol.name == "a"
+        g.validate()
+        assert generated_node_count(g) == total
+        # Each production applied at most once along the path.
+        assert result.inlined_rules <= len(rules)
+
+    def test_lemma1_bound(self):
+        """|iso(G,u)| <= 2|G| (Lemma 1)."""
+        rules = {"S": "A1A1"}
+        for i in range(1, 10):
+            rules[f"A{i}"] = f"A{i+1}A{i+1}"
+        rules["A10"] = "a"
+        g = make_string_grammar(rules)
+        size_before = g.size
+        isolate(g, 332)
+        iso_size = edge_count(g.rhs(g.start))
+        assert iso_size <= 2 * size_before
+
+    def test_isolating_already_explicit_node_is_free(self, figure1_grammar):
+        g = figure1_grammar
+        size_before = g.size
+        result = isolate(g, 0)  # the root f is explicit in the start rule
+        assert result.inlined_rules == 0
+        assert g.size == size_before
+
+    def test_isolation_only_grows_start_rule(self, figure1_grammar):
+        g = figure1_grammar
+        other_sizes = {
+            head.name: rhs.to_sexpr()
+            for head, rhs in g.rules.items()
+            if head is not g.start
+        }
+        isolate(g, 7)
+        for head, rhs in g.rules.items():
+            if head is not g.start:
+                assert other_sizes[head.name] == rhs.to_sexpr()
+
+    @settings(max_examples=30, deadline=None)
+    @given(slcf_grammars())
+    def test_isolation_property(self, grammar):
+        """Every index isolates to the right label, val is preserved, and
+        Lemma 1's bound holds."""
+        tree = expand(grammar, budget=100_000)
+        labels = [n.symbol.name for n in preorder(tree)]
+        size_before = grammar.size
+        import random
+
+        indices = random.Random(42).sample(
+            range(len(labels)), min(5, len(labels))
+        )
+        for index in indices:
+            g = grammar.copy()
+            result = isolate(g, index)
+            g.validate()
+            assert result.node.symbol.name == labels[index]
+            assert grammar_generates_tree(g, tree)
+            assert edge_count(g.rhs(g.start)) <= 2 * max(size_before, 1)

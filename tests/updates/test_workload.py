@@ -1,0 +1,153 @@
+"""Tests for the reverse-derived update workloads (Section V-C)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.navigation import grammar_generates_tree
+from repro.repair.tree_repair import tree_repair
+from repro.trees.binary import encode_binary
+from repro.trees.node import deep_copy, tree_equal
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+from repro.updates.grammar_updates import apply_ops
+from repro.updates.operations import (
+    DeleteOp,
+    InsertOp,
+    RenameOp,
+    apply_op_to_tree,
+)
+from repro.updates.workload import (
+    generate_rename_workload,
+    generate_update_workload,
+)
+
+from tests.strategies import xml_documents
+
+
+def sample_doc():
+    return XmlNode(
+        "db",
+        [
+            XmlNode("rec", [XmlNode("id"), XmlNode("name")])
+            for _ in range(12)
+        ],
+    )
+
+
+class TestReverseDerivation:
+    def test_replay_reaches_original_document(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        workload = generate_update_workload(
+            doc, 25, alphabet, rng=random.Random(3)
+        )
+        replayed = deep_copy(workload.seed)
+        for op in workload.operations:
+            replayed = apply_op_to_tree(replayed, op, alphabet)
+        assert tree_equal(replayed, doc)
+
+    def test_insert_fraction_respected(self, alphabet):
+        # Few updates relative to the document size, as in the paper (the
+        # reverse derivation can only invert an insert while non-root
+        # elements remain, so huge workloads on tiny documents clamp).
+        doc = encode_binary(sample_doc(), alphabet)
+        workload = generate_update_workload(
+            doc, 25, alphabet, insert_fraction=0.9, rng=random.Random(5)
+        )
+        inserts = sum(
+            1 for op in workload.operations if isinstance(op, InsertOp)
+        )
+        assert inserts >= 19  # ~90% of 25, tolerant of clamping
+
+    def test_all_deletes_workload(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        workload = generate_update_workload(
+            doc, 10, alphabet, insert_fraction=0.0, rng=random.Random(1)
+        )
+        assert all(isinstance(op, DeleteOp) for op in workload.operations)
+        replayed = deep_copy(workload.seed)
+        for op in workload.operations:
+            replayed = apply_op_to_tree(replayed, op, alphabet)
+        assert tree_equal(replayed, doc)
+
+    def test_original_document_unmodified(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        snapshot = doc.to_sexpr()
+        generate_update_workload(doc, 20, alphabet, rng=random.Random(2))
+        assert doc.to_sexpr() == snapshot
+
+    def test_deterministic_for_fixed_seed(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        w1 = generate_update_workload(doc, 15, alphabet, rng=random.Random(9))
+        w2 = generate_update_workload(doc, 15, alphabet, rng=random.Random(9))
+        assert [type(op).__name__ for op in w1.operations] == [
+            type(op).__name__ for op in w2.operations
+        ]
+        assert [op.position for op in w1.operations] == [
+            op.position for op in w2.operations
+        ]
+
+    @settings(max_examples=15, deadline=None)
+    @given(xml_documents(max_elements=20), st.integers(0, 2**16))
+    def test_replay_property(self, doc, seed):
+        alphabet = Alphabet()
+        binary = encode_binary(doc, alphabet)
+        workload = generate_update_workload(
+            binary, 12, alphabet, rng=random.Random(seed)
+        )
+        replayed = deep_copy(workload.seed)
+        for op in workload.operations:
+            replayed = apply_op_to_tree(replayed, op, alphabet)
+        assert tree_equal(replayed, binary)
+
+    def test_grammar_replay_matches_tree_replay(self, alphabet):
+        """The workload drives grammar updates to the same document."""
+        doc = encode_binary(sample_doc(), alphabet)
+        workload = generate_update_workload(
+            doc, 15, alphabet, rng=random.Random(11)
+        )
+        grammar = tree_repair(workload.seed, alphabet)
+        apply_ops(grammar, workload.operations)
+        grammar.validate()
+        assert grammar_generates_tree(grammar, doc)
+
+
+class TestRenameWorkload:
+    def test_renames_target_elements_only(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        ops = generate_rename_workload(doc, 30, alphabet,
+                                       rng=random.Random(4))
+        from repro.trees.traversal import node_at_preorder
+
+        assert len(ops) == 30
+        for op in ops:
+            assert not node_at_preorder(doc, op.position).symbol.is_bottom
+
+    def test_fresh_labels_are_fresh(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        existing = {"db", "rec", "id", "name"}
+        ops = generate_rename_workload(doc, 20, alphabet,
+                                       rng=random.Random(4))
+        labels = {op.new_label for op in ops}
+        assert labels.isdisjoint(existing)
+        assert len(labels) == 20
+
+    def test_existing_label_mode(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        ops = generate_rename_workload(
+            doc, 20, alphabet, rng=random.Random(4), fresh_labels=False
+        )
+        assert {op.new_label for op in ops} <= {"db", "rec", "id", "name"}
+
+    def test_rename_workload_applies_to_grammar(self, alphabet):
+        doc = encode_binary(sample_doc(), alphabet)
+        ops = generate_rename_workload(doc, 10, alphabet,
+                                       rng=random.Random(8))
+        grammar = tree_repair(doc, alphabet)
+        reference = deep_copy(doc)
+        for op in ops:
+            reference = apply_op_to_tree(reference, op, alphabet)
+        apply_ops(grammar, ops)
+        assert grammar_generates_tree(grammar, reference)
