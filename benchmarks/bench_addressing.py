@@ -1,0 +1,135 @@
+"""Micro-benchmark: indexed vs streaming element addressing.
+
+Quantifies the tentpole claim of the grammar index: mapping a document-order
+element index to its binary preorder position (the first step of every
+update) used to stream the whole generated tree -- O(N) per update -- and
+now descends the derivation on cached count tables -- O(depth · rule-width).
+
+Two measurements per document size (1k-100k edges):
+
+* **addressing**: ``element_index -> binary preorder index`` latency,
+  indexed (``GrammarIndex.preorder_of_element``) vs streaming (the old
+  ``stream_preorder`` scan), and
+* **rename round-trip**: a full ``CompressedXml.rename`` (addressing +
+  path isolation + relabel), which must stop growing linearly with N at
+  fixed grammar size.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_addressing.py``, as
+the CI bench job does) or by explicit path through pytest
+(``pytest benchmarks/bench_addressing.py`` -- like all ``bench_*`` modules
+it is not collected by a bare ``pytest`` run).  Either way the bounds are
+asserted: at 50k edges, indexed addressing is >= 10x faster than
+streaming, and rename latency must scale sublinearly in document size.
+"""
+
+import random
+import time
+
+from repro.api import CompressedXml
+from repro.grammar.index import GrammarIndex
+from repro.grammar.navigation import stream_preorder
+
+SIZES = (1_000, 5_000, 20_000, 50_000, 100_000)
+QUERY_ROUNDS = 30
+RENAME_ROUNDS = 20
+
+
+def make_doc(edges, seed=0):
+    """A weblog-like document: wide, shallow, highly compressible -- the
+    regime where grammar size stays near-constant while N grows."""
+    from repro.datasets.synthetic import make_corpus
+
+    return CompressedXml.from_document(
+        make_corpus("EXI-Weblog", edges=edges, seed=seed)
+    )
+
+
+def streaming_index_of_element(grammar, element_index):
+    """The pre-index O(N) addressing path, kept here as the baseline."""
+    seen = 0
+    for position, symbol in enumerate(stream_preorder(grammar)):
+        if symbol.is_bottom:
+            continue
+        if seen == element_index:
+            return position
+        seen += 1
+    raise IndexError(element_index)
+
+
+def bench_addressing(doc, rng, rounds=QUERY_ROUNDS):
+    count = doc.element_count
+    targets = [rng.randrange(count) for _ in range(rounds)]
+
+    start = time.perf_counter()
+    indexed = [doc.index.preorder_of_element(t) for t in targets]
+    indexed_time = (time.perf_counter() - start) / rounds
+
+    start = time.perf_counter()
+    streamed = [streaming_index_of_element(doc.grammar, t) for t in targets]
+    streaming_time = (time.perf_counter() - start) / rounds
+
+    assert indexed == streamed, "indexed addressing diverged from baseline"
+    return indexed_time, streaming_time
+
+
+def bench_rename(doc, rng, rounds=RENAME_ROUNDS):
+    count = doc.element_count
+    start = time.perf_counter()
+    for i in range(rounds):
+        doc.rename(rng.randrange(1, count), f"bench{i % 4}")
+    return (time.perf_counter() - start) / rounds
+
+
+def run(sizes=SIZES, seed=42):
+    rng = random.Random(seed)
+    rows = []
+    print(f"{'edges':>8} {'c-edges':>8} {'indexed':>12} {'streaming':>12} "
+          f"{'speedup':>8} {'rename':>12}")
+    for edges in sizes:
+        doc = make_doc(edges, seed=seed)
+        indexed_time, streaming_time = bench_addressing(doc, rng)
+        rename_time = bench_rename(doc, rng)
+        speedup = streaming_time / indexed_time if indexed_time else float("inf")
+        rows.append({
+            "edges": edges,
+            "c_edges": doc.compressed_size,
+            "indexed_s": indexed_time,
+            "streaming_s": streaming_time,
+            "speedup": speedup,
+            "rename_s": rename_time,
+        })
+        print(f"{edges:>8} {doc.compressed_size:>8} "
+              f"{indexed_time * 1e6:>10.1f}us {streaming_time * 1e6:>10.1f}us "
+              f"{speedup:>7.1f}x {rename_time * 1e6:>10.1f}us")
+    return rows
+
+
+def check_bounds(rows):
+    """The acceptance bounds of the index PR."""
+    by_edges = {row["edges"]: row for row in rows}
+    at_50k = by_edges.get(50_000)
+    if at_50k is not None:
+        assert at_50k["speedup"] >= 10.0, (
+            f"indexed addressing only {at_50k['speedup']:.1f}x faster at 50k"
+        )
+    # Update latency must not scale linearly with N at fixed grammar size:
+    # a 100x document growth must cost far less than 100x rename time.
+    smallest, largest = rows[0], rows[-1]
+    growth = largest["edges"] / smallest["edges"]
+    latency_ratio = largest["rename_s"] / max(smallest["rename_s"], 1e-9)
+    assert latency_ratio < growth / 4, (
+        f"rename latency grew {latency_ratio:.1f}x over a {growth:.0f}x "
+        "document growth -- still scaling with N"
+    )
+
+
+def test_indexed_addressing_speedup():
+    """Entry point at a CI-friendly scale (explicit-path pytest runs)."""
+    rows = run(sizes=(1_000, 50_000))
+    check_bounds(rows)
+
+
+if __name__ == "__main__":
+    rows = run()
+    check_bounds(rows)
+    print("bounds ok: >=10x at 50k edges, sublinear rename scaling")

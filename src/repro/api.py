@@ -9,6 +9,16 @@ implementation, the paper's motivating application) programs against:
 * keep the grammar small with explicit or automatic recompression,
 * serialize back to XML or to the grammar text format.
 
+Element addressing -- mapping a document-order element index to a position
+on the grammar -- goes through an owned
+:class:`~repro.grammar.index.GrammarIndex`: per-rule count tables answer
+``element_count``, ``tag_of`` and the index-to-preorder translation in
+``O(grammar depth · rule width)`` per query, restoring the paper's promise
+that updates never scale with the size of the generated document.  The
+index invalidates itself per-rule through the grammar's observer channel
+(updates dirty essentially just the start rule) and is rebuilt from
+scratch only after a full recompression.
+
 Example::
 
     doc = CompressedXml.from_xml("<log>" + "<entry/>" * 1000 + "</log>")
@@ -24,6 +34,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.core.grammar_repair import GrammarRePair
+from repro.grammar.index import GrammarIndex
 from repro.grammar.navigation import stream_preorder
 from repro.grammar.serialize import format_grammar, parse_grammar
 from repro.grammar.slcf import Grammar
@@ -53,6 +64,7 @@ class CompressedXml:
         auto_recompress_factor: Optional[float] = None,
     ) -> None:
         self._grammar = grammar
+        self._index = GrammarIndex(grammar)
         self._kin = kin
         self._auto_factor = auto_recompress_factor
         self._last_compressed_size = max(1, grammar.size)
@@ -102,8 +114,19 @@ class CompressedXml:
     # ------------------------------------------------------------------
     @property
     def grammar(self) -> Grammar:
-        """The underlying SLCF grammar (mutating it is the caller's risk)."""
+        """The underlying SLCF grammar.
+
+        Mutating it directly is safe for the index only when done through
+        ``set_rule``/``remove_rule``/``notify_rule_changed`` (the observer
+        channel); raw node surgery without notification is the caller's
+        risk.
+        """
         return self._grammar
+
+    @property
+    def index(self) -> GrammarIndex:
+        """The owned structural index (shared with the update layer)."""
+        return self._index
 
     @property
     def compressed_size(self) -> int:
@@ -112,11 +135,8 @@ class CompressedXml:
 
     @property
     def element_count(self) -> int:
-        """Number of elements, computed on the grammar."""
-        return sum(
-            1 for symbol in stream_preorder(self._grammar)
-            if not symbol.is_bottom
-        )
+        """Number of elements, answered from the index's count tables."""
+        return self._index.element_count
 
     @property
     def edge_count(self) -> int:
@@ -139,41 +159,23 @@ class CompressedXml:
 
     def tag_of(self, element_index: int) -> str:
         """Tag of the ``element_index``-th element (document order)."""
-        for current, symbol in enumerate(self._iter_elements()):
-            if current == element_index:
-                return symbol.name
-        raise IndexError(f"element index {element_index} out of range")
-
-    def _iter_elements(self):
-        for symbol in stream_preorder(self._grammar):
-            if not symbol.is_bottom:
-                yield symbol
+        return self._index.tag_of(element_index)
 
     # ------------------------------------------------------------------
-    # element-index addressing
+    # element-index addressing (all O(depth) via the grammar index)
     # ------------------------------------------------------------------
     def _binary_index_of_element(self, element_index: int) -> int:
         """Map an element index to its binary-tree preorder index."""
-        if element_index < 0:
-            raise IndexError("element index must be >= 0")
-        seen = 0
-        for position, symbol in enumerate(stream_preorder(self._grammar)):
-            if symbol.is_bottom:
-                continue
-            if seen == element_index:
-                return position
-            seen += 1
-        raise IndexError(
-            f"element index {element_index} out of range ({seen} elements)"
-        )
+        return self._index.preorder_of_element(element_index)
 
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def rename(self, element_index: int, new_tag: str) -> None:
         """Relabel the ``element_index``-th element (document order)."""
-        position = self._binary_index_of_element(element_index)
-        grammar_updates.rename(self._grammar, position, new_tag)
+        position, steps = self._index.resolve_element(element_index)
+        grammar_updates.rename(self._grammar, position, new_tag,
+                               grammar_index=self._index, steps=steps)
         self._after_update()
 
     def insert(
@@ -184,8 +186,9 @@ class CompressedXml:
         """Insert elements *before* the ``element_index``-th element."""
         siblings = [content] if isinstance(content, XmlNode) else list(content)
         fragment = encode_forest(siblings, self._grammar.alphabet)
-        position = self._binary_index_of_element(element_index)
-        grammar_updates.insert(self._grammar, position, fragment)
+        position, steps = self._index.resolve_element(element_index)
+        grammar_updates.insert(self._grammar, position, fragment,
+                               grammar_index=self._index, steps=steps)
         self._after_update()
 
     def append_child(
@@ -202,43 +205,26 @@ class CompressedXml:
         siblings = [content] if isinstance(content, XmlNode) else list(content)
         fragment = encode_forest(siblings, self._grammar.alphabet)
         position = self._end_of_children_position(parent_element_index)
-        grammar_updates.insert(self._grammar, position, fragment)
+        grammar_updates.insert(self._grammar, position, fragment,
+                               grammar_index=self._index)
         self._after_update()
 
     def _end_of_children_position(self, parent_element_index: int) -> int:
-        """Binary preorder index of the parent's child-list terminator."""
-        start = self._binary_index_of_element(parent_element_index)
-        # Walk the parent's first-child chain on the symbol stream: the
-        # child list ends at the first ⊥ whose depth returns to the
-        # first-child spine.  Easiest robust way at this layer: simulate
-        # with a skeleton walk over the stream.
-        stream = list(stream_preorder(self._grammar))
-        # The parent's first child starts at start+1; follow next-sibling
-        # (second child) chains to the terminating bottom.
-        def subtree_end(position: int) -> int:
-            """Index just past the subtree rooted at ``position``."""
-            depth = 0
-            index = position
-            while True:
-                depth += stream[index].rank - 1
-                index += 1
-                if depth < 0:
-                    return index
-        first_child = start + 1
-        position = first_child
-        while not stream[position].is_bottom:
-            # Skip this element's own subtree (its first child), then move
-            # to its next sibling slot.
-            own_children_end = subtree_end(position + 1)
-            position = own_children_end
-        return position
+        """Binary preorder index of the parent's child-list terminator.
+
+        Answered by the index via subtree sizes: the terminator is the
+        preorder-last node of the parent's first-child subtree, so no
+        stream is walked (let alone materialized).
+        """
+        return self._index.end_of_children_position(parent_element_index)
 
     def delete(self, element_index: int) -> None:
         """Delete the ``element_index``-th element and its subtree."""
         if element_index == 0:
             raise UpdateError("deleting the document root is not allowed")
-        position = self._binary_index_of_element(element_index)
-        grammar_updates.delete(self._grammar, position)
+        position, steps = self._index.resolve_element(element_index)
+        grammar_updates.delete(self._grammar, position,
+                               grammar_index=self._index, steps=steps)
         self._after_update()
 
     def _after_update(self) -> None:
@@ -256,6 +242,9 @@ class CompressedXml:
         self._grammar = GrammarRePair(kin=self._kin).compress(
             self._grammar, in_place=True
         )
+        # Recompression rewrites essentially every rule; a wholesale reset
+        # is cheaper than replaying thousands of per-rule invalidations.
+        self._index.invalidate_all()
         self._last_compressed_size = max(1, self._grammar.size)
         return self._grammar.size
 

@@ -68,6 +68,10 @@ class OptimizedReplacer:
         self.versions: Dict[Tuple[Symbol, FrozenSet[Flag]], Node] = {}
         self.export_cache: Dict[str, Symbol] = {}
         self.ref_counts = reference_counts(grammar)
+        # Live |refG| of rules created *during* this round (exported
+        # fragment rules), maintained at every reference creation/discard
+        # site -- see _ref_count.
+        self.live_refs: Dict[Symbol, int] = {}
         self.processed: Set[Symbol] = set()
         self.replaced = 0
         self.exported_rules = 0
@@ -89,20 +93,45 @@ class OptimizedReplacer:
         The round-start snapshot covers the input rules; exported fragment
         rules appear later and must be counted live, otherwise their
         versions would never export and full inlining would sneak back in
-        (exactly the blow-up Algorithm 8 exists to prevent).
+        (exactly the blow-up Algorithm 8 exists to prevent).  Live counts
+        are maintained incrementally at every site where a reference to a
+        round-created rule enters or leaves the grammar -- template
+        inlining, fragment export, and region discard -- instead of
+        rescanning the whole grammar per query.
         """
         cached = self.ref_counts.get(symbol)
         if cached is not None:
             return cached
-        count = 0
-        for rhs in self.grammar.rules.values():
-            stack = [rhs]
-            while stack:
-                node = stack.pop()
-                if node.symbol is symbol:
-                    count += 1
-                stack.extend(node.children)
-        return count
+        return self.live_refs.get(symbol, 0)
+
+    def _bump_new_refs(self, root: Node, delta: int = 1) -> None:
+        """Adjust live counts for every round-created reference under
+        ``root`` (a template about to be inlined into a live rule, or an
+        exported rule body installed into the grammar)."""
+        live_refs = self.live_refs
+        snapshot = self.ref_counts
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            symbol = node.symbol
+            if symbol.is_nonterminal and symbol not in snapshot:
+                live_refs[symbol] = live_refs.get(symbol, 0) + delta
+            stack.extend(node.children)
+
+    def _bump_region_refs(self, fragment_root: Node, delta: int) -> None:
+        """Like :meth:`_bump_new_refs`, but stopping at region holes
+        (marked or parameter nodes), whose subtrees survive as arguments."""
+        live_refs = self.live_refs
+        snapshot = self.ref_counts
+        stack = [fragment_root]
+        while stack:
+            node = stack.pop()
+            if id(node) in self.marked or node.symbol.is_parameter:
+                continue
+            symbol = node.symbol
+            if symbol.is_nonterminal and symbol not in snapshot:
+                live_refs[symbol] = live_refs.get(symbol, 0) + delta
+            stack.extend(node.children)
 
     def _process_original(self, head: Symbol) -> None:
         """Isolate, replace and export within the original rule ``head``."""
@@ -144,6 +173,9 @@ class OptimizedReplacer:
         for node in ordered:
             _, flag_set = flags[id(node)]
             template = self._version(node.symbol, frozenset(flag_set))
+            # The inlined copy of the template becomes part of a live rule:
+            # account for the round-created references it carries.
+            self._bump_new_refs(template)
             inline_node(self.grammar, head, node, template=template,
                         marked=self.marked)
 
@@ -151,7 +183,8 @@ class OptimizedReplacer:
             self.grammar, head, self.digram, self.replacement
         )
         if self._ref_count(head) > 1:
-            new_root = self._export_fragments(self.grammar.rhs(head))
+            new_root = self._export_fragments(self.grammar.rhs(head),
+                                              live=True)
             self.grammar.set_rule(head, new_root)
         self._unmark(self.grammar.rhs(head))
 
@@ -221,15 +254,18 @@ class OptimizedReplacer:
                 self.marked[id(parent)] = parent
 
         if self._ref_count(symbol) > 1:
-            copy_root = self._export_fragments(copy_root)
+            copy_root = self._export_fragments(copy_root, live=False)
         self.versions[key] = copy_root
         return copy_root
 
     # ------------------------------------------------------------------
-    def _export_fragments(self, root: Node) -> Node:
+    def _export_fragments(self, root: Node, live: bool) -> Node:
         """Algorithm 8: factor unmarked multi-node fragments into rules.
 
-        Returns the (possibly new) root of the rewritten tree.
+        Returns the (possibly new) root of the rewritten tree.  ``live``
+        distinguishes a grammar rule's RHS from a detached version
+        template: only live trees contribute to the round-created rules'
+        reference counts.
         """
         marked = self.marked
         if not any(id(n) in marked for n in _preorder(root)):
@@ -250,6 +286,13 @@ class OptimizedReplacer:
             if region_size < 2:
                 continue
             rule_head, argument_order = self._export_rule(fragment_root, holes)
+            if live:
+                # The region's round-created references are discarded with
+                # it; the fresh reference node below replaces them.
+                self._bump_region_refs(fragment_root, -1)
+                self.live_refs[rule_head] = (
+                    self.live_refs.get(rule_head, 0) + 1
+                )
             # Splice: the fragment subtree becomes a rule reference whose
             # arguments are the hole subtrees, in preorder order.
             for hole in argument_order:
@@ -291,6 +334,10 @@ class OptimizedReplacer:
                 len(holes), self.export_prefix
             )
             self.grammar.set_rule(head, body)
+            self.live_refs.setdefault(head, 0)
+            # The body itself lives in the grammar from here on, so any
+            # round-created references it copied count immediately.
+            self._bump_new_refs(body)
             self.export_cache[canonical] = head
             self.exported_rules += 1
         return head, holes

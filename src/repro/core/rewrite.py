@@ -54,6 +54,8 @@ def replace_digram_in_rule(
                 stack.extend(reversed(x.children))
                 continue
         stack.extend(reversed(node.children))
+    if replaced:
+        grammar.notify_rule_changed(head)
     return replaced
 
 
@@ -76,6 +78,8 @@ def inline_node(
     new_root, copy_map = inline_at(grammar, node, rhs_override=template)
     if was_root:
         grammar.set_rule(head, new_root)
+    else:
+        grammar.notify_rule_changed(head)
     if marked is not None:
         for original_id, copy in copy_map.items():
             if original_id in marked:

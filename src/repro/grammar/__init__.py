@@ -6,6 +6,7 @@ from repro.grammar.derivation import (
     inline_all_references,
     inline_at,
 )
+from repro.grammar.index import GrammarIndex
 from repro.grammar.navigation import (
     PathStep,
     generates_same_tree,
@@ -39,6 +40,7 @@ from repro.grammar.strings import (
 __all__ = [
     "Grammar",
     "GrammarError",
+    "GrammarIndex",
     "inline_at",
     "inline_all_references",
     "expand",

@@ -120,6 +120,8 @@ def inline_all_references(grammar: Grammar, nonterminal: Symbol) -> int:
             if is_rule_root:
                 grammar.set_rule(head, new_root)
             count += 1
+        if targets:
+            grammar.notify_rule_changed(head)
     grammar.remove_rule(nonterminal)
     return count
 

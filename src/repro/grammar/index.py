@@ -1,0 +1,444 @@
+"""A persistent structural self-index over an SLCF grammar.
+
+:class:`GrammarIndex` caches, per rule ``A`` of rank ``k``:
+
+* the paper's ``size(A, 0..k)`` *node* segments (Section III-A),
+* the analogous *element* segments counting only non-``⊥`` terminals,
+* a per-RHS-node table of generated (node, element) subtree sizes plus the
+  parameter indices occurring below each node.
+
+Together these answer the navigation queries every update needs --
+
+* ``element_count`` / ``node_count`` of ``valG(S)``,
+* ``preorder_of_element``: document-order element index -> binary preorder
+  index (the addressing step of :class:`repro.api.CompressedXml`),
+* ``tag_of``: the element's label without touching the stream,
+* ``end_of_children_position``: the preorder index of the ``⊥`` terminating
+  an element's child list (the "insert on a null pointer" target of
+  Section V-C) --
+
+by *descending the derivation* in ``O(depth · rule-width)`` per query
+instead of streaming the ``O(N)`` symbols of the generated tree.  This is
+the grammar-level count-table idea of Maneth & Sebastian's structural
+self-indexes, specialized to the update path of this reproduction.
+
+Invalidation contract
+---------------------
+The index registers itself as a grammar observer (see
+:meth:`repro.grammar.slcf.Grammar.register_observer`).  Whenever a rule is
+installed, removed, or mutated in place, the cache entries of that rule
+*and of every rule whose tables were computed from it* (the transitive
+dependents along the call DAG) are evicted; recomputation happens lazily,
+bottom-up, on the next query.  An isolated ``rename``/``insert``/``delete``
+therefore costs one eviction of the start rule plus an
+``O(|start RHS|)``-time lazy recompute -- independent of document size.
+Callers that mutate rule bodies in place without going through
+``set_rule`` must call :meth:`Grammar.notify_rule_changed`; the update and
+compression layers of this code base all do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.grammar.navigation import PathStep
+from repro.grammar.slcf import Grammar, GrammarError
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+
+__all__ = ["GrammarIndex"]
+
+
+#: Per-RHS-node cache entry: (generated nodes, generated non-⊥ elements,
+#: parameter indices occurring in the subtree).  Parameters contribute 0 to
+#: both counts; the binding environment supplies the argument sizes.
+_NodeInfo = Tuple[int, int, Tuple[int, ...]]
+
+#: One binding of a rule parameter during a descent:
+#: (argument node, its environment, its rule's node table,
+#:  generated nodes, generated elements).
+_Binding = Tuple[Node, tuple, Dict[int, _NodeInfo], int, int]
+
+
+class _SegmentsView:
+    """Lazy, always-current stand-in for ``parameter_segments(grammar)``.
+
+    Subscripting ensures the rule's tables are computed, so path isolation
+    can share the index's node segments instead of rebuilding the full
+    segment dictionary on every update.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: "GrammarIndex") -> None:
+        self._index = index
+
+    def __getitem__(self, head: Symbol) -> List[int]:
+        self._index._ensure(head)
+        return self._index._node_segments[head]
+
+    def get(self, head: Symbol, default=None):
+        try:
+            return self[head]
+        except GrammarError:
+            return default
+
+    def __contains__(self, head: Symbol) -> bool:
+        return self._index._grammar.has_rule(head)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._index._grammar.rules)
+
+
+class GrammarIndex:
+    """Cached count tables over a grammar, kept correct across updates.
+
+    One index should be owned per mutable grammar (e.g. by
+    :class:`repro.api.CompressedXml`); it registers itself as an observer
+    on construction and can be released with :meth:`detach`.
+    """
+
+    def __init__(self, grammar: Grammar, register: bool = True) -> None:
+        self._grammar = grammar
+        self._node_segments: Dict[Symbol, List[int]] = {}
+        self._elem_segments: Dict[Symbol, List[int]] = {}
+        self._tables: Dict[Symbol, Dict[int, _NodeInfo]] = {}
+        # Reverse call edges registered at computation time: callee -> rule
+        # heads whose cached tables were derived from it.
+        self._dependents: Dict[Symbol, Set[Symbol]] = {}
+        self._registered = register
+        if register:
+            grammar.register_observer(self)
+
+    @property
+    def grammar(self) -> Grammar:
+        return self._grammar
+
+    def detach(self) -> None:
+        """Unregister from the grammar; the index must not be used after."""
+        if self._registered:
+            self._grammar.unregister_observer(self)
+            self._registered = False
+
+    # ------------------------------------------------------------------
+    # invalidation (grammar observer protocol)
+    # ------------------------------------------------------------------
+    def rule_changed(self, head: Symbol) -> None:
+        self._evict(head)
+
+    def rule_removed(self, head: Symbol) -> None:
+        self._evict(head)
+
+    def _evict(self, head: Symbol) -> None:
+        """Drop cached tables of ``head`` and its transitive dependents.
+
+        A rule is only ever cached after its callees (anti-SL order), so a
+        cached dependent always has its reverse edge registered here --
+        walking the dependent closure is sound.  Uncached rules are clean
+        by definition (they recompute lazily).
+        """
+        stack = [head]
+        while stack:
+            current = stack.pop()
+            if current not in self._node_segments:
+                continue
+            del self._node_segments[current]
+            del self._elem_segments[current]
+            self._tables.pop(current, None)
+            stack.extend(self._dependents.pop(current, ()))
+
+    def invalidate_all(self) -> None:
+        """Drop every cache entry (e.g. after a full recompression run)."""
+        self._node_segments.clear()
+        self._elem_segments.clear()
+        self._tables.clear()
+        self._dependents.clear()
+
+    # ------------------------------------------------------------------
+    # lazy recompute (bottom-up along the call DAG)
+    # ------------------------------------------------------------------
+    def _ensure(self, head: Symbol) -> None:
+        if head in self._node_segments:
+            return
+        pending: Set[Symbol] = set()
+        stack = [head]
+        while stack:
+            current = stack[-1]
+            if current in self._node_segments:
+                pending.discard(current)
+                stack.pop()
+                continue
+            pending.add(current)
+            rhs = self._grammar.rhs(current)
+            callees: List[Symbol] = []
+            seen: Set[Symbol] = set()
+            walk = [rhs]
+            while walk:
+                node = walk.pop()
+                symbol = node.symbol
+                if symbol.is_nonterminal and symbol not in seen:
+                    seen.add(symbol)
+                    callees.append(symbol)
+                walk.extend(node.children)
+            missing = [c for c in callees if c not in self._node_segments]
+            if missing:
+                for callee in missing:
+                    if callee in pending:
+                        raise GrammarError(
+                            f"grammar is recursive: cycle through {callee!r}"
+                        )
+                stack.extend(missing)
+                continue
+            self._compute(current, rhs, callees)
+            pending.discard(current)
+            stack.pop()
+
+    def _compute(self, head: Symbol, rhs: Node, callees: List[Symbol]) -> None:
+        node_segments = self._node_segments
+        elem_segments = self._elem_segments
+
+        # Pass 1 (post-order): per-node generated sizes and parameter sets.
+        table: Dict[int, _NodeInfo] = {}
+        stack: List[Tuple[Node, bool]] = [(rhs, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+                continue
+            symbol = node.symbol
+            if symbol.is_parameter:
+                table[id(node)] = (0, 0, (symbol.param_index,))
+                continue
+            nodes = elems = 0
+            params: Tuple[int, ...] = ()
+            for child in node.children:
+                child_nodes, child_elems, child_params = table[id(child)]
+                nodes += child_nodes
+                elems += child_elems
+                if child_params:
+                    params += child_params
+            if symbol.is_terminal:
+                nodes += 1
+                if not symbol.is_bottom:
+                    elems += 1
+            else:
+                nodes += sum(node_segments[symbol])
+                elems += sum(elem_segments[symbol])
+            table[id(node)] = (nodes, elems, params)
+
+        # Pass 2 (preorder): split both counts at the parameters, weaving in
+        # the callees' segments around their argument subtrees.
+        node_segs: List[int] = []
+        elem_segs: List[int] = []
+        current_nodes = current_elems = 0
+        walk: List[object] = [rhs]
+        while walk:
+            item = walk.pop()
+            if item.__class__ is tuple:
+                current_nodes += item[0]
+                current_elems += item[1]
+                continue
+            symbol = item.symbol
+            if symbol.is_parameter:
+                node_segs.append(current_nodes)
+                elem_segs.append(current_elems)
+                current_nodes = current_elems = 0
+            elif symbol.is_terminal:
+                current_nodes += 1
+                if not symbol.is_bottom:
+                    current_elems += 1
+                walk.extend(reversed(item.children))
+            else:
+                callee_nodes = node_segments[symbol]
+                callee_elems = elem_segments[symbol]
+                current_nodes += callee_nodes[0]
+                current_elems += callee_elems[0]
+                interleaved: List[object] = []
+                for position, child in enumerate(item.children, start=1):
+                    interleaved.append(child)
+                    interleaved.append(
+                        (callee_nodes[position], callee_elems[position])
+                    )
+                walk.extend(reversed(interleaved))
+        node_segs.append(current_nodes)
+        elem_segs.append(current_elems)
+        if len(node_segs) != head.rank + 1:
+            raise GrammarError(
+                f"rule {head!r}: found {len(node_segs) - 1} parameters, "
+                f"rank is {head.rank}"
+            )
+
+        node_segments[head] = node_segs
+        elem_segments[head] = elem_segs
+        self._tables[head] = table
+        for callee in callees:
+            self._dependents.setdefault(callee, set()).add(head)
+
+    # ------------------------------------------------------------------
+    # whole-document totals
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """``|valG(S)|`` in nodes (including ``⊥``), without decompression."""
+        start = self._grammar.start
+        self._ensure(start)
+        return sum(self._node_segments[start])
+
+    @property
+    def element_count(self) -> int:
+        """Number of non-``⊥`` nodes of ``valG(S)``: the document's elements."""
+        start = self._grammar.start
+        self._ensure(start)
+        return sum(self._elem_segments[start])
+
+    def segments(self) -> _SegmentsView:
+        """Node segments as a lazy mapping, API-compatible with
+        :func:`repro.grammar.properties.parameter_segments`."""
+        return _SegmentsView(self)
+
+    # ------------------------------------------------------------------
+    # element addressing
+    # ------------------------------------------------------------------
+    def _sizes(
+        self,
+        node: Node,
+        env: Tuple[_Binding, ...],
+        table: Dict[int, _NodeInfo],
+    ) -> Tuple[int, int]:
+        """Generated (nodes, elements) of a RHS subtree with parameters bound."""
+        nodes, elems, params = table[id(node)]
+        for param in params:
+            binding = env[param - 1]
+            nodes += binding[3]
+            elems += binding[4]
+        return nodes, elems
+
+    def _locate_element(
+        self, element_index: int
+    ) -> Tuple[int, Node, Tuple[_Binding, ...], Dict[int, _NodeInfo],
+               List[PathStep]]:
+        """Descend the derivation to the ``element_index``-th element.
+
+        Returns ``(binary preorder index, generating terminal node, binding
+        environment, that node's rule table, derivation path)``: everything
+        the public queries need, in one ``O(depth · rule-width)`` walk.
+        The recorded :class:`PathStep` list is exactly what
+        :func:`repro.grammar.navigation.resolve_preorder_path` would
+        produce for the resulting preorder index, so path isolation can
+        replay it without a second descent.
+        """
+        if element_index < 0:
+            raise IndexError("element index must be >= 0")
+        total = self.element_count  # ensures the start rule's tables
+        if element_index >= total:
+            raise IndexError(
+                f"element index {element_index} out of range "
+                f"({total} elements)"
+            )
+        grammar = self._grammar
+        node = grammar.rhs(grammar.start)
+        table = self._tables[grammar.start]
+        env: Tuple[_Binding, ...] = ()
+        remaining = element_index  # elements still preceding the target
+        position = 0  # binary preorder nodes consumed so far
+        steps: List[PathStep] = []
+
+        while True:
+            symbol = node.symbol
+            if symbol.is_parameter:
+                binding = env[symbol.param_index - 1]
+                node, env, table = binding[0], binding[1], binding[2]
+                continue
+
+            if symbol.is_terminal:
+                if not symbol.is_bottom:
+                    if remaining == 0:
+                        steps.append(PathStep(node, enters_rule=False))
+                        return position, node, env, table, steps
+                    remaining -= 1
+                position += 1
+                for child in node.children:
+                    child_nodes, child_elems = self._sizes(child, env, table)
+                    if remaining < child_elems:
+                        node = child
+                        break
+                    remaining -= child_elems
+                    position += child_nodes
+                else:  # pragma: no cover - would mean inconsistent tables
+                    raise AssertionError("element offset beyond subtree")
+                continue
+
+            # Nonterminal application: its virtual preorder interleaves the
+            # rule body's segments with the argument subtrees
+            # (seg0, arg1, seg1, ..., argk, segk).  An argument target is
+            # descended into directly; a body-segment target enters the rule
+            # with both counters unchanged -- walking the body under the
+            # bindings reproduces exactly the interleaved sequence.
+            if symbol not in self._tables:
+                self._ensure(symbol)
+            callee_nodes = self._node_segments[symbol]
+            callee_elems = self._elem_segments[symbol]
+            descend_to = None
+            preceding_nodes = callee_nodes[0]
+            preceding_elems = callee_elems[0]
+            if remaining >= preceding_elems:
+                for child_pos, child in enumerate(node.children, start=1):
+                    child_nodes, child_elems = self._sizes(child, env, table)
+                    if remaining < preceding_elems + child_elems:
+                        remaining -= preceding_elems
+                        position += preceding_nodes
+                        descend_to = child
+                        break
+                    preceding_elems += child_elems + callee_elems[child_pos]
+                    preceding_nodes += child_nodes + callee_nodes[child_pos]
+                    if remaining < preceding_elems:
+                        break  # a body segment after this argument: enter
+            if descend_to is not None:
+                node = descend_to
+                continue
+            steps.append(PathStep(node, enters_rule=True))
+            outer_env = env
+            env = tuple(
+                (child, outer_env, table)
+                + self._sizes(child, outer_env, table)
+                for child in node.children
+            )
+            node = grammar.rhs(symbol)
+            table = self._tables[symbol]
+
+    def preorder_of_element(self, element_index: int) -> int:
+        """Binary preorder index of the ``element_index``-th element."""
+        return self._locate_element(element_index)[0]
+
+    def resolve_element(
+        self, element_index: int
+    ) -> Tuple[int, List[PathStep]]:
+        """One-descent combo for the update path: the element's binary
+        preorder index *and* its derivation path, ready for
+        :func:`repro.updates.path_isolation.isolate` to replay."""
+        position, _node, _env, _table, steps = \
+            self._locate_element(element_index)
+        return position, steps
+
+    def tag_of(self, element_index: int) -> str:
+        """Label of the ``element_index``-th element (document order)."""
+        return self._locate_element(element_index)[1].symbol.name
+
+    def end_of_children_position(self, element_index: int) -> int:
+        """Preorder index of the ``⊥`` terminating an element's child list.
+
+        In the first-child/next-sibling encoding the terminator is the
+        preorder-last node of the element's first-child subtree, so it sits
+        exactly ``size(subtree(u.1))`` positions after the element ``u``
+        itself -- one subtree-size lookup instead of a stream walk.
+        """
+        position, node, env, table, _steps = self._locate_element(element_index)
+        if node.symbol.rank != 2:
+            raise GrammarError(
+                f"element {element_index} is generated by "
+                f"{node.symbol!r}; expected a binary-encoded element of rank 2"
+            )
+        first_child_nodes, _ = self._sizes(node.children[0], env, table)
+        return position + first_child_nodes

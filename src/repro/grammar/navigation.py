@@ -10,6 +10,16 @@ iterate or probe ``valG(S)`` directly on the grammar:
 * :func:`resolve_preorder_path` -- the derivation path to the node with a
   given preorder index, driven by the ``size(A,i)`` segments; this is the
   navigational core of path isolation (Section III-A).
+
+Repeated-query workloads should not rebuild the segment tables per call:
+:class:`repro.grammar.index.GrammarIndex` caches them (plus element-count
+variants and per-node subtree sizes) persistently, invalidates per rule
+through the grammar's observer channel, and answers element-index
+addressing, tag lookup, and child-list-terminator queries in
+``O(depth · rule-width)``.  Its ``segments()`` view plugs directly into
+:func:`resolve_preorder_path`'s ``segments`` argument, so path isolation
+rides the same cache.  The functions here remain the streaming baseline
+(and the correctness oracle the index is property-tested against).
 """
 
 from __future__ import annotations

@@ -11,6 +11,15 @@ One additional invariant is enforced throughout this code base: parameters
 appear in *increasing order in preorder* within every right-hand side.  All
 grammars produced by (Tree/Grammar)RePair satisfy it, and it makes the
 ``size(A, i)`` segment computation (Section III-A) well-defined.
+
+Grammars support lightweight *observers* (see
+:class:`repro.grammar.index.GrammarIndex`): objects registered via
+:meth:`Grammar.register_observer` are told which rule changed whenever a
+right-hand side is installed (:meth:`Grammar.set_rule`), removed
+(:meth:`Grammar.remove_rule`), or mutated in place
+(:meth:`Grammar.notify_rule_changed`, called by the mutation layer after
+in-place rewrites such as path isolation or digram replacement).  This is
+the invalidation channel that lets per-rule caches survive updates.
 """
 
 from __future__ import annotations
@@ -36,7 +45,7 @@ class Grammar:
     drawn.
     """
 
-    __slots__ = ("alphabet", "start", "rules")
+    __slots__ = ("alphabet", "start", "rules", "_observers")
 
     def __init__(self, alphabet: Alphabet, start: Symbol) -> None:
         if not start.is_nonterminal:
@@ -46,6 +55,7 @@ class Grammar:
         self.alphabet = alphabet
         self.start = start
         self.rules: Dict[Symbol, Node] = {}
+        self._observers: List[object] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -78,11 +88,44 @@ class Grammar:
             )
         rhs.parent = None
         self.rules[nonterminal] = rhs
+        for observer in self._observers:
+            observer.rule_changed(nonterminal)
 
     def remove_rule(self, nonterminal: Symbol) -> None:
         if nonterminal is self.start:
             raise GrammarError("cannot remove the start rule")
         del self.rules[nonterminal]
+        for observer in self._observers:
+            observer.rule_removed(nonterminal)
+
+    # ------------------------------------------------------------------
+    # observers (cache invalidation channel)
+    # ------------------------------------------------------------------
+    def register_observer(self, observer: object) -> None:
+        """Register an observer with ``rule_changed``/``rule_removed`` hooks.
+
+        Observers are notified with the affected rule head on every
+        :meth:`set_rule`, :meth:`remove_rule`, and
+        :meth:`notify_rule_changed` call.  Registration is idempotent.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unregister_observer(self, observer: object) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def notify_rule_changed(self, nonterminal: Symbol) -> None:
+        """Report an *in-place* mutation of ``nonterminal``'s right-hand side.
+
+        :meth:`set_rule` notifies automatically; rewrites that splice nodes
+        inside an installed RHS (path isolation, digram replacement,
+        inlining) must call this so registered indexes stay correct.
+        """
+        for observer in self._observers:
+            observer.rule_changed(nonterminal)
 
     # ------------------------------------------------------------------
     # access

@@ -6,16 +6,26 @@ that lost their last reference.  *No recompression happens here* -- this is
 the paper's "naive update"; callers interleave
 :class:`repro.core.GrammarRePair` runs to keep the grammar small
 (Figures 4 and 5) or decompress-and-recompress for the udc baseline.
+
+Every operation accepts an optional shared
+:class:`~repro.grammar.index.GrammarIndex`: its cached ``size(A, i)``
+tables replace the per-call ``parameter_segments`` rebuild, and the
+grammar's observer channel keeps the index correct across the mutations
+performed here.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
+from repro.grammar.navigation import resolve_preorder_path
 from repro.grammar.properties import collect_garbage
 from repro.grammar.slcf import Grammar
 from repro.trees.node import Node
 from repro.trees.symbols import Symbol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.grammar.index import GrammarIndex
 from repro.updates.operations import (
     DeleteOp,
     InsertOp,
@@ -37,31 +47,68 @@ __all__ = [
 ]
 
 
-def rename(grammar: Grammar, index: int, new_label: str) -> None:
-    """Relabel the (non-``⊥``) node at preorder ``index`` of ``valG(S)``."""
-    target = isolate(grammar, index).node
+def rename(
+    grammar: Grammar,
+    index: int,
+    new_label: str,
+    grammar_index: Optional["GrammarIndex"] = None,
+    steps: Optional[list] = None,
+) -> None:
+    """Relabel the (non-``⊥``) node at preorder ``index`` of ``valG(S)``.
+
+    Renaming a node to the label it already carries is a no-op: the target
+    is located by a read-only path resolution and, when the labels
+    coincide, no terminal is interned and no path isolation (i.e. no start
+    rule growth) happens at all.
+
+    ``steps`` may carry a derivation path already resolved for ``index``
+    (e.g. by :meth:`GrammarIndex.resolve_element`), saving the descent.
+    """
+    if steps is None:
+        segments = (grammar_index.segments()
+                    if grammar_index is not None else None)
+        steps = resolve_preorder_path(grammar, index, segments=segments)
+    current_symbol = steps[-1].node.symbol
+    if current_symbol.name == new_label and not current_symbol.is_bottom:
+        return
+    target = isolate(grammar, index, steps=steps).node
     symbol = grammar.alphabet.terminal(new_label, target.symbol.rank)
+    # Relabeling changes no structure and no count any index caches, so no
+    # further invalidation beyond what isolate() already reported.
     rename_node(target, symbol)
 
 
-def insert(grammar: Grammar, index: int, fragment: Node) -> None:
+def insert(
+    grammar: Grammar,
+    index: int,
+    fragment: Node,
+    grammar_index: Optional["GrammarIndex"] = None,
+    steps: Optional[list] = None,
+) -> None:
     """Insert an encoded forest before the node at preorder ``index``.
 
     ``fragment`` must be built over the grammar's alphabet (e.g. by
     :func:`repro.trees.binary.encode_forest`); its right-most leaf must be
     ``⊥``.  The fragment is copied, so it can be reused.
     """
-    target = isolate(grammar, index).node
+    target = isolate(grammar, index, grammar_index=grammar_index,
+                     steps=steps).node
     new_root = insert_before(grammar.rhs(grammar.start), target, fragment)
     grammar.set_rule(grammar.start, new_root)
 
 
-def delete(grammar: Grammar, index: int) -> None:
+def delete(
+    grammar: Grammar,
+    index: int,
+    grammar_index: Optional["GrammarIndex"] = None,
+    steps: Optional[list] = None,
+) -> None:
     """Delete the subtree rooted at the node at preorder ``index``.
 
     Rules referenced only from the deleted subtree are collected.
     """
-    target = isolate(grammar, index).node
+    target = isolate(grammar, index, grammar_index=grammar_index,
+                     steps=steps).node
     if target is grammar.rhs(grammar.start) and target.children:
         # Deleting the document root: the tree becomes the sibling chain,
         # which for a well-formed document is just ⊥ -- refuse, as the
@@ -74,22 +121,30 @@ def delete(grammar: Grammar, index: int) -> None:
     collect_garbage(grammar)
 
 
-def apply_op(grammar: Grammar, op: UpdateOp) -> None:
+def apply_op(
+    grammar: Grammar,
+    op: UpdateOp,
+    grammar_index: Optional["GrammarIndex"] = None,
+) -> None:
     """Apply one :class:`~repro.updates.operations.UpdateOp`."""
     if isinstance(op, RenameOp):
-        rename(grammar, op.position, op.new_label)
+        rename(grammar, op.position, op.new_label, grammar_index=grammar_index)
     elif isinstance(op, InsertOp):
-        insert(grammar, op.position, op.fragment)
+        insert(grammar, op.position, op.fragment, grammar_index=grammar_index)
     elif isinstance(op, DeleteOp):
-        delete(grammar, op.position)
+        delete(grammar, op.position, grammar_index=grammar_index)
     else:
         raise UpdateError(f"unknown update operation {op!r}")
 
 
-def apply_ops(grammar: Grammar, ops: Iterable[UpdateOp]) -> int:
+def apply_ops(
+    grammar: Grammar,
+    ops: Iterable[UpdateOp],
+    grammar_index: Optional["GrammarIndex"] = None,
+) -> int:
     """Apply a sequence of updates; returns how many were applied."""
     count = 0
     for op in ops:
-        apply_op(grammar, op)
+        apply_op(grammar, op, grammar_index=grammar_index)
         count += 1
     return count

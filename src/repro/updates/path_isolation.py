@@ -12,14 +12,17 @@ Only the start rule grows; every other rule is shared and untouched.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.grammar.derivation import inline_at
-from repro.grammar.navigation import resolve_preorder_path
+from repro.grammar.navigation import PathStep, resolve_preorder_path
 from repro.grammar.properties import parameter_segments
 from repro.grammar.slcf import Grammar
 from repro.trees.node import Node
 from repro.trees.symbols import Symbol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.grammar.index import GrammarIndex
 
 __all__ = ["isolate", "IsolationResult"]
 
@@ -43,14 +46,25 @@ def isolate(
     grammar: Grammar,
     index: int,
     segments: Optional[Dict[Symbol, List[int]]] = None,
+    grammar_index: Optional["GrammarIndex"] = None,
+    steps: Optional[List[PathStep]] = None,
 ) -> IsolationResult:
     """Make the node at preorder ``index`` of ``valG(S)`` explicit.
 
     Mutates only the start rule.  Returns the isolated node, which after
     this call is a terminal node whose subtree in the start rule generates
     exactly the subtree of ``valG(S)`` rooted at the target.
+
+    ``segments`` may be a precomputed ``parameter_segments`` table.  When a
+    :class:`~repro.grammar.index.GrammarIndex` is passed instead, its lazy
+    segment view is used, so nothing is rebuilt between updates.  ``steps``
+    short-circuits path resolution entirely for callers that already ran
+    :func:`resolve_preorder_path` (and have not mutated the grammar since).
     """
-    steps = resolve_preorder_path(grammar, index, segments=segments)
+    if steps is None:
+        if segments is None and grammar_index is not None:
+            segments = grammar_index.segments()
+        steps = resolve_preorder_path(grammar, index, segments=segments)
     inlined = 0
     # Replay: each "enter" step names a node inside the *rule template* of
     # the previously entered nonterminal; inlining copies templates, so the
@@ -70,4 +84,8 @@ def isolate(
         inlined += 1
     assert concrete_target is not None
     assert concrete_target.symbol.is_terminal
+    if inlined:
+        # Inlining below the RHS root splices nodes in place, bypassing
+        # set_rule: tell registered indexes the start rule changed.
+        grammar.notify_rule_changed(grammar.start)
     return IsolationResult(concrete_target, inlined)

@@ -279,3 +279,87 @@ class TestPropertyReplacement:
                 replace_all_occurrences_simple(g, d, X, occs)
             collect_garbage(g)
         assert generates_same_tree(grammar, twin)
+
+
+class TestLiveRefCounts:
+    """The maintained per-round reference counts must equal a full
+    grammar walk at all times (they replaced the O(grammar) fallback in
+    OptimizedReplacer._ref_count)."""
+
+    @staticmethod
+    def _walk_count(grammar, symbol):
+        count = 0
+        for rhs in grammar.rules.values():
+            stack = [rhs]
+            while stack:
+                node = stack.pop()
+                if node.symbol is symbol:
+                    count += 1
+                stack.extend(node.children)
+        return count
+
+    def _checked_replacer(self, verified):
+        walk = self._walk_count
+
+        class CheckedReplacer(OptimizedReplacer):
+            def _ref_count(self, symbol):
+                result = OptimizedReplacer._ref_count(self, symbol)
+                if symbol not in self.ref_counts:
+                    assert result == walk(self.grammar, symbol)
+                    verified.append(symbol)
+                return result
+
+            def run(self):
+                result = OptimizedReplacer.run(self)
+                for symbol, live in self.live_refs.items():
+                    assert live == walk(self.grammar, symbol), symbol
+                    verified.append(symbol)
+                return result
+
+        return CheckedReplacer
+
+    def test_counts_exact_during_update_recompress_cycles(self, monkeypatch):
+        """Exported fragment rules appear when recompressing an updated
+        grammar (transparent nonterminals); their live counts must match
+        a full walk at end of every round and at every live query."""
+        import random
+
+        import repro.core.replace_optimized as ro
+        from repro.api import CompressedXml
+        from repro.datasets.synthetic import make_corpus
+
+        verified = []
+        checked = self._checked_replacer(verified)
+        monkeypatch.setattr(ro, "OptimizedReplacer", checked)
+
+        rng = random.Random(11)
+        doc = CompressedXml.from_document(
+            make_corpus("Treebank", edges=800, seed=5)
+        )
+        for cycle in range(2):
+            for step in range(25):
+                n = doc.element_count
+                doc.rename(rng.randrange(1, n), f"t{cycle}_{step % 5}")
+            doc.recompress()
+        assert verified, "no exported rules were exercised"
+
+    def test_counts_exact_on_paper_grammar(self, monkeypatch):
+        import repro.core.replace_optimized as ro
+
+        verified = []
+        checked = self._checked_replacer(verified)
+        monkeypatch.setattr(ro, "OptimizedReplacer", checked)
+
+        grammar = paper_grammar1()
+        table = retrieve_occurrences(grammar)
+        a = grammar.alphabet.get("a")
+        b = grammar.alphabet.get("b")
+        digram = Digram(a, 1, b)
+        X = grammar.alphabet.fresh_nonterminal(digram.rank)
+        grammar.set_rule(X, digram_pattern(digram))
+        ro.replace_all_occurrences_optimized(
+            grammar, digram, X, table.occurrences(digram), opaque={X}
+        )
+        collect_garbage(grammar)
+        grammar.validate()
+        assert verified, "the paper example must export rule D"

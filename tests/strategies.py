@@ -1,12 +1,16 @@
 """Hypothesis strategies shared by the property-based tests.
 
-Two generators matter:
+Three generators matter:
 
 * :func:`binary_xml_trees` -- random structure-only XML documents, the input
   domain of the compressors,
 * :func:`slcf_grammars` -- random *valid* SLCF grammars (acyclic, linear,
   parameters in preorder order, all rules reachable), the input domain of
-  GrammarRePair and the update machinery.
+  GrammarRePair and the update machinery,
+* :func:`update_scripts` -- random interleavings of document-level updates
+  (rename / insert / append_child / delete / recompress), the workload the
+  grammar-index invalidation tests replay against a
+  :class:`repro.api.CompressedXml`.
 """
 
 from __future__ import annotations
@@ -151,6 +155,35 @@ def _renumber_parameters_in_preorder(root: Node) -> None:
         stack.extend(reversed(node.children))
     for index, node in enumerate(ordered, start=1):
         node.symbol = parameter_symbol(index)
+
+
+#: The update kinds :func:`update_scripts` draws from.  ``recompress`` is
+#: rarer so scripts mostly exercise the incremental (non-rebuild) path.
+UPDATE_KINDS = (
+    "rename", "rename", "insert", "insert",
+    "append", "append", "delete", "recompress",
+)
+
+
+@st.composite
+def update_scripts(
+    draw,
+    max_ops: int = 10,
+    tags: Tuple[str, ...] = DEFAULT_TAGS,
+):
+    """A random update script to replay against a ``CompressedXml``.
+
+    Each entry is ``(kind, fraction, tag)``: ``fraction`` in ``[0, 1)`` is
+    mapped by the replaying test onto a valid element index *at application
+    time* (the element count shifts as inserts and deletes land), so every
+    drawn script is applicable to every document.
+    """
+    rng = draw(st.randoms(use_true_random=False))
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    return [
+        (rng.choice(UPDATE_KINDS), rng.random(), rng.choice(tags))
+        for _ in range(n)
+    ]
 
 
 @st.composite

@@ -49,6 +49,26 @@ class TestRename:
         with pytest.raises(UpdateError):
             rename(grammar, 2, "z")
 
+    def test_rename_same_label_is_noop(self, alphabet):
+        """The fast path: no isolation, so the start rule must not grow."""
+        doc = XmlNode("r", [XmlNode("e") for _ in range(8)])
+        grammar, tree = compressed(doc, alphabet)
+        size_before = grammar.size
+        rules_before = len(grammar)
+        rename(grammar, 1, "e")
+        assert grammar.size == size_before
+        assert len(grammar) == rules_before
+        grammar.validate()
+        assert grammar_generates_tree(grammar, tree)
+
+    def test_rename_bottom_to_its_own_name_still_rejected(self, alphabet):
+        doc = XmlNode("r", [XmlNode("e")])
+        grammar, tree = compressed(doc, alphabet)
+        from repro.trees.symbols import BOTTOM_NAME
+
+        with pytest.raises(UpdateError):
+            rename(grammar, 2, BOTTOM_NAME)
+
 
 class TestInsertDelete:
     def test_insert_matches_reference(self, alphabet):
