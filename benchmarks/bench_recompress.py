@@ -1,0 +1,281 @@
+"""Macro-benchmark: sustained update traffic with automatic recompression.
+
+Quantifies the PR-2 tentpole: under ``auto_recompress_factor``
+maintenance, the cost profile of a long-lived document is dominated by
+``GrammarRePair`` runs.  The historical path re-censused the whole
+grammar every replacement round and wholesale-reset the structural index
+afterwards; the incremental path builds one
+``GrammarOccurrenceIndex`` per run -- seeded with only the rules dirtied
+since the last recompression -- and re-censuses only the rules each
+round touches.
+
+The workload: an EXI-Weblog-like document, a mixed stream of
+rename/insert/append/delete operations at random element indices, and
+``auto_recompress_factor=2`` (recompress whenever the grammar doubles).
+Both variants replay the *identical* operation sequence; the documents
+they maintain are equal by construction, so the only difference is
+maintenance cost.
+
+Results are printed and written to ``BENCH_recompress.json`` at the repo
+root as the machine-readable perf baseline for future PRs.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_recompress.py``)
+for the full scale -- 50k edges, 500 updates -- which asserts a >= 5x
+reduction in rule-census volume (the full O(|rule|) rescans the
+incremental index eliminates) plus material end-to-end wall-time wins;
+``--smoke`` (the CI job) runs a tiny scale and asserts the JSON schema
+plus that dirty-scoped recompression rescanned fewer rules than the
+grammar has.  Like all ``bench_*`` modules it is collected by pytest
+only via an explicit path.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro.api import CompressedXml
+from repro.trees.unranked import XmlNode
+
+FULL_SCALE = {"edges": 50_000, "updates": 500}
+SMOKE_SCALE = {"edges": 2_000, "updates": 60}
+AUTO_FACTOR = 2.0
+SEED = 42
+TAGS = ("ip", "user", "ts", "request", "status", "bytes", "extra")
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_recompress.json"
+)
+
+
+def make_doc(edges, incremental, seed=SEED):
+    from repro.datasets.synthetic import make_corpus
+
+    return CompressedXml.from_document(
+        make_corpus("EXI-Weblog", edges=edges, seed=seed),
+        auto_recompress_factor=AUTO_FACTOR,
+        incremental_recompress=incremental,
+    )
+
+
+def make_ops(updates, seed=SEED):
+    """The op stream as (kind, fraction, tag): fractions are mapped to a
+    valid element index at application time, so the same stream applies
+    to both variants (their element counts evolve identically)."""
+    rng = random.Random(seed)
+    kinds = ("rename", "rename", "rename", "insert", "insert",
+             "append", "delete")
+    return [
+        (rng.choice(kinds), rng.random(), rng.choice(TAGS))
+        for _ in range(updates)
+    ]
+
+
+def apply_op(doc, op):
+    kind, fraction, tag = op
+    count = doc.element_count
+    if kind == "rename":
+        doc.rename(1 + int(fraction * (count - 1)), tag)
+    elif kind == "insert":
+        doc.insert(1 + int(fraction * (count - 1)),
+                   XmlNode("entry", [XmlNode(tag)]))
+    elif kind == "append":
+        doc.append_child(int(fraction * count), XmlNode(tag))
+    elif kind == "delete" and count > 2:
+        doc.delete(1 + int(fraction * (count - 1)))
+
+
+def run_variant(edges, ops, incremental):
+    doc = make_doc(edges, incremental)
+    start = time.perf_counter()
+    for op in ops:
+        apply_op(doc, op)
+    total_s = time.perf_counter() - start
+    stats = doc.last_repair_stats
+    result = {
+        "mode": "incremental" if incremental else "full_rescan",
+        "initial_c_edges": doc._last_compressed_size,
+        "final_c_edges": doc.compressed_size,
+        "element_count": doc.element_count,
+        "total_s": round(total_s, 4),
+        "ops_per_s": round(len(ops) / total_s, 2),
+        "recompress_runs": doc.recompress_runs,
+        "recompress_s": round(doc.recompress_seconds, 4),
+        "maintenance_s": round(doc.maintenance_seconds, 4),
+        "rules_censused": doc.rules_censused_total,
+        "rules_adapted": doc.rules_adapted_total,
+        "index_wholesale_resets": doc.index.wholesale_invalidations,
+        "grammar_rules": len(doc.grammar),
+    }
+    if stats is not None:
+        result["last_run"] = {
+            "rounds": stats.rounds,
+            "full_censuses": stats.full_censuses,
+            "seed_rule_count": stats.seed_rule_count,
+            "census_trace": stats.census_trace,
+            "rule_count_trace": stats.rule_count_trace,
+        }
+    if incremental:
+        # One small update followed by an explicit recompress exercises
+        # the dirty-rule-scoped census (the auto policy may have chosen
+        # full seeding when the dirty mass dominated the grammar).
+        doc.rename(1, "probe")
+        doc.recompress()
+        probe = doc.last_repair_stats
+        result["scoped_probe"] = {
+            "seed_rule_count": probe.seed_rule_count,
+            "full_censuses": probe.full_censuses,
+            "census_trace": probe.census_trace,
+            "rule_count_trace": probe.rule_count_trace,
+            "index_wholesale_resets": doc.index.wholesale_invalidations,
+        }
+    return doc, result
+
+
+def run(edges, updates, smoke=False):
+    ops = make_ops(updates)
+    print(f"workload: EXI-Weblog {edges} edges, {updates} mixed updates, "
+          f"auto_recompress_factor={AUTO_FACTOR}")
+    doc_full, full = run_variant(edges, ops, incremental=False)
+    print(f"  full rescan : {full['total_s']:8.2f}s total, "
+          f"{full['recompress_s']:8.2f}s recompress "
+          f"({full['maintenance_s']:.2f}s occurrence maintenance, "
+          f"{full['recompress_runs']} runs), {full['final_c_edges']} c-edges")
+    doc_inc, inc = run_variant(edges, ops, incremental=True)
+    print(f"  incremental : {inc['total_s']:8.2f}s total, "
+          f"{inc['recompress_s']:8.2f}s recompress "
+          f"({inc['maintenance_s']:.2f}s occurrence maintenance, "
+          f"{inc['recompress_runs']} runs), {inc['final_c_edges']} c-edges")
+
+    # Same op stream, same document: divergence would mean a bug.
+    assert doc_full.element_count == doc_inc.element_count, \
+        "variants maintained different documents"
+
+    recompress_speedup = (
+        full["recompress_s"] / inc["recompress_s"]
+        if inc["recompress_s"] else float("inf")
+    )
+    maintenance_speedup = (
+        full["maintenance_s"] / inc["maintenance_s"]
+        if inc["maintenance_s"] else float("inf")
+    )
+    census_speedup = (
+        full["rules_censused"] / inc["rules_censused"]
+        if inc["rules_censused"] else float("inf")
+    )
+    ops_speedup = (
+        inc["ops_per_s"] / full["ops_per_s"] if full["ops_per_s"] else 0.0
+    )
+    print(f"  speedup     : {census_speedup:.1f}x rule-census volume "
+          f"(+{inc['rules_adapted']} rules adapted below census cost), "
+          f"{maintenance_speedup:.1f}x occurrence maintenance wall time, "
+          f"{recompress_speedup:.1f}x recompress wall time, "
+          f"{ops_speedup:.1f}x sustained ops/s")
+
+    report = {
+        "benchmark": "bench_recompress",
+        "workload": {
+            "corpus": "EXI-Weblog",
+            "edges": edges,
+            "updates": updates,
+            "auto_recompress_factor": AUTO_FACTOR,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        "full_rescan": full,
+        "incremental": inc,
+        "speedup": {
+            # The quantity the PR eliminates: full O(|rule|) occurrence
+            # rescans.  The pre-PR path re-censuses every rule every
+            # round; the index censuses a rule only when a round rewrote
+            # it non-locally.  (Rules brought up to date below census
+            # cost -- event-log adaptation, crossing-only rescans -- are
+            # reported as rules_adapted, not census volume.)
+            "rule_census_volume": round(census_speedup, 2),
+            # Wall-time views, reported unembellished: maintenance is the
+            # census/selection/upkeep component; recompress and ops/s
+            # additionally include the replacement + pruning machinery
+            # that is identical on both paths.
+            "occurrence_maintenance": round(maintenance_speedup, 2),
+            "recompress_wall_time": round(recompress_speedup, 2),
+            "ops_per_s": round(ops_speedup, 2),
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(JSON_PATH)}")
+    return report
+
+
+def check_schema(report):
+    """The machine-readable contract future PRs regress against."""
+    for section in ("workload", "full_rescan", "incremental", "speedup"):
+        assert section in report, f"missing section {section!r}"
+    for key in ("total_s", "ops_per_s", "recompress_runs", "recompress_s",
+                "maintenance_s", "rules_censused", "final_c_edges",
+                "grammar_rules"):
+        assert key in report["full_rescan"], f"missing {key!r}"
+        assert key in report["incremental"], f"missing {key!r}"
+    for key in ("rule_census_volume", "occurrence_maintenance",
+                "recompress_wall_time", "ops_per_s"):
+        assert key in report["speedup"], f"missing speedup {key!r}"
+
+
+def check_scoping(report):
+    """Dirty-scoped recompression rescans fewer rules than the grammar."""
+    probe = report["incremental"].get("scoped_probe")
+    assert probe is not None, "incremental variant recorded no scoped probe"
+    assert probe["full_censuses"] == 0, "dirty-scoped run did a full census"
+    assert probe["seed_rule_count"] is not None
+    trace = list(zip(probe["census_trace"], probe["rule_count_trace"]))
+    assert trace, "no census recorded"
+    assert all(censused < total for censused, total in trace), (
+        f"a census scanned the whole grammar: {trace}"
+    )
+    assert probe["index_wholesale_resets"] == 0
+
+
+def check_speedup(report, minimum=5.0):
+    """The acceptance bound: >= 5x on the full-rescan volume the
+    incremental index replaces (the pre-PR path re-censuses every rule
+    every round).  Wall-time gains are smaller -- Python-level per-round
+    upkeep plus the replacement and pruning machinery shared by both
+    paths bound them around 2x on this workload -- and are recorded
+    alongside, with a sanity floor so the volume win must translate into
+    real time won."""
+    speedup = report["speedup"]["rule_census_volume"]
+    assert speedup >= minimum, (
+        f"incremental recompression only cut rule-census volume "
+        f"{speedup:.1f}x (required >= {minimum}x)"
+    )
+    assert report["speedup"]["recompress_wall_time"] > 1.5, (
+        "incremental recompression must be materially faster end-to-end"
+    )
+    assert report["speedup"]["ops_per_s"] > 1.0, (
+        "sustained update throughput must improve"
+    )
+
+
+def test_recompress_smoke():
+    """Entry point at a CI-friendly scale (explicit-path pytest runs)."""
+    report = run(smoke=True, **SMOKE_SCALE)
+    check_schema(report)
+    check_scoping(report)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    scale = SMOKE_SCALE if smoke else FULL_SCALE
+    report = run(smoke=smoke, **scale)
+    check_schema(report)
+    check_scoping(report)
+    if not smoke:
+        check_speedup(report)
+        print("bounds ok: >=5x rule-census volume reduction, material "
+              "wall-time wins, dirty-scoped censuses smaller than the "
+              "grammar")
+    else:
+        print("smoke ok: schema valid, dirty-scoped censuses smaller than "
+              "the grammar")

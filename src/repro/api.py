@@ -16,8 +16,23 @@ on the grammar -- goes through an owned
 ``O(grammar depth · rule width)`` per query, restoring the paper's promise
 that updates never scale with the size of the generated document.  The
 index invalidates itself per-rule through the grammar's observer channel
-(updates dirty essentially just the start rule) and is rebuilt from
-scratch only after a full recompression.
+(updates dirty essentially just the start rule).
+
+Recompression is *dirty-rule-scoped* by default: a second observer
+records the rules mutated since the last recompression, and
+:meth:`CompressedXml.recompress` seeds GrammarRePair's occurrence census
+with only those rules plus their digram frontier (see
+:mod:`repro.core.occurrence_index`).  The automatic policy falls back to
+a full -- still incrementally maintained -- census when the dirty mass
+dominates the grammar, where a scoped census would miss cross-rule
+digram weights and erode the compression ratio.  Because only touched
+rules are rewritten, the GrammarIndex keeps its cached count tables for
+the untouched bulk of the grammar -- no ``invalidate_all`` on either
+incremental path; the per-rule observer evictions that fire during
+compression are the entire invalidation story.  Construct with
+``incremental_recompress=False`` for the historical behavior (full
+per-round rescans + wholesale index reset), kept as the benchmark
+baseline.
 
 Example::
 
@@ -31,13 +46,14 @@ Example::
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, List, Optional, Sequence, Union
 
-from repro.core.grammar_repair import GrammarRePair
+from repro.core.grammar_repair import GrammarRePair, GrammarRePairStats
 from repro.grammar.index import GrammarIndex
 from repro.grammar.navigation import stream_preorder
 from repro.grammar.serialize import format_grammar, parse_grammar
-from repro.grammar.slcf import Grammar
+from repro.grammar.slcf import Grammar, RuleTouchRecorder
 from repro.trees.binary import decode_binary, encode_binary, encode_forest
 from repro.trees.symbols import Alphabet
 from repro.trees.unranked import XmlNode
@@ -62,13 +78,35 @@ class CompressedXml:
         grammar: Grammar,
         kin: int = 4,
         auto_recompress_factor: Optional[float] = None,
+        incremental_recompress: bool = True,
     ) -> None:
         self._grammar = grammar
         self._index = GrammarIndex(grammar)
         self._kin = kin
         self._auto_factor = auto_recompress_factor
+        self._incremental = incremental_recompress
+        # Rules mutated since the last recompression; recompress() scopes
+        # its census to exactly this set (plus the digram frontier).
+        self._dirty = RuleTouchRecorder()
+        grammar.register_observer(self._dirty)
+        # Dirty scoping is only sound relative to a compressed baseline: a
+        # grammar that was never RePair'd (compress=False, grammar files)
+        # gets one full run first.
+        self._baselined = False
         self._last_compressed_size = max(1, grammar.size)
         self.updates_applied = 0
+        self.recompress_runs = 0
+        self.recompress_seconds = 0.0
+        # Occurrence-maintenance share of recompress_seconds (census,
+        # digram selection, per-round count upkeep) -- see
+        # GrammarRePairStats.maintenance_seconds.
+        self.maintenance_seconds = 0.0
+        # Accumulated instrumentation over all recompressions: rules fully
+        # censused (O(|rule|) resolution scans) vs rules brought up to
+        # date below census cost (event adaptation / crossing rescans).
+        self.rules_censused_total = 0
+        self.rules_adapted_total = 0
+        self.last_repair_stats: Optional[GrammarRePairStats] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -80,6 +118,7 @@ class CompressedXml:
         kin: int = 4,
         compress: bool = True,
         auto_recompress_factor: Optional[float] = None,
+        **kwargs,
     ) -> "CompressedXml":
         """Compress a structure tree into a document."""
         alphabet = Alphabet()
@@ -90,8 +129,10 @@ class CompressedXml:
             )
         else:
             grammar = Grammar.from_tree(binary, alphabet)
-        return cls(grammar, kin=kin,
-                   auto_recompress_factor=auto_recompress_factor)
+        doc = cls(grammar, kin=kin,
+                  auto_recompress_factor=auto_recompress_factor, **kwargs)
+        doc._baselined = compress
+        return doc
 
     @classmethod
     def from_xml(cls, text: str, **kwargs) -> "CompressedXml":
@@ -151,11 +192,26 @@ class CompressedXml:
             return 1.0
         return self.compressed_size / edges
 
-    def tags(self) -> Iterator[str]:
-        """Element tags in document order, streamed without decompression."""
-        for symbol in stream_preorder(self._grammar):
-            if not symbol.is_bottom:
-                yield symbol.name
+    def tags(
+        self, start: Optional[int] = None, stop: Optional[int] = None
+    ) -> Iterator[str]:
+        """Element tags in document order, streamed without decompression.
+
+        Without arguments the whole document is streamed (O(N)).  With a
+        window -- ``tags(i, j)`` yields the tags of elements ``i..j-1`` --
+        the iterator rides :meth:`GrammarIndex.iter_element_symbols`:
+        subtrees before the window are skipped in O(1) via the cached
+        count tables, so a bulk read of a window costs
+        O(depth · rule-width + window) instead of streaming the whole
+        document to reach it.
+        """
+        if start is None and stop is None:
+            for symbol in stream_preorder(self._grammar):
+                if not symbol.is_bottom:
+                    yield symbol.name
+            return
+        for symbol in self._index.iter_element_symbols(start or 0, stop):
+            yield symbol.name
 
     def tag_of(self, element_index: int) -> str:
         """Tag of the ``element_index``-th element (document order)."""
@@ -232,20 +288,80 @@ class CompressedXml:
         if self._auto_factor is None:
             return
         if self._grammar.size > self._auto_factor * self._last_compressed_size:
-            self.recompress()
+            self.recompress(full=self._scoped_census_unprofitable())
+
+    def _scoped_census_unprofitable(self) -> Optional[bool]:
+        """Auto-recompress policy: scope the census to the dirty rules
+        only while they are a small slice of the grammar.
+
+        Under sustained traffic the start rule accumulates most of the
+        grammar's mass by the time the growth factor triggers; a census
+        scoped to it would miss cross-rule digram weights and slowly
+        degrade the compression ratio.  A full (but still incrementally
+        maintained) census costs one extra pass and keeps parity.
+        """
+        if not (self._incremental and self._baselined):
+            return None  # recompress() applies its own first-run rule
+        from repro.trees.node import edge_count
+
+        grammar = self._grammar
+        dirty_edges = sum(
+            edge_count(grammar.rules[head])
+            for head in self._dirty.changed
+            if grammar.has_rule(head)
+        )
+        return dirty_edges * 4 > grammar.size or None
 
     # ------------------------------------------------------------------
     # maintenance and output
     # ------------------------------------------------------------------
-    def recompress(self) -> int:
-        """Run GrammarRePair in place; returns the new grammar size."""
-        self._grammar = GrammarRePair(kin=self._kin).compress(
-            self._grammar, in_place=True
+    def recompress(self, full: Optional[bool] = None) -> int:
+        """Run GrammarRePair in place; returns the new grammar size.
+
+        By default the run is *dirty-rule-scoped*: the occurrence census
+        is seeded with only the rules mutated since the last
+        recompression (plus their digram frontier), and the structural
+        index keeps its cached tables for every untouched rule -- the
+        per-rule evictions fired through the observer channel while rules
+        were rewritten are the only invalidation.  Pass ``full=True`` to
+        force a whole-grammar census (the first run on a grammar that was
+        never compressed does this automatically, as does a document
+        constructed with ``incremental_recompress=False``, which also
+        restores the historical wholesale index reset).
+        """
+        started = time.perf_counter()
+        if full is None:
+            full = not (self._incremental and self._baselined)
+        compressor = GrammarRePair(
+            kin=self._kin, incremental=self._incremental
         )
-        # Recompression rewrites essentially every rule; a wholesale reset
-        # is cheaper than replaying thousands of per-rule invalidations.
-        self._index.invalidate_all()
+        if full or not self._incremental:
+            self._grammar = compressor.compress(self._grammar, in_place=True)
+            if not self._incremental:
+                # The historical contract: a full recompression rewrites
+                # essentially every rule, so a wholesale reset beats
+                # replaying thousands of per-rule invalidations.
+                self._index.invalidate_all()
+            # Incremental mode relies on the per-rule observer evictions
+            # that fired while rules were rewritten, full census or not.
+        else:
+            dirty = set(self._dirty.changed)
+            self._grammar = compressor.compress(
+                self._grammar, in_place=True, dirty_rules=dirty
+            )
+            # No invalidate_all: untouched rules keep their cached tables.
+        self.last_repair_stats = compressor.stats
+        self._dirty.clear()
+        self._baselined = True
         self._last_compressed_size = max(1, self._grammar.size)
+        self.recompress_runs += 1
+        self.recompress_seconds += time.perf_counter() - started
+        self.maintenance_seconds += compressor.stats.maintenance_seconds
+        self.rules_censused_total += compressor.stats.rules_censused
+        self.rules_adapted_total += (
+            compressor.stats.rules_adapted
+            + compressor.stats.rules_partially_rescanned
+        )
         return self._grammar.size
 
     def to_document(self, budget: int = 50_000_000) -> XmlNode:

@@ -5,6 +5,7 @@ from repro.core.grammar_repair import (
     GrammarRePairStats,
     grammar_repair,
 )
+from repro.core.occurrence_index import GrammarOccurrenceIndex
 from repro.core.replace_optimized import (
     OptimizedReplacer,
     replace_all_occurrences_optimized,
@@ -22,6 +23,7 @@ __all__ = [
     "GrammarRePair",
     "GrammarRePairStats",
     "grammar_repair",
+    "GrammarOccurrenceIndex",
     "Resolver",
     "GrammarOccurrence",
     "OccurrenceTable",

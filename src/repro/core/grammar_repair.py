@@ -14,13 +14,30 @@ Given an SLCF grammar ``G``, produce a smaller grammar ``G'`` with
 Applied to the trivial grammar ``{S -> t}`` this is a tree compressor
 (Section V-B); applied to an updated grammar it is the paper's incremental
 recompressor (Section V-C).
+
+Occurrence maintenance
+----------------------
+By default (``incremental=True``) step 3 does **not** rerun the full
+census: a :class:`~repro.core.occurrence_index.GrammarOccurrenceIndex` is
+built with exactly one full-grammar pass and then, after every
+replacement, re-censuses only the rules the round touched (reported
+through the grammar's observer channel) plus the rules whose occurrence
+resolutions pass through them -- a round costs O(|touched rules|) instead
+of O(|G|).  ``compress(dirty_rules=...)`` narrows even the initial census
+to a set of dirty rules plus their digram frontier, which is what
+:meth:`repro.api.CompressedXml.recompress` uses to recompress only the
+part of the grammar mutated since its last run.  ``incremental=False``
+keeps the historical per-round full-rescan loop as a reference (and as
+the benchmark baseline).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Callable, Iterable, List, Optional, Set
 
+from repro.core.occurrence_index import GrammarOccurrenceIndex
 from repro.core.replace_optimized import replace_all_occurrences_optimized
 from repro.core.replace_simple import replace_all_occurrences_simple
 from repro.core.retrieve import retrieve_occurrences
@@ -41,7 +58,15 @@ class GrammarRePairError(RuntimeError):
 
 @dataclass
 class GrammarRePairStats:
-    """Trace of one recompression run (drives Figures 2 and 3)."""
+    """Trace of one recompression run (drives Figures 2 and 3).
+
+    ``full_censuses`` counts full-grammar occurrence censuses;
+    ``census_trace[i]`` is the number of rules censused by round ``i``
+    (entry 0 is the initial build) and ``rule_count_trace[i]`` the number
+    of grammar rules at that moment.  The incremental path performs
+    exactly one full census per run; the rescan path one per round.
+    ``seed_rule_count`` is set when the census was dirty-rule-scoped.
+    """
 
     rounds: int = 0
     rules_created: int = 0
@@ -51,6 +76,21 @@ class GrammarRePairStats:
     final_size: int = 0
     max_intermediate_size: int = 0
     size_trace: List[int] = field(default_factory=list)
+    full_censuses: int = 0
+    census_trace: List[int] = field(default_factory=list)
+    rule_count_trace: List[int] = field(default_factory=list)
+    rules_censused: int = 0
+    #: Rules brought up to date below census cost: event-log adaptation
+    #: (O(edits)) and crossing-only rescans (resolution only at nodes that
+    #: can cross rules).
+    rules_adapted: int = 0
+    rules_partially_rescanned: int = 0
+    seed_rule_count: Optional[int] = None
+    #: Wall time spent maintaining occurrence counts: census/build, digram
+    #: selection and per-round count upkeep (incl. garbage detection) --
+    #: the component this PR's occurrence index replaces.  Replacement and
+    #: pruning time is excluded (identical machinery on both paths).
+    maintenance_seconds: float = 0.0
 
     @property
     def blow_up(self) -> float:
@@ -74,8 +114,16 @@ class GrammarRePair:
         instead of plain DependencyDAG inlining (Algorithm 5).  The
         non-optimized variant is exponentially worse on some inputs
         (Figure 3) but useful as a reference.
+    incremental:
+        Maintain occurrence counts incrementally across rounds with a
+        :class:`~repro.core.occurrence_index.GrammarOccurrenceIndex`
+        (one full census per run) instead of re-running RETRIEVEOCCS
+        every round (the historical behavior, kept as the baseline).
     rule_prefix / export_prefix:
         Name prefixes for digram rules and exported fragment rules.
+    round_hook:
+        Test/diagnostics callback invoked after every incremental round
+        with ``(grammar, occurrence_index, opaque)``.
     """
 
     def __init__(
@@ -83,22 +131,34 @@ class GrammarRePair:
         kin: int = DEFAULT_KIN,
         prune: bool = True,
         optimized: bool = True,
+        incremental: bool = True,
         rule_prefix: str = "X",
         export_prefix: str = "F",
+        round_hook: Optional[Callable] = None,
     ) -> None:
         self.kin = kin
         self.prune = prune
         self.optimized = optimized
+        self.incremental = incremental
         self.rule_prefix = rule_prefix
         self.export_prefix = export_prefix
+        self.round_hook = round_hook
         self.stats = GrammarRePairStats()
 
     # ------------------------------------------------------------------
-    def compress(self, grammar: Grammar, in_place: bool = False) -> Grammar:
+    def compress(
+        self,
+        grammar: Grammar,
+        in_place: bool = False,
+        dirty_rules: Optional[Iterable[Symbol]] = None,
+    ) -> Grammar:
         """Recompress ``grammar``; returns the new grammar.
 
         With ``in_place=False`` (default) the input grammar is left
-        untouched.
+        untouched.  ``dirty_rules`` (incremental mode only) scopes the
+        initial census to the given rules plus their digram frontier --
+        rules untouched since the last compression keep their digrams
+        as they are.
         """
         working = grammar if in_place else grammar.copy()
         stats = self.stats = GrammarRePairStats()
@@ -106,11 +166,150 @@ class GrammarRePair:
         stats.max_intermediate_size = stats.initial_size
         stats.size_trace.append(stats.initial_size)
 
+        if self.incremental:
+            self._compress_incremental(working, stats, dirty_rules)
+        else:
+            self._compress_full_rescan(working, stats)
+
+        if self.prune:
+            stats.rules_pruned = prune_grammar(working)
+        stats.final_size = working.size
+        stats.size_trace.append(stats.final_size)
+        if stats.final_size > stats.max_intermediate_size:
+            stats.max_intermediate_size = stats.final_size
+        return working
+
+    # ------------------------------------------------------------------
+    def _replace(
+        self,
+        working: Grammar,
+        digram: Digram,
+        replacement: Symbol,
+        occurrences,
+        opaque: Set[Symbol],
+        touched: Optional[Set[Symbol]] = None,
+        ref_counts: Optional[dict] = None,
+        rule_order: Optional[List[Symbol]] = None,
+        clean_edits: Optional[dict] = None,
+    ) -> int:
+        if self.optimized:
+            return replace_all_occurrences_optimized(
+                working, digram, replacement, occurrences, opaque,
+                export_prefix=self.export_prefix, touched=touched,
+                ref_counts=ref_counts, rule_order=rule_order,
+                clean_edits=clean_edits,
+            )
+        return replace_all_occurrences_simple(
+            working, digram, replacement, occurrences, touched=touched
+        )
+
+    def _compress_incremental(
+        self,
+        working: Grammar,
+        stats: GrammarRePairStats,
+        dirty_rules: Optional[Iterable[Symbol]],
+    ) -> None:
+        """One full census, then touched-rules-only maintenance."""
+        opaque: Set[Symbol] = set()
+        index = GrammarOccurrenceIndex(working, opaque)
+        seed = None
+        if dirty_rules is not None:
+            seed = set(dirty_rules)
+            stats.seed_rule_count = len(seed)
+        else:
+            stats.full_censuses += 1
+        clock = time.perf_counter
+        started = clock()
+        index.build(seed_rules=seed)
+        stats.maintenance_seconds += clock() - started
+        try:
+            while True:
+                started = clock()
+                best = index.best(self.kin)
+                stats.maintenance_seconds += clock() - started
+                if best is None:
+                    break
+                digram, _weight = best
+                occurrences = index.occurrences(digram)
+                if not occurrences:
+                    index.mark_dead(digram)
+                    continue
+                # The index's cached call graph supplies the round-start
+                # reference counts and the bottom-up processing order that
+                # the replacer would otherwise recompute with full-grammar
+                # walks.
+                rule_order = index.order_rules(
+                    {occurrence.rule for occurrence in occurrences}
+                )
+                replacement = working.alphabet.fresh_nonterminal(
+                    digram.rank, self.rule_prefix
+                )
+                working.set_rule(replacement, digram_pattern(digram))
+                opaque.add(replacement)
+                index.note_new_rule(replacement)
+                clean_edits: dict = {}
+                replaced = self._replace(
+                    working, digram, replacement, occurrences, opaque,
+                    ref_counts=index.reference_counts_live(),
+                    rule_order=rule_order,
+                    clean_edits=clean_edits,
+                )
+                if replaced == 0:
+                    # Defensive: never loop on an irreplaceable digram.
+                    # The replacer may still have rewritten rules while
+                    # isolating, so the round is folded in regardless.
+                    working.remove_rule(replacement)
+                    opaque.discard(replacement)
+                    index.mark_dead(digram)
+                    started = clock()
+                    index.apply_round(collect_garbage=False)
+                    stats.maintenance_seconds += clock() - started
+                    continue
+                # apply_round garbage-collects dead rules itself (the
+                # usage table it needs for the weight refresh doubles as
+                # the garbage detector) and adapts cleanly-edited rules
+                # edge-locally instead of rescanning them.
+                started = clock()
+                index.apply_round(clean_edits=clean_edits)
+                stats.maintenance_seconds += clock() - started
+                stats.rounds += 1
+                stats.rules_created += 1
+                stats.replacements += replaced
+                # The index tracks |G| at its structure refreshes; asking
+                # the grammar would walk every rule each round.
+                size = index.grammar_size()
+                stats.size_trace.append(size)
+                if size > stats.max_intermediate_size:
+                    stats.max_intermediate_size = size
+                if self.round_hook is not None:
+                    self.round_hook(working, index, opaque)
+        finally:
+            stats.census_trace = list(index.census_trace)
+            stats.rule_count_trace = list(index.rule_count_trace)
+            stats.rules_censused = index.rules_censused
+            stats.rules_adapted = index.rules_adapted
+            stats.rules_partially_rescanned = index.rules_partially_rescanned
+            index.detach()
+
+    def _compress_full_rescan(
+        self, working: Grammar, stats: GrammarRePairStats
+    ) -> None:
+        """The historical loop: a full RETRIEVEOCCS census per round."""
         opaque: Set[Symbol] = set()
         dead_digrams: Set[Digram] = set()
+        clock = time.perf_counter
         while True:
+            started = clock()
             table = retrieve_occurrences(working, opaque)
+            stats.full_censuses += 1
+            census_count = sum(
+                1 for head in working.rules if head not in opaque
+            )
+            stats.census_trace.append(census_count)
+            stats.rule_count_trace.append(len(working.rules))
+            stats.rules_censused += census_count
             best = table.best(self.kin, skip=dead_digrams)
+            stats.maintenance_seconds += clock() - started
             if best is None:
                 break
             digram, _weight = best
@@ -120,14 +319,9 @@ class GrammarRePair:
             )
             working.set_rule(replacement, digram_pattern(digram))
             opaque.add(replacement)
-            if self.optimized:
-                replaced = replace_all_occurrences_optimized(
-                    working, digram, replacement, occurrences, opaque
-                )
-            else:
-                replaced = replace_all_occurrences_simple(
-                    working, digram, replacement, occurrences
-                )
+            replaced = self._replace(
+                working, digram, replacement, occurrences, opaque
+            )
             if replaced == 0:
                 # Defensive: never loop on an irreplaceable digram.  The
                 # fresh rule is dropped again by garbage collection.
@@ -135,7 +329,9 @@ class GrammarRePair:
                 opaque.discard(replacement)
                 dead_digrams.add(digram)
                 continue
+            started = clock()
             collect_garbage(working)
+            stats.maintenance_seconds += clock() - started
             stats.rounds += 1
             stats.rules_created += 1
             stats.replacements += replaced
@@ -143,14 +339,6 @@ class GrammarRePair:
             stats.size_trace.append(size)
             if size > stats.max_intermediate_size:
                 stats.max_intermediate_size = size
-
-        if self.prune:
-            stats.rules_pruned = prune_grammar(working)
-        stats.final_size = working.size
-        stats.size_trace.append(stats.final_size)
-        if stats.final_size > stats.max_intermediate_size:
-            stats.max_intermediate_size = stats.final_size
-        return working
 
     # ------------------------------------------------------------------
     def compress_tree(
@@ -176,8 +364,9 @@ def grammar_repair(
     kin: int = DEFAULT_KIN,
     prune: bool = True,
     optimized: bool = True,
+    incremental: bool = True,
 ) -> Grammar:
     """Convenience wrapper with default settings."""
-    return GrammarRePair(kin=kin, prune=prune, optimized=optimized).compress(
-        grammar
-    )
+    return GrammarRePair(
+        kin=kin, prune=prune, optimized=optimized, incremental=incremental
+    ).compress(grammar)

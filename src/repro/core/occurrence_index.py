@@ -1,0 +1,957 @@
+"""A persistent, incrementally maintained digram index over a grammar.
+
+:class:`GrammarOccurrenceIndex` mirrors
+:class:`repro.repair.occurrences.TreeOccurrenceIndex` at the grammar
+level: digram -> usage-weighted occurrence lists, with the most frequent
+appropriate digram answered by a lazy max-heap
+(:class:`~repro.repair.priority.DigramPriorityQueue`) in O(log n) instead
+of a linear scan over every digram.
+
+The index is built with one full ``RETRIEVEOCCS`` census (Algorithm 4) --
+or, for dirty-rule-scoped recompression, a census of only the dirty rules
+plus their digram frontier -- and then maintained *incrementally*: it
+registers as a grammar observer, records the rules each replacement round
+mutates, and on :meth:`apply_round` adapts exactly what changed.  This
+realizes the paper's Section IV-C observation ("only the occurrences that
+overlap with an occurrence of the replaced digram have to be adapted") on
+the grammar, where before every round paid a full O(|G|) rescan.  Two
+granularities:
+
+* **edge-local adaptation** for rules whose only mutations were intra-rule
+  digram replacements: the replacer reports the replaced edges
+  (:data:`~repro.core.rewrite.EdgeReplacement` deltas), and only the
+  occurrences incident to the replaced nodes are removed/re-resolved --
+  O(replacements) instead of O(|rule|).  This is what keeps rounds cheap
+  when the start rule dominates the grammar (the sustained-update regime);
+* **rule re-census** for rules rewritten in less local ways (inlining,
+  fragment export, removal) and for rules whose stored *resolutions* pass
+  through an interface that changed.
+
+Affected-set propagation
+------------------------
+An occurrence stored for rule ``C`` resolves its endpoints through
+transparent nonterminals, possibly in other rules.  A mutation of rule
+``D`` therefore invalidates:
+
+* ``D``'s own occurrences (its generators changed),
+* occurrences of any rule *referencing* a transparent rule through whose
+  right-hand side a resolution can now differ.
+
+Resolutions enter a rule ``X`` only at its *interface*: descending, at
+``X``'s root node (when the root is a transparent nonterminal the walk
+continues into that rule); ascending, at the parents of ``X``'s
+parameters.  Endpoints and resolution paths recorded for other rules
+consist exactly of these interface nodes, so a mutation of ``X`` only
+invalidates outside occurrences when its interface *signature* -- the
+identities and symbols of the root and parameter-parent nodes -- changed;
+a digram replaced in the interior of ``X`` stays ``X``'s private affair.
+The index keeps, per rule, its referenced symbols, its boundary symbols
+(interface symbols through which walks continue onward), and the
+signature; the affected set is ``dirty`` plus the referencers of the
+closure of the interface-changed rules under reverse-boundary edges.
+This is sound because every hop of a TREECHILD/TREEPARENT walk follows a
+reference, and hops beyond the first pass through interfaces only.
+
+Equal-label caveat
+------------------
+Stored equal-label occurrences carry per-digram *claims* (resolved child
+endpoints) that suppress overlaps.  Claims persist across rounds, so
+incremental maintenance may greedily pick a different -- equally valid,
+non-overlapping -- occurrence set than a from-scratch census would (and
+edge-local adaptation does not re-discover occurrences a removed claim
+used to suppress).  Non-equal-label digram weights are maintained
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.resolve import Resolver
+from repro.core.retrieve import GrammarOccurrence
+from repro.grammar.properties import anti_sl_order
+from repro.grammar.slcf import Grammar
+from repro.repair.digram import Digram
+from repro.repair.priority import DigramPriorityQueue
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+
+__all__ = ["GrammarOccurrenceIndex"]
+
+#: Per rule: digram -> {id(generator) -> occurrence}.  Generator-keyed so
+#: edge-local adaptation can remove single occurrences in O(1); dicts
+#: preserve insertion (preorder) order for the occurrence lists.
+_RuleTable = Dict[Digram, Dict[int, GrammarOccurrence]]
+
+
+class GrammarOccurrenceIndex:
+    """Digram -> occurrences over one mutable grammar, kept correct
+    across replacement rounds by adapting only what each round touched.
+
+    Lifecycle (one instance per :meth:`GrammarRePair.compress` call)::
+
+        index = GrammarOccurrenceIndex(grammar, opaque)
+        index.build()                       # or build(seed_rules=dirty)
+        while (best := index.best(kin)):
+            ... replace best digram ...     # mutations reach the index
+            index.apply_round(clean_edits)  # adapt/rescan touched rules
+
+    The instance registers as a grammar observer on construction; call
+    :meth:`detach` when done (before pruning, which rewrites wholesale).
+    """
+
+    def __init__(self, grammar: Grammar, opaque: Set[Symbol]) -> None:
+        self._grammar = grammar
+        self._opaque = opaque
+        self._by_rule: Dict[Symbol, _RuleTable] = {}
+        # rule -> {id(generator) -> digram}: the reverse lookup removals
+        # need.
+        self._gen_digram: Dict[Symbol, Dict[int, Digram]] = {}
+        # rule -> the usage weight folded into _weights for its occurrences.
+        self._rule_usage: Dict[Symbol, int] = {}
+        self._weights: Dict[Digram, int] = {}
+        # Textual (unweighted) occurrence counts.  A digram stored exactly
+        # once *that contains an opaque digram symbol* has nothing left to
+        # share: replacing it wraps a single site in one more rule (net
+        # growth), and on update-accumulated grammars chains of such
+        # replacements feed each other into a blow-up the pruning phase
+        # cannot recover.  ``best`` therefore rejects those; singleton
+        # digrams over document symbols stay eligible -- they isolate
+        # shared-rule interiors and enable later cross-rule sharing.
+        self._counts: Dict[Digram, int] = {}
+        # Equal-label claims: digram -> {id(child endpoint) -> refcount}.
+        # Refcounted because distinct generators may resolve to the same
+        # explicit child node (shared rules).
+        self._claims: Dict[Digram, Dict[int, int]] = {}
+        # Structure maps, maintained for *every* rule (cheap, no resolver):
+        # per-rule callee histograms (symbol -> reference multiplicity)...
+        self._callee_counts: Dict[Symbol, Dict[Symbol, int]] = {}
+        self._referencers: Dict[Symbol, Set[Symbol]] = {}
+        self._boundary: Dict[Symbol, Set[Symbol]] = {}
+        self._boundary_refs: Dict[Symbol, Set[Symbol]] = {}
+        # ... and their aggregate: |refG(Q)| per rule head, kept exact by
+        # folding histogram deltas at every structure refresh.  Replaces
+        # the per-round full-grammar ``reference_counts`` walk.
+        self._refs_total: Dict[Symbol, int] = {}
+        # rule -> interface signature (root and parameter-parent nodes by
+        # identity and symbol); outside occurrences resolve through these
+        # nodes and only these, so an unchanged signature means no caller
+        # needs a rescan.
+        self._interface: Dict[Symbol, Tuple] = {}
+        # rule -> RHS edge count, and the grammar-wide total: lets the
+        # compression loop trace |G| per round without an O(|G|) walk.
+        self._rule_edges: Dict[Symbol, int] = {}
+        self._total_edges = 0
+        # rule -> topological level (every caller strictly above all its
+        # callees); sorting by it yields an anti-SL order without a
+        # per-round DFS over the whole call graph.
+        self._topo: Dict[Symbol, int] = {}
+        self.queue = DigramPriorityQueue()
+        self._dead: Set[Digram] = set()
+        # Intermediate-size ceiling for break-even replacements over
+        # opaque rules (set at build time; see best()).
+        self._blowup_budget = float("inf")
+        self._dirty: Set[Symbol] = set()
+        self._changed_digrams: Set[Digram] = set()
+        # Rules ever censused -- the compression scope.  Dirty-seeded
+        # builds leave out-of-scope rules alone even when propagation
+        # brushes them.
+        self._scope: Set[Symbol] = set()
+        # Instrumentation (asserted by tests and reported by benchmarks).
+        self.builds = 0
+        self.rules_censused = 0
+        self.rules_adapted = 0
+        self.rules_partially_rescanned = 0
+        self.last_census_count = 0
+        self.census_trace: List[int] = []
+        # Grammar rule count at the time of each census, so the trace can
+        # be judged against the grammar size it ran over.
+        self.rule_count_trace: List[int] = []
+        self._registered = True
+        grammar.register_observer(self)
+
+    # ------------------------------------------------------------------
+    # grammar observer protocol
+    # ------------------------------------------------------------------
+    def rule_changed(self, head: Symbol) -> None:
+        self._dirty.add(head)
+
+    def rule_removed(self, head: Symbol) -> None:
+        self._dirty.add(head)
+
+    def detach(self) -> None:
+        """Unregister from the grammar (the index goes stale after)."""
+        if self._registered:
+            self._grammar.unregister_observer(self)
+            self._registered = False
+
+    # ------------------------------------------------------------------
+    # building and incremental maintenance
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        seed_rules: Optional[Iterable[Symbol]] = None,
+        usage_map: Optional[Dict[Symbol, int]] = None,
+    ) -> None:
+        """Initial census.
+
+        With ``seed_rules=None`` every (non-opaque) rule is censused --
+        the one full-grammar pass of a compression run.  With a seed set,
+        only the seed plus its digram frontier (rules whose resolutions
+        pass through seed rules) is censused: digrams wholly inside
+        untouched rules were already handled by the previous run and are
+        deliberately left alone (dirty-rule-scoped recompression).
+        """
+        self.builds += 1
+        grammar = self._grammar
+        for head in grammar.rules:
+            self._refresh_structure(head)
+        if usage_map is None:
+            usage_map = self.usage_from_structure()
+        resolver = Resolver(grammar, self._opaque)
+        order = anti_sl_order(grammar)
+        if seed_rules is not None:
+            dirty = {h for h in seed_rules if grammar.has_rule(h)}
+            affected = dirty | self._propagated(dirty)
+            order = [head for head in order if head in affected]
+        census_count = 0
+        for head in order:
+            if self._census_rule(head, resolver, usage_map):
+                census_count += 1
+        self.last_census_count = census_count
+        self.census_trace.append(census_count)
+        self.rule_count_trace.append(len(grammar.rules))
+        self._blowup_budget = max(2 * self._total_edges,
+                                  self._total_edges + 64)
+        self._flush_queue()
+        self._dirty.clear()
+
+    def apply_round(
+        self,
+        clean_edits: Optional[Dict[Symbol, List]] = None,
+        collect_garbage: bool = True,
+    ) -> List[Symbol]:
+        """Fold one replacement round's mutations into the index.
+
+        ``clean_edits`` maps rules whose *only* mutations were intra-rule
+        digram replacements to their ordered
+        :data:`~repro.core.rewrite.EdgeReplacement` logs; those rules are
+        adapted edge-locally.  Every other rule reported through the
+        observer channel since the last call -- plus the rules whose
+        resolutions pass through a changed interface -- is dropped and
+        re-censused; the rest keep their stored occurrences, with weights
+        adjusted for usage shifts by plain dict arithmetic.  With
+        ``collect_garbage`` (the default), rules whose usage dropped to
+        zero are removed from the grammar first (the usage table needed
+        for the weights doubles as the garbage detector).  Returns the
+        removed rule heads.
+
+        Nothing here walks the whole grammar's right-hand sides: usage and
+        reference counts come from the cached callee histograms, so a
+        round costs O(touched rules + rule count) dictionary work instead
+        of O(|G|) node visits.
+        """
+        grammar = self._grammar
+        dirty = self._dirty
+        self._dirty = set()
+        interface_dirty: Set[Symbol] = set()
+        for head in dirty:
+            log = clean_edits.get(head) if clean_edits else None
+            if log and self._patch_structure_clean(head, log):
+                continue  # interface provably unchanged
+            if self._refresh_structure(head):
+                interface_dirty.add(head)
+        usage_map = self.usage_from_structure()
+        removed: List[Symbol] = []
+        if collect_garbage:
+            removed = [
+                head for head, count in usage_map.items()
+                if count == 0 and grammar.has_rule(head)
+            ]
+            for head in removed:
+                grammar.remove_rule(head)  # notifies observers, incl. self
+            if removed:
+                dirty |= self._dirty
+                self._dirty = set()
+                for head in removed:
+                    if self._refresh_structure(head):
+                        interface_dirty.add(head)
+        propagated = self._propagated(interface_dirty)
+        # Local-edit adaptation applies only where nothing but clean
+        # replacements/inlines happened *and* no resolution chain out of
+        # the rule was invalidated by a neighbor's interface change.
+        adapt: Dict[Symbol, List] = {}
+        if clean_edits:
+            for head, log in clean_edits.items():
+                if (log and head not in propagated
+                        and head not in removed and grammar.has_rule(head)
+                        and head in self._by_rule):
+                    adapt[head] = log
+        rescan = dirty - set(adapt)
+        # Rules affected *only* through a neighbor's interface change keep
+        # their local occurrences (provably untouched: the rule itself did
+        # not change) and re-resolve just the crossing generators, in rule
+        # preorder.  Applies only to rules inside the compression scope
+        # (censused before; dirty-seeded runs leave the rest alone).
+        partial = {
+            head for head in propagated
+            if head not in rescan and head not in adapt
+            and head in self._scope and head not in self._opaque
+            and grammar.has_rule(head)
+        }
+        for head in rescan:
+            self._drop_rule(head)
+        # Usage refresh for surviving rules: adjust weights by the usage
+        # delta -- dict arithmetic only, no resolution walks.  Runs before
+        # adaptation so edge deltas apply at the new usage.
+        for head, old_weight in list(self._rule_usage.items()):
+            new_weight = usage_map.get(head, 0)
+            if new_weight == old_weight:
+                continue
+            delta = new_weight - old_weight
+            for digram, occs in self._by_rule[head].items():
+                self._weights[digram] = (
+                    self._weights.get(digram, 0) + delta * len(occs)
+                )
+                self._changed_digrams.add(digram)
+            self._rule_usage[head] = new_weight
+        resolver = Resolver(grammar, self._opaque)
+        for head, log in adapt.items():
+            self._adapt_rule(head, log, resolver, usage_map)
+        census_count = 0
+        for head in self._order_affected(rescan):
+            if self._census_rule(head, resolver, usage_map):
+                census_count += 1
+        for head in self._order_affected(partial):
+            self._rescan_crossing(head, resolver, usage_map)
+            census_count += 1
+        self.last_census_count = census_count
+        self.census_trace.append(census_count)
+        self.rule_count_trace.append(len(grammar.rules))
+        self._flush_queue()
+        return removed
+
+    # ------------------------------------------------------------------
+    # derived grammar properties from the cached structure maps
+    # ------------------------------------------------------------------
+    def usage_from_structure(self) -> Dict[Symbol, int]:
+        """``usageG`` recomputed from the cached callee histograms.
+
+        Equivalent to :func:`repro.grammar.properties.usage` but
+        O(rules + call edges) symbol-level work -- no right-hand sides are
+        walked.  Valid whenever the structure maps are current (after
+        ``build``/``apply_round``; within ``apply_round`` after the dirty
+        refresh).
+        """
+        grammar = self._grammar
+        counts = self._callee_counts
+        topo = self._topo
+        result: Dict[Symbol, int] = {head: 0 for head in grammar.rules}
+        result[grammar.start] = 1
+        # Descending topological level puts every caller before all of its
+        # callees (the _assign_topo invariant) -- no graph walk needed.
+        for head in sorted(
+            grammar.rules, key=lambda rule: topo.get(rule, 0), reverse=True
+        ):
+            weight = result[head]
+            if not weight:
+                continue
+            for callee, count in counts.get(head, {}).items():
+                result[callee] = result.get(callee, 0) + weight * count
+        return result
+
+    def reference_counts_live(self) -> Dict[Symbol, int]:
+        """``|refG(Q)|`` per rule head, as of the last build/apply_round.
+
+        This is exactly the round-start snapshot
+        :class:`~repro.core.replace_optimized.OptimizedReplacer` expects
+        (rules created mid-round are deliberately absent).  The returned
+        dict is the live aggregate -- treat it as read-only.
+        """
+        return self._refs_total
+
+    def note_new_rule(self, head: Symbol) -> None:
+        """Expose a just-installed rule in :meth:`reference_counts_live`
+        (zero references) before the next ``apply_round``.
+
+        The replacement round's snapshot semantics require the fresh
+        digram rule to be *cached at zero* -- exactly what the historical
+        ``reference_counts(grammar)`` walk reported for it -- rather than
+        tracked as a round-created rule.
+        """
+        self._refs_total.setdefault(head, 0)
+
+    def order_rules(self, heads: Iterable[Symbol]) -> List[Symbol]:
+        """Callees-first (anti-SL) order restricted to ``heads``, from the
+        cached call graph -- the processing order a replacement round
+        needs, without an O(|G|) ``anti_sl_order`` walk."""
+        return self._order_affected(set(heads))
+
+    def grammar_size(self) -> int:
+        """``|G|`` in edges, tracked incrementally at structure refreshes
+        (equal to ``Grammar.size`` whenever the structure maps are
+        current)."""
+        return self._total_edges
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def best(self, kin: int) -> Optional[Tuple[Digram, int]]:
+        """Pop the most frequent appropriate digram (or ``None``).
+
+        Accept-and-discard: digrams marked dead (a failed replacement)
+        are dropped at pop time -- the queue itself absorbs the old
+        ``dead_digrams`` workaround.
+        """
+        def accept(digram: Digram, weight: int) -> bool:
+            if digram in self._dead or not digram.is_appropriate(kin, weight):
+                return False
+            # |G| economics: each textual replacement removes one edge,
+            # the fresh rule costs rank+1 edges.  Strictly profitable
+            # digrams and digrams over document symbols (whose
+            # replacement isolates shared-rule interiors and enables
+            # later alignment) are always worth it.  Break-even-or-losing
+            # digrams over already-opaque digram rules are accepted only
+            # while the intermediate grammar stays inside the paper's
+            # bounded blow-up: on update-accumulated grammars such
+            # replacements can mint their own successors forever (each
+            # wraps the same sites one level deeper), a ladder that blows
+            # the grammar up without bound and that pruning cannot
+            # recover from.  Budget rejection is deliberately permanent
+            # (pop_best discards rejected entries): re-offering such a
+            # digram after the grammar shrinks back under budget would
+            # re-ignite the same ladder.
+            if self._counts.get(digram, 0) >= digram.rank + 1:
+                return True
+            if not (digram.parent in self._opaque
+                    or digram.child in self._opaque):
+                return True
+            return self._total_edges <= self._blowup_budget
+
+        return self.queue.pop_best(accept)
+
+    def occurrences(self, digram: Digram) -> List[GrammarOccurrence]:
+        """Stored occurrences, preorder within each rule."""
+        result: List[GrammarOccurrence] = []
+        for per_rule in self._by_rule.values():
+            occs = per_rule.get(digram)
+            if occs:
+                result.extend(occs.values())
+        return result
+
+    def weight(self, digram: Digram) -> int:
+        return self._weights.get(digram, 0)
+
+    def weights(self) -> Dict[Digram, int]:
+        """Snapshot of the current usage-weighted digram counts."""
+        return dict(self._weights)
+
+    def mark_dead(self, digram: Digram) -> None:
+        """Never offer ``digram`` again (its replacement failed)."""
+        self._dead.add(digram)
+
+    def censused_rules(self) -> Set[Symbol]:
+        """Rules with live occurrence tables."""
+        return set(self._by_rule)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _is_transparent(self, symbol: Symbol) -> bool:
+        return symbol.is_nonterminal and symbol not in self._opaque
+
+    def _refresh_structure(self, head: Symbol) -> bool:
+        """Recompute ``head``'s reference/boundary sets and interface
+        signature (or drop them if the rule is gone), keeping the reverse
+        maps in sync.  Returns True when the interface changed -- the only
+        case in which other rules' stored occurrences can be affected."""
+        refs_total = self._refs_total
+        for symbol, count in self._callee_counts.pop(head, {}).items():
+            referencers = self._referencers.get(symbol)
+            if referencers is not None:
+                referencers.discard(head)
+            refs_total[symbol] = refs_total.get(symbol, 0) - count
+        for symbol in self._boundary.pop(head, ()):
+            boundary_refs = self._boundary_refs.get(symbol)
+            if boundary_refs is not None:
+                boundary_refs.discard(head)
+        old_signature = self._interface.pop(head, None)
+        self._total_edges -= self._rule_edges.pop(head, 0)
+        grammar = self._grammar
+        if not grammar.has_rule(head):
+            self._topo.pop(head, None)
+            self._scope.discard(head)
+            return old_signature is not None
+        rhs = grammar.rules[head]
+        callees: Dict[Symbol, int] = {}
+        boundary: Set[Symbol] = set()
+        param_parents: List[Tuple[int, int, Symbol, int]] = []
+        node_total = 0
+        if rhs.symbol.is_nonterminal:
+            # Descending resolutions continue through the rule root.
+            boundary.add(rhs.symbol)
+        stack = [rhs]
+        while stack:
+            node = stack.pop()
+            node_total += 1
+            symbol = node.symbol
+            if symbol.is_nonterminal:
+                callees[symbol] = callees.get(symbol, 0) + 1
+            elif symbol.is_parameter:
+                parent = node.parent
+                if parent is not None:
+                    param_parents.append((
+                        symbol.param_index, id(parent), parent.symbol,
+                        node.child_index(),
+                    ))
+                    if parent.symbol.is_nonterminal:
+                        # Ascending resolutions jump through parameter
+                        # parents.
+                        boundary.add(parent.symbol)
+            stack.extend(node.children)
+        param_parents.sort()
+        signature = (id(rhs), rhs.symbol, tuple(param_parents))
+        self._callee_counts[head] = callees
+        self._boundary[head] = boundary
+        self._interface[head] = signature
+        self._rule_edges[head] = node_total - 1
+        self._total_edges += node_total - 1
+        for symbol, count in callees.items():
+            self._referencers.setdefault(symbol, set()).add(head)
+            refs_total[symbol] = refs_total.get(symbol, 0) + count
+        refs_total.setdefault(head, 0)
+        for symbol in boundary:
+            self._boundary_refs.setdefault(symbol, set()).add(head)
+        self._assign_topo(head, callees)
+        return signature != old_signature
+
+    def _assign_topo(self, head: Symbol, callees: Iterable[Symbol]) -> None:
+        """Keep every caller's topological level above all its callees,
+        bumping referencers transitively when ``head``'s level rises."""
+        topo = self._topo
+        level = 0
+        for callee in callees:
+            callee_level = topo.get(callee, 0)
+            if callee_level >= level:
+                level = callee_level + 1
+        current = topo.get(head)
+        if current is not None and current >= level:
+            return
+        topo[head] = level
+        stack = [head]
+        while stack:
+            node = stack.pop()
+            base = topo[node]
+            for referencer in self._referencers.get(node, ()):
+                if (referencer in self._callee_counts
+                        and topo.get(referencer, 0) <= base):
+                    topo[referencer] = base + 1
+                    stack.append(referencer)
+
+    def _patch_structure_clean(self, head: Symbol, log: List) -> bool:
+        """Fold a local-edit event log into ``head``'s structure maps in
+        O(edits), when the edits provably left the interface alone (no
+        root replacement, no parameter re-parenting).  Returns False when
+        ineligible -- the caller falls back to the full walk."""
+        callees = self._callee_counts.get(head)
+        if callees is None:
+            return False
+        root = self._grammar.rules.get(head)
+        for event in log:
+            if event[0] == "edge":
+                new_node = event[4]
+                if new_node is root or new_node.parent is None:
+                    return False  # root was replaced: interface changed
+                for child in new_node.children:
+                    if child.symbol.is_parameter:
+                        return False  # parameter re-parented
+            else:  # inline
+                copy_root, argument_roots = event[2], event[3]
+                if copy_root is root:
+                    return False  # inlined at the root: interface changed
+                for argument in argument_roots:
+                    if argument.symbol.is_parameter:
+                        return False  # parameter re-parented under a copy
+
+        refs_total = self._refs_total
+        referencers = self._referencers
+
+        def shift(symbol: Symbol, delta: int) -> None:
+            if not symbol.is_nonterminal:
+                return
+            count = callees.get(symbol, 0) + delta
+            if count:
+                callees[symbol] = count
+                if delta > 0:
+                    referencers.setdefault(symbol, set()).add(head)
+            else:
+                callees.pop(symbol, None)
+                refs = referencers.get(symbol)
+                if refs is not None:
+                    refs.discard(head)
+            refs_total[symbol] = refs_total.get(symbol, 0) + delta
+
+        for event in log:
+            if event[0] == "edge":
+                _tag, old_parent, _slot, old_child, new_node = event
+                shift(old_parent.symbol, -1)
+                shift(old_child.symbol, -1)
+                shift(new_node.symbol, 1)
+                # Each replacement removes two nodes and adds one: -1 edge.
+                self._rule_edges[head] = self._rule_edges.get(head, 0) - 1
+                self._total_edges -= 1
+            else:
+                # The histogram/size were snapshotted when the region was
+                # pristine; later edge deltas of the same round apply on
+                # top of them.
+                _tag, inlined, _copy_root, _arguments, histogram, copied = \
+                    event
+                shift(inlined.symbol, -1)
+                for symbol, count in histogram.items():
+                    shift(symbol, count)
+                # One node replaced by ``copied`` template nodes.
+                self._rule_edges[head] = (
+                    self._rule_edges.get(head, 0) + copied - 1
+                )
+                self._total_edges += copied - 1
+        self._assign_topo(head, callees)
+        return True
+
+    def _propagated(self, interface_dirty: Set[Symbol]) -> Set[Symbol]:
+        """Rules whose stored occurrences may have changed endpoints
+        because a resolution chain out of them reaches a rule whose
+        interface changed: referencers of the reverse-boundary closure."""
+        through: Set[Symbol] = {
+            head for head in interface_dirty if self._is_transparent(head)
+        }
+        stack = list(through)
+        while stack:
+            current = stack.pop()
+            for head in self._boundary_refs.get(current, ()):
+                if head not in through and self._is_transparent(head):
+                    through.add(head)
+                    stack.append(head)
+        result: Set[Symbol] = set()
+        for head in through:
+            result.update(self._referencers.get(head, ()))
+        return result
+
+    def _order_affected(self, affected: Set[Symbol]) -> List[Symbol]:
+        """Anti-SL (callees first) order restricted to ``affected``.
+
+        Sorting by the maintained topological level costs
+        O(k log k) in the size of the set -- no walk over the call graph.
+        Ties are broken by name for determinism.
+        """
+        topo = self._topo
+        return sorted(
+            (head for head in affected if head in self._callee_counts),
+            key=lambda head: (topo.get(head, 0), head.name),
+        )
+
+    def _release_claim(self, digram: Digram, occurrence: GrammarOccurrence) -> None:
+        claimed = self._claims.get(digram)
+        if not claimed:
+            return
+        key = id(occurrence.child_node)
+        count = claimed.get(key, 0)
+        if count <= 1:
+            claimed.pop(key, None)
+        else:
+            claimed[key] = count - 1
+
+    def _drop_rule(self, head: Symbol) -> None:
+        """Forget ``head``'s stored occurrences, weights and claims."""
+        per_rule = self._by_rule.pop(head, None)
+        if per_rule is None:
+            return
+        self._gen_digram.pop(head, None)
+        weight = self._rule_usage.pop(head)
+        for digram, occs in per_rule.items():
+            self._counts[digram] = self._counts.get(digram, 0) - len(occs)
+            if weight:
+                self._weights[digram] = (
+                    self._weights.get(digram, 0) - weight * len(occs)
+                )
+            self._changed_digrams.add(digram)
+            if digram.is_equal_label:
+                for occ in occs.values():
+                    self._release_claim(digram, occ)
+
+    def _store_occurrence(
+        self,
+        head: Symbol,
+        node: Node,
+        resolver: Resolver,
+        weight: int,
+        per_rule: _RuleTable,
+        gen_map: Dict[int, Digram],
+    ) -> None:
+        """Resolve and store the occurrence generated by ``node``
+        (replacing a previously stored one for the same generator).
+
+        Mirrors one iteration of :meth:`_census_rule`'s scan loop -- the
+        equal-label claim protocol must stay in lockstep with it."""
+        self._remove_generator(head, node, per_rule, gen_map)
+        parent_node, child_index, parent_path = resolver.tree_parent(node)
+        child_node, child_path = resolver.tree_child(node)
+        digram = Digram(parent_node.symbol, child_index, child_node.symbol)
+        if digram.is_equal_label:
+            if resolver.is_transparent(node.symbol):
+                # Equal-label digrams never cross a rule root.
+                return
+            claimed = self._claims.setdefault(digram, {})
+            if id(parent_node) in claimed:
+                return  # overlaps a stored occurrence
+            key = id(child_node)
+            claimed[key] = claimed.get(key, 0) + 1
+        per_rule.setdefault(digram, {})[id(node)] = GrammarOccurrence(
+            rule=head,
+            generator=node,
+            parent_node=parent_node,
+            child_index=child_index,
+            child_node=child_node,
+            parent_path=parent_path,
+            child_path=child_path,
+        )
+        gen_map[id(node)] = digram
+        self._counts[digram] = self._counts.get(digram, 0) + 1
+        if weight:
+            self._weights[digram] = self._weights.get(digram, 0) + weight
+        self._changed_digrams.add(digram)
+
+    def _remove_generator(
+        self,
+        head: Symbol,
+        node: Node,
+        per_rule: _RuleTable,
+        gen_map: Dict[int, Digram],
+    ) -> None:
+        digram = gen_map.pop(id(node), None)
+        if digram is None:
+            return
+        occs = per_rule.get(digram)
+        occurrence = occs.pop(id(node)) if occs else None
+        if occurrence is None:
+            return
+        self._counts[digram] = self._counts.get(digram, 0) - 1
+        weight = self._rule_usage.get(head, 0)
+        if weight:
+            self._weights[digram] = self._weights.get(digram, 0) - weight
+        self._changed_digrams.add(digram)
+        if digram.is_equal_label:
+            self._release_claim(digram, occurrence)
+
+    def _adapt_rule(
+        self,
+        head: Symbol,
+        log: List,
+        resolver: Resolver,
+        usage_map: Dict[Symbol, int],
+    ) -> None:
+        """Apply one round's local-edit events to ``head``'s occurrences.
+
+        ``("edge", v, i, w, x)``: every node the replacement detached is
+        the ``v`` or ``w`` of some entry, and every fresh edge is incident
+        to its ``x`` node -- remove the occurrences generated by
+        ``{v, w} U children(x)`` and re-resolve ``{x} U children(x)``.
+
+        ``("inline", n, copy_root, argument_roots)``: the inlined node's
+        occurrence dies; every node of the inlined template copy plus the
+        re-parented argument roots generates afresh (argument interiors
+        are untouched originals).
+
+        Processed in event order against the post-round tree, this leaves
+        exactly the occurrence set a rescan of the rule would produce
+        (modulo re-discovery of previously claim-suppressed equal-label
+        occurrences, see the module docstring) -- at O(edits) instead of
+        O(|rule|) cost.
+        """
+        per_rule = self._by_rule.get(head)
+        if per_rule is None:
+            # Never censused (no occurrences stored before): fall back.
+            self._census_rule(head, resolver, usage_map)
+            return
+        self.rules_adapted += 1
+        gen_map = self._gen_digram[head]
+        weight = self._rule_usage.get(head, 0)
+        for event in log:
+            if event[0] == "edge":
+                _tag, old_parent, _slot, old_child, new_node = event
+                self._remove_generator(head, old_parent, per_rule, gen_map)
+                self._remove_generator(head, old_child, per_rule, gen_map)
+                for child in new_node.children:
+                    self._remove_generator(head, child, per_rule, gen_map)
+                if new_node.parent is not None:
+                    self._store_occurrence(
+                        head, new_node, resolver, weight, per_rule, gen_map
+                    )
+                for child in new_node.children:
+                    if not child.symbol.is_parameter:
+                        self._store_occurrence(
+                            head, child, resolver, weight, per_rule, gen_map
+                        )
+            else:
+                _tag, inlined, copy_root, argument_roots = event[:4]
+                self._remove_generator(head, inlined, per_rule, gen_map)
+                argument_ids = {id(root) for root in argument_roots}
+                stack = [copy_root]
+                while stack:
+                    node = stack.pop()
+                    if (not node.symbol.is_parameter
+                            and node.parent is not None):
+                        self._store_occurrence(
+                            head, node, resolver, weight, per_rule, gen_map
+                        )
+                    if id(node) not in argument_ids:
+                        stack.extend(node.children)
+
+    def _rescan_crossing(
+        self,
+        head: Symbol,
+        resolver: Resolver,
+        usage_map: Dict[Symbol, int],
+    ) -> None:
+        """Re-resolve only the generators of ``head`` that can cross into
+        other rules: nodes with a transparent symbol (child side) or a
+        transparent parent (parent side).
+
+        Used when ``head`` itself did not change but a rule its
+        resolutions pass through changed interface.  Local occurrences
+        (both endpoints in-rule) cannot be affected and keep their
+        storage, claims and pairing; crossing candidates -- stored *or*
+        previously suppressed, they are the same node set -- re-resolve
+        in rule preorder.
+        """
+        grammar = self._grammar
+        rhs = grammar.rules[head]
+        weight = usage_map.get(head, 0)
+        per_rule = self._by_rule.get(head)
+        gen_map = self._gen_digram.get(head)
+        if per_rule is None:
+            per_rule = {}
+            gen_map = {}
+            self._by_rule[head] = per_rule
+            self._gen_digram[head] = gen_map
+            self._rule_usage[head] = weight
+        self.rules_partially_rescanned += 1
+        opaque = self._opaque
+        order: List[Node] = []
+        stack = [rhs]
+        while stack:  # preorder
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(node.children))
+        for node in order:
+            parent = node.parent
+            symbol = node.symbol
+            if parent is None or symbol.is_parameter:
+                continue
+            parent_symbol = parent.symbol
+            if (
+                (symbol.is_nonterminal and symbol not in opaque)
+                or (parent_symbol.is_nonterminal
+                    and parent_symbol not in opaque)
+            ):
+                self._store_occurrence(
+                    head, node, resolver, weight, per_rule, gen_map
+                )
+        if not any(per_rule.values()):
+            del self._by_rule[head]
+            del self._gen_digram[head]
+            del self._rule_usage[head]
+
+    def _census_rule(
+        self,
+        head: Symbol,
+        resolver: Resolver,
+        usage_map: Dict[Symbol, int],
+    ) -> bool:
+        """RETRIEVEOCCS restricted to one rule (assumes it was dropped).
+
+        Returns True when the rule was actually scanned (drives the
+        instrumentation counters).
+
+        The per-node body deliberately unrolls :meth:`_store_occurrence`
+        into a tight loop (a census visits thousands of nodes; the
+        adaptation path visits a handful) -- the equal-label claim
+        protocol here and there must stay in lockstep.
+        """
+        grammar = self._grammar
+        if head in self._opaque or not grammar.has_rule(head):
+            return False
+        self.rules_censused += 1
+        self._scope.add(head)
+        rule_weight = usage_map.get(head, 0)
+        rhs = grammar.rules[head]
+        per_rule: _RuleTable = {}
+        gen_map: Dict[int, Digram] = {}
+        self._by_rule[head] = per_rule
+        self._gen_digram[head] = gen_map
+        self._rule_usage[head] = rule_weight
+        order: List[Node] = []
+        stack = [rhs]
+        while stack:  # preorder
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(node.children))
+        claims = self._claims
+        opaque = self._opaque
+        for node in order:
+            parent = node.parent
+            symbol = node.symbol
+            if parent is None or symbol.is_parameter:
+                continue
+            parent_symbol = parent.symbol
+            if not (
+                (symbol.is_nonterminal and symbol not in opaque)
+                or (parent_symbol.is_nonterminal
+                    and parent_symbol not in opaque)
+            ):
+                # Both endpoints are explicit right here: skip the
+                # resolver round-trips (the overwhelmingly common case in
+                # update-dominated start rules).
+                parent_node, child_index = parent, node.child_index()
+                child_node = node
+                parent_path: List[Node] = []
+                child_path: List[Node] = []
+            else:
+                parent_node, child_index, parent_path = \
+                    resolver.tree_parent(node)
+                child_node, child_path = resolver.tree_child(node)
+            digram = Digram(parent_node.symbol, child_index, child_node.symbol)
+            if digram.is_equal_label:
+                if resolver.is_transparent(node.symbol):
+                    # Equal-label digrams never cross a rule root.
+                    continue
+                claimed = claims.setdefault(digram, {})
+                if id(parent_node) in claimed:
+                    continue  # overlaps a stored occurrence
+                key = id(child_node)
+                claimed[key] = claimed.get(key, 0) + 1
+            per_rule.setdefault(digram, {})[id(node)] = GrammarOccurrence(
+                rule=head,
+                generator=node,
+                parent_node=parent_node,
+                child_index=child_index,
+                child_node=child_node,
+                parent_path=parent_path,
+                child_path=child_path,
+            )
+            gen_map[id(node)] = digram
+            self._counts[digram] = self._counts.get(digram, 0) + 1
+            if rule_weight:
+                self._weights[digram] = (
+                    self._weights.get(digram, 0) + rule_weight
+                )
+            self._changed_digrams.add(digram)
+        if not per_rule:
+            del self._by_rule[head]
+            del self._gen_digram[head]
+            del self._rule_usage[head]
+        return True
+
+    def _flush_queue(self) -> None:
+        for digram in self._changed_digrams:
+            self.queue.update(digram, self._weights.get(digram, 0))
+        self._changed_digrams.clear()

@@ -30,7 +30,7 @@ from repro.core.rewrite import inline_node, replace_digram_in_rule
 from repro.grammar.derivation import inline_at
 from repro.grammar.properties import anti_sl_order, reference_counts
 from repro.grammar.slcf import Grammar
-from repro.repair.digram import Digram
+from repro.repair.digram import Digram, replace_occurrence_in_tree
 from repro.trees.node import Node, deep_copy_with_map
 from repro.trees.symbols import Symbol
 
@@ -52,12 +52,28 @@ class OptimizedReplacer:
         occurrences: Sequence[GrammarOccurrence],
         opaque: Set[Symbol],
         export_prefix: str = "F",
+        ref_counts: Optional[Dict[Symbol, int]] = None,
+        rule_order: Optional[Sequence[Symbol]] = None,
     ) -> None:
         self.grammar = grammar
         self.digram = digram
         self.replacement = replacement
         self.opaque = opaque
         self.export_prefix = export_prefix
+        # Rules whose installed right-hand sides this round mutated or
+        # created -- the explicit edge-delta report consumed by the
+        # incremental occurrence index (and cross-checked in tests against
+        # the grammar's observer channel).
+        self.touched_rules: Set[Symbol] = set()
+        # Per rule: the mutations performed, in order, as tagged events --
+        # ("edge", v, i, w, x) for an intra-rule replacement,
+        # ("inline", n, copy_root, argument_roots) for a version inlined
+        # at node ``n``.  Both deltas are local (O(edit), not O(|rule|)),
+        # so the occurrence index can adapt such rules without a rescan;
+        # rules rewritten non-locally (fragment export) land in
+        # ``needs_rescan`` instead.
+        self.event_log: Dict[Symbol, List] = {}
+        self.needs_rescan: Set[Symbol] = set()
         self.occ_by_rule: Dict[Symbol, List[GrammarOccurrence]] = {}
         for occurrence in occurrences:
             self.occ_by_rule.setdefault(occurrence.rule, []).append(occurrence)
@@ -67,7 +83,15 @@ class OptimizedReplacer:
         self.marked: Dict[int, Node] = {}
         self.versions: Dict[Tuple[Symbol, FrozenSet[Flag]], Node] = {}
         self.export_cache: Dict[str, Symbol] = {}
-        self.ref_counts = reference_counts(grammar)
+        # Round-start |refG| snapshot: computed here unless the caller
+        # already maintains it (the incremental occurrence index does).
+        self.ref_counts = (
+            reference_counts(grammar) if ref_counts is None else ref_counts
+        )
+        # Bottom-up order of the rules containing occurrences; callers
+        # with a cached call graph pass it in, otherwise the full anti-SL
+        # order is computed on demand in run().
+        self.rule_order = rule_order
         # Live |refG| of rules created *during* this round (exported
         # fragment rules), maintained at every reference creation/discard
         # site -- see _ref_count.
@@ -78,7 +102,11 @@ class OptimizedReplacer:
 
     # ------------------------------------------------------------------
     def run(self) -> int:
-        for head in anti_sl_order(self.grammar):
+        order = (
+            self.rule_order if self.rule_order is not None
+            else anti_sl_order(self.grammar)
+        )
+        for head in order:
             if head in self.occ_by_rule:
                 self._process_original(head)
         return self.replaced
@@ -138,6 +166,17 @@ class OptimizedReplacer:
         if head in self.processed:
             return
         self.processed.add(head)
+        occurrences = self.occ_by_rule.get(head, ())
+        if occurrences and all(
+            not occ.parent_path and not occ.child_path for occ in occurrences
+        ):
+            # Every occurrence is explicit inside this rule: no isolation,
+            # no marks, no export interplay.  Replace directly at the
+            # stored endpoints instead of rescanning the whole right-hand
+            # side -- O(occurrences), not O(|rule|).  (Stored occurrences
+            # of one digram are pairwise disjoint, so order is free.)
+            self._process_explicit(head, occurrences)
+            return
         rhs = self.grammar.rules[head]
 
         # Flag assignment (ReplacementDAG construction, Section IV-E): every
@@ -162,31 +201,101 @@ class OptimizedReplacer:
                 flag(parent, generator.child_index())
 
         # Inline the matching version at each flagged node, parents before
-        # children (preorder snapshot; node objects survive the mutations).
-        ordered: List[Node] = []
-        stack = [rhs]
-        while stack:
-            node = stack.pop()
-            if id(node) in flags:
-                ordered.append(node)
-            stack.extend(reversed(node.children))
+        # children.  Sorting by depth (ancestors first, stable for
+        # unrelated nodes) replaces the full preorder walk of the rule.
+        def node_depth(node: Node) -> int:
+            depth = 0
+            current = node.parent
+            while current is not None:
+                depth += 1
+                current = current.parent
+            return depth
+
+        ordered = sorted(
+            (entry[0] for entry in flags.values()), key=node_depth
+        )
+        events = self.event_log.setdefault(head, [])
+        transferred: List[Node] = []
+        if ordered:
+            self.touched_rules.add(head)
         for node in ordered:
             _, flag_set = flags[id(node)]
             template = self._version(node.symbol, frozenset(flag_set))
             # The inlined copy of the template becomes part of a live rule:
             # account for the round-created references it carries.
             self._bump_new_refs(template)
-            inline_node(self.grammar, head, node, template=template,
-                        marked=self.marked)
+            argument_roots = list(node.children)
+            new_root = inline_node(self.grammar, head, node,
+                                   template=template, marked=self.marked,
+                                   transferred=transferred)
+            # Snapshot the pristine copy region (symbol histogram + node
+            # count) now: the replacement scan below may rewrite it, and
+            # structure patches must account for the region as inlined,
+            # with the later edge deltas applied on top.
+            histogram: Dict[Symbol, int] = {}
+            region_nodes = 0
+            argument_ids = {id(root) for root in argument_roots}
+            walk = [new_root]
+            while walk:
+                region_node = walk.pop()
+                if id(region_node) in argument_ids:
+                    continue
+                region_nodes += 1
+                symbol = region_node.symbol
+                if symbol.is_nonterminal:
+                    histogram[symbol] = histogram.get(symbol, 0) + 1
+                walk.extend(region_node.children)
+            events.append(("inline", node, new_root, argument_roots,
+                           histogram, region_nodes))
 
-        self.replaced += replace_digram_in_rule(
-            self.grammar, head, self.digram, self.replacement
+        edge_log: List = []
+        replaced_here = replace_digram_in_rule(
+            self.grammar, head, self.digram, self.replacement, log=edge_log
         )
+        events.extend(("edge",) + entry for entry in edge_log)
+        if replaced_here:
+            self.touched_rules.add(head)
+        self.replaced += replaced_here
         if self._ref_count(head) > 1:
             new_root = self._export_fragments(self.grammar.rhs(head),
                                               live=True)
             self.grammar.set_rule(head, new_root)
-        self._unmark(self.grammar.rhs(head))
+            self.touched_rules.add(head)
+            self.needs_rescan.add(head)
+        # Clear exactly the marks this rule received (transferred copies)
+        # instead of sweeping its whole right-hand side.
+        for node in transferred:
+            self.marked.pop(id(node), None)
+
+    def _process_explicit(self, head: Symbol, occurrences) -> None:
+        """Replace the stored, fully-local occurrences of ``head``.
+
+        The fast path of :meth:`_process_original`: used when no
+        occurrence needs a version inlined (all resolution paths empty),
+        which after the first few rounds is the overwhelmingly common
+        case on update-dominated grammars.
+        """
+        grammar = self.grammar
+        root = grammar.rhs(head)
+        events = self.event_log.setdefault(head, [])
+        replaced = 0
+        for occ in occurrences:
+            parent, child = occ.parent_node, occ.child_node
+            if (occ.child_index > len(parent.children)
+                    or parent.children[occ.child_index - 1] is not child):
+                continue  # stale occurrence; the scan path skips these too
+            x = replace_occurrence_in_tree(
+                parent, occ.child_index, child, self.replacement
+            )
+            if parent is root:
+                root = x
+                grammar.set_rule(head, x)
+            events.append(("edge", parent, occ.child_index, child, x))
+            replaced += 1
+        if replaced:
+            grammar.notify_rule_changed(head)
+            self.touched_rules.add(head)
+        self.replaced += replaced
 
     # ------------------------------------------------------------------
     def _version(self, symbol: Symbol, flag_set: FrozenSet[Flag]) -> Node:
@@ -334,6 +443,7 @@ class OptimizedReplacer:
                 len(holes), self.export_prefix
             )
             self.grammar.set_rule(head, body)
+            self.touched_rules.add(head)
             self.live_refs.setdefault(head, 0)
             # The body itself lives in the grammar from here on, so any
             # round-created references it copied count immediately.
@@ -341,10 +451,6 @@ class OptimizedReplacer:
             self.export_cache[canonical] = head
             self.exported_rules += 1
         return head, holes
-
-    def _unmark(self, root: Node) -> None:
-        for node in _preorder(root):
-            self.marked.pop(id(node), None)
 
 
 def _preorder(root: Node):
@@ -389,12 +495,37 @@ def replace_all_occurrences_optimized(
     replacement: Symbol,
     occurrences: Sequence[GrammarOccurrence],
     opaque: Set[Symbol],
+    export_prefix: str = "F",
+    touched: Optional[Set[Symbol]] = None,
+    ref_counts: Optional[Dict[Symbol, int]] = None,
+    rule_order: Optional[Sequence[Symbol]] = None,
+    clean_edits: Optional[Dict[Symbol, List]] = None,
 ) -> int:
     """Replace every occurrence of ``digram`` with version/export reuse.
 
-    Returns the number of in-rule replacements performed.
+    Returns the number of in-rule replacements performed.  When
+    ``touched`` is given, the heads of every rule mutated or created by
+    this round are added to it (the same set the grammar's observer
+    channel reports; see :mod:`repro.core.occurrence_index`).
+    ``ref_counts`` and ``rule_order`` let a caller with a cached call
+    graph supply the round-start reference counts and the bottom-up
+    processing order of the occurrence rules, skipping two full-grammar
+    walks per round.  ``clean_edits`` receives, per rule whose *only*
+    mutations were intra-rule replacements, the ordered
+    :data:`~repro.core.rewrite.EdgeReplacement` list -- the explicit edge
+    deltas that let the occurrence index adapt those rules without a
+    rescan.
     """
     replacer = OptimizedReplacer(
-        grammar, digram, replacement, occurrences, opaque
+        grammar, digram, replacement, occurrences, opaque,
+        export_prefix=export_prefix, ref_counts=ref_counts,
+        rule_order=rule_order,
     )
-    return replacer.run()
+    replaced = replacer.run()
+    if touched is not None:
+        touched.update(replacer.touched_rules)
+    if clean_edits is not None:
+        for head, events in replacer.event_log.items():
+            if events and head not in replacer.needs_rescan:
+                clean_edits[head] = events
+    return replaced

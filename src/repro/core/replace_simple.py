@@ -14,7 +14,7 @@ wholesale into every context that needs only a fragment of it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.retrieve import GrammarOccurrence
 from repro.core.rewrite import inline_node, replace_digram_in_rule
@@ -32,11 +32,13 @@ def replace_all_occurrences_simple(
     digram: Digram,
     replacement: Symbol,
     occurrences: List[GrammarOccurrence],
+    touched: Optional[Set[Symbol]] = None,
 ) -> int:
     """Replace every occurrence of ``digram``; returns replacement count.
 
     The count is *unweighted* (replacements performed in rules); callers
-    weight it by rule usage for statistics.
+    weight it by rule usage for statistics.  When ``touched`` is given,
+    the heads of every rule this call mutated are added to it.
     """
     # DependencyDAG: rule head -> nodes of that rule's RHS to inline.  The
     # association to the *containing* rule is positional: resolution paths
@@ -71,5 +73,10 @@ def replace_all_occurrences_simple(
         for node in targets:
             inlined.add(id(node))
             inline_node(grammar, head, node)
-        replaced += replace_digram_in_rule(grammar, head, digram, replacement)
+        replaced_here = replace_digram_in_rule(
+            grammar, head, digram, replacement
+        )
+        if touched is not None and (targets or replaced_here):
+            touched.add(head)
+        replaced += replaced_here
     return replaced

@@ -35,9 +35,9 @@ class Resolver:
         self.grammar = grammar
         self.opaque: Set[Symbol] = opaque if opaque is not None else set()
         self._param_nodes: Dict[Symbol, Dict[int, Node]] = {}
-        self._rule_of_root: Dict[int, Symbol] = {
-            id(rhs): head for head, rhs in grammar.rules.items()
-        }
+        # Built on first rule_of_node call: resolution walks never need
+        # it, and per-round resolver rebuilds should not pay for it.
+        self._rule_of_root: Optional[Dict[int, Symbol]] = None
 
     # ------------------------------------------------------------------
     def is_transparent(self, symbol: Symbol) -> bool:
@@ -49,6 +49,10 @@ class Resolver:
         current = node
         while current.parent is not None:
             current = current.parent
+        if self._rule_of_root is None:
+            self._rule_of_root = {
+                id(rhs): head for head, rhs in self.grammar.rules.items()
+            }
         head = self._rule_of_root.get(id(current))
         if head is None:
             raise ValueError("node is not part of any rule of this grammar")

@@ -26,6 +26,7 @@ from repro.core.resolve import Resolver
 from repro.grammar.properties import anti_sl_order, usage
 from repro.grammar.slcf import Grammar
 from repro.repair.digram import Digram
+from repro.repair.priority import DigramPriorityQueue
 from repro.trees.node import Node
 from repro.trees.symbols import Symbol
 
@@ -54,15 +55,25 @@ class GrammarOccurrence:
 
 
 class OccurrenceTable:
-    """digram -> occurrences, with usage-weighted counts."""
+    """digram -> occurrences, with usage-weighted counts.
+
+    ``best`` is answered by a lazy max-heap
+    (:class:`~repro.repair.priority.DigramPriorityQueue`) instead of a
+    linear scan over the weight table; the heap's ``(-weight, sort_key)``
+    ordering reproduces the deterministic tie-break exactly.
+    """
 
     def __init__(self) -> None:
         self.entries: Dict[Digram, List[GrammarOccurrence]] = {}
         self.weights: Dict[Digram, int] = {}
+        self.queue = DigramPriorityQueue()
 
     def add(self, digram: Digram, occurrence: GrammarOccurrence, weight: int) -> None:
         self.entries.setdefault(digram, []).append(occurrence)
-        self.weights[digram] = self.weights.get(digram, 0) + weight
+        total = self.weights.get(digram, 0) + weight
+        self.weights[digram] = total
+        if total > 0:
+            self.queue.update(digram, total)
 
     def weight(self, digram: Digram) -> int:
         return self.weights.get(digram, 0)
@@ -75,25 +86,19 @@ class OccurrenceTable:
         kin: int,
         skip: Optional[Set[Digram]] = None,
     ) -> Optional[Tuple[Digram, int]]:
-        """Most frequent appropriate digram (deterministic tie-break)."""
-        best_digram: Optional[Digram] = None
-        best_weight = 0
-        for digram, weight in self.weights.items():
+        """Most frequent appropriate digram (deterministic tie-break).
+
+        ``skip`` carries digrams the caller has already discarded (e.g.
+        digrams whose replacement failed).  The peek is non-destructive:
+        rejected and skipped digrams stay queued, so later calls with a
+        different ``skip`` set still see them.
+        """
+        def accept(digram: Digram, weight: int) -> bool:
             if skip and digram in skip:
-                continue
-            if not digram.is_appropriate(kin, weight):
-                continue
-            if (
-                best_digram is None
-                or weight > best_weight
-                or (weight == best_weight
-                    and digram.sort_key() < best_digram.sort_key())
-            ):
-                best_digram = digram
-                best_weight = weight
-        if best_digram is None:
-            return None
-        return best_digram, best_weight
+                return False
+            return digram.is_appropriate(kin, weight)
+
+        return self.queue.peek_best(accept)
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.grammar.derivation import inline_at
 from repro.grammar.slcf import Grammar
@@ -18,7 +18,11 @@ from repro.repair.digram import Digram, replace_occurrence_in_tree
 from repro.trees.node import Node
 from repro.trees.symbols import Symbol
 
-__all__ = ["replace_digram_in_rule", "inline_node"]
+__all__ = ["replace_digram_in_rule", "inline_node", "EdgeReplacement"]
+
+#: One intra-rule replacement, as reported to edge-delta consumers:
+#: ``(old parent node, child slot, old child node, new X node)``.
+EdgeReplacement = Tuple[Node, int, Node, Node]
 
 
 def replace_digram_in_rule(
@@ -26,6 +30,7 @@ def replace_digram_in_rule(
     head: Symbol,
     digram: Digram,
     replacement: Symbol,
+    log: Optional[List[EdgeReplacement]] = None,
 ) -> int:
     """Replace explicit occurrences of ``digram`` in ``head``'s RHS.
 
@@ -33,6 +38,10 @@ def replace_digram_in_rule(
     scanning resumes below the fresh ``X`` node, which matches the paper's
     generalization of left-greedy string matching (Section III-C).
     Returns the number of replacements.
+
+    ``log`` collects one :data:`EdgeReplacement` per replacement, in scan
+    order -- the explicit edge deltas the incremental occurrence index
+    adapts by instead of re-censusing the whole rule (Section IV-C).
     """
     replaced = 0
     root = grammar.rhs(head)
@@ -49,6 +58,8 @@ def replace_digram_in_rule(
                     root = x
                     grammar.set_rule(head, x)
                 replaced += 1
+                if log is not None:
+                    log.append((node, digram.index, child, x))
                 # Continue below the replacement; the consumed nodes are
                 # gone, so no overlap is possible.
                 stack.extend(reversed(x.children))
@@ -65,6 +76,7 @@ def inline_node(
     node: Node,
     template: Optional[Node] = None,
     marked: Optional[Dict[int, Node]] = None,
+    transferred: Optional[List[Node]] = None,
 ) -> Node:
     """Inline at ``node`` inside ``head``'s rule, handling root replacement.
 
@@ -72,7 +84,9 @@ def inline_node(
     ``marked`` is the replacer's mark table (id -> node; the node reference
     keeps ids stable) -- marks on template nodes are transferred to their
     copies, implementing "the mark is copied during the inlining step"
-    (Section II).  Returns the root of the inlined subtree.
+    (Section II).  ``transferred`` collects the copies that received a
+    mark, so the caller can clear exactly those afterwards instead of
+    sweeping the whole rule.  Returns the root of the inlined subtree.
     """
     was_root = node is grammar.rhs(head)
     new_root, copy_map = inline_at(grammar, node, rhs_override=template)
@@ -84,4 +98,6 @@ def inline_node(
         for original_id, copy in copy_map.items():
             if original_id in marked:
                 marked[id(copy)] = copy
+                if transferred is not None:
+                    transferred.append(copy)
     return new_root

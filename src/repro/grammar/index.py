@@ -39,7 +39,7 @@ compression layers of this code base all do.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.grammar.navigation import PathStep
 from repro.grammar.slcf import Grammar, GrammarError
@@ -106,6 +106,11 @@ class GrammarIndex:
         # Reverse call edges registered at computation time: callee -> rule
         # heads whose cached tables were derived from it.
         self._dependents: Dict[Symbol, Set[Symbol]] = {}
+        # Eviction instrumentation: per-rule evictions through the observer
+        # channel vs wholesale resets.  Dirty-rule-scoped recompression is
+        # asserted against these (untouched rules must keep their tables).
+        self.evicted_rules = 0
+        self.wholesale_invalidations = 0
         self._registered = register
         if register:
             grammar.register_observer(self)
@@ -145,6 +150,7 @@ class GrammarIndex:
             del self._node_segments[current]
             del self._elem_segments[current]
             self._tables.pop(current, None)
+            self.evicted_rules += 1
             stack.extend(self._dependents.pop(current, ()))
 
     def invalidate_all(self) -> None:
@@ -153,6 +159,16 @@ class GrammarIndex:
         self._elem_segments.clear()
         self._tables.clear()
         self._dependents.clear()
+        self.wholesale_invalidations += 1
+
+    @property
+    def cached_rule_count(self) -> int:
+        """How many rules currently have computed tables."""
+        return len(self._node_segments)
+
+    def is_cached(self, head: Symbol) -> bool:
+        """True when ``head``'s tables are currently materialized."""
+        return head in self._node_segments
 
     # ------------------------------------------------------------------
     # lazy recompute (bottom-up along the call DAG)
@@ -411,6 +427,70 @@ class GrammarIndex:
     def preorder_of_element(self, element_index: int) -> int:
         """Binary preorder index of the ``element_index``-th element."""
         return self._locate_element(element_index)[0]
+
+    def iter_element_symbols(
+        self, start: int, stop: Optional[int] = None
+    ) -> Iterator[Symbol]:
+        """Element symbols ``start..stop-1`` in document order.
+
+        The walk mirrors :func:`repro.grammar.navigation.stream_preorder`
+        but skips any RHS subtree generating only elements before
+        ``start`` in O(1) via the cached subtree sizes, so reaching the
+        window costs O(depth · rule-width) instead of streaming the
+        ``start`` preceding elements -- this is the indexed range
+        iterator behind :meth:`repro.api.CompressedXml.tags`.
+        """
+        if start < 0:
+            raise IndexError("element index must be >= 0")
+        total = self.element_count  # ensures the start rule's tables
+        if stop is None or stop > total:
+            stop = total
+        return self._iter_element_symbols(start, stop)
+
+    def _iter_element_symbols(self, start: int, stop: int) -> Iterator[Symbol]:
+        if start >= stop:
+            return
+        grammar = self._grammar
+        to_skip = start
+        to_yield = stop - start
+        stack: List[Tuple[Node, tuple, Dict[int, _NodeInfo]]] = [
+            (grammar.rhs(grammar.start), (), self._tables[grammar.start])
+        ]
+        while stack:
+            node, env, table = stack.pop()
+            symbol = node.symbol
+            if symbol.is_parameter:
+                binding = env[symbol.param_index - 1]
+                stack.append((binding[0], binding[1], binding[2]))
+                continue
+            if to_skip:
+                _nodes, elems = self._sizes(node, env, table)
+                if elems <= to_skip:
+                    to_skip -= elems
+                    continue  # window starts after this whole subtree
+            if symbol.is_terminal:
+                if not symbol.is_bottom:
+                    if to_skip:
+                        to_skip -= 1
+                    else:
+                        yield symbol
+                        to_yield -= 1
+                        if not to_yield:
+                            return
+                for child in reversed(node.children):
+                    stack.append((child, env, table))
+            else:
+                if symbol not in self._tables:
+                    self._ensure(symbol)
+                outer_env = env
+                inner_env = tuple(
+                    (child, outer_env, table)
+                    + self._sizes(child, outer_env, table)
+                    for child in node.children
+                )
+                stack.append(
+                    (grammar.rhs(symbol), inner_env, self._tables[symbol])
+                )
 
     def resolve_element(
         self, element_index: int

@@ -26,12 +26,19 @@ class DigramPriorityQueue:
         self._weights: Dict[Digram, int] = {}
 
     def update(self, digram: Digram, weight: int) -> None:
-        """Record ``digram``'s current weight (0 removes it)."""
+        """Record ``digram``'s current weight (0 removes it).
+
+        Weights below 2 are recorded but not queued: no RePair consumer
+        ever accepts a digram with fewer than two occurrences, and the
+        long tail of singletons would otherwise dominate the heap.  A
+        later update that lifts the weight to >= 2 queues it as usual.
+        """
         if weight <= 0:
             self._weights.pop(digram, None)
             return
         self._weights[digram] = weight
-        heapq.heappush(self._heap, (-weight, digram.sort_key(), digram))
+        if weight > 1:
+            heapq.heappush(self._heap, (-weight, digram.sort_key(), digram))
 
     def weight(self, digram: Digram) -> int:
         return self._weights.get(digram, 0)
@@ -57,6 +64,36 @@ class DigramPriorityQueue:
             del self._weights[digram]
             return digram, current
         return None
+
+    def peek_best(
+        self,
+        accept: Optional[Callable[[Digram, int], bool]] = None,
+    ) -> Optional[Tuple[Digram, int]]:
+        """Like :meth:`pop_best`, but non-destructive.
+
+        Live entries rejected by ``accept`` are reinserted (a later call
+        with a different predicate may accept them), stale entries are
+        discarded permanently, and the winner stays in the queue.  This is
+        what makes the queue usable for one-shot tables whose callers vary
+        the acceptance condition (``skip`` sets) between calls.
+        """
+        rejected: List[Tuple[int, Tuple[str, int, str], Digram]] = []
+        found: Optional[Tuple[Digram, int]] = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            negated, _key, digram = entry
+            current = self._weights.get(digram)
+            if current is None or current != -negated:
+                continue  # stale entry
+            if accept is not None and not accept(digram, current):
+                rejected.append(entry)
+                continue
+            found = (digram, current)
+            rejected.append(entry)  # keep the winner queued
+            break
+        for entry in rejected:
+            heapq.heappush(self._heap, entry)
+        return found
 
     def __len__(self) -> int:
         return len(self._weights)

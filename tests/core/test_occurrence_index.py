@@ -1,0 +1,388 @@
+"""Tests for the incremental grammar occurrence index (PR 2 tentpole).
+
+Three correctness bars:
+
+* after every replacement round, the incrementally maintained digram
+  weights must agree with a from-scratch ``retrieve_occurrences`` census
+  (exactly for non-equal-label digrams; equal-label greedy sets may
+  legitimately differ, see the module docstring of
+  ``repro.core.occurrence_index``),
+* the explicit touched-rule reports of the replacers must coincide with
+  what the grammar's observer channel fires,
+* dirty-rule-scoped recompression must generate the same document as the
+  historical full-rescan path, while performing exactly one (scoped)
+  census per run and preserving the structural index's cached tables for
+  untouched rules.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import CompressedXml
+from repro.core.grammar_repair import GrammarRePair, grammar_repair
+from repro.core.replace_optimized import replace_all_occurrences_optimized
+from repro.core.replace_simple import replace_all_occurrences_simple
+from repro.core.retrieve import retrieve_occurrences
+from repro.grammar.navigation import generates_same_tree
+from repro.grammar.slcf import RuleTouchRecorder
+from repro.repair.digram import digram_pattern
+from repro.trees.binary import encode_binary
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+
+from tests.grammar.test_index import replay_script
+from tests.strategies import slcf_grammars, update_scripts, xml_documents
+
+
+def census_agreement_hook(mismatches):
+    """Round hook comparing the live index against a fresh census."""
+
+    def hook(grammar, index, opaque):
+        fresh = retrieve_occurrences(grammar, opaque)
+        live = index.weights()
+        for digram in set(fresh.weights) | set(live):
+            if digram.is_equal_label:
+                # Greedy overlap suppression may pick a different (valid)
+                # non-overlapping set when claims persist across rounds.
+                continue
+            fresh_weight = fresh.weights.get(digram, 0)
+            live_weight = live.get(digram, 0)
+            if fresh_weight != live_weight:
+                mismatches.append((digram, fresh_weight, live_weight))
+
+    return hook
+
+
+class TestIncrementalCensusAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(slcf_grammars())
+    def test_agrees_on_random_grammars(self, grammar):
+        reference = grammar.copy()
+        mismatches = []
+        compressor = GrammarRePair(round_hook=census_agreement_hook(mismatches))
+        result = compressor.compress(grammar)
+        result.validate()
+        assert mismatches == []
+        assert generates_same_tree(result, reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(slcf_grammars())
+    def test_agrees_with_simple_replacer(self, grammar):
+        reference = grammar.copy()
+        mismatches = []
+        compressor = GrammarRePair(
+            optimized=False, round_hook=census_agreement_hook(mismatches)
+        )
+        result = compressor.compress(grammar)
+        result.validate()
+        assert mismatches == []
+        assert generates_same_tree(result, reference)
+
+    @settings(max_examples=15, deadline=None)
+    @given(xml_documents(max_elements=35))
+    def test_agrees_on_tree_compression(self, doc):
+        alphabet = Alphabet()
+        tree = encode_binary(doc, alphabet)
+        mismatches = []
+        compressor = GrammarRePair(round_hook=census_agreement_hook(mismatches))
+        grammar = compressor.compress_tree(tree, alphabet)
+        grammar.validate()
+        assert mismatches == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(xml_documents(max_elements=25), update_scripts(max_ops=8))
+    def test_agrees_across_update_interleavings(self, tree, script):
+        """Every recompression triggered while replaying a random update
+        script keeps the index in sync with a fresh census."""
+        mismatches = []
+        hook = census_agreement_hook(mismatches)
+        doc = CompressedXml.from_document(tree)
+        for kind in replay_script(doc, script):
+            pass
+        compressor = GrammarRePair(round_hook=hook)
+        result = compressor.compress(doc.grammar)
+        result.validate()
+        assert mismatches == []
+        assert generates_same_tree(result, doc.grammar)
+
+
+class TestStructureMapConsistency:
+    """The cached callee histograms, reference counts, usage, grammar
+    size and topological levels must equal ground-truth recomputation
+    after every round -- they replaced per-round full-grammar walks."""
+
+    @staticmethod
+    def structure_check_hook(errors):
+        from repro.grammar.properties import reference_counts, usage
+
+        def hook(grammar, index, opaque):
+            true_usage = usage(grammar)
+            from_structure = index.usage_from_structure()
+            for head in set(true_usage) | set(from_structure):
+                if true_usage.get(head, 0) != from_structure.get(head, 0):
+                    errors.append(("usage", head))
+            true_refs = reference_counts(grammar)
+            live_refs = index.reference_counts_live()
+            for head in true_refs:
+                if live_refs.get(head, 0) != true_refs[head]:
+                    errors.append(("refs", head))
+            if index.grammar_size() != grammar.size:
+                errors.append(("size", index.grammar_size(), grammar.size))
+
+        return hook
+
+    @settings(max_examples=30, deadline=None)
+    @given(slcf_grammars())
+    def test_structure_maps_on_random_grammars(self, grammar):
+        errors = []
+        GrammarRePair(round_hook=self.structure_check_hook(errors)).compress(
+            grammar
+        )
+        assert errors == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(xml_documents(max_elements=25), update_scripts(max_ops=8))
+    def test_structure_maps_across_updates(self, tree, script):
+        doc = CompressedXml.from_document(tree)
+        for _ in replay_script(doc, script):
+            pass
+        errors = []
+        GrammarRePair(round_hook=self.structure_check_hook(errors)).compress(
+            doc.grammar
+        )
+        assert errors == []
+
+
+class TestCensusInstrumentation:
+    def _updated_doc_grammar(self):
+        doc = CompressedXml.from_xml(
+            "<log>" + "<e><a/><b/></e>" * 120 + "</log>"
+        )
+        for step in range(6):
+            doc.rename(1 + step * 40, f"t{step % 3}")
+        return doc.grammar
+
+    def test_exactly_one_full_census_per_compress(self):
+        grammar = self._updated_doc_grammar()
+        compressor = GrammarRePair()
+        compressor.compress(grammar)
+        stats = compressor.stats
+        assert stats.full_censuses == 1
+        # Entry 0 is the build: every rule of the input grammar scanned.
+        assert stats.census_trace[0] == len(grammar)
+        assert stats.rounds > 0
+        # Later rounds rescan only touched rules, never the whole grammar
+        # (rule_count_trace records the rule count each census ran over;
+        # digram rules are opaque and never censused, so strictly fewer).
+        assert all(
+            censused < total
+            for censused, total in zip(stats.census_trace[1:],
+                                       stats.rule_count_trace[1:])
+        )
+
+    def test_rescan_path_censuses_every_round(self):
+        grammar = self._updated_doc_grammar()
+        compressor = GrammarRePair(incremental=False)
+        compressor.compress(grammar)
+        stats = compressor.stats
+        # One census per loop iteration: every successful round plus the
+        # terminating empty one (plus any defensive failed rounds).
+        assert stats.full_censuses >= stats.rounds + 1
+
+    def test_dirty_seeded_census_scopes_to_frontier(self):
+        doc = CompressedXml.from_xml(
+            "<log>" + "<e><a/><b/></e>" * 150 + "</log>"
+        )
+        doc.rename(1, "first")
+        doc.rename(10, "tenth")
+        stats_full = GrammarRePair()
+        stats_full.compress(doc.grammar)
+        full_build = stats_full.stats.census_trace[0]
+
+        compressor = GrammarRePair()
+        compressor.compress(doc.grammar, dirty_rules={doc.grammar.start})
+        stats = compressor.stats
+        assert stats.seed_rule_count == 1
+        assert stats.full_censuses == 0
+        # The seeded build scans the start rule plus its frontier only.
+        assert stats.census_trace[0] < full_build
+
+
+class TestTouchedRuleReporting:
+    def _one_round(self, grammar, optimized):
+        """Run one replacement round by hand, reporting touches both ways."""
+        opaque = set()
+        table = retrieve_occurrences(grammar, opaque)
+        best = table.best(kin=4)
+        if best is None:
+            return None
+        digram, _weight = best
+        occurrences = table.occurrences(digram)
+        replacement = grammar.alphabet.fresh_nonterminal(digram.rank, "X")
+        grammar.set_rule(replacement, digram_pattern(digram))
+        opaque.add(replacement)
+        recorder = RuleTouchRecorder()
+        grammar.register_observer(recorder)
+        explicit = set()
+        try:
+            if optimized:
+                replace_all_occurrences_optimized(
+                    grammar, digram, replacement, occurrences, opaque,
+                    touched=explicit,
+                )
+            else:
+                replace_all_occurrences_simple(
+                    grammar, digram, replacement, occurrences,
+                    touched=explicit,
+                )
+        finally:
+            grammar.unregister_observer(recorder)
+        return explicit, recorder
+
+    @settings(max_examples=40, deadline=None)
+    @given(slcf_grammars())
+    def test_optimized_reports_match_observer(self, grammar):
+        outcome = self._one_round(grammar, optimized=True)
+        if outcome is None:
+            return
+        explicit, recorder = outcome
+        assert recorder.changed == explicit
+        assert recorder.removed == set()
+
+    @settings(max_examples=40, deadline=None)
+    @given(slcf_grammars())
+    def test_simple_reports_match_observer(self, grammar):
+        outcome = self._one_round(grammar, optimized=False)
+        if outcome is None:
+            return
+        explicit, recorder = outcome
+        assert recorder.changed == explicit
+        assert recorder.removed == set()
+
+
+class TestQueueBackedTableBest:
+    @staticmethod
+    def _reference_best(table, kin, skip=None):
+        """The historical linear scan over the weight table."""
+        best_digram, best_weight = None, 0
+        for digram, weight in table.weights.items():
+            if skip and digram in skip:
+                continue
+            if not digram.is_appropriate(kin, weight):
+                continue
+            if (best_digram is None or weight > best_weight
+                    or (weight == best_weight
+                        and digram.sort_key() < best_digram.sort_key())):
+                best_digram, best_weight = digram, weight
+        return None if best_digram is None else (best_digram, best_weight)
+
+    @settings(max_examples=40, deadline=None)
+    @given(slcf_grammars())
+    def test_best_matches_linear_scan(self, grammar):
+        table = retrieve_occurrences(grammar)
+        assert table.best(kin=4) == self._reference_best(table, 4)
+        # Non-destructive: asking again gives the same answer.
+        assert table.best(kin=4) == self._reference_best(table, 4)
+        assert table.best(kin=2) == self._reference_best(table, 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(slcf_grammars())
+    def test_best_honors_skip_sets(self, grammar):
+        table = retrieve_occurrences(grammar)
+        skip = set()
+        while True:
+            expected = self._reference_best(table, 4, skip=skip)
+            assert table.best(kin=4, skip=skip) == expected
+            if expected is None:
+                break
+            skip.add(expected[0])
+
+
+class TestDirtyScopedRecompression:
+    @settings(max_examples=20, deadline=None)
+    @given(xml_documents(max_elements=25), update_scripts(max_ops=10))
+    def test_same_document_as_full_rescan(self, tree, script):
+        incremental = CompressedXml.from_document(tree)
+        rescan = CompressedXml.from_document(
+            tree, incremental_recompress=False
+        )
+        for _ in replay_script(incremental, script):
+            pass
+        for _ in replay_script(rescan, script):
+            pass
+        incremental.recompress()
+        rescan.recompress()
+        assert incremental.element_count == rescan.element_count
+        assert incremental.to_xml() == rescan.to_xml()
+
+    @settings(max_examples=20, deadline=None)
+    @given(xml_documents(max_elements=25), update_scripts(max_ops=10))
+    def test_queries_stay_correct_after_scoped_recompress(self, tree, script):
+        doc = CompressedXml.from_document(tree)
+        for _ in replay_script(doc, script):
+            pass
+        doc.recompress()
+        doc.grammar.validate()
+        tags = list(doc.tags())
+        assert len(tags) == doc.element_count
+        for i in (0, doc.element_count // 2, doc.element_count - 1):
+            assert doc.tag_of(i) == tags[i]
+
+    def test_preserves_index_tables_for_untouched_rules(self):
+        doc = CompressedXml.from_xml(
+            "<log>" + "<e><a/><b/><c/></e>" * 200 + "</log>"
+        )
+        # Warm the structural index over the whole grammar.
+        for i in range(0, doc.element_count, 97):
+            doc.tag_of(i)
+        cached_before = {
+            head for head in doc.grammar.nonterminals()
+            if doc.index.is_cached(head)
+        }
+        assert len(cached_before) > 1
+        doc.rename(1, "first")  # dirties essentially just the start rule
+        doc.recompress()
+        assert doc.index.wholesale_invalidations == 0
+        surviving = {
+            head for head in cached_before
+            if doc.grammar.has_rule(head) and doc.index.is_cached(head)
+        }
+        # The untouched bulk of the grammar kept its cached tables.
+        assert surviving - {doc.grammar.start}
+        # ... and the index still answers correctly from them.
+        assert doc.tag_of(1) == "first"
+        assert doc.element_count == 1 + 200 * 4
+
+    def test_full_mode_still_resets_wholesale(self):
+        doc = CompressedXml.from_xml(
+            "<log>" + "<e/>" * 100 + "</log>",
+            incremental_recompress=False,
+        )
+        doc.tag_of(3)
+        doc.rename(1, "first")
+        doc.recompress()
+        assert doc.index.wholesale_invalidations == 1
+
+    def test_uncompressed_grammar_gets_full_first_run(self):
+        doc = CompressedXml.from_xml(
+            "<log>" + "<e/>" * 80 + "</log>", compress=False
+        )
+        assert len(doc.grammar) == 1
+        doc.recompress()
+        # The first run on a never-compressed grammar must not be scoped
+        # to (empty) dirty state: it actually compresses.
+        assert doc.last_repair_stats.full_censuses == 1
+        assert doc.compressed_size < 80
+        doc.rename(1, "x")
+        doc.recompress()
+        assert doc.last_repair_stats.seed_rule_count is not None
+
+    def test_recompress_instrumentation(self):
+        doc = CompressedXml.from_xml("<log>" + "<e/>" * 60 + "</log>")
+        assert doc.recompress_runs == 0
+        doc.rename(1, "x")
+        doc.recompress()
+        assert doc.recompress_runs == 1
+        assert doc.recompress_seconds > 0.0
+        assert doc.last_repair_stats is not None
+        assert doc.last_repair_stats.seed_rule_count is not None

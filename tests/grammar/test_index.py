@@ -214,6 +214,22 @@ class TestUpdateInterleavings:
                 assert doc._end_of_children_position(element_index) == \
                     naive_end_of_children(doc.grammar, element_index)
 
+    @given(xml_documents(max_elements=20), update_scripts(max_ops=6))
+    @settings(max_examples=15, deadline=None)
+    def test_tag_windows_match_stream_after_updates(self, tree, script):
+        """The indexed range iterator agrees with the full tag stream at
+        every window, across arbitrary update interleavings."""
+        doc = CompressedXml.from_document(tree)
+        for _ in replay_script(doc, script):
+            full = list(doc.tags())
+            count = doc.element_count
+            assert len(full) == count
+            windows = [(0, count), (0, 1), (count - 1, count),
+                       (count // 3, 2 * count // 3 + 1)]
+            for start, stop in windows:
+                assert list(doc.tags(start, stop)) == full[start:stop]
+            assert list(doc.tags(count // 2)) == full[count // 2:]
+
     @given(xml_documents(max_elements=20), update_scripts(max_ops=8))
     @settings(max_examples=15, deadline=None)
     def test_updates_equal_reference_document(self, tree, script):

@@ -69,3 +69,36 @@ class TestQueue:
 
     def test_empty_pop(self):
         assert DigramPriorityQueue().pop_best() is None
+
+
+class TestPeek:
+    def test_peek_does_not_consume(self, alphabet):
+        d1, d2, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 3)
+        q.update(d2, 7)
+        assert q.peek_best() == (d2, 7)
+        assert q.peek_best() == (d2, 7)  # still there
+        assert q.pop_best() == (d2, 7)
+
+    def test_peek_keeps_rejected_entries_live(self, alphabet):
+        d1, d2, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 10)
+        q.update(d2, 5)
+        # Reject the heavier digram; it must survive for later peeks with
+        # a different predicate (varying skip sets).
+        assert q.peek_best(lambda d, w: d is d2) == (d2, 5)
+        assert q.peek_best() == (d1, 10)
+
+    def test_peek_discards_stale_entries(self, alphabet):
+        d1, d2, _ = _digrams(alphabet)
+        q = DigramPriorityQueue()
+        q.update(d1, 10)
+        q.update(d1, 2)
+        q.update(d2, 5)
+        assert q.peek_best() == (d2, 5)
+        assert len(q) == 2
+
+    def test_peek_empty(self):
+        assert DigramPriorityQueue().peek_best() is None

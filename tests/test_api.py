@@ -68,6 +68,24 @@ class TestInspection:
         with pytest.raises(IndexError):
             doc.tag_of(4)
 
+    def test_tags_window(self):
+        doc = CompressedXml.from_xml(listy_xml(100))
+        full = list(doc.tags())
+        assert list(doc.tags(1, 4)) == full[1:4]
+        assert list(doc.tags(50)) == full[50:]
+        assert list(doc.tags(0, 10**9)) == full
+        assert list(doc.tags(7, 7)) == []
+        with pytest.raises(IndexError):
+            list(doc.tags(-1, 3))
+
+    def test_tags_window_after_updates(self):
+        doc = CompressedXml.from_xml(listy_xml(40))
+        doc.rename(5, "special")
+        doc.insert(10, XmlNode("gap"))
+        full = list(doc.tags())
+        assert list(doc.tags(4, 12)) == full[4:12]
+        assert full[5] == "special"
+
     def test_repr(self):
         doc = CompressedXml.from_xml("<a><b/></a>")
         assert "2 elements" in repr(doc)
