@@ -1,0 +1,257 @@
+"""Macro-benchmark: batched vs sequential application of clustered updates.
+
+Quantifies the PR-3 tentpole: a burst of operations hitting nearby
+preorder indices re-pays, in the sequential loop, for everything the
+targets have in common -- every op re-isolates (and, after each
+interleaved auto-recompression, *re-inlines*) the shared rule prefix of
+the derivation paths, dirties the start rule so the next op recomputes
+the index's start tables, and triggers the maintenance policy once per
+growth spurt.  ``CompressedXml.apply_batch`` plans the burst as one
+program: indices are translated to one coordinate space, the union of
+derivation paths is isolated in a single pass (shared prefixes inlined
+once), all edits land in one mutation epoch, and the policy settles once.
+
+The workload: an EXI-Weblog-like document, ``BATCHES`` bursts of
+``OPS_PER_BATCH`` clustered rename/insert/append/delete operations
+(:func:`repro.updates.workload.generate_clustered_element_ops`), with
+``auto_recompress_factor=2`` on both variants.  Each burst is applied
+op-by-op to one document and as one ``apply_batch`` call to the other;
+the documents are equal by construction (the batch engine's equivalence
+property), which the benchmark asserts via a full ``to_xml`` comparison.
+
+Results are printed and written to ``BENCH_batch.json`` at the repo root
+as the machine-readable perf baseline for future PRs.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_batch.py``) for
+the full scale -- 50k edges, 100 ops per burst -- which asserts the
+batched path performs measurably fewer rule inlines than the loop, at
+least 2x fewer than isolating its own groups per op (the shared-prefix
+amortization), and finishes in materially less wall time (observed:
+1.2x / 2.4x / 2.3x); ``--smoke`` (the CI job) runs a tiny scale and
+asserts the JSON schema, document equality, and that batching never
+inlines more than the loop.  Like all ``bench_*`` modules it is
+collected by pytest only via an explicit path.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro.api import CompressedXml
+from repro.updates.batch import (
+    BatchAppend,
+    BatchDelete,
+    BatchInsert,
+    BatchRename,
+)
+from repro.updates.workload import generate_clustered_element_ops
+
+FULL_SCALE = {"edges": 50_000, "ops_per_batch": 100, "batches": 5}
+SMOKE_SCALE = {"edges": 2_000, "ops_per_batch": 25, "batches": 2}
+AUTO_FACTOR = 2.0
+SEED = 42
+TAGS = ("ip", "user", "ts", "request", "status", "bytes", "extra")
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_batch.json"
+)
+
+
+def make_doc(edges, seed=SEED):
+    from repro.datasets.synthetic import make_corpus
+
+    return CompressedXml.from_document(
+        make_corpus("EXI-Weblog", edges=edges, seed=seed),
+        auto_recompress_factor=AUTO_FACTOR,
+    )
+
+
+def apply_sequentially(doc, ops):
+    """The baseline: the same ops through the single-op API, one by one."""
+    for op in ops:
+        if isinstance(op, BatchRename):
+            doc.rename(op.index, op.new_tag)
+        elif isinstance(op, BatchInsert):
+            doc.insert(op.index, list(op.content))
+        elif isinstance(op, BatchAppend):
+            doc.append_child(op.parent_index, list(op.content))
+        else:
+            doc.delete(op.index)
+
+
+def run(edges, ops_per_batch, batches, smoke=False):
+    rng = random.Random(SEED)
+    doc_seq = make_doc(edges)
+    doc_bat = make_doc(edges)
+    print(f"workload: EXI-Weblog {edges} edges, {batches} bursts of "
+          f"{ops_per_batch} clustered ops, auto_recompress_factor={AUTO_FACTOR}")
+
+    seq_s = bat_s = 0.0
+    batch_stats = []
+    for _ in range(batches):
+        ops = generate_clustered_element_ops(
+            doc_bat.element_count, ops_per_batch, rng=rng, tags=TAGS
+        )
+        started = time.perf_counter()
+        apply_sequentially(doc_seq, ops)
+        seq_s += time.perf_counter() - started
+        started = time.perf_counter()
+        stats = doc_bat.apply_batch(ops)
+        bat_s += time.perf_counter() - started
+        batch_stats.append(stats)
+
+    # Same ops, sequential semantics on both paths: the documents must be
+    # byte-identical -- a divergence would mean a planner/executor bug.
+    assert doc_bat.element_count == doc_seq.element_count, \
+        "variants maintained different documents"
+    assert doc_bat.to_xml() == doc_seq.to_xml(), \
+        "batched application diverged from the sequential loop"
+
+    total_ops = ops_per_batch * batches
+    groups = sum(s.groups for s in batch_stats)
+    per_path = sum(s.per_path_inlines for s in batch_stats)
+    inline_reduction = (
+        doc_seq.rules_inlined_total / doc_bat.rules_inlined_total
+        if doc_bat.rules_inlined_total else float("inf")
+    )
+    wall_speedup = seq_s / bat_s if bat_s else float("inf")
+
+    def variant(doc, total_s):
+        return {
+            "total_s": round(total_s, 4),
+            "ops_per_s": round(total_ops / total_s, 2) if total_s else None,
+            "rules_inlined": doc.rules_inlined_total,
+            "recompress_runs": doc.recompress_runs,
+            "recompress_s": round(doc.recompress_seconds, 4),
+            "final_c_edges": doc.compressed_size,
+            "element_count": doc.element_count,
+        }
+
+    seq = variant(doc_seq, seq_s)
+    bat = variant(doc_bat, bat_s)
+    bat["batch_groups"] = groups
+    bat["per_path_inlines"] = per_path
+    bat["inlines_saved"] = per_path - doc_bat.rules_inlined_total
+
+    print(f"  sequential : {seq['total_s']:8.3f}s, "
+          f"{seq['rules_inlined']} rule inlines, "
+          f"{seq['recompress_runs']} recompressions, "
+          f"{seq['final_c_edges']} c-edges")
+    print(f"  batched    : {bat['total_s']:8.3f}s, "
+          f"{bat['rules_inlined']} rule inlines "
+          f"({groups} isolation passes for {total_ops} ops), "
+          f"{bat['recompress_runs']} recompressions, "
+          f"{bat['final_c_edges']} c-edges")
+    print(f"  speedup    : {inline_reduction:.1f}x fewer rule inlines, "
+          f"{wall_speedup:.1f}x wall time")
+
+    report = {
+        "benchmark": "bench_batch",
+        "workload": {
+            "corpus": "EXI-Weblog",
+            "edges": edges,
+            "ops_per_batch": ops_per_batch,
+            "batches": batches,
+            "auto_recompress_factor": AUTO_FACTOR,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        "sequential": seq,
+        "batched": bat,
+        "speedup": {
+            "rule_inlines": round(inline_reduction, 2),
+            "wall_time": round(wall_speedup, 2),
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(JSON_PATH)}")
+    return report
+
+
+def check_schema(report):
+    """The machine-readable contract future PRs regress against."""
+    for section in ("workload", "sequential", "batched", "speedup"):
+        assert section in report, f"missing section {section!r}"
+    for key in ("total_s", "ops_per_s", "rules_inlined", "recompress_runs",
+                "recompress_s", "final_c_edges", "element_count"):
+        assert key in report["sequential"], f"missing {key!r}"
+        assert key in report["batched"], f"missing {key!r}"
+    for key in ("batch_groups", "per_path_inlines", "inlines_saved"):
+        assert key in report["batched"], f"missing {key!r}"
+    for key in ("rule_inlines", "wall_time"):
+        assert key in report["speedup"], f"missing speedup {key!r}"
+
+
+def check_amortization(report):
+    """Batching must never isolate more than the per-op loop would."""
+    assert report["batched"]["rules_inlined"] <= \
+        report["batched"]["per_path_inlines"]
+    assert report["batched"]["rules_inlined"] <= \
+        report["sequential"]["rules_inlined"], (
+            "batched application inlined more rules than the loop"
+        )
+    assert report["batched"]["recompress_runs"] <= \
+        report["sequential"]["recompress_runs"]
+
+
+def check_speedup(report, min_inline_reduction=1.15, min_sharing=2.0,
+                  min_wall=1.3):
+    """The acceptance bounds, calibrated on the observed full-scale run
+    (1.2x / 2.4x / 2.3x):
+
+    * measurably fewer rule inlines than the sequential loop.  The loop
+      amortizes implicitly between recompressions (an isolated spine
+      stays explicit until a recompression re-rolls it), so the loop
+      comparison isolates the *recompression-interleave* savings and is
+      bounded low;
+    * the within-batch sharing ratio -- inlines a per-op isolation of
+      the same groups would have performed over inlines actually
+      performed -- captures the shared-prefix amortization directly and
+      must be at least 2x;
+    * the saved isolation, index-recompute, and recompression work must
+      show up as end-to-end wall time.
+    """
+    assert report["speedup"]["rule_inlines"] >= min_inline_reduction, (
+        f"batching only cut rule inlines "
+        f"{report['speedup']['rule_inlines']:.2f}x "
+        f"(required >= {min_inline_reduction}x)"
+    )
+    sharing = (
+        report["batched"]["per_path_inlines"]
+        / max(1, report["batched"]["rules_inlined"])
+    )
+    assert sharing >= min_sharing, (
+        f"shared-prefix isolation only amortized {sharing:.2f}x "
+        f"(required >= {min_sharing}x)"
+    )
+    assert report["speedup"]["wall_time"] >= min_wall, (
+        f"batching must be faster end-to-end, got "
+        f"{report['speedup']['wall_time']:.2f}x"
+    )
+
+
+def test_batch_smoke():
+    """Entry point at a CI-friendly scale (explicit-path pytest runs)."""
+    report = run(smoke=True, **SMOKE_SCALE)
+    check_schema(report)
+    check_amortization(report)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    scale = SMOKE_SCALE if smoke else FULL_SCALE
+    report = run(smoke=smoke, **scale)
+    check_schema(report)
+    check_amortization(report)
+    if not smoke:
+        check_speedup(report)
+        print("bounds ok: measurably fewer rule inlines than the loop, "
+              ">= 2x shared-prefix amortization within batches, batched "
+              "application faster end-to-end, documents identical")
+    else:
+        print("smoke ok: schema valid, documents identical, batching never "
+              "inlined more than the loop")

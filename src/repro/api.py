@@ -6,6 +6,10 @@ implementation, the paper's motivating application) programs against:
 * build from XML text / a file / an :class:`~repro.trees.unranked.XmlNode`,
 * query statistics without decompression,
 * update by *element index* (document order) -- rename, insert, delete,
+* apply whole bursts of updates as one program (:meth:`CompressedXml.batch`
+  / :meth:`CompressedXml.apply_batch`): the union of the derivation paths
+  is isolated in a single pass sharing rule inlines along common prefixes,
+  and the maintenance policy settles once per batch,
 * keep the grammar small with explicit or automatic recompression,
 * serialize back to XML or to the grammar text format.
 
@@ -59,6 +63,7 @@ from repro.trees.symbols import Alphabet
 from repro.trees.unranked import XmlNode
 from repro.trees.xml_io import parse_xml, serialize_xml
 from repro.updates import grammar_updates
+from repro.updates.batch import BatchBuilder, BatchOp, BatchStats, execute_batch
 from repro.updates.operations import UpdateError
 
 __all__ = ["CompressedXml"]
@@ -95,6 +100,11 @@ class CompressedXml:
         self._baselined = False
         self._last_compressed_size = max(1, grammar.size)
         self.updates_applied = 0
+        self.batches_applied = 0
+        # Rule inlines performed by path isolation across all updates --
+        # the quantity batched application amortizes (shared derivation
+        # prefixes are inlined once per batch group, not once per op).
+        self.rules_inlined_total = 0
         self.recompress_runs = 0
         self.recompress_seconds = 0.0
         # Occurrence-maintenance share of recompress_seconds (census,
@@ -204,6 +214,13 @@ class CompressedXml:
         count tables, so a bulk read of a window costs
         O(depth · rule-width + window) instead of streaming the whole
         document to reach it.
+
+        Window contract (``itertools.islice``-like, *not* list slicing):
+        ``i >= j`` yields nothing, ``j > element_count`` (or ``None``)
+        clamps to the document's end, and a negative bound raises
+        ``IndexError`` -- under concurrent updates a from-the-end index
+        is ambiguous, so it is rejected rather than silently treated as
+        an empty (or wrapped) window.
         """
         if start is None and stop is None:
             for symbol in stream_preorder(self._grammar):
@@ -230,8 +247,9 @@ class CompressedXml:
     def rename(self, element_index: int, new_tag: str) -> None:
         """Relabel the ``element_index``-th element (document order)."""
         position, steps = self._index.resolve_element(element_index)
-        grammar_updates.rename(self._grammar, position, new_tag,
-                               grammar_index=self._index, steps=steps)
+        self.rules_inlined_total += grammar_updates.rename(
+            self._grammar, position, new_tag,
+            grammar_index=self._index, steps=steps)
         self._after_update()
 
     def insert(
@@ -243,8 +261,9 @@ class CompressedXml:
         siblings = [content] if isinstance(content, XmlNode) else list(content)
         fragment = encode_forest(siblings, self._grammar.alphabet)
         position, steps = self._index.resolve_element(element_index)
-        grammar_updates.insert(self._grammar, position, fragment,
-                               grammar_index=self._index, steps=steps)
+        self.rules_inlined_total += grammar_updates.insert(
+            self._grammar, position, fragment,
+            grammar_index=self._index, steps=steps)
         self._after_update()
 
     def append_child(
@@ -256,13 +275,19 @@ class CompressedXml:
 
         This is the "insert on a null pointer" case of Section V-C: the
         insertion point is the terminating ``⊥`` of the parent's child
-        list, found by walking the parent's subtree on the grammar.
+        list, found by walking the parent's subtree on the grammar.  The
+        position is exact even when the parent is the last element in
+        document order -- in element coordinates the appended children
+        land *off the end*, at index ``element_count``, but the
+        terminator itself is an ordinary interior node of the binary
+        encoding (the root's own next-sibling ``⊥`` always follows it),
+        so the isolation never runs past the derivation.
         """
         siblings = [content] if isinstance(content, XmlNode) else list(content)
         fragment = encode_forest(siblings, self._grammar.alphabet)
         position = self._end_of_children_position(parent_element_index)
-        grammar_updates.insert(self._grammar, position, fragment,
-                               grammar_index=self._index)
+        self.rules_inlined_total += grammar_updates.insert(
+            self._grammar, position, fragment, grammar_index=self._index)
         self._after_update()
 
     def _end_of_children_position(self, parent_element_index: int) -> int:
@@ -275,16 +300,71 @@ class CompressedXml:
         return self._index.end_of_children_position(parent_element_index)
 
     def delete(self, element_index: int) -> None:
-        """Delete the ``element_index``-th element and its subtree."""
+        """Delete the ``element_index``-th element and its subtree.
+
+        Deleting the document root (index 0) is rejected with an
+        :class:`~repro.updates.operations.UpdateError` (a ``ValueError``)
+        before any grammar mutation.  Deleting an element that is its
+        parent's only child leaves the emptied child list well-formed:
+        the element's next-sibling chain -- a bare ``⊥`` in that case --
+        moves up into the parent's first-child slot.
+        """
         if element_index == 0:
             raise UpdateError("deleting the document root is not allowed")
         position, steps = self._index.resolve_element(element_index)
-        grammar_updates.delete(self._grammar, position,
-                               grammar_index=self._index, steps=steps)
+        self.rules_inlined_total += grammar_updates.delete(
+            self._grammar, position, grammar_index=self._index, steps=steps)
         self._after_update()
+
+    # ------------------------------------------------------------------
+    # batch updates
+    # ------------------------------------------------------------------
+    def batch(self) -> BatchBuilder:
+        """Collect operations for one :meth:`apply_batch` call.
+
+        Usable as a context manager; the batch is applied when the
+        ``with`` block exits cleanly::
+
+            with doc.batch() as b:
+                b.rename(3, "seen")
+                b.append_child(3, XmlNode("mark"))
+                b.delete(9)
+            b.stats.inlined_rules  # isolation work actually performed
+        """
+        return BatchBuilder(self)
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> BatchStats:
+        """Apply a list of element-index operations as one program.
+
+        Operations (:class:`~repro.updates.batch.BatchRename` /
+        ``BatchInsert`` / ``BatchAppend`` / ``BatchDelete``) use
+        *sequential semantics* -- each index addresses the document as
+        the previous operations leave it -- and the result is
+        observationally equivalent to the single-op loop.  Execution is
+        batched: indices are translated to one coordinate space, the
+        union of the derivation paths is isolated in a single pass
+        (shared rule prefixes inlined once), all edits land on that
+        spine in one mutation epoch, and the automatic recompression
+        policy settles once at the end instead of once per operation.
+
+        An invalid index raises (``IndexError``, or ``UpdateError`` for
+        a root deletion) after the operations before it were applied,
+        exactly as the sequential loop would; the instrumentation
+        counters (``updates_applied`` etc.) are only advanced on
+        success.
+        """
+        stats = execute_batch(self._grammar, self._index, ops)
+        self.updates_applied += stats.operations
+        self.batches_applied += 1
+        self.rules_inlined_total += stats.inlined_rules
+        self._maybe_auto_recompress()
+        return stats
 
     def _after_update(self) -> None:
         self.updates_applied += 1
+        self._maybe_auto_recompress()
+
+    def _maybe_auto_recompress(self) -> None:
         if self._auto_factor is None:
             return
         if self._grammar.size > self._auto_factor * self._last_compressed_size:

@@ -440,8 +440,12 @@ class GrammarIndex:
         ``start`` preceding elements -- this is the indexed range
         iterator behind :meth:`repro.api.CompressedXml.tags`.
         """
-        if start < 0:
-            raise IndexError("element index must be >= 0")
+        if start < 0 or (stop is not None and stop < 0):
+            # From-the-end indices are ambiguous under concurrent updates;
+            # reject both bounds uniformly instead of silently yielding an
+            # empty window for a negative ``stop`` (slicing-like callers
+            # would misread that as "window past the end").
+            raise IndexError("element window bounds must be >= 0")
         total = self.element_count  # ensures the start rule's tables
         if stop is None or stop > total:
             stop = total
@@ -505,6 +509,46 @@ class GrammarIndex:
     def tag_of(self, element_index: int) -> str:
         """Label of the ``element_index``-th element (document order)."""
         return self._locate_element(element_index)[1].symbol.name
+
+    def resolve_element_with_extent(
+        self, element_index: int
+    ) -> Tuple[int, List[PathStep], int, int]:
+        """Everything batch planning needs about an element, in one walk.
+
+        Returns ``(binary preorder index, derivation path, unranked
+        subtree extent in elements, child-list terminator's binary
+        preorder index)`` -- the combination of :meth:`resolve_element`,
+        :meth:`element_subtree_extent`, and
+        :meth:`end_of_children_position` at the cost of a single
+        ``O(depth · rule-width)`` descent.
+        """
+        position, node, env, table, steps = self._locate_element(element_index)
+        if node.symbol.rank != 2:
+            raise GrammarError(
+                f"element {element_index} is generated by "
+                f"{node.symbol!r}; expected a binary-encoded element of rank 2"
+            )
+        first_nodes, first_elems = self._sizes(node.children[0], env, table)
+        return position, steps, 1 + first_elems, position + first_nodes
+
+    def element_subtree_extent(self, element_index: int) -> int:
+        """Elements of the *unranked* subtree rooted at an element.
+
+        The element itself plus all of its document descendants: in the
+        first-child/next-sibling encoding these are exactly the element
+        and the non-``⊥`` terminals of its first-child subtree, so the
+        answer is one subtree-size lookup (``O(depth · rule-width)``).
+        ``delete(element_index)`` removes exactly this many elements --
+        the quantity batch planning needs to shift later targets.
+        """
+        _pos, node, env, table, _steps = self._locate_element(element_index)
+        if node.symbol.rank != 2:
+            raise GrammarError(
+                f"element {element_index} is generated by "
+                f"{node.symbol!r}; expected a binary-encoded element of rank 2"
+            )
+        _nodes, elems = self._sizes(node.children[0], env, table)
+        return 1 + elems
 
     def end_of_children_position(self, element_index: int) -> int:
         """Preorder index of the ``⊥`` terminating an element's child list.

@@ -1,6 +1,18 @@
 """Updates on grammar-compressed XML: isolation, operations, workloads."""
 
+from repro.updates.batch import (
+    BatchAppend,
+    BatchBuilder,
+    BatchDelete,
+    BatchInsert,
+    BatchOp,
+    BatchRename,
+    BatchStats,
+    execute_batch,
+)
 from repro.updates.grammar_updates import (
+    PlannedEdit,
+    apply_isolated_batch,
     apply_op,
     apply_ops,
     delete,
@@ -18,8 +30,14 @@ from repro.updates.operations import (
     insert_before,
     rename_node,
     rightmost_null,
+    splice_before,
 )
-from repro.updates.path_isolation import IsolationResult, isolate
+from repro.updates.path_isolation import (
+    IsolationResult,
+    MultiIsolationResult,
+    isolate,
+    isolate_many,
+)
 from repro.updates.udc import UdcResult, udc_recompress
 from repro.updates.workload import (
     UpdateWorkload,
@@ -41,10 +59,23 @@ __all__ = [
     "apply_op_to_tree",
     "rename_node",
     "insert_before",
+    "splice_before",
     "delete_subtree",
     "rightmost_null",
     "isolate",
+    "isolate_many",
     "IsolationResult",
+    "MultiIsolationResult",
+    "BatchRename",
+    "BatchInsert",
+    "BatchAppend",
+    "BatchDelete",
+    "BatchOp",
+    "BatchStats",
+    "BatchBuilder",
+    "execute_batch",
+    "PlannedEdit",
+    "apply_isolated_batch",
     "udc_recompress",
     "UdcResult",
     "UpdateWorkload",

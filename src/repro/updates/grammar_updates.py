@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, List, Optional
 
-from repro.grammar.navigation import resolve_preorder_path
+from repro.grammar.navigation import PathStep, resolve_preorder_path
 from repro.grammar.properties import collect_garbage
 from repro.grammar.slcf import Grammar
-from repro.trees.node import Node
+from repro.trees.node import Node, deep_copy
 from repro.trees.symbols import Symbol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -35,8 +35,9 @@ from repro.updates.operations import (
     delete_subtree,
     insert_before,
     rename_node,
+    splice_before,
 )
-from repro.updates.path_isolation import isolate
+from repro.updates.path_isolation import isolate, isolate_many
 
 __all__ = [
     "rename",
@@ -44,6 +45,8 @@ __all__ = [
     "delete",
     "apply_op",
     "apply_ops",
+    "PlannedEdit",
+    "apply_isolated_batch",
 ]
 
 
@@ -53,7 +56,7 @@ def rename(
     new_label: str,
     grammar_index: Optional["GrammarIndex"] = None,
     steps: Optional[list] = None,
-) -> None:
+) -> int:
     """Relabel the (non-``⊥``) node at preorder ``index`` of ``valG(S)``.
 
     Renaming a node to the label it already carries is a no-op: the target
@@ -63,6 +66,8 @@ def rename(
 
     ``steps`` may carry a derivation path already resolved for ``index``
     (e.g. by :meth:`GrammarIndex.resolve_element`), saving the descent.
+
+    Returns the number of rule inlines the isolation performed.
     """
     if steps is None:
         segments = (grammar_index.segments()
@@ -70,12 +75,14 @@ def rename(
         steps = resolve_preorder_path(grammar, index, segments=segments)
     current_symbol = steps[-1].node.symbol
     if current_symbol.name == new_label and not current_symbol.is_bottom:
-        return
-    target = isolate(grammar, index, steps=steps).node
+        return 0
+    result = isolate(grammar, index, steps=steps)
+    target = result.node
     symbol = grammar.alphabet.terminal(new_label, target.symbol.rank)
     # Relabeling changes no structure and no count any index caches, so no
     # further invalidation beyond what isolate() already reported.
     rename_node(target, symbol)
+    return result.inlined_rules
 
 
 def insert(
@@ -84,17 +91,19 @@ def insert(
     fragment: Node,
     grammar_index: Optional["GrammarIndex"] = None,
     steps: Optional[list] = None,
-) -> None:
+) -> int:
     """Insert an encoded forest before the node at preorder ``index``.
 
     ``fragment`` must be built over the grammar's alphabet (e.g. by
     :func:`repro.trees.binary.encode_forest`); its right-most leaf must be
     ``⊥``.  The fragment is copied, so it can be reused.
+
+    Returns the number of rule inlines the isolation performed.
     """
-    target = isolate(grammar, index, grammar_index=grammar_index,
-                     steps=steps).node
-    new_root = insert_before(grammar.rhs(grammar.start), target, fragment)
+    result = isolate(grammar, index, grammar_index=grammar_index, steps=steps)
+    new_root = insert_before(grammar.rhs(grammar.start), result.node, fragment)
     grammar.set_rule(grammar.start, new_root)
+    return result.inlined_rules
 
 
 def delete(
@@ -102,23 +111,128 @@ def delete(
     index: int,
     grammar_index: Optional["GrammarIndex"] = None,
     steps: Optional[list] = None,
-) -> None:
+) -> int:
     """Delete the subtree rooted at the node at preorder ``index``.
 
     Rules referenced only from the deleted subtree are collected.
+    Deleting the document root is rejected with an
+    :class:`~repro.updates.operations.UpdateError` (a ``ValueError``):
+    the result -- the root's next-sibling chain, i.e. a bare ``⊥`` for a
+    well-formed document -- would not encode an XML document.
+
+    Returns the number of rule inlines the isolation performed.
     """
-    target = isolate(grammar, index, grammar_index=grammar_index,
-                     steps=steps).node
+    result = isolate(grammar, index, grammar_index=grammar_index, steps=steps)
+    target = result.node
     if target is grammar.rhs(grammar.start) and target.children:
-        # Deleting the document root: the tree becomes the sibling chain,
-        # which for a well-formed document is just ⊥ -- refuse, as the
-        # result would not encode an XML document.
         sibling = target.children[1]
         if sibling.symbol.is_bottom:
             raise UpdateError("deleting the document root is not allowed")
     new_root = delete_subtree(grammar.rhs(grammar.start), target)
     grammar.set_rule(grammar.start, new_root)
     collect_garbage(grammar)
+    return result.inlined_rules
+
+
+class PlannedEdit:
+    """One grammar-level edit of a batch group, ready for execution.
+
+    ``steps`` is the derivation path to the target (resolved against the
+    grammar *before* any of the group's mutations); ``position`` the
+    target's binary preorder index, kept for diagnostics.  ``kind`` is
+    ``"rename"`` (with ``label``), ``"insert"`` (with ``fragment``; an
+    append is an insert targeting the parent's child-list terminator), or
+    ``"delete"``.  Planning lives in :mod:`repro.updates.batch`.
+    """
+
+    __slots__ = ("kind", "position", "steps", "fragment", "label")
+
+    def __init__(
+        self,
+        kind: str,
+        position: int,
+        steps: List[PathStep],
+        fragment: Optional[Node] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.position = position
+        self.steps = steps
+        self.fragment = fragment
+        self.label = label
+
+    @property
+    def enter_steps(self) -> int:
+        """Rule entries on the path: what a solo isolation would inline."""
+        return sum(1 for step in self.steps if step.enters_rule)
+
+
+def apply_isolated_batch(
+    grammar: Grammar,
+    planned: List[PlannedEdit],
+) -> int:
+    """Execute one batch group against a single isolated spine.
+
+    The union of the planned derivation paths is isolated in one pass
+    (shared prefixes inlined once, see
+    :func:`~repro.updates.path_isolation.isolate_many`), then the
+    tree-level edits run in operation order against the explicit target
+    nodes.  Node identity makes this equivalent to the sequential loop:
+    a rename relabels in place, a delete splices the target's sibling
+    chain up wherever the target now sits, and an insert moves the (still
+    addressable) target element into its fragment's right-most null slot.
+    The one target that *is* consumed by an edit -- the child-list
+    terminator ``⊥`` of an append -- is threaded to later operations
+    aimed at it through the replacement terminator returned by
+    :func:`~repro.updates.operations.splice_before`, so append chains on
+    one parent keep their order.
+
+    Observers see a single mutation epoch: isolation defers all
+    notifications, and one final ``set_rule`` reports the start rule's
+    change; garbage collection after deletes reports removed rules as
+    usual.  Returns the number of rule inlines performed.
+    """
+    if not planned:
+        return 0
+    iso = isolate_many(grammar, [edit.steps for edit in planned])
+    root = iso.root
+    terminator_remap: dict = {}
+    deleted = False
+    for edit, target in zip(planned, iso.nodes):
+        if edit.kind == "rename":
+            symbol = grammar.alphabet.terminal(edit.label, target.symbol.rank)
+            if target.symbol is not symbol:
+                rename_node(target, symbol)
+        elif edit.kind == "insert":
+            while id(target) in terminator_remap:
+                target = terminator_remap[id(target)]
+            spliced = deep_copy(edit.fragment)
+            if spliced.symbol.is_bottom:
+                continue
+            root, terminator = splice_before(root, target, spliced)
+            if terminator is not None:
+                terminator_remap[id(target)] = terminator
+        elif edit.kind == "delete":
+            if target is root and target.children:
+                sibling = target.children[1]
+                if sibling.symbol.is_bottom:
+                    # Unreachable through the batch planner (it rejects
+                    # apply-time index 0), but keep the grammar coherent
+                    # before refusing, mirroring the sequential loop's
+                    # state after its earlier operations.
+                    grammar.set_rule(grammar.start, root)
+                    collect_garbage(grammar)
+                    raise UpdateError(
+                        "deleting the document root is not allowed"
+                    )
+            root = delete_subtree(root, target)
+            deleted = True
+        else:  # pragma: no cover - planner emits only the kinds above
+            raise UpdateError(f"unknown planned edit kind {edit.kind!r}")
+    grammar.set_rule(grammar.start, root)
+    if deleted:
+        collect_garbage(grammar)
+    return iso.inlined_rules
 
 
 def apply_op(

@@ -18,7 +18,7 @@ them.  Operations return the (possibly new) tree root.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.trees.node import Node, deep_copy, replace_node
 from repro.trees.symbols import Alphabet, Symbol
@@ -32,6 +32,7 @@ __all__ = [
     "UpdateOp",
     "rename_node",
     "insert_before",
+    "splice_before",
     "delete_subtree",
     "rightmost_null",
     "apply_op_to_tree",
@@ -106,22 +107,44 @@ def insert_before(root: Node, target: Node, fragment: Node) -> Node:
     spliced = deep_copy(fragment)
     if spliced.symbol.is_bottom:
         return root  # inserting the empty forest is the identity
+    return splice_before(root, target, spliced)[0]
+
+
+def splice_before(
+    root: Node, target: Node, spliced: Node
+) -> Tuple[Node, Optional[Node]]:
+    """The non-copying core of :func:`insert_before`.
+
+    ``spliced`` (an encoded forest, consumed by this call) replaces
+    ``target``; a non-``⊥`` target moves into the fragment's right-most
+    null slot.  Returns ``(new_root, terminator)`` where ``terminator``
+    is the fragment's right-most ``⊥`` when the target was a null node --
+    i.e. the node that *replaces* the consumed ``⊥`` as the child-list
+    terminator.  The batch executor threads this through so a later
+    operation aimed at the same terminator (an append-append chain on one
+    parent) can retarget it; for non-``⊥`` targets it is ``None`` (the
+    target itself fills the slot and remains addressable).
+    """
+    hole = rightmost_null(spliced)
     parent = target.parent
     slot = target.child_index() if parent is not None else 0
-    if not target.symbol.is_bottom:
+    terminator: Optional[Node] = None
+    if target.symbol.is_bottom:
+        # t[u/s]: the ⊥ leaf is simply discarded; the fragment's own
+        # right-most ⊥ terminates the list from now on.
+        terminator = hole
+    else:
         # t[u/s'] with s' = s[v/t_u]: the target subtree moves into the
         # fragment's right-most null slot.
-        hole = rightmost_null(spliced)
         target.parent = None
         replace_node(hole, target)
-    # Install the fragment at the target's old position (t[u/s] covers the
-    # null-target case, where the ⊥ leaf is simply discarded).
+    # Install the fragment at the target's old position.
     if parent is None:
         spliced.parent = None
-        return spliced
+        return spliced, terminator
     parent.children[slot - 1] = spliced
     spliced.parent = parent
-    return root
+    return root, terminator
 
 
 def delete_subtree(root: Node, target: Node) -> Node:

@@ -24,7 +24,7 @@ from repro.trees.symbols import Symbol
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.grammar.index import GrammarIndex
 
-__all__ = ["isolate", "IsolationResult"]
+__all__ = ["isolate", "isolate_many", "IsolationResult", "MultiIsolationResult"]
 
 
 class IsolationResult:
@@ -89,3 +89,91 @@ def isolate(
         # set_rule: tell registered indexes the start rule changed.
         grammar.notify_rule_changed(grammar.start)
     return IsolationResult(concrete_target, inlined)
+
+
+class MultiIsolationResult:
+    """Outcome of a multi-target isolation.
+
+    ``nodes[i]`` is the explicit terminal node for the ``i``-th requested
+    path (paths to the same target share one node); ``inlined_rules``
+    counts the rule applications performed over the whole union --
+    shared path prefixes are inlined exactly once; ``root`` is the
+    (possibly replaced) start-rule right-hand-side root, which the caller
+    must install via ``set_rule`` once its edits are applied
+    (:func:`isolate_many` itself fires *no* observer notifications, so a
+    batch of updates forms a single mutation epoch).
+    """
+
+    __slots__ = ("nodes", "inlined_rules", "root")
+
+    def __init__(self, nodes: List[Node], inlined_rules: int, root: Node) -> None:
+        self.nodes = nodes
+        self.inlined_rules = inlined_rules
+        self.root = root
+
+
+def isolate_many(
+    grammar: Grammar,
+    paths: List[List[PathStep]],
+) -> MultiIsolationResult:
+    """Make the targets of many derivation paths explicit in one pass.
+
+    ``paths`` are derivation paths resolved against the *current* grammar
+    (e.g. by :meth:`GrammarIndex.resolve_element` or
+    :func:`resolve_preorder_path`) -- all of them before any mutation, so
+    their steps reference live template nodes.  The union of the paths is
+    replayed as a trie keyed on the referenced rule-template nodes: an
+    "enter" step shared by several paths is inlined exactly **once** and
+    every path below it continues through the same copy map.  This is how
+    a batch of updates hitting nearby preorder indices shares the rule
+    inlines of their common derivation prefix instead of re-isolating it
+    per operation.
+
+    Sibling branches are independent even when one references a node
+    inside another's argument subtree: :func:`inline_at` *moves* argument
+    subtrees (it never copies them), so nodes referenced by other paths
+    survive an adjacent inline by object identity.
+
+    Unlike :func:`isolate`, no observer notifications are fired and the
+    grammar's start rule is **not** re-installed when its root is
+    replaced -- the caller applies its edits against the returned
+    ``root`` and installs it with ``set_rule`` afterwards, producing one
+    coherent mutation epoch for the whole batch.
+    """
+    root = grammar.rhs(grammar.start)
+    nodes: List[Optional[Node]] = [None] * len(paths)
+    inlined = 0
+    # Explicit stack of trie levels: (path indices at this level, depth,
+    # copy map of the inline that produced this level -- None at the top,
+    # where steps reference the start RHS directly).
+    stack: List[Tuple[List[int], int, Optional[Dict[int, Node]]]] = [
+        (list(range(len(paths))), 0, None)
+    ]
+    while stack:
+        indices, depth, current = stack.pop()
+        # Group the paths by the template node their next step references:
+        # identical targets collapse to one leaf, shared prefixes to one
+        # branch (and hence one inline).
+        branches: Dict[int, Tuple[PathStep, List[int]]] = {}
+        for i in indices:
+            step = paths[i][depth]
+            node = step.node if current is None else current[id(step.node)]
+            if not step.enters_rule:
+                assert node.symbol.is_terminal
+                nodes[i] = node
+                continue
+            entry = branches.get(id(step.node))
+            if entry is None:
+                branches[id(step.node)] = (step, [i])
+            else:
+                entry[1].append(i)
+        for step, members in branches.values():
+            node = step.node if current is None else current[id(step.node)]
+            was_root = node is root
+            new_root, copy_map = inline_at(grammar, node)
+            if was_root:
+                root = new_root
+            inlined += 1
+            stack.append((members, depth + 1, copy_map))
+    assert all(node is not None for node in nodes)
+    return MultiIsolationResult(nodes, inlined, root)

@@ -35,6 +35,7 @@ __all__ = [
     "UpdateWorkload",
     "generate_update_workload",
     "generate_rename_workload",
+    "generate_clustered_element_ops",
 ]
 
 
@@ -122,6 +123,74 @@ def generate_update_workload(
 
     reverse_ops.reverse()
     return UpdateWorkload(seed=current, operations=reverse_ops)
+
+
+def generate_clustered_element_ops(
+    element_count: int,
+    n_ops: int,
+    rng: Optional[random.Random] = None,
+    cluster_width: int = 200,
+    tags: Tuple[str, ...] = ("a", "b", "c", "d"),
+    max_delete_extent: int = 64,
+):
+    """A burst of element-index operations hitting nearby preorder indices.
+
+    This is the batch-update workload (ROADMAP "Batch updates"): real
+    traffic arrives in bursts whose targets cluster in document order, so
+    their derivation paths share long rule prefixes -- the sharing
+    :meth:`repro.api.CompressedXml.apply_batch` amortizes.  Returns a list
+    of batch ops with *sequential semantics* (each index valid for the
+    document as the previous ops leave it), drawn around a random cluster
+    center: mostly renames, some single-element inserts and appends, a few
+    deletes.
+
+    Index validity is guaranteed without simulating the document: the
+    generator tracks a conservative lower bound on the live element count
+    (every delete is charged ``max_delete_extent`` elements -- the subtree
+    a delete removes is not knowable from the count alone), clamps every
+    index below that bound, and stops drawing deletes once the budget
+    would dip near the cluster (they degrade to renames).  Documents whose
+    subtrees can exceed ``max_delete_extent`` within the cluster should
+    raise it -- ``apply_batch`` validates every index and fails loudly
+    otherwise.
+    """
+    from repro.trees.unranked import XmlNode
+    from repro.updates.batch import (
+        BatchAppend,
+        BatchDelete,
+        BatchInsert,
+        BatchRename,
+    )
+
+    if element_count < 3:
+        raise ValueError("document too small for a clustered workload")
+    rng = rng or random.Random(0)
+    cluster_width = max(1, min(cluster_width, element_count - 2))
+    center = rng.randint(1, max(1, element_count - cluster_width - 1))
+    ops = []
+    kinds = ("rename", "rename", "rename", "rename",
+             "insert", "insert", "append", "append", "delete")
+    safe_count = element_count  # lower bound on the live element count
+    for step in range(n_ops):
+        index = center + rng.randrange(cluster_width)
+        index = max(1, min(index, safe_count - 1))
+        kind = rng.choice(kinds)
+        if kind == "delete" and \
+                safe_count - max_delete_extent < cluster_width + 2:
+            kind = "rename"  # delete budget exhausted: stay read-mostly
+        tag = rng.choice(tags)
+        if kind == "rename":
+            ops.append(BatchRename(index, f"{tag}{step % 7}"))
+        elif kind == "insert":
+            ops.append(BatchInsert(index, XmlNode(tag)))
+            safe_count += 1
+        elif kind == "append":
+            ops.append(BatchAppend(index, XmlNode(tag)))
+            safe_count += 1
+        else:
+            ops.append(BatchDelete(index))
+            safe_count -= max_delete_extent
+    return ops
 
 
 def generate_rename_workload(

@@ -186,6 +186,45 @@ def update_scripts(
     ]
 
 
+#: The op kinds :func:`batch_scripts` draws from -- the four operations
+#: :meth:`repro.api.CompressedXml.apply_batch` accepts.
+BATCH_KINDS = ("rename", "rename", "insert", "insert", "append", "delete")
+
+#: Deliberately coarse position grid: nearby (and equal) fractions are
+#: drawn often, so scripts exercise same-target and adjacent-target
+#: collisions -- the cases where batch planning must flush or retarget.
+BATCH_FRACTIONS = (0.0, 0.05, 0.1, 0.3, 0.31, 0.5, 0.51, 0.52, 0.9, 0.99)
+
+
+@st.composite
+def batch_scripts(
+    draw,
+    max_ops: int = 12,
+    tags: Tuple[str, ...] = DEFAULT_TAGS,
+):
+    """A random batch-update script for the equivalence property tests.
+
+    Each entry is ``(kind, fraction, tag, wide)``: the replaying test maps
+    ``fraction`` onto a valid element index *at application time* while
+    recording the concrete ops against a sequentially-updated document,
+    then replays those ops through ``apply_batch`` on a fresh copy --
+    asserting the two documents are observationally equal.  ``wide``
+    selects multi-element insert/append content, so index shifting is
+    exercised with deltas > 1.
+    """
+    rng = draw(st.randoms(use_true_random=False))
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    return [
+        (
+            rng.choice(BATCH_KINDS),
+            rng.choice(BATCH_FRACTIONS),
+            rng.choice(tags),
+            rng.random() < 0.25,
+        )
+        for _ in range(n)
+    ]
+
+
 @st.composite
 def slcf_grammars(
     draw,

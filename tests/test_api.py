@@ -78,6 +78,32 @@ class TestInspection:
         with pytest.raises(IndexError):
             list(doc.tags(-1, 3))
 
+    def test_tags_window_degenerate_bounds(self):
+        """The pinned window contract: islice-like, not list slicing.
+        ``i >= j`` is empty, ``j`` past the end clamps, negative bounds
+        raise instead of silently diverging from slicing semantics."""
+        doc = CompressedXml.from_xml(listy_xml(10))
+        count = doc.element_count
+        full = list(doc.tags())
+        # i == j (including both at 0 and both past the end)
+        assert list(doc.tags(0, 0)) == []
+        assert list(doc.tags(count, count)) == []
+        # j > element_count clamps to the end
+        assert list(doc.tags(count - 2, count + 50)) == full[count - 2:]
+        # i at or past the end yields nothing (with or without a stop)
+        assert list(doc.tags(count)) == []
+        assert list(doc.tags(count + 5, count + 9)) == []
+        # i > j yields nothing
+        assert list(doc.tags(6, 2)) == []
+        # negative bounds raise uniformly -- a negative stop used to be
+        # silently treated as an empty window
+        with pytest.raises(IndexError):
+            list(doc.tags(-1))
+        with pytest.raises(IndexError):
+            list(doc.tags(2, -1))
+        with pytest.raises(IndexError):
+            list(doc.tags(-3, -1))
+
     def test_tags_window_after_updates(self):
         doc = CompressedXml.from_xml(listy_xml(40))
         doc.rename(5, "special")
@@ -127,10 +153,97 @@ class TestUpdates:
         doc.delete(1)
         assert doc.to_xml() == "<a><c/></a>"
 
+    def test_append_child_to_last_element(self):
+        """Regression: the parent is the last element in document order,
+        so its child-list terminator is the last ``⊥`` of the parent's
+        subtree -- the off-the-end case of ``_end_of_children_position``."""
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        doc.append_child(2, XmlNode("tail"))
+        assert doc.to_xml() == "<a><b/><c><tail/></c></a>"
+
+    def test_append_child_to_deep_last_element(self):
+        """The terminator of the deepest-last element sits immediately
+        before the whole ancestor chain's closing ``⊥`` run."""
+        doc = CompressedXml.from_xml("<a><b><c><d/></c></b></a>")
+        doc.append_child(3, XmlNode("tail"))
+        assert doc.to_xml() == "<a><b><c><d><tail/></d></c></b></a>"
+        # And again on the fresh last element -- the previous tail.
+        doc.append_child(4, XmlNode("deeper"))
+        assert doc.to_xml() == \
+            "<a><b><c><d><tail><deeper/></tail></d></c></b></a>"
+
+    def test_append_child_to_last_element_at_scale(self):
+        """Same regression against a heavily shared (compressed) grammar
+        and after earlier updates dirtied the index."""
+        doc = CompressedXml.from_xml(listy_xml(200))
+        doc.rename(7, "touched")
+        last = doc.element_count - 1
+        doc.append_child(last, [XmlNode("x"), XmlNode("y")])
+        plain = parse_xml(doc.to_xml())
+        assert [child.tag for child in plain.children[-1].children] == ["x", "y"]
+        assert doc.element_count == 203
+
+    def test_append_child_parent_out_of_range(self):
+        doc = CompressedXml.from_xml("<a><b/></a>")
+        with pytest.raises(IndexError):
+            doc.append_child(2, XmlNode("x"))
+
+    def test_delete_only_child_keeps_encoding_well_formed(self):
+        """Regression: deleting a parent's only child must leave the
+        emptied child list as a bare ``⊥`` slot, still decodable and
+        still updatable."""
+        doc = CompressedXml.from_xml("<a><b><c/></b><d/></a>")
+        doc.delete(2)  # c is b's only child
+        assert doc.to_xml() == "<a><b/><d/></a>"
+        doc.grammar.validate()
+        # The emptied child list accepts a fresh append.
+        doc.append_child(1, XmlNode("again"))
+        assert doc.to_xml() == "<a><b><again/></b><d/></a>"
+
+    def test_delete_only_child_of_root(self):
+        doc = CompressedXml.from_xml("<a><b><x/><y/></b></a>")
+        doc.delete(1)  # b is the root's only child; its subtree goes too
+        assert doc.to_xml() == "<a/>"
+        assert doc.element_count == 1
+        doc.grammar.validate()
+        doc.append_child(0, XmlNode("fresh"))
+        assert doc.to_xml() == "<a><fresh/></a>"
+
+    def test_delete_nested_only_children_at_scale(self):
+        doc = CompressedXml.from_xml(
+            "<log>" + "<s><only><leaf/></only></s>" * 40 + "</log>"
+        )
+        # Delete the <only> (single child of <s>) of the first section.
+        doc.delete(2)
+        plain = parse_xml(doc.to_xml())
+        assert plain.children[0].children == []
+        assert plain.children[1].children[0].tag == "only"
+        doc.grammar.validate()
+
     def test_delete_root_rejected(self):
         doc = CompressedXml.from_xml("<a><b/></a>")
         with pytest.raises(UpdateError):
             doc.delete(0)
+
+    def test_delete_root_rejected_is_value_error_and_mutation_free(self):
+        """The rejection must be a clear ValueError and must not have
+        touched the grammar (no isolation growth, no corruption)."""
+        doc = CompressedXml.from_xml(listy_xml(20))
+        size_before = doc.compressed_size
+        with pytest.raises(ValueError, match="root"):
+            doc.delete(0)
+        assert doc.compressed_size == size_before
+        assert doc.updates_applied == 0
+        doc.grammar.validate()
+        assert doc.to_xml() == listy_xml(20)
+
+    def test_delete_root_rejected_at_grammar_level(self):
+        from repro.updates import grammar_updates
+
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        with pytest.raises(ValueError, match="root"):
+            grammar_updates.delete(doc.grammar, 0)
+        doc.grammar.validate()
 
     def test_update_counter(self):
         doc = CompressedXml.from_xml("<a><b/><c/></a>")

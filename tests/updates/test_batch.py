@@ -1,0 +1,335 @@
+"""Batch updates must be observationally equivalent to the sequential loop.
+
+The contract under test: ``apply_batch(ops)`` -- sequential *semantics*
+(each op's element index addresses the document as the previous ops leave
+it), batched *execution* (one multi-target isolation per group, shared
+derivation prefixes inlined once, one mutation epoch, one settle).  The
+oracle is the single-op API applied in a loop, which is itself
+property-tested against plain-tree reference semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import CompressedXml
+from repro.grammar.slcf import RuleTouchRecorder
+from repro.trees.unranked import XmlNode
+from repro.updates.batch import (
+    BatchAppend,
+    BatchDelete,
+    BatchInsert,
+    BatchRename,
+)
+from repro.updates.operations import UpdateError
+from repro.updates.path_isolation import isolate, isolate_many
+
+from tests.strategies import batch_scripts, xml_documents
+
+
+def concretize(seq_doc, script):
+    """Replay an abstract script on ``seq_doc`` (the sequential oracle),
+    recording the concrete ops valid at each op's application time."""
+    ops = []
+    for kind, fraction, tag, wide in script:
+        count = seq_doc.element_count
+        content = (
+            [XmlNode(tag), XmlNode("wide", [XmlNode("inner")])]
+            if wide else XmlNode(tag)
+        )
+        if kind == "rename":
+            index = int(fraction * count)
+            seq_doc.rename(index, tag)
+            ops.append(BatchRename(index, tag))
+        elif kind == "insert":
+            if count < 2:
+                continue
+            index = 1 + int(fraction * (count - 1))
+            seq_doc.insert(index, content)
+            ops.append(BatchInsert(index, content))
+        elif kind == "append":
+            index = int(fraction * count)
+            seq_doc.append_child(index, content)
+            ops.append(BatchAppend(index, content))
+        else:
+            if count < 3:
+                continue
+            index = 1 + int(fraction * (count - 1))
+            seq_doc.delete(index)
+            ops.append(BatchDelete(index))
+    return ops
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(xml_documents(max_elements=20), batch_scripts())
+    def test_batch_equals_sequential(self, tree, script):
+        """Full ``to_xml`` round-trip equality against the sequential loop,
+        across random scripts with same/adjacent-target collisions."""
+        sequential = CompressedXml.from_document(tree)
+        batched = CompressedXml.from_document(tree)
+        ops = concretize(sequential, script)
+        stats = batched.apply_batch(ops)
+        assert batched.to_xml() == sequential.to_xml()
+        assert batched.element_count == sequential.element_count
+        batched.grammar.validate()
+        assert stats.operations == len(ops)
+        assert stats.inlined_rules <= stats.per_path_inlines
+
+    @settings(max_examples=15, deadline=None)
+    @given(xml_documents(max_elements=20), batch_scripts())
+    def test_batch_equals_sequential_under_auto_recompress(self, tree, script):
+        """The same property with the maintenance policy enabled on both
+        sides -- the batch settles once, the loop after every op, but the
+        documents they maintain must be identical."""
+        sequential = CompressedXml.from_document(
+            tree, auto_recompress_factor=1.5)
+        batched = CompressedXml.from_document(
+            tree, auto_recompress_factor=1.5)
+        ops = concretize(sequential, script)
+        batched.apply_batch(ops)
+        assert batched.to_xml() == sequential.to_xml()
+        batched.grammar.validate()
+
+
+def run_pair(xml, seq_fn, ops, expect_groups=None):
+    sequential = CompressedXml.from_xml(xml)
+    batched = CompressedXml.from_xml(xml)
+    seq_fn(sequential)
+    stats = batched.apply_batch(ops)
+    assert batched.to_xml() == sequential.to_xml()
+    batched.grammar.validate()
+    if expect_groups is not None:
+        assert stats.groups == expect_groups
+    return batched, stats
+
+
+LOG = "<log>" + "<e><p/><q/></e>" * 8 + "</log>"
+
+
+class TestCollisions:
+    def test_same_target_renames_last_wins(self):
+        run_pair(LOG,
+                 lambda d: (d.rename(4, "one"), d.rename(4, "two")),
+                 [BatchRename(4, "one"), BatchRename(4, "two")],
+                 expect_groups=1)
+
+    def test_noop_rename_plans_nothing(self):
+        """Parity with the single-op fast path: renaming an element to
+        the tag it already carries must not isolate or grow the grammar."""
+        doc = CompressedXml.from_xml(LOG)
+        size_before = doc.compressed_size
+        stats = doc.apply_batch([BatchRename(1, "e"), BatchRename(2, "p")])
+        assert stats.isolations == 0
+        assert doc.compressed_size == size_before
+
+    def test_noop_fast_path_disabled_after_same_target_rename(self):
+        """rename(i, \"x\"); rename(i, original) must apply both -- the
+        pre-group label no longer reflects the pending relabeling."""
+        run_pair(LOG,
+                 lambda d: (d.rename(4, "x"), d.rename(4, "e")),
+                 [BatchRename(4, "x"), BatchRename(4, "e")],
+                 expect_groups=1)
+
+    def test_rename_then_delete_same_target(self):
+        run_pair(LOG,
+                 lambda d: (d.rename(4, "gone"), d.delete(4)),
+                 [BatchRename(4, "gone"), BatchDelete(4)],
+                 expect_groups=1)
+
+    def test_same_position_inserts_flush(self):
+        """insert(i, A); insert(i, B) leaves B before A -- the second
+        target is A's first element, created in-batch, so the planner
+        must flush rather than misattribute it."""
+        run_pair(LOG,
+                 lambda d: (d.insert(3, XmlNode("A")), d.insert(3, XmlNode("B"))),
+                 [BatchInsert(3, XmlNode("A")), BatchInsert(3, XmlNode("B"))],
+                 expect_groups=2)
+
+    def test_append_chain_shares_one_terminator(self):
+        """Three appends to one parent: all three target the same ⊥ node
+        pre-batch; the executor threads the replacement terminator so the
+        children come out in op order -- in a single group."""
+        run_pair(LOG,
+                 lambda d: (d.append_child(1, XmlNode("A")),
+                            d.append_child(1, XmlNode("B")),
+                            d.append_child(1, XmlNode("C"))),
+                 [BatchAppend(1, XmlNode("A")), BatchAppend(1, XmlNode("B")),
+                  BatchAppend(1, XmlNode("C"))],
+                 expect_groups=1)
+
+    def test_rename_inside_inserted_content_flushes(self):
+        run_pair(LOG,
+                 lambda d: (d.insert(4, XmlNode("A", [XmlNode("inner")])),
+                            d.rename(5, "xx")),
+                 [BatchInsert(4, XmlNode("A", [XmlNode("inner")])),
+                  BatchRename(5, "xx")],
+                 expect_groups=2)
+
+    def test_delete_shifts_later_targets_by_subtree_extent(self):
+        """Deleting <e><p/><q/></e> removes 3 indices at once."""
+        run_pair(LOG,
+                 lambda d: (d.delete(1), d.rename(1, "after"), d.delete(2)),
+                 [BatchDelete(1), BatchRename(1, "after"), BatchDelete(2)],
+                 expect_groups=1)
+
+    def test_insert_then_delete_the_shifted_original(self):
+        run_pair(LOG,
+                 lambda d: (d.insert(4, XmlNode("A")), d.delete(5)),
+                 [BatchInsert(4, XmlNode("A")), BatchDelete(5)],
+                 expect_groups=1)
+
+    def test_insert_inside_subtree_then_delete_container(self):
+        """The delete's apply-time extent must include batch content the
+        earlier insert put inside its subtree."""
+        run_pair(LOG,
+                 lambda d: (d.insert(2, XmlNode("A")), d.delete(1),
+                            d.rename(1, "next")),
+                 [BatchInsert(2, XmlNode("A")), BatchDelete(1),
+                  BatchRename(1, "next")],
+                 expect_groups=1)
+
+    def test_append_then_delete_parent(self):
+        run_pair(LOG,
+                 lambda d: (d.append_child(1, XmlNode("A")), d.delete(1),
+                            d.rename(1, "next")),
+                 [BatchAppend(1, XmlNode("A")), BatchDelete(1),
+                  BatchRename(1, "next")],
+                 expect_groups=1)
+
+    def test_append_to_last_element_then_shifted_op(self):
+        """The appended children land off the end -- at element_count --
+        and later targets past the insertion point shift correctly."""
+        run_pair(LOG,
+                 lambda d: (d.append_child(d.element_count - 1, XmlNode("Z")),
+                            d.rename(5, "rr")),
+                 [BatchAppend(24, XmlNode("Z")), BatchRename(5, "rr")],
+                 expect_groups=1)
+
+
+class TestValidation:
+    def test_root_delete_rejected_with_value_error(self):
+        doc = CompressedXml.from_xml(LOG)
+        with pytest.raises(ValueError, match="root"):
+            doc.apply_batch([BatchRename(1, "pre"), BatchDelete(0)])
+        # Sequential parity: the ops before the invalid one were applied.
+        assert doc.tag_of(1) == "pre"
+
+    def test_out_of_range_raises_after_earlier_ops(self):
+        doc = CompressedXml.from_xml(LOG)
+        with pytest.raises(IndexError):
+            doc.apply_batch([BatchRename(1, "pre"), BatchRename(10**6, "x")])
+        assert doc.tag_of(1) == "pre"
+
+    def test_range_checked_against_apply_time_count(self):
+        """After a subtree delete the batch's own shrinkage invalidates a
+        later index -- exactly as the sequential loop would."""
+        doc = CompressedXml.from_xml("<a><b><c/><d/></b><e/></a>")
+        with pytest.raises(IndexError):
+            doc.apply_batch([BatchDelete(1), BatchRename(2, "x")])
+
+    def test_malformed_ops_rejected(self):
+        doc = CompressedXml.from_xml(LOG)
+        with pytest.raises(ValueError):
+            doc.apply_batch(["rename"])
+        with pytest.raises(IndexError):
+            # Error parity with doc.rename(-1, ...): IndexError.
+            BatchRename(-1, "x")
+        with pytest.raises(ValueError):
+            BatchRename(1, "")
+        with pytest.raises(ValueError):
+            BatchInsert(1, ["not-a-node"])
+
+    def test_empty_batch_and_empty_content_are_noops(self):
+        doc = CompressedXml.from_xml(LOG)
+        before = doc.to_xml()
+        stats = doc.apply_batch([])
+        assert stats.operations == 0 and stats.groups == 0
+        doc.apply_batch([BatchInsert(3, [])])
+        assert doc.to_xml() == before
+
+
+class TestBatchMechanics:
+    def test_single_group_single_epoch(self):
+        """Observers see one coherent mutation epoch per group: only the
+        start rule is reported changed (plus rules removed by gc)."""
+        doc = CompressedXml.from_xml(LOG)
+        recorder = RuleTouchRecorder()
+        doc.grammar.register_observer(recorder)
+        doc.apply_batch([BatchRename(2, "x"), BatchRename(9, "y"),
+                         BatchAppend(5, XmlNode("z"))])
+        assert recorder.changed == {doc.grammar.start}
+
+    def test_counters_and_builder(self):
+        doc = CompressedXml.from_xml(LOG)
+        with doc.batch() as b:
+            b.rename(1, "x").append_child(2, XmlNode("y")).delete(4)
+        assert b.stats is not None
+        assert doc.updates_applied == 3
+        assert doc.batches_applied == 1
+        assert doc.rules_inlined_total == b.stats.inlined_rules
+
+    def test_builder_aborts_on_exception(self):
+        doc = CompressedXml.from_xml(LOG)
+        before = doc.to_xml()
+        with pytest.raises(RuntimeError):
+            with doc.batch() as b:
+                b.rename(1, "x")
+                raise RuntimeError("abort")
+        assert doc.to_xml() == before
+        assert b.stats is None
+
+    def test_index_stays_consistent_after_batch(self):
+        doc = CompressedXml.from_xml(LOG)
+        doc.apply_batch([BatchRename(2, "x"), BatchDelete(5),
+                         BatchInsert(3, XmlNode("n"))])
+        tags = list(doc.tags())
+        assert len(tags) == doc.element_count
+        for index in range(doc.element_count):
+            assert doc.tag_of(index) == tags[index]
+
+    def test_batch_settles_once_under_auto_policy(self):
+        """One recompression check per batch: the loop recompresses per
+        op, the batch at most once at the end."""
+        doc = CompressedXml.from_xml(LOG, auto_recompress_factor=1.2)
+        runs_before = doc.recompress_runs
+        doc.apply_batch([BatchRename(i, f"t{i}") for i in range(1, 12)])
+        assert doc.recompress_runs <= runs_before + 1
+
+
+class TestIsolateMany:
+    def test_shared_prefix_inlined_once(self, figure1_grammar):
+        """Two targets below the same rule chain: the union isolation
+        performs strictly fewer inlines than two solo isolations."""
+        from repro.grammar.derivation import expand
+        from repro.grammar.navigation import (
+            grammar_generates_tree,
+            resolve_preorder_path,
+        )
+        from repro.trees.traversal import preorder
+
+        tree = expand(figure1_grammar)
+        labels = [node.symbol.name for node in preorder(tree)]
+        # Preorder 4 and 6 both lie inside the first B subtree: their
+        # derivation paths share the enter-B, enter-A prefix entirely.
+        solo_total = 0
+        for index in (4, 6):
+            solo = figure1_grammar.copy()
+            solo_total += isolate(solo, index).inlined_rules
+        grammar = figure1_grammar.copy()
+        paths = [resolve_preorder_path(grammar, index) for index in (4, 6)]
+        result = isolate_many(grammar, paths)
+        grammar.set_rule(grammar.start, result.root)
+        assert result.inlined_rules < solo_total
+        assert [node.symbol.name for node in result.nodes] == \
+            [labels[4], labels[6]]
+        grammar.validate()
+        assert grammar_generates_tree(grammar, tree)
+
+    def test_identical_paths_share_one_node(self, figure1_grammar):
+        from repro.grammar.navigation import resolve_preorder_path
+
+        grammar = figure1_grammar
+        paths = [resolve_preorder_path(grammar, 5),
+                 resolve_preorder_path(grammar, 5)]
+        result = isolate_many(grammar, paths)
+        assert result.nodes[0] is result.nodes[1]

@@ -20,6 +20,7 @@ from repro.updates.operations import (
     apply_op_to_tree,
 )
 from repro.updates.workload import (
+    generate_clustered_element_ops,
     generate_rename_workload,
     generate_update_workload,
 )
@@ -151,3 +152,47 @@ class TestRenameWorkload:
             reference = apply_op_to_tree(reference, op, alphabet)
         apply_ops(grammar, ops)
         assert grammar_generates_tree(grammar, reference)
+
+
+class TestClusteredElementOps:
+    def test_ops_are_valid_and_clustered(self):
+        from repro.api import CompressedXml
+        from repro.updates.batch import BatchDelete
+
+        doc = CompressedXml.from_xml(
+            "<log>" + "<e><a/><b/></e>" * 400 + "</log>"
+        )
+        ops = generate_clustered_element_ops(
+            doc.element_count, 40, rng=random.Random(5), cluster_width=64
+        )
+        assert len(ops) == 40
+        # Every index is valid at its application time: apply_batch
+        # validates each op against the evolving element count.
+        doc.apply_batch(ops)
+        doc.grammar.validate()
+        # Targets cluster: the index span stays within the width plus the
+        # room the batch's own inserts/deletes can shift it.
+        indices = [
+            op.parent_index if hasattr(op, "parent_index") else op.index
+            for op in ops
+        ]
+        deletes = sum(1 for op in ops if isinstance(op, BatchDelete))
+        assert max(indices) - min(indices) <= 64 + 64 * deletes
+
+    def test_document_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_clustered_element_ops(2, 5)
+
+    def test_delete_budget_degrades_to_renames(self):
+        """On a document too small for its delete charge, deletes stop
+        being drawn instead of producing out-of-range indices."""
+        from repro.api import CompressedXml
+        from repro.updates.batch import BatchDelete
+
+        doc = CompressedXml.from_xml("<log>" + "<e/>" * 49 + "</log>")
+        ops = generate_clustered_element_ops(
+            doc.element_count, 40, rng=random.Random(2), max_delete_extent=64
+        )
+        assert not any(isinstance(op, BatchDelete) for op in ops)
+        doc.apply_batch(ops)  # every index valid at its application time
+        doc.grammar.validate()
