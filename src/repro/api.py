@@ -5,6 +5,11 @@ implementation, the paper's motivating application) programs against:
 
 * build from XML text / a file / an :class:`~repro.trees.unranked.XmlNode`,
 * query statistics without decompression,
+* evaluate label paths (:meth:`CompressedXml.select` /
+  :meth:`CompressedXml.count`) and navigate document axes
+  (:meth:`CompressedXml.parent_of`, :meth:`CompressedXml.children`, ...)
+  directly on the grammar; extract one subtree's XML by partial
+  derivation (:meth:`CompressedXml.subtree_xml`),
 * update by *element index* (document order) -- rename, insert, delete,
 * apply whole bursts of updates as one program (:meth:`CompressedXml.batch`
   / :meth:`CompressedXml.apply_batch`): the union of the derivation paths
@@ -55,13 +60,15 @@ from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.core.grammar_repair import GrammarRePair, GrammarRePairStats
 from repro.grammar.index import GrammarIndex
-from repro.grammar.navigation import stream_preorder
 from repro.grammar.serialize import format_grammar, parse_grammar
 from repro.grammar.slcf import Grammar, RuleTouchRecorder
 from repro.trees.binary import decode_binary, encode_binary, encode_forest
 from repro.trees.symbols import Alphabet
 from repro.trees.unranked import XmlNode
 from repro.trees.xml_io import parse_xml, serialize_xml
+from repro.query.engine import count_matches, extract_subtree
+from repro.query.engine import select as engine_select
+from repro.query.label_index import LabelIndex
 from repro.updates import grammar_updates
 from repro.updates.batch import BatchBuilder, BatchOp, BatchStats, execute_batch
 from repro.updates.operations import UpdateError
@@ -87,6 +94,10 @@ class CompressedXml:
     ) -> None:
         self._grammar = grammar
         self._index = GrammarIndex(grammar)
+        # The label census index is created on first query use -- write-only
+        # workloads never pay for it.  Once created it is maintained through
+        # the same observer channel as the structural index.
+        self._label_index: Optional[LabelIndex] = None
         self._kin = kin
         self._auto_factor = auto_recompress_factor
         self._incremental = incremental_recompress
@@ -221,18 +232,97 @@ class CompressedXml:
         ``IndexError`` -- under concurrent updates a from-the-end index
         is ambiguous, so it is rejected rather than silently treated as
         an empty (or wrapped) window.
+
+        The zero-argument form is the window ``(0, element_count)`` and
+        goes through the same indexed iterator -- one code path, and the
+        count tables it materializes are the ones every other query
+        reuses (the historical ``stream_preorder`` special case answered
+        from nothing but also warmed nothing).
         """
-        if start is None and stop is None:
-            for symbol in stream_preorder(self._grammar):
-                if not symbol.is_bottom:
-                    yield symbol.name
-            return
-        for symbol in self._index.iter_element_symbols(start or 0, stop):
+        for symbol in self._index.iter_element_symbols(
+            0 if start is None else start, stop
+        ):
             yield symbol.name
 
     def tag_of(self, element_index: int) -> str:
         """Tag of the ``element_index``-th element (document order)."""
         return self._index.tag_of(element_index)
+
+    # ------------------------------------------------------------------
+    # navigation (document axes over element indices, all O(depth))
+    # ------------------------------------------------------------------
+    def parent_of(self, element_index: int) -> Optional[int]:
+        """Element index of the parent; ``None`` for the root."""
+        return self._index.parent_of(element_index)
+
+    def depth_of(self, element_index: int) -> int:
+        """Document depth of an element (the root has depth 0)."""
+        return self._index.depth_of(element_index)
+
+    def first_child(self, element_index: int) -> Optional[int]:
+        """Element index of the first child; ``None`` for a leaf."""
+        return self._index.first_child(element_index)
+
+    def next_sibling(self, element_index: int) -> Optional[int]:
+        """Element index of the next sibling; ``None`` for a last child."""
+        return self._index.next_sibling(element_index)
+
+    def children(self, element_index: int) -> Iterator[int]:
+        """Element indices of the direct children, in document order."""
+        return self._index.children(element_index)
+
+    # ------------------------------------------------------------------
+    # queries (label paths evaluated on the grammar)
+    # ------------------------------------------------------------------
+    @property
+    def label_index(self) -> LabelIndex:
+        """The owned label-census index, created on first use.
+
+        Like the structural index it registers on the grammar's observer
+        channel and invalidates per rule; its eviction counters
+        (``evicted_rules`` / ``wholesale_invalidations`` /
+        ``rules_censused``) are the maintenance instrumentation
+        ``benchmarks/bench_query.py`` asserts against.
+        """
+        if self._label_index is None:
+            self._label_index = LabelIndex(self._grammar)
+        return self._label_index
+
+    def select(self, path: str) -> List[int]:
+        """Element indices matching a label path, evaluated on the grammar.
+
+        ``path`` is a ``/a/b//c``-style expression (child + descendant
+        axes, ``*`` wildcard, optional 1-based positional predicates; see
+        :mod:`repro.query.parser`).  Descendant steps skip every
+        derivation subtree whose label census is zero in O(1), so
+        selective queries cost ``O(matches · depth · rule-width)`` instead
+        of the ``O(N)`` a decompress-then-walk pays.  The result is
+        sorted, duplicate-free, and lives in the same document-order
+        coordinate space as :meth:`rename`/:meth:`delete`/
+        :meth:`apply_batch` targets.
+        """
+        return engine_select(self._index, self.label_index, path)
+
+    def count(self, path: str) -> int:
+        """Number of elements a label path selects.
+
+        ``//label`` is answered in O(1) from the label index's start-rule
+        census; other shapes evaluate the path.
+        """
+        return count_matches(self._index, self.label_index, path)
+
+    def subtree_xml(
+        self, element_index: int, indent: Optional[int] = None
+    ) -> str:
+        """Serialize one element's subtree by partial derivation.
+
+        Only the derivation window covering the element and its
+        descendants is expanded -- ``O(depth · rule-width + output)``,
+        never the whole document.
+        """
+        return serialize_xml(
+            extract_subtree(self._index, element_index), indent=indent
+        )
 
     # ------------------------------------------------------------------
     # element-index addressing (all O(depth) via the grammar index)
@@ -422,6 +512,8 @@ class CompressedXml:
                 # essentially every rule, so a wholesale reset beats
                 # replaying thousands of per-rule invalidations.
                 self._index.invalidate_all()
+                if self._label_index is not None:
+                    self._label_index.invalidate_all()
             # Incremental mode relies on the per-rule observer evictions
             # that fired while rules were rewritten, full census or not.
         else:

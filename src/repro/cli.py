@@ -5,6 +5,7 @@ Subcommands::
     repro-xml compress  doc.xml -o doc.grammar      # XML -> grammar
     repro-xml decompress doc.grammar -o doc.xml     # grammar -> XML
     repro-xml stats     doc.xml | doc.grammar       # Table III-style row
+    repro-xml query     doc.grammar '/log//status'  # grammar-native select
     repro-xml update    doc.grammar rename 3 newtag [-o out.grammar]
     repro-xml experiment table3 figure2 ...         # regenerate results
 """
@@ -55,6 +56,24 @@ def _cmd_stats(args) -> int:
     print(f"edges:       {doc.edge_count}")
     print(f"c-edges:     {doc.compressed_size}")
     print(f"ratio:       {100.0 * doc.compression_ratio:.3f}%")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    doc = _load(args.input)
+    if args.count:
+        print(doc.count(args.path))
+        return 0
+    matches = doc.select(args.path)
+    shown = matches if args.limit is None else matches[: args.limit]
+    for index in shown:
+        if args.extract:
+            print(doc.subtree_xml(index))
+        else:
+            print(f"{index}\t{doc.tag_of(index)}")
+    if len(shown) < len(matches):
+        print(f"... {len(matches) - len(shown)} more", file=sys.stderr)
+    print(f"{len(matches)} match(es)", file=sys.stderr)
     return 0
 
 
@@ -125,6 +144,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="document/grammar statistics")
     p.add_argument("input")
     p.set_defaults(handler=_cmd_stats)
+
+    p = sub.add_parser(
+        "query",
+        help="evaluate a label path on the grammar (no decompression)",
+    )
+    p.add_argument("input")
+    p.add_argument(
+        "path",
+        help="label path, e.g. /log/entry, //status, /log/entry[3]/ip",
+    )
+    p.add_argument(
+        "--count", action="store_true",
+        help="print only the number of matches",
+    )
+    p.add_argument(
+        "--extract", action="store_true",
+        help="print each match's subtree XML (partial derivation) "
+        "instead of index/tag lines",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None,
+        help="print at most this many matches",
+    )
+    p.set_defaults(handler=_cmd_query)
 
     p = sub.add_parser("update", help="apply one update operation")
     p.add_argument("input")

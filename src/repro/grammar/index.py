@@ -46,7 +46,25 @@ from repro.grammar.slcf import Grammar, GrammarError
 from repro.trees.node import Node
 from repro.trees.symbols import Symbol
 
-__all__ = ["GrammarIndex"]
+__all__ = ["GrammarIndex", "check_element_index"]
+
+
+def check_element_index(index: int, what: str = "element index") -> int:
+    """Shared validation for document-order element indices.
+
+    Every element-addressed entry point (``tag_of``/``rename``/``delete``/
+    ``select`` results, batch operations, ``tags`` windows) funnels through
+    this one contract: a non-``int`` (including ``bool`` -- almost always a
+    bug, and batch ops already rejected it) raises ``TypeError``; a negative
+    index raises ``IndexError``.  From-the-end indices are deliberately not
+    supported -- under concurrent updates they are ambiguous.  The
+    out-of-range check stays with the caller, who knows the element count.
+    """
+    if not isinstance(index, int) or isinstance(index, bool):
+        raise TypeError(f"{what} must be an int, got {index!r}")
+    if index < 0:
+        raise IndexError(f"{what} must be >= 0, got {index}")
+    return index
 
 
 #: Per-RHS-node cache entry: (generated nodes, generated non-⊥ elements,
@@ -133,6 +151,11 @@ class GrammarIndex:
 
     def rule_removed(self, head: Symbol) -> None:
         self._evict(head)
+
+    def rule_relabeled(self, head: Symbol) -> None:
+        """A terminal relabel changes no size any table here caches --
+        keep everything (the tables reference live nodes, so even
+        ``tag_of`` stays correct through the relabeled symbol)."""
 
     def _evict(self, head: Symbol) -> None:
         """Drop cached tables of ``head`` and its transitive dependents.
@@ -332,21 +355,33 @@ class GrammarIndex:
         return nodes, elems
 
     def _locate_element(
-        self, element_index: int
+        self, element_index: int, track_axes: bool = False
     ) -> Tuple[int, Node, Tuple[_Binding, ...], Dict[int, _NodeInfo],
-               List[PathStep]]:
+               List[PathStep], Optional[int], int]:
         """Descend the derivation to the ``element_index``-th element.
 
         Returns ``(binary preorder index, generating terminal node, binding
-        environment, that node's rule table, derivation path)``: everything
-        the public queries need, in one ``O(depth · rule-width)`` walk.
+        environment, that node's rule table, derivation path, parent
+        element index, document depth)``: everything the public queries
+        need, in one ``O(depth · rule-width)`` walk.
         The recorded :class:`PathStep` list is exactly what
         :func:`repro.grammar.navigation.resolve_preorder_path` would
         produce for the resulting preorder index, so path isolation can
         replay it without a second descent.
+
+        With ``track_axes`` the walk visits *every* binary ancestor of the
+        target: in the first-child/next-sibling encoding the target's
+        document parent is the last element from which the walk takes a
+        first-child (slot 1) edge -- next-sibling (slot 2) edges stay on
+        the same child list -- and depth counts those edges (the root has
+        depth 0).  This forgoes the descend-directly-into-an-argument
+        shortcut (whose skipped rule-body path may contain exactly those
+        ancestors) and always enters the rule instead: same
+        ``O(depth · rule-width)`` bound, and the recorded steps then
+        over-approximate the isolation path, so axis queries ignore them.
+        Without ``track_axes`` the two trailing results are meaningless.
         """
-        if element_index < 0:
-            raise IndexError("element index must be >= 0")
+        check_element_index(element_index)
         total = self.element_count  # ensures the start rule's tables
         if element_index >= total:
             raise IndexError(
@@ -359,6 +394,8 @@ class GrammarIndex:
         env: Tuple[_Binding, ...] = ()
         remaining = element_index  # elements still preceding the target
         position = 0  # binary preorder nodes consumed so far
+        parent: Optional[int] = None  # document parent of the target
+        depth = 0  # first-child edges taken so far
         steps: List[PathStep] = []
 
         while True:
@@ -369,15 +406,22 @@ class GrammarIndex:
                 continue
 
             if symbol.is_terminal:
-                if not symbol.is_bottom:
+                is_element = not symbol.is_bottom
+                if is_element:
                     if remaining == 0:
                         steps.append(PathStep(node, enters_rule=False))
-                        return position, node, env, table, steps
+                        return position, node, env, table, steps, parent, depth
                     remaining -= 1
                 position += 1
-                for child in node.children:
+                for slot, child in enumerate(node.children):
                     child_nodes, child_elems = self._sizes(child, env, table)
                     if remaining < child_elems:
+                        if is_element and symbol.rank == 2 and slot == 0:
+                            # The element just visited is the last one the
+                            # walk left through a first-child edge: the
+                            # target's parent so far.
+                            parent = element_index - remaining - 1
+                            depth += 1
                         node = child
                         break
                     remaining -= child_elems
@@ -394,26 +438,36 @@ class GrammarIndex:
             # bindings reproduces exactly the interleaved sequence.
             if symbol not in self._tables:
                 self._ensure(symbol)
-            callee_nodes = self._node_segments[symbol]
-            callee_elems = self._elem_segments[symbol]
-            descend_to = None
-            preceding_nodes = callee_nodes[0]
-            preceding_elems = callee_elems[0]
-            if remaining >= preceding_elems:
-                for child_pos, child in enumerate(node.children, start=1):
-                    child_nodes, child_elems = self._sizes(child, env, table)
-                    if remaining < preceding_elems + child_elems:
-                        remaining -= preceding_elems
-                        position += preceding_nodes
-                        descend_to = child
-                        break
-                    preceding_elems += child_elems + callee_elems[child_pos]
-                    preceding_nodes += child_nodes + callee_nodes[child_pos]
-                    if remaining < preceding_elems:
-                        break  # a body segment after this argument: enter
-            if descend_to is not None:
-                node = descend_to
-                continue
+            if not track_axes:
+                # Shortcut: a target inside an argument subtree is descended
+                # into directly.  Axis tracking must not take it -- the
+                # skipped rule-body path may contain the target's binary
+                # ancestors (in particular its document parent); entering
+                # the rule below reproduces the same interleaved sequence
+                # and visits them.
+                callee_nodes = self._node_segments[symbol]
+                callee_elems = self._elem_segments[symbol]
+                descend_to = None
+                preceding_nodes = callee_nodes[0]
+                preceding_elems = callee_elems[0]
+                if remaining >= preceding_elems:
+                    for child_pos, child in enumerate(node.children, start=1):
+                        child_nodes, child_elems = \
+                            self._sizes(child, env, table)
+                        if remaining < preceding_elems + child_elems:
+                            remaining -= preceding_elems
+                            position += preceding_nodes
+                            descend_to = child
+                            break
+                        preceding_elems += \
+                            child_elems + callee_elems[child_pos]
+                        preceding_nodes += \
+                            child_nodes + callee_nodes[child_pos]
+                        if remaining < preceding_elems:
+                            break  # a body segment after this arg: enter
+                if descend_to is not None:
+                    node = descend_to
+                    continue
             steps.append(PathStep(node, enters_rule=True))
             outer_env = env
             env = tuple(
@@ -440,12 +494,13 @@ class GrammarIndex:
         ``start`` preceding elements -- this is the indexed range
         iterator behind :meth:`repro.api.CompressedXml.tags`.
         """
-        if start < 0 or (stop is not None and stop < 0):
-            # From-the-end indices are ambiguous under concurrent updates;
-            # reject both bounds uniformly instead of silently yielding an
-            # empty window for a negative ``stop`` (slicing-like callers
-            # would misread that as "window past the end").
-            raise IndexError("element window bounds must be >= 0")
+        # From-the-end indices are ambiguous under concurrent updates;
+        # reject negative bounds uniformly instead of silently yielding an
+        # empty window for a negative ``stop`` (slicing-like callers
+        # would misread that as "window past the end").
+        check_element_index(start, "element window start")
+        if stop is not None:
+            check_element_index(stop, "element window stop")
         total = self.element_count  # ensures the start rule's tables
         if stop is None or stop > total:
             stop = total
@@ -502,9 +557,8 @@ class GrammarIndex:
         """One-descent combo for the update path: the element's binary
         preorder index *and* its derivation path, ready for
         :func:`repro.updates.path_isolation.isolate` to replay."""
-        position, _node, _env, _table, steps = \
-            self._locate_element(element_index)
-        return position, steps
+        located = self._locate_element(element_index)
+        return located[0], located[4]
 
     def tag_of(self, element_index: int) -> str:
         """Label of the ``element_index``-th element (document order)."""
@@ -522,7 +576,8 @@ class GrammarIndex:
         :meth:`end_of_children_position` at the cost of a single
         ``O(depth · rule-width)`` descent.
         """
-        position, node, env, table, steps = self._locate_element(element_index)
+        position, node, env, table, steps, _parent, _depth = \
+            self._locate_element(element_index)
         if node.symbol.rank != 2:
             raise GrammarError(
                 f"element {element_index} is generated by "
@@ -541,7 +596,8 @@ class GrammarIndex:
         ``delete(element_index)`` removes exactly this many elements --
         the quantity batch planning needs to shift later targets.
         """
-        _pos, node, env, table, _steps = self._locate_element(element_index)
+        _pos, node, env, table, _steps, _parent, _depth = \
+            self._locate_element(element_index)
         if node.symbol.rank != 2:
             raise GrammarError(
                 f"element {element_index} is generated by "
@@ -558,7 +614,8 @@ class GrammarIndex:
         exactly ``size(subtree(u.1))`` positions after the element ``u``
         itself -- one subtree-size lookup instead of a stream walk.
         """
-        position, node, env, table, _steps = self._locate_element(element_index)
+        position, node, env, table, _steps, _parent, _depth = \
+            self._locate_element(element_index)
         if node.symbol.rank != 2:
             raise GrammarError(
                 f"element {element_index} is generated by "
@@ -566,3 +623,117 @@ class GrammarIndex:
             )
         first_child_nodes, _ = self._sizes(node.children[0], env, table)
         return position + first_child_nodes
+
+    # ------------------------------------------------------------------
+    # document-tree navigation (axes over element indices)
+    # ------------------------------------------------------------------
+    def _child_slot_elements(self, element_index: int) -> Tuple[int, int]:
+        """Elements generated below the element's two binary slots:
+        ``(descendants, following siblings + their descendants)``."""
+        _pos, node, env, table, _steps, _parent, _depth = \
+            self._locate_element(element_index)
+        if node.symbol.rank != 2:
+            raise GrammarError(
+                f"element {element_index} is generated by "
+                f"{node.symbol!r}; expected a binary-encoded element of rank 2"
+            )
+        _nodes, below = self._sizes(node.children[0], env, table)
+        _nodes, after = self._sizes(node.children[1], env, table)
+        return below, after
+
+    def parent_of(self, element_index: int) -> Optional[int]:
+        """Element index of the document parent (``None`` for the root).
+
+        One ``O(depth · rule-width)`` descent: the parent is the last
+        element from which the descent took a first-child edge.
+        """
+        return self._locate_element(element_index, track_axes=True)[5]
+
+    def depth_of(self, element_index: int) -> int:
+        """Document depth of an element (the root has depth 0)."""
+        return self._locate_element(element_index, track_axes=True)[6]
+
+    def first_child(self, element_index: int) -> Optional[int]:
+        """Element index of the first child, or ``None`` for a leaf.
+
+        In document order the first child immediately follows its parent,
+        so the answer is ``element_index + 1`` whenever the element's
+        first-child slot generates any element at all.
+        """
+        below, _after = self._child_slot_elements(element_index)
+        return element_index + 1 if below else None
+
+    def next_sibling(self, element_index: int) -> Optional[int]:
+        """Element index of the next sibling, or ``None`` for a last child.
+
+        The next sibling follows the element's whole subtree in document
+        order: ``element_index + 1 + #descendants``, provided the
+        next-sibling slot generates any element.
+        """
+        below, after = self._child_slot_elements(element_index)
+        return element_index + 1 + below if after else None
+
+    def children_with_tags(self, element_index: int) -> Iterator[Tuple[int, str]]:
+        """``(element index, tag)`` of the direct children, document order.
+
+        One ``O(depth · rule-width)`` descent per child: each locate
+        yields the child's terminal (its tag for free) *and* the subtree
+        sizes that address the next sibling -- the single-pass primitive
+        child-axis query steps ride, instead of paying separate
+        ``next_sibling`` + ``tag_of`` descents per sibling.
+        """
+        child = self.first_child(element_index)
+        while child is not None:
+            _pos, node, env, table, _steps, _parent, _depth = \
+                self._locate_element(child)
+            if node.symbol.rank != 2:
+                raise GrammarError(
+                    f"element {child} is generated by {node.symbol!r}; "
+                    f"expected a binary-encoded element of rank 2"
+                )
+            yield child, node.symbol.name
+            _nodes, after = self._sizes(node.children[1], env, table)
+            if not after:
+                return
+            _nodes, below = self._sizes(node.children[0], env, table)
+            child = child + 1 + below
+
+    def children(self, element_index: int) -> Iterator[int]:
+        """Element indices of the direct children, in document order.
+
+        Each step is one derivation descent, so enumerating ``k``
+        children costs ``O(k · depth · rule-width)`` -- independent of
+        the subtree sizes skipped between siblings.
+        """
+        for child, _tag in self.children_with_tags(element_index):
+            yield child
+
+    # ------------------------------------------------------------------
+    # raw table access (the query subsystem's substrate)
+    # ------------------------------------------------------------------
+    def rule_table(self, head: Symbol) -> Dict[int, _NodeInfo]:
+        """The per-RHS-node ``(nodes, elements, parameters)`` table of a
+        rule, computing it (and its callees') on demand.
+
+        This is the read-only substrate :mod:`repro.query.engine` walks:
+        the entries are keyed by ``id(rhs_node)`` and stay valid exactly
+        as long as the rule is untouched -- the observer channel evicts
+        the table on any mutation, so callers must re-fetch per query and
+        never cache across updates.
+        """
+        self._ensure(head)
+        return self._tables[head]
+
+    def element_segments(self, head: Symbol) -> List[int]:
+        """The rule's element-count segments ``[e0, ..., ek]``: elements
+        generated by the body before the first parameter, between
+        consecutive parameters (preorder), and after the last.
+
+        The query engine uses them to hop over a rule body whose label
+        census is zero without walking it: the virtual preorder is
+        ``seg0, arg1, seg1, ..., argk, segk``, so the element cursor can
+        advance by whole body segments while only the argument subtrees
+        are visited.  Same caching/invalidation as every other table.
+        """
+        self._ensure(head)
+        return self._elem_segments[head]

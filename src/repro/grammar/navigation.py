@@ -37,6 +37,7 @@ from repro.trees.symbols import Symbol
 
 __all__ = [
     "stream_preorder",
+    "stream_elements",
     "generates_same_tree",
     "grammar_generates_tree",
     "resolve_preorder_path",
@@ -70,6 +71,51 @@ def stream_preorder(grammar: Grammar) -> Iterator[Symbol]:
         else:  # parameter: continue with the bound argument
             bound_node, bound_env = env[symbol.param_index - 1]
             stack.append((bound_node, bound_env))
+
+
+def stream_elements(
+    grammar: Grammar,
+) -> Iterator[Tuple[int, str, Optional[int], int]]:
+    """Stream ``(element_index, tag, parent_index, depth)`` in document order.
+
+    The grammar must generate a first-child/next-sibling binary encoding
+    (rank-2 element terminals, rank-0 ``⊥``); any other terminal raises
+    :class:`ValueError`.  Parent/depth bookkeeping rides the walk itself:
+    descending into an element's first-child slot makes that element the
+    current parent (depth + 1), descending into the next-sibling slot keeps
+    the parent -- the streaming ``O(N)`` ground truth the indexed axis
+    primitives (:meth:`repro.grammar.index.GrammarIndex.parent_of` et al.)
+    and the query engine are property-tested against.
+    """
+    index = 0
+    # Items: (node, env, parent element index, depth); env as in
+    # stream_preorder.
+    stack: List[Tuple[Node, _Env, Optional[int], int]] = [
+        (grammar.rhs(grammar.start), (), None, 0)
+    ]
+    while stack:
+        node, env, parent, depth = stack.pop()
+        symbol = node.symbol
+        if symbol.is_terminal:
+            if symbol.is_bottom:
+                continue
+            if symbol.rank != 2:
+                raise ValueError(
+                    f"terminal {symbol!r} is not a binary-encoded element "
+                    "(rank 2) -- stream_elements requires an FCNS encoding"
+                )
+            yield index, symbol.name, parent, depth
+            # Next sibling first (LIFO): the first-child subtree streams
+            # before the sibling chain, i.e. in document order.
+            stack.append((node.children[1], env, parent, depth))
+            stack.append((node.children[0], env, index, depth + 1))
+            index += 1
+        elif symbol.is_nonterminal:
+            inner_env: _Env = tuple((child, env) for child in node.children)
+            stack.append((grammar.rhs(symbol), inner_env, parent, depth))
+        else:  # parameter: continue with the bound argument
+            bound_node, bound_env = env[symbol.param_index - 1]
+            stack.append((bound_node, bound_env, parent, depth))
 
 
 def generates_same_tree(a: Grammar, b: Grammar) -> bool:

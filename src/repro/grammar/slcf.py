@@ -162,6 +162,24 @@ class Grammar:
         for observer in self._observers:
             observer.rule_changed(nonterminal)
 
+    def notify_rule_relabeled(self, nonterminal: Symbol) -> None:
+        """Report an in-place *relabel* of a terminal in the rule's RHS.
+
+        A relabel changes no structural count, so observers that only
+        cache sizes (e.g. :class:`repro.grammar.index.GrammarIndex`) may
+        implement ``rule_relabeled`` as a no-op and keep their tables;
+        observers without the hook get the coarse :meth:`rule_changed`
+        instead -- label censuses, occurrence tables, and dirty-rule
+        recorders must all still see the mutation (relabels do change
+        digrams and label counts).
+        """
+        for observer in self._observers:
+            relabeled = getattr(observer, "rule_relabeled", None)
+            if relabeled is not None:
+                relabeled(nonterminal)
+            else:
+                observer.rule_changed(nonterminal)
+
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------

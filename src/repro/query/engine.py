@@ -1,0 +1,343 @@
+"""Label-path evaluation directly on the grammar.
+
+The evaluator is set-at-a-time: a context set of document-order element
+indices is mapped through one :class:`~repro.query.parser.QueryStep` at a
+time.  Child-axis steps ride the :class:`~repro.grammar.index.GrammarIndex`
+navigation primitives (``children``/``tag_of``, one ``O(depth·rule-width)``
+descent each); descendant-axis steps ride :func:`iter_matching_elements`,
+a single derivation walk that skips a whole RHS/derivation subtree in O(1)
+when
+
+* it lies entirely outside the requested element range (structural index's
+  cached subtree sizes), or
+* its census for the queried label is zero
+  (:class:`~repro.query.label_index.LabelIndex` count tables) --
+
+so a selective query touches ``O(matches · depth)`` derivation nodes
+instead of the ``O(N)`` elements a decompress-then-walk pays, which is the
+whole point of querying in the compressed domain.
+
+:func:`extract_subtree` serializes one element's subtree by *partial
+derivation*: the binary-preorder window covering the element and its
+first-child subtree is streamed off the grammar (again skipping derivation
+subtrees before the window in O(1)), rebuilt into a ranked tree, and
+decoded -- no full decompression, cost ``O(depth · rule-width + output)``.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.grammar.index import GrammarIndex, check_element_index
+from repro.query.label_index import LabelIndex
+from repro.query.parser import CHILD, LabelPath, QueryStep, parse_path
+from repro.trees.binary import decode_binary
+from repro.trees.node import Node
+from repro.trees.symbols import Symbol
+from repro.trees.unranked import XmlNode
+
+__all__ = [
+    "select",
+    "count_matches",
+    "iter_matching_elements",
+    "extract_subtree",
+]
+
+#: The virtual context above the document root: XPath's root node.  A
+#: child step from here reaches element 0; a descendant step reaches every
+#: element.
+_VIRTUAL_ROOT = -1
+
+
+# ----------------------------------------------------------------------
+# pruned derivation walks
+# ----------------------------------------------------------------------
+def _elems_and_matches(
+    gindex: GrammarIndex,
+    lindex: Optional[LabelIndex],
+    head: Symbol,
+    node: Node,
+    env: Tuple,
+    label: Optional[str],
+) -> Tuple[int, int]:
+    """(elements, queried-label occurrences) of an RHS subtree with
+    parameters bound.  With no label test the element count doubles as the
+    match count, so the zero-census prune degenerates to the (harmless)
+    empty-subtree skip."""
+    _nodes, elems, params = gindex.rule_table(head)[id(node)]
+    if label is None:
+        for param in params:
+            elems += env[param - 1][3]
+        return elems, elems
+    count, _params = lindex.node_table(head, label)[id(node)]
+    for param in params:
+        binding = env[param - 1]
+        elems += binding[3]
+        count += binding[4]
+    return elems, count
+
+
+def iter_matching_elements(
+    gindex: GrammarIndex,
+    lindex: Optional[LabelIndex],
+    lo: int,
+    hi: Optional[int],
+    label: Optional[str] = None,
+) -> Iterator[int]:
+    """Element indices in ``[lo, hi)`` whose tag equals ``label``.
+
+    ``label=None`` matches every element (then ``lindex`` may be ``None``).
+    One preorder walk of the derivation; any subtree generating only
+    elements before ``lo`` -- or none of the queried label -- is skipped in
+    O(1) via the cached count tables, and the walk stops at the first
+    subtree starting at or past ``hi``.
+    """
+    if label is not None and lindex is None:
+        raise ValueError("a label test needs a LabelIndex")
+    total = gindex.element_count
+    if hi is None or hi > total:
+        hi = total
+    if lo >= hi:
+        return
+    grammar = gindex.grammar
+    position = 0  # element index where the current subtree starts
+    # Items: (node, env, head), or (None, skipped_elements, None) cursor
+    # markers for body segments hopped over without being walked; env
+    # entries are 5-tuples (node, env, head, elements, label matches) with
+    # the counts precomputed at binding time so parameter lookups stay
+    # O(1).
+    stack: List[Tuple[Optional[Node], object, Optional[Symbol]]] = [
+        (grammar.rhs(grammar.start), (), grammar.start)
+    ]
+    while stack:
+        node, env, head = stack.pop()
+        if node is None:
+            position += env  # a pre-counted body-segment hop
+            continue
+        symbol = node.symbol
+        if symbol.is_parameter:
+            binding = env[symbol.param_index - 1]
+            stack.append((binding[0], binding[1], binding[2]))
+            continue
+        elems, matches = _elems_and_matches(
+            gindex, lindex, head, node, env, label
+        )
+        if position + elems <= lo:
+            position += elems  # entirely before the window
+            continue
+        if position >= hi:
+            return  # preorder: everything later starts even further right
+        if matches == 0:
+            position += elems  # census prune: nothing to report inside
+            continue
+        if symbol.is_terminal:
+            if not symbol.is_bottom:
+                if position >= lo and (label is None or symbol.name == label):
+                    yield position
+                position += 1
+            for child in reversed(node.children):
+                stack.append((child, env, head))
+            continue
+        if label is not None and lindex.rule_label_count(symbol, label) == 0:
+            # Every match below this application arrives through its
+            # arguments: hop over the whole body via the cached element
+            # segments (virtual preorder: seg0, arg1, seg1, ..., argk,
+            # segk) and visit only the argument subtrees.  This is what
+            # keeps a deep nested-application chain -- the shape update
+            # traffic leaves sibling lists in -- from being re-walked
+            # link by link.
+            segments = gindex.element_segments(symbol)
+            for child_pos in range(len(node.children), 0, -1):
+                if segments[child_pos]:
+                    stack.append((None, segments[child_pos], None))
+                stack.append((node.children[child_pos - 1], env, head))
+            if segments[0]:
+                stack.append((None, segments[0], None))
+            continue
+        outer_env = env
+        inner_env = tuple(
+            (child, outer_env, head)
+            + _elems_and_matches(
+                gindex, lindex, head, child, outer_env, label
+            )
+            for child in node.children
+        )
+        stack.append((grammar.rhs(symbol), inner_env, symbol))
+
+
+def _iter_window_symbols(
+    gindex: GrammarIndex, lo: int, hi: int
+) -> Iterator[Symbol]:
+    """Terminal symbols of the *binary preorder* node window ``[lo, hi)``.
+
+    The node-count analog of the element walk above: subtrees before the
+    window are skipped in O(1), the walk returns at the first subtree
+    starting past ``hi``.  This is the partial derivation behind
+    :func:`extract_subtree`.
+    """
+    if lo >= hi:
+        return
+    grammar = gindex.grammar
+    position = 0
+    # Items: (node, env, head); env entries are (node, env, head, nodes).
+    stack: List[Tuple[Node, Tuple, Symbol]] = [
+        (grammar.rhs(grammar.start), (), grammar.start)
+    ]
+
+    def subtree_nodes(head: Symbol, node: Node, env: Tuple) -> int:
+        nodes, _elems, params = gindex.rule_table(head)[id(node)]
+        for param in params:
+            nodes += env[param - 1][3]
+        return nodes
+
+    while stack:
+        node, env, head = stack.pop()
+        symbol = node.symbol
+        if symbol.is_parameter:
+            binding = env[symbol.param_index - 1]
+            stack.append((binding[0], binding[1], binding[2]))
+            continue
+        nodes = subtree_nodes(head, node, env)
+        if position + nodes <= lo:
+            position += nodes
+            continue
+        if position >= hi:
+            return
+        if symbol.is_terminal:
+            if position >= lo:
+                yield symbol
+            position += 1
+            for child in reversed(node.children):
+                stack.append((child, env, head))
+        else:
+            outer_env = env
+            inner_env = tuple(
+                (child, outer_env, head)
+                + (subtree_nodes(head, child, outer_env),)
+                for child in node.children
+            )
+            stack.append((grammar.rhs(symbol), inner_env, symbol))
+
+
+# ----------------------------------------------------------------------
+# subtree extraction (partial derivation)
+# ----------------------------------------------------------------------
+def extract_subtree(gindex: GrammarIndex, element_index: int) -> XmlNode:
+    """The unranked subtree rooted at an element, by partial derivation.
+
+    Streams exactly the binary-preorder window covering the element and
+    its first-child subtree (element + descendants in the FCNS encoding),
+    rebuilds the ranked tree from the symbol ranks, and decodes it.  The
+    element's next-sibling slot lies outside the window by construction;
+    the reconstruction caps it (and nothing else) with ``⊥``.
+    """
+    check_element_index(element_index)
+    start = gindex.preorder_of_element(element_index)
+    terminator = gindex.end_of_children_position(element_index)
+    symbols = _iter_window_symbols(gindex, start, terminator + 1)
+    bottom = gindex.grammar.alphabet.bottom()
+
+    root: Optional[Node] = None
+    # Frames: [symbol, collected children]; a frame closes when its child
+    # list reaches the symbol's rank.
+    frames: List[List[object]] = [[next(symbols), []]]
+    while frames:
+        symbol, kids = frames[-1]
+        if len(kids) == symbol.rank:
+            frames.pop()
+            node = Node(symbol, kids)
+            if frames:
+                frames[-1][1].append(node)
+            else:
+                root = node
+            continue
+        next_symbol = next(symbols, None)
+        if next_symbol is None:
+            next_symbol = bottom  # the capped next-sibling slot
+        frames.append([next_symbol, []])
+    assert root is not None
+    return decode_binary(root)
+
+
+# ----------------------------------------------------------------------
+# path evaluation
+# ----------------------------------------------------------------------
+def _step_matches(
+    gindex: GrammarIndex,
+    lindex: Optional[LabelIndex],
+    context: int,
+    step: QueryStep,
+) -> Iterator[int]:
+    """Document-order matches of one step from one context element."""
+    label = step.label
+    if step.axis == CHILD:
+        if context == _VIRTUAL_ROOT:
+            if label is None or gindex.tag_of(0) == label:
+                yield 0
+            return
+        for child, tag in gindex.children_with_tags(context):
+            if label is None or tag == label:
+                yield child
+        return
+    if context == _VIRTUAL_ROOT:
+        lo, hi = 0, None  # descendants of the root node: every element
+    else:
+        lo = context + 1
+        hi = context + gindex.element_subtree_extent(context)
+    yield from iter_matching_elements(gindex, lindex, lo, hi, label)
+
+
+def select(
+    gindex: GrammarIndex,
+    lindex: Optional[LabelIndex],
+    path: "LabelPath | str",
+) -> List[int]:
+    """Evaluate a label path; returns sorted unique element indices.
+
+    The results live in the same document-order coordinate space as every
+    update operation, so they can be handed directly to
+    ``rename``/``delete``/``apply_batch`` (subject to the usual sequential
+    -semantics shifting between operations).
+    """
+    parsed = parse_path(path)
+    contexts: List[int] = [_VIRTUAL_ROOT]
+    for step in parsed:
+        seen: set = set()
+        for context in contexts:
+            matches = _step_matches(gindex, lindex, context, step)
+            if step.position is not None:
+                # The n-th match of this context, document order.
+                matches = islice(
+                    matches, step.position - 1, step.position
+                )
+            seen.update(matches)
+        if not seen:
+            return []
+        contexts = sorted(seen)
+    return contexts
+
+
+def count_matches(
+    gindex: GrammarIndex,
+    lindex: Optional[LabelIndex],
+    path: "LabelPath | str",
+) -> int:
+    """Number of elements a path selects.
+
+    ``//label`` -- one descendant step from the root, no positional
+    predicate -- is answered in O(1) from the label index's start-rule
+    census; everything else falls back to full evaluation.
+    """
+    parsed = parse_path(path)
+    if (
+        len(parsed) == 1
+        and parsed.steps[0].axis != CHILD
+        and parsed.steps[0].position is None
+        and lindex is not None
+    ):
+        label = parsed.steps[0].label
+        if label is not None:
+            return lindex.document_label_count(label)
+        return gindex.element_count
+    return len(select(gindex, lindex, parsed))

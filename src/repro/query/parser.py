@@ -1,0 +1,147 @@
+"""Label-path expressions: the query engine's input language.
+
+The language is the structural core of XPath, restricted to what the
+paper's structure-only documents can answer::
+
+    path      := step+
+    step      := axis test predicate?
+    axis      := '/'            (child)
+               | '//'           (descendant)
+    test      := NAME | '*'
+    predicate := '[' INT ']'    (1-based position among the step's matches
+                                 *per context element*, document order)
+
+Examples: ``/log``, ``/log/entry``, ``//status``, ``/log//request``,
+``/log/entry[3]/ip``, ``//entry/*[2]``.
+
+Paths are absolute: evaluation starts at a virtual node *above* the
+document root (as XPath's root node sits above the document element), so
+``/a`` matches the root element only if it is labeled ``a``, and a
+leading ``//`` reaches every element including the root.  Positional
+predicates count matches per context element in document order --
+``/log/entry[3]`` is the third ``entry`` child of each ``log``.
+
+The grammar is deliberately tiny and hand-parsed; it needs no tokenizer
+beyond a regular expression per step.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+__all__ = ["QuerySyntaxError", "QueryStep", "LabelPath", "parse_path"]
+
+CHILD = "child"
+DESCENDANT = "descendant"
+
+#: Tag names accepted by the parser -- the same shape ``xml_io`` accepts.
+_STEP = re.compile(
+    r"(?P<axis>//|/)"
+    r"(?P<test>\*|[A-Za-z_][\w.\-:]*)"
+    r"(?:\[(?P<position>\d+)\])?"
+)
+
+
+class QuerySyntaxError(ValueError):
+    """Raised for a malformed label-path expression."""
+
+
+class QueryStep:
+    """One location step: axis, label test, optional positional predicate.
+
+    ``label`` is ``None`` for the wildcard ``*``; ``position`` is the
+    1-based positional predicate or ``None``.
+    """
+
+    __slots__ = ("axis", "label", "position")
+
+    def __init__(
+        self, axis: str, label: Optional[str], position: Optional[int] = None
+    ) -> None:
+        if axis not in (CHILD, DESCENDANT):
+            raise QuerySyntaxError(f"unknown axis {axis!r}")
+        if position is not None and position < 1:
+            raise QuerySyntaxError(
+                f"positional predicate must be >= 1, got [{position}]"
+            )
+        self.axis = axis
+        self.label = label
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        text = "//" if self.axis == DESCENDANT else "/"
+        text += self.label if self.label is not None else "*"
+        if self.position is not None:
+            text += f"[{self.position}]"
+        return f"<QueryStep {text}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QueryStep)
+            and self.axis == other.axis
+            and self.label == other.label
+            and self.position == other.position
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.axis, self.label, self.position))
+
+
+class LabelPath:
+    """A parsed path: an immutable sequence of :class:`QueryStep`."""
+
+    __slots__ = ("steps", "text")
+
+    def __init__(self, steps: List[QueryStep], text: str) -> None:
+        if not steps:
+            raise QuerySyntaxError("a path needs at least one step")
+        self.steps: Tuple[QueryStep, ...] = tuple(steps)
+        self.text = text
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LabelPath {self.text!r}>"
+
+
+def parse_path(text: str) -> LabelPath:
+    """Parse a label-path expression; raises :class:`QuerySyntaxError`.
+
+    Accepts a :class:`LabelPath` unchanged, so API entry points can take
+    either the text or a pre-parsed path.
+    """
+    if isinstance(text, LabelPath):
+        return text
+    if not isinstance(text, str):
+        raise QuerySyntaxError(f"path must be a string, got {text!r}")
+    stripped = text.strip()
+    if not stripped:
+        raise QuerySyntaxError("empty path")
+    if not stripped.startswith("/"):
+        raise QuerySyntaxError(
+            f"path must be absolute (start with '/' or '//'): {text!r}"
+        )
+    steps: List[QueryStep] = []
+    position = 0
+    while position < len(stripped):
+        match = _STEP.match(stripped, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"malformed step at offset {position} in {text!r}"
+            )
+        axis = DESCENDANT if match.group("axis") == "//" else CHILD
+        test = match.group("test")
+        label = None if test == "*" else test
+        predicate = match.group("position")
+        steps.append(
+            QueryStep(
+                axis, label, int(predicate) if predicate is not None else None
+            )
+        )
+        position = match.end()
+    return LabelPath(steps, stripped)

@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.grammar.index import check_element_index
 from repro.grammar.navigation import resolve_preorder_path
 from repro.grammar.slcf import Grammar
 from repro.trees.binary import encode_forest
@@ -82,13 +83,10 @@ def _normalize_content(
 
 
 def _check_index(index: int, what: str) -> int:
-    if not isinstance(index, int) or isinstance(index, bool):
-        raise UpdateError(f"{what} must be an int, got {index!r}")
-    if index < 0:
-        # Error parity with the single-op API, which raises IndexError
-        # for a negative element index (GrammarIndex._locate_element).
-        raise IndexError(f"{what} must be >= 0, got {index}")
-    return index
+    # Error parity with the single-op API: the shared check raises
+    # TypeError for non-ints (bools included) and IndexError for negative
+    # indices, exactly as GrammarIndex._locate_element does.
+    return check_element_index(index, what)
 
 
 class BatchRename:

@@ -79,9 +79,13 @@ def rename(
     result = isolate(grammar, index, steps=steps)
     target = result.node
     symbol = grammar.alphabet.terminal(new_label, target.symbol.rank)
-    # Relabeling changes no structure and no count any index caches, so no
-    # further invalidation beyond what isolate() already reported.
     rename_node(target, symbol)
+    # Relabeling changes no structural count, but label censuses and
+    # dirty-rule recorders listen on the observer channel and must see
+    # it; isolation alone may not have notified at all when the target
+    # already sat in the start rule.  The relabel-specific event lets
+    # size-only caches (GrammarIndex) keep their tables.
+    grammar.notify_rule_relabeled(grammar.start)
     return result.inlined_rules
 
 

@@ -1,0 +1,128 @@
+"""Tests for document-axis navigation: ``stream_elements`` and the
+``GrammarIndex`` primitives (``parent_of`` / ``depth_of`` / ``first_child``
+/ ``next_sibling`` / ``children``).
+
+Ground truth is the decompressed tree; ``stream_elements`` is itself
+validated against it, then serves as the streaming oracle the indexed
+primitives (one O(depth) descent each) must agree with.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import CompressedXml
+from repro.grammar.navigation import stream_elements
+from repro.trees.unranked import XmlNode
+
+from tests.strategies import update_scripts, xml_documents
+from tests.grammar.test_index import replay_script
+
+
+def naive_axes(root):
+    """(tag, parent, depth) per element plus children lists, preorder."""
+    rows = []
+    children = []
+    stack = [(root, None, 0)]
+    # Explicit preorder with an index counter, children resolved after.
+    order = []
+    positions = {}
+    walk = [(root, None, 0)]
+    while walk:
+        node, parent, depth = walk.pop()
+        index = len(order)
+        positions[id(node)] = index
+        order.append(node)
+        rows.append((node.tag, parent, depth))
+        for child in reversed(node.children):
+            walk.append((child, index, depth + 1))
+    for node in order:
+        children.append([positions[id(child)] for child in node.children])
+    return rows, children
+
+
+def assert_axes_match_naive(doc):
+    plain = doc.to_document()
+    rows, children = naive_axes(plain)
+    assert list(stream_elements(doc.grammar)) == [
+        (index, tag, parent, depth)
+        for index, (tag, parent, depth) in enumerate(rows)
+    ]
+    index = doc.index
+    for element, (tag, parent, depth) in enumerate(rows):
+        assert index.parent_of(element) == parent
+        assert index.depth_of(element) == depth
+        kids = children[element]
+        assert list(index.children(element)) == kids
+        assert index.first_child(element) == (kids[0] if kids else None)
+    # next_sibling: derived from the parent's child lists.
+    for kids in children:
+        for left, right in zip(kids, kids[1:]):
+            assert index.next_sibling(left) == right
+        if kids:
+            assert index.next_sibling(kids[-1]) is None
+    assert index.next_sibling(0) is None  # the root has no siblings
+
+
+class TestFixtures:
+    def test_small_document(self):
+        doc = CompressedXml.from_xml(
+            "<a><b><x/><y><z/></y></b><c/><d><e/></d></a>"
+        )
+        assert_axes_match_naive(doc)
+        assert doc.parent_of(0) is None
+        assert doc.depth_of(0) == 0
+        assert doc.parent_of(4) == 3
+        assert doc.depth_of(4) == 3
+        assert doc.first_child(1) == 2
+        assert doc.next_sibling(1) == 5
+        assert list(doc.children(0)) == [1, 5, 6]
+
+    def test_flat_list(self):
+        doc = CompressedXml.from_xml("<log>" + "<e/>" * 100 + "</log>")
+        assert list(doc.children(0)) == list(range(1, 101))
+        assert doc.parent_of(57) == 0
+        assert doc.next_sibling(57) == 58
+        assert doc.first_child(57) is None
+
+    def test_deep_chain(self):
+        doc = CompressedXml.from_xml(
+            "<a>" * 1 + "<b>" * 0 + "".join(f"<t{i}>" for i in range(30))
+            + "".join(f"</t{i}>" for i in reversed(range(30))) + "</a>"
+        )
+        last = doc.element_count - 1
+        assert doc.depth_of(last) == last
+        assert doc.parent_of(last) == last - 1
+        assert doc.first_child(last) is None
+
+    def test_out_of_range_and_negative(self):
+        doc = CompressedXml.from_xml("<a><b/></a>")
+        for probe in (doc.parent_of, doc.depth_of, doc.first_child,
+                      doc.next_sibling):
+            with pytest.raises(IndexError):
+                probe(2)
+            with pytest.raises(IndexError):
+                probe(-1)
+        with pytest.raises(IndexError):
+            list(doc.children(5))
+
+    def test_stream_elements_rejects_non_binary_terminals(
+        self, grammar1_fragment
+    ):
+        # grammar1_fragment generates g/1 and b/2-shaped terminals -- not
+        # an FCNS document encoding.
+        with pytest.raises(ValueError):
+            list(stream_elements(grammar1_fragment))
+
+
+class TestProperties:
+    @given(xml_documents(max_elements=30))
+    @settings(max_examples=30, deadline=None)
+    def test_axes_match_naive(self, tree):
+        assert_axes_match_naive(CompressedXml.from_document(tree))
+
+    @given(xml_documents(max_elements=20), update_scripts(max_ops=6))
+    @settings(max_examples=15, deadline=None)
+    def test_axes_match_naive_after_updates(self, tree, script):
+        doc = CompressedXml.from_document(tree)
+        for _ in replay_script(doc, script):
+            assert_axes_match_naive(doc)

@@ -1,0 +1,239 @@
+"""Property tests for the grammar-native query engine (repro.query.engine).
+
+The correctness bar is :func:`repro.query.naive.naive_select` evaluated on
+the decompressed tree: for random documents, random label paths, and
+random update/batch scripts, ``select`` on the grammar must return exactly
+the same element-index sets -- and the results must satisfy the same
+index contract every update entry point enforces.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import CompressedXml
+from repro.query.engine import extract_subtree, iter_matching_elements, select
+from repro.query.label_index import LabelIndex
+from repro.query.naive import naive_select
+from repro.trees.unranked import XmlNode, xml_equal
+from repro.updates.batch import BatchAppend, BatchDelete, BatchInsert, BatchRename
+
+from tests.strategies import (
+    batch_scripts,
+    label_paths,
+    update_scripts,
+    xml_documents,
+)
+from tests.grammar.test_index import replay_script
+
+LOG = (
+    "<log>"
+    "<entry><ip/><ts/></entry>"
+    "<entry><ip/><status/></entry>"
+    "<meta><status/></meta>"
+    "</log>"
+)
+
+#: Paths covering every syntactic feature against the LOG fixture.
+FIXED_PATHS = (
+    "/log",
+    "/log/entry",
+    "/log/entry/ip",
+    "//entry",
+    "//status",
+    "/log//status",
+    "/log/entry[2]",
+    "/log/entry[2]/status",
+    "/log/*[1]",
+    "//entry/*",
+    "//entry//ip",
+    "//*",
+    "/nope",
+    "//nope",
+    "/log/entry[9]",
+)
+
+
+def assert_select_matches_naive(doc, paths):
+    plain = doc.to_document()
+    for path in paths:
+        assert doc.select(path) == naive_select(plain, path), path
+        assert doc.count(path) == len(naive_select(plain, path)), path
+
+
+class TestSelectFixtures:
+    def test_fixture_paths(self):
+        doc = CompressedXml.from_xml(LOG)
+        assert_select_matches_naive(doc, FIXED_PATHS)
+
+    def test_results_are_update_ready_indices(self):
+        """The advertised contract: select() results feed rename/delete."""
+        doc = CompressedXml.from_xml(LOG)
+        for index in doc.select("//status"):
+            assert doc.tag_of(index) == "status"
+        doc.apply_batch(
+            [BatchRename(i, "code") for i in doc.select("//status")]
+        )
+        assert doc.select("//status") == []
+        assert doc.count("//code") == 2
+
+    def test_select_on_uncompressed_grammar(self):
+        doc = CompressedXml.from_xml(LOG, compress=False)
+        assert_select_matches_naive(doc, FIXED_PATHS)
+
+    def test_census_pruning_skips_unlabeled_subtrees(self):
+        """The LabelIndex must make a selective descendant query visit far
+        fewer derivation nodes than the element count."""
+        doc = CompressedXml.from_xml(
+            "<log>" + "<entry><ip/><ts/></entry>" * 500 + "</log>"
+        )
+        doc.rename(7, "needle")
+        visited = []
+        lindex = doc.label_index
+        original = LabelIndex.node_table
+
+        def counting(self, head, label):
+            visited.append(head)
+            return original(self, head, label)
+
+        LabelIndex.node_table = counting
+        try:
+            assert doc.select("//needle") == [7]
+        finally:
+            LabelIndex.node_table = original
+        # A decompress-then-walk would touch all 1501 elements.
+        assert len(visited) < doc.element_count / 10
+
+
+class TestSelectProperties:
+    @given(xml_documents(max_elements=30), label_paths())
+    @settings(max_examples=60, deadline=None)
+    def test_select_matches_naive(self, tree, path):
+        doc = CompressedXml.from_document(tree)
+        assert doc.select(path) == naive_select(tree, path), path
+
+    @given(
+        xml_documents(max_elements=20),
+        update_scripts(max_ops=6),
+        label_paths(max_steps=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_select_matches_naive_after_update_scripts(
+        self, tree, script, path
+    ):
+        """LabelIndex invalidation is exercised: the index is warmed before
+        the script, queried after every operation."""
+        doc = CompressedXml.from_document(tree)
+        assert doc.select(path) == naive_select(doc.to_document(), path)
+        for _ in replay_script(doc, script):
+            assert doc.select(path) == \
+                naive_select(doc.to_document(), path), path
+        assert doc.label_index.wholesale_invalidations == 0
+
+    @given(xml_documents(max_elements=15), batch_scripts(max_ops=8))
+    @settings(max_examples=20, deadline=None)
+    def test_select_matches_naive_after_batches(self, tree, script):
+        """Batched updates (one observer epoch per group) keep the query
+        indexes coherent too."""
+        doc = CompressedXml.from_document(tree)
+        doc.count("//a")  # warm the label index
+        ops = []
+        for kind, fraction, tag, wide in script:
+            count = doc.element_count
+            content = [XmlNode(tag), XmlNode(tag)] if wide else XmlNode(tag)
+            if kind == "rename":
+                ops.append(BatchRename(int(fraction * count), tag))
+            elif kind == "insert" and count > 1:
+                ops.append(BatchInsert(1 + int(fraction * (count - 1)),
+                                       content))
+            elif kind == "append":
+                ops.append(BatchAppend(int(fraction * count), content))
+            elif kind == "delete" and count > 1:
+                ops.append(BatchDelete(1 + int(fraction * (count - 1))))
+            else:
+                continue
+            doc.apply_batch(ops[-1:])
+        for path in ("//a", "/a//b", "//*[2]", "//c/d"):
+            assert doc.select(path) == \
+                naive_select(doc.to_document(), path), path
+
+
+class TestIterMatching:
+    def test_range_and_label_windows(self):
+        doc = CompressedXml.from_xml(LOG)
+        tags = list(doc.tags())
+        gindex, lindex = doc.index, doc.label_index
+        for lo in range(len(tags) + 1):
+            for hi in range(lo, len(tags) + 1):
+                for label in ("ip", "entry", "nope", None):
+                    expected = [
+                        i for i in range(lo, hi)
+                        if label is None or tags[i] == label
+                    ]
+                    got = list(
+                        iter_matching_elements(gindex, lindex, lo, hi, label)
+                    )
+                    assert got == expected, (lo, hi, label)
+
+    def test_hi_none_means_document_end(self):
+        doc = CompressedXml.from_xml(LOG)
+        got = list(
+            iter_matching_elements(doc.index, doc.label_index, 0, None, "ip")
+        )
+        assert got == [2, 5]
+
+    def test_label_requires_index(self):
+        doc = CompressedXml.from_xml(LOG)
+        with pytest.raises(ValueError):
+            list(iter_matching_elements(doc.index, None, 0, None, "ip"))
+
+    def test_wildcard_needs_no_label_index(self):
+        doc = CompressedXml.from_xml(LOG)
+        got = list(iter_matching_elements(doc.index, None, 2, 6, None))
+        assert got == [2, 3, 4, 5]
+
+
+class TestSubtreeExtraction:
+    def test_extract_matches_decompressed_subtrees(self):
+        doc = CompressedXml.from_xml(LOG)
+        plain = doc.to_document()
+        nodes = list(plain.preorder())
+        for index in range(doc.element_count):
+            assert xml_equal(extract_subtree(doc.index, index), nodes[index])
+
+    def test_subtree_xml_of_root_is_whole_document(self):
+        doc = CompressedXml.from_xml(LOG)
+        assert doc.subtree_xml(0) == LOG
+
+    def test_subtree_xml_leaf_and_indent(self):
+        doc = CompressedXml.from_xml(LOG)
+        assert doc.subtree_xml(2) == "<ip/>"
+        assert doc.subtree_xml(1, indent=2) == (
+            "<entry>\n  <ip/>\n  <ts/>\n</entry>\n"
+        )
+
+    def test_extract_out_of_range(self):
+        doc = CompressedXml.from_xml(LOG)
+        with pytest.raises(IndexError):
+            extract_subtree(doc.index, doc.element_count)
+        with pytest.raises(IndexError):
+            doc.subtree_xml(-1)
+
+    @given(xml_documents(max_elements=25), update_scripts(max_ops=5))
+    @settings(max_examples=20, deadline=None)
+    def test_extract_matches_decompressed_after_updates(self, tree, script):
+        doc = CompressedXml.from_document(tree)
+        for _ in replay_script(doc, script):
+            pass
+        plain = doc.to_document()
+        nodes = list(plain.preorder())
+        for index in range(doc.element_count):
+            assert xml_equal(extract_subtree(doc.index, index), nodes[index])
+
+
+class TestEngineLevelApi:
+    def test_select_accepts_preparsed_paths(self):
+        from repro.query.parser import parse_path
+
+        doc = CompressedXml.from_xml(LOG)
+        parsed = parse_path("//entry")
+        assert select(doc.index, doc.label_index, parsed) == [1, 4]

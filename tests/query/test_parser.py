@@ -1,0 +1,110 @@
+"""Tests for the label-path parser (repro.query.parser)."""
+
+import pytest
+
+from repro.query.parser import (
+    CHILD,
+    DESCENDANT,
+    LabelPath,
+    QueryStep,
+    QuerySyntaxError,
+    parse_path,
+)
+
+
+def shapes(path):
+    """Compact (axis, label, position) triples for assertions."""
+    return [(s.axis, s.label, s.position) for s in parse_path(path)]
+
+
+class TestParsing:
+    def test_single_child_step(self):
+        assert shapes("/log") == [(CHILD, "log", None)]
+
+    def test_child_chain(self):
+        assert shapes("/log/entry/ip") == [
+            (CHILD, "log", None),
+            (CHILD, "entry", None),
+            (CHILD, "ip", None),
+        ]
+
+    def test_descendant_axis(self):
+        assert shapes("//status") == [(DESCENDANT, "status", None)]
+        assert shapes("/log//status") == [
+            (CHILD, "log", None),
+            (DESCENDANT, "status", None),
+        ]
+
+    def test_wildcard(self):
+        assert shapes("/log/*") == [(CHILD, "log", None), (CHILD, None, None)]
+        assert shapes("//*") == [(DESCENDANT, None, None)]
+
+    def test_positional_predicate(self):
+        assert shapes("/log/entry[3]") == [
+            (CHILD, "log", None),
+            (CHILD, "entry", 3),
+        ]
+        assert shapes("//*[1]") == [(DESCENDANT, None, 1)]
+
+    def test_tag_charset_matches_xml_io(self):
+        # The same names xml_io accepts: dots, dashes, colons, digits.
+        assert shapes("/ns:a/b-2/c.d") == [
+            (CHILD, "ns:a", None),
+            (CHILD, "b-2", None),
+            (CHILD, "c.d", None),
+        ]
+
+    def test_whitespace_tolerated_around_path(self):
+        assert shapes("  /log ") == [(CHILD, "log", None)]
+
+    def test_preparsed_path_passes_through(self):
+        parsed = parse_path("/a//b")
+        assert parse_path(parsed) is parsed
+
+    def test_path_repr_and_len(self):
+        parsed = parse_path("/a//b[2]")
+        assert len(parsed) == 2
+        assert parsed.text == "/a//b[2]"
+
+    def test_steps_equality(self):
+        assert parse_path("/a").steps == parse_path("/a").steps
+        assert parse_path("/a").steps != parse_path("//a").steps
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "log",            # relative paths are not supported
+            "a/b",
+            "/",              # axis without a test
+            "//",
+            "/a/",            # trailing axis
+            "/a[0]",          # positions are 1-based
+            "/a[b]",
+            "/a[1",
+            "/a b",
+            "/a/[1]",
+            "///a",
+        ],
+    )
+    def test_malformed_paths_raise(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_path(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_path(42)
+
+    def test_syntax_error_is_value_error(self):
+        assert issubclass(QuerySyntaxError, ValueError)
+
+    def test_empty_step_list_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            LabelPath([], "")
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            QueryStep("parent", "a")

@@ -225,6 +225,37 @@ def batch_scripts(
     ]
 
 
+#: Step shapes :func:`label_paths` draws from: (axis, wildcard?, predicate?)
+#: weights chosen so most paths mix axes and a third carry a predicate.
+_PATH_AXES = ("/", "/", "//", "//")
+
+
+@st.composite
+def label_paths(
+    draw,
+    tags: Tuple[str, ...] = DEFAULT_TAGS,
+    max_steps: int = 4,
+):
+    """A random label-path expression over the shared tag alphabet.
+
+    Drawn paths deliberately include selective and non-matching labels,
+    wildcards, and small positional predicates, so the query property
+    tests exercise census pruning, empty results, and per-context
+    positions -- the replaying test compares
+    :meth:`repro.api.CompressedXml.select` against
+    :func:`repro.query.naive.naive_select` on the decompressed tree.
+    """
+    rng = draw(st.randoms(use_true_random=False))
+    n = draw(st.integers(min_value=1, max_value=max_steps))
+    parts = []
+    for _ in range(n):
+        axis = rng.choice(_PATH_AXES)
+        label = rng.choice(tags + ("*", "zz"))  # "zz" never occurs: empty sets
+        predicate = f"[{rng.randint(1, 3)}]" if rng.random() < 0.3 else ""
+        parts.append(f"{axis}{label}{predicate}")
+    return "".join(parts)
+
+
 @st.composite
 def slcf_grammars(
     draw,

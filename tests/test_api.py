@@ -116,6 +116,149 @@ class TestInspection:
         doc = CompressedXml.from_xml("<a><b/></a>")
         assert "2 elements" in repr(doc)
 
+    def test_zero_arg_tags_goes_through_the_index(self, monkeypatch):
+        """Pinned: the no-argument/default-bounds form is the same indexed
+        iterator as an explicit window -- no unindexed stream path left."""
+        from repro.grammar.index import GrammarIndex
+
+        calls = []
+        original = GrammarIndex.iter_element_symbols
+
+        def recording(self, start, stop=None):
+            calls.append((start, stop))
+            return original(self, start, stop)
+
+        monkeypatch.setattr(GrammarIndex, "iter_element_symbols", recording)
+        doc = CompressedXml.from_xml(listy_xml(30))
+        full = list(doc.tags())
+        assert full == ["log"] + ["e"] * 30
+        assert list(doc.tags(None, 5)) == full[:5]
+        assert list(doc.tags(3)) == full[3:]
+        assert calls == [(0, None), (0, 5), (3, None)]
+
+
+class TestElementIndexContract:
+    """The unified bounds contract (one shared check): IndexError for
+    negative or out-of-range element indices, TypeError for non-ints --
+    identical across the API, grammar-update, and batch layers, and
+    satisfied by everything ``select()`` returns."""
+
+    def strict_entry_points(self, doc):
+        """Element-addressed entry points that must range-check."""
+        from repro.trees.unranked import XmlNode as N
+
+        return [
+            doc.tag_of,
+            lambda i: doc.rename(i, "x"),
+            lambda i: doc.insert(i, N("x")),
+            lambda i: doc.append_child(i, N("x")),
+            doc.delete,
+            doc.parent_of,
+            doc.depth_of,
+            doc.first_child,
+            doc.next_sibling,
+            lambda i: list(doc.children(i)),
+            doc.subtree_xml,
+        ]
+
+    def window_entry_points(self, doc):
+        """Window bounds: same type/negativity rules, but clamping past
+        the end is part of the pinned tags() contract."""
+        return [
+            lambda i: list(doc.tags(i)),
+            lambda i: list(doc.tags(0, i)),
+        ]
+
+    def test_negative_indices_raise_index_error(self):
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        probes = self.strict_entry_points(doc) + self.window_entry_points(doc)
+        for probe in probes:
+            with pytest.raises(IndexError):
+                probe(-1)
+
+    def test_out_of_range_raises_index_error(self):
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        for probe in self.strict_entry_points(doc):
+            with pytest.raises(IndexError):
+                probe(99)
+        for probe in self.window_entry_points(doc):
+            assert probe(99) in ([], ["a", "b", "c"])  # clamped, no raise
+
+    def test_non_int_indices_raise_type_error(self):
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        probes = self.strict_entry_points(doc) + self.window_entry_points(doc)
+        for probe in probes:
+            for bad in (1.5, "1", True):
+                with pytest.raises(TypeError):
+                    probe(bad)
+
+    def test_grammar_layer_uses_index_error_too(self):
+        from repro.updates import grammar_updates
+
+        doc = CompressedXml.from_xml("<a><b/><c/></a>")
+        for bad in (-1, 10**6):
+            with pytest.raises(IndexError):
+                grammar_updates.rename(doc.grammar, bad, "x")
+            with pytest.raises(IndexError):
+                grammar_updates.delete(doc.grammar, bad)
+
+    def test_batch_layer_parity(self):
+        from repro.updates.batch import BatchDelete, BatchRename
+
+        with pytest.raises(IndexError):
+            BatchRename(-1, "x")
+        with pytest.raises(TypeError):
+            BatchRename(1.5, "x")
+        with pytest.raises(TypeError):
+            BatchDelete(True)
+
+    def test_select_results_satisfy_the_contract(self):
+        doc = CompressedXml.from_xml("<a><b/><c><b/></c></a>")
+        for index in doc.select("//b"):
+            assert doc.tag_of(index) == "b"  # no raise: in-range ints
+
+
+class TestQueries:
+    def test_select_count_subtree(self):
+        doc = CompressedXml.from_xml(
+            "<log><entry><ip/></entry><entry><status/></entry></log>"
+        )
+        assert doc.select("/log/entry") == [1, 3]
+        assert doc.select("//status") == [4]
+        assert doc.count("//entry") == 2
+        assert doc.subtree_xml(3) == "<entry><status/></entry>"
+
+    def test_select_update_select(self):
+        """The quickstart loop: select, batch-update the hits, re-select."""
+        doc = CompressedXml.from_xml(
+            "<log>" + "<entry><status/></entry>" * 5 + "</log>"
+        )
+        hits = doc.select("//status")
+        assert len(hits) == 5
+        with doc.batch() as batch:
+            for index in hits:
+                batch.rename(index, "code")
+        assert doc.select("//status") == []
+        assert doc.select("//code") == hits
+        assert doc.label_index.wholesale_invalidations == 0
+
+    def test_malformed_path_raises_value_error(self):
+        from repro.query.parser import QuerySyntaxError
+
+        doc = CompressedXml.from_xml("<a/>")
+        with pytest.raises(QuerySyntaxError):
+            doc.select("entry")
+        with pytest.raises(ValueError):
+            doc.count("//a[0]")
+
+    def test_label_index_created_lazily(self):
+        doc = CompressedXml.from_xml("<a><b/></a>")
+        assert doc._label_index is None
+        doc.rename(1, "c")  # write path never builds it
+        assert doc._label_index is None
+        assert doc.count("//c") == 1
+        assert doc._label_index is not None
+
 
 class TestUpdates:
     def test_rename_by_element_index(self):

@@ -76,6 +76,49 @@ class TestUpdate:
         assert out_path.read_text().count("<entry>") == 39
 
 
+class TestQueryCommand:
+    def test_query_lists_index_and_tag(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        capsys.readouterr()
+        assert main(["query", str(grammar_path), "/log/entry[2]/ip"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == "5\tip\n"
+        assert "1 match(es)" in captured.err
+
+    def test_query_count(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        capsys.readouterr()
+        assert main(["query", str(grammar_path), "--count", "//ip"]) == 0
+        assert capsys.readouterr().out == "40\n"
+
+    def test_query_extract(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        capsys.readouterr()
+        assert main(
+            ["query", str(grammar_path), "--extract", "/log/entry[1]"]
+        ) == 0
+        assert capsys.readouterr().out == "<entry><ip/><ts/></entry>\n"
+
+    def test_query_limit(self, xml_file, tmp_path, capsys):
+        grammar_path = tmp_path / "doc.grammar"
+        main(["compress", str(xml_file), "-o", str(grammar_path)])
+        capsys.readouterr()
+        assert main(
+            ["query", str(grammar_path), "//entry", "--limit", "3"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 3
+        assert "37 more" in captured.err
+        assert "40 match(es)" in captured.err
+
+    def test_query_works_on_raw_xml_input(self, xml_file, capsys):
+        assert main(["query", str(xml_file), "--count", "//ts"]) == 0
+        assert capsys.readouterr().out == "40\n"
+
+
 class TestExperimentCommand:
     def test_unknown_experiment_fails(self, capsys):
         assert main(["experiment", "nope"]) == 2
