@@ -127,6 +127,8 @@ def run(edges, ops_per_batch, batches, smoke=False):
             "recompress_s": round(doc.recompress_seconds, 4),
             "final_c_edges": doc.compressed_size,
             "element_count": doc.element_count,
+            "grammar_wholesale_invalidations":
+                doc.index.wholesale_invalidations,
         }
 
     seq = variant(doc_seq, seq_s)
@@ -177,7 +179,8 @@ def check_schema(report):
     for section in ("workload", "sequential", "batched", "speedup"):
         assert section in report, f"missing section {section!r}"
     for key in ("total_s", "ops_per_s", "rules_inlined", "recompress_runs",
-                "recompress_s", "final_c_edges", "element_count"):
+                "recompress_s", "final_c_edges", "element_count",
+                "grammar_wholesale_invalidations"):
         assert key in report["sequential"], f"missing {key!r}"
         assert key in report["batched"], f"missing {key!r}"
     for key in ("batch_groups", "per_path_inlines", "inlines_saved"):
@@ -188,6 +191,10 @@ def check_schema(report):
 
 def check_amortization(report):
     """Batching must never isolate more than the per-op loop would."""
+    for variant in ("sequential", "batched"):
+        assert report[variant]["grammar_wholesale_invalidations"] == 0, (
+            f"{variant}: the structural index was wholesale-invalidated"
+        )
     assert report["batched"]["rules_inlined"] <= \
         report["batched"]["per_path_inlines"]
     assert report["batched"]["rules_inlined"] <= \

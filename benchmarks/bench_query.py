@@ -193,6 +193,8 @@ def run(edges, rounds, updates_per_round, engine_queries_per_round,
             "label_rules_censused_maintenance": maintenance_census,
             "label_rules_rebuild_volume": rebuild_volume,
             "label_wholesale_invalidations": lindex.wholesale_invalidations,
+            "grammar_wholesale_invalidations":
+                doc.index.wholesale_invalidations,
             "label_evicted_rules": lindex.evicted_rules,
             "label_cached_rule_fraction_final": round(cached_fraction, 4),
             "grammar_rules_final": rules_now,
@@ -242,6 +244,8 @@ def check_maintenance(report):
     maintenance = report["maintenance"]
     assert maintenance["label_wholesale_invalidations"] == 0, \
         "something wholesale-invalidated the LabelIndex"
+    assert maintenance["grammar_wholesale_invalidations"] == 0, \
+        "something wholesale-invalidated the structural GrammarIndex"
     assert maintenance["recompress_runs"] >= 1, \
         "the workload was meant to interleave recompressions"
     assert maintenance["label_evicted_rules"] > 0, \

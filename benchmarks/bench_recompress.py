@@ -235,6 +235,10 @@ def check_scoping(report):
         f"a census scanned the whole grammar: {trace}"
     )
     assert probe["index_wholesale_resets"] == 0
+    # The whole incremental run -- not just the probe -- must maintain
+    # the structural index per rule, never reset it wholesale.
+    assert report["incremental"]["index_wholesale_resets"] == 0, \
+        "the incremental variant wholesale-reset the structural index"
 
 
 def check_speedup(report, minimum=5.0):

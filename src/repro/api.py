@@ -61,7 +61,8 @@ from typing import Iterator, List, Optional, Sequence, Union
 from repro.core.grammar_repair import GrammarRePair, GrammarRePairStats
 from repro.grammar.index import GrammarIndex
 from repro.grammar.serialize import format_grammar, parse_grammar
-from repro.grammar.slcf import Grammar, RuleTouchRecorder
+from repro.grammar.sharding import ShardManager
+from repro.grammar.slcf import Grammar, GrammarSizeTracker, RuleTouchRecorder
 from repro.trees.binary import decode_binary, encode_binary, encode_forest
 from repro.trees.symbols import Alphabet
 from repro.trees.unranked import XmlNode
@@ -83,6 +84,17 @@ class CompressedXml:
     the grammar more than ``f`` times larger than after the last
     recompression triggers GrammarRePair automatically -- the maintenance
     policy the paper's dynamic experiments emulate with fixed batches.
+
+    ``shard_width``: when set to ``W``, the start rule is kept at
+    ``O(W)`` RHS nodes by the spine-sharding policy
+    (:class:`repro.grammar.sharding.ShardManager`): the accumulated
+    update mass lives in a balanced hierarchy of shard rules, isolation
+    rewrites one ``O(W)`` shard body per update, the persistent indexes
+    recompute an ``O(W · log)`` ancestor chain instead of the whole
+    start RHS, and a post-epoch ``reshard()`` pass (same hook as the
+    auto-recompress policy) rebalances rules that drift past ``2 * W``
+    or below ``W // 2``.  Unset (the default), the historical
+    single-start-rule behavior is preserved.
     """
 
     def __init__(
@@ -91,6 +103,7 @@ class CompressedXml:
         kin: int = 4,
         auto_recompress_factor: Optional[float] = None,
         incremental_recompress: bool = True,
+        shard_width: Optional[int] = None,
     ) -> None:
         self._grammar = grammar
         self._index = GrammarIndex(grammar)
@@ -105,6 +118,18 @@ class CompressedXml:
         # its census to exactly this set (plus the digram frontier).
         self._dirty = RuleTouchRecorder()
         grammar.register_observer(self._dirty)
+        # |G| maintained incrementally: the auto-recompress policy reads
+        # the size after every update, and a full Grammar.size walk there
+        # would undo the O(width)-per-update bound sharding buys.
+        self._size = GrammarSizeTracker(grammar)
+        # Spine sharding: with a width budget, the start rule (and every
+        # shard) is kept at O(shard_width) RHS nodes by a balanced shard
+        # hierarchy; isolation then rewrites one O(width) shard body per
+        # update instead of an unboundedly grown start RHS, and the
+        # reshard() pass rebalances whatever each epoch touched.
+        self._shards: Optional[ShardManager] = None
+        if shard_width is not None:
+            self._shards = ShardManager(grammar, width=shard_width)
         # Dirty scoping is only sound relative to a compressed baseline: a
         # grammar that was never RePair'd (compress=False, grammar files)
         # gets one full run first.
@@ -191,9 +216,27 @@ class CompressedXml:
         return self._index
 
     @property
+    def shard_manager(self) -> Optional[ShardManager]:
+        """The spine-sharding policy, or ``None`` when constructed
+        without ``shard_width``."""
+        return self._shards
+
+    def _spine(self):
+        """The spine for the isolation layer (``None`` when unsharded).
+
+        The manager is passed directly: it answers shard-head membership
+        (``__contains__``) for path isolation and exposes the
+        ``repair_ranks`` hook the delete path needs when a deletion
+        swallows a chunk's continuation.
+        """
+        return self._shards
+
+    @property
     def compressed_size(self) -> int:
-        """Grammar size in edges (the paper's c-edges)."""
-        return self._grammar.size
+        """Grammar size in edges (the paper's c-edges), answered from the
+        incrementally maintained tracker in O(rules dirtied since the
+        last read) instead of a whole-grammar walk."""
+        return self._size.total
 
     @property
     def element_count(self) -> int:
@@ -339,7 +382,7 @@ class CompressedXml:
         position, steps = self._index.resolve_element(element_index)
         self.rules_inlined_total += grammar_updates.rename(
             self._grammar, position, new_tag,
-            grammar_index=self._index, steps=steps)
+            grammar_index=self._index, steps=steps, spine=self._spine())
         self._after_update()
 
     def insert(
@@ -347,13 +390,22 @@ class CompressedXml:
         element_index: int,
         content: Union[XmlNode, Sequence[XmlNode]],
     ) -> None:
-        """Insert elements *before* the ``element_index``-th element."""
+        """Insert elements *before* the ``element_index``-th element.
+
+        Inserting before the document root (index 0) is rejected with an
+        :class:`~repro.updates.operations.UpdateError`: the result would
+        be a forest, which later serialization could only refuse.
+        """
+        if element_index == 0:
+            raise UpdateError(
+                "inserting before the document root would create a forest"
+            )
         siblings = [content] if isinstance(content, XmlNode) else list(content)
         fragment = encode_forest(siblings, self._grammar.alphabet)
         position, steps = self._index.resolve_element(element_index)
         self.rules_inlined_total += grammar_updates.insert(
             self._grammar, position, fragment,
-            grammar_index=self._index, steps=steps)
+            grammar_index=self._index, steps=steps, spine=self._spine())
         self._after_update()
 
     def append_child(
@@ -377,7 +429,8 @@ class CompressedXml:
         fragment = encode_forest(siblings, self._grammar.alphabet)
         position = self._end_of_children_position(parent_element_index)
         self.rules_inlined_total += grammar_updates.insert(
-            self._grammar, position, fragment, grammar_index=self._index)
+            self._grammar, position, fragment, grammar_index=self._index,
+            spine=self._spine())
         self._after_update()
 
     def _end_of_children_position(self, parent_element_index: int) -> int:
@@ -403,7 +456,8 @@ class CompressedXml:
             raise UpdateError("deleting the document root is not allowed")
         position, steps = self._index.resolve_element(element_index)
         self.rules_inlined_total += grammar_updates.delete(
-            self._grammar, position, grammar_index=self._index, steps=steps)
+            self._grammar, position, grammar_index=self._index, steps=steps,
+            spine=self._spine())
         self._after_update()
 
     # ------------------------------------------------------------------
@@ -443,21 +497,40 @@ class CompressedXml:
         counters (``updates_applied`` etc.) are only advanced on
         success.
         """
-        stats = execute_batch(self._grammar, self._index, ops)
+        try:
+            stats = execute_batch(
+                self._grammar, self._index, ops, spine=self._spine()
+            )
+        except Exception:
+            # Error parity with the sequential loop requires the already-
+            # applied prefix to stay; keep its spine inside budget too.
+            self._reshard()
+            raise
         self.updates_applied += stats.operations
         self.batches_applied += 1
         self.rules_inlined_total += stats.inlined_rules
+        self._reshard()
         self._maybe_auto_recompress()
         return stats
 
     def _after_update(self) -> None:
         self.updates_applied += 1
+        self._reshard()
         self._maybe_auto_recompress()
+
+    def _reshard(self) -> None:
+        """Post-epoch spine rebalancing (the same hook point as the
+        auto-recompress policy): any spine rule this epoch pushed past
+        ``2 * shard_width`` is split, any shard that fell below
+        ``shard_width // 2`` is merged -- all through per-rule observer
+        events, so the persistent indexes never reset wholesale."""
+        if self._shards is not None:
+            self._shards.reshard()
 
     def _maybe_auto_recompress(self) -> None:
         if self._auto_factor is None:
             return
-        if self._grammar.size > self._auto_factor * self._last_compressed_size:
+        if self._size.total > self._auto_factor * self._last_compressed_size:
             self.recompress(full=self._scoped_census_unprofitable())
 
     def _scoped_census_unprofitable(self) -> Optional[bool]:
@@ -480,7 +553,7 @@ class CompressedXml:
             for head in self._dirty.changed
             if grammar.has_rule(head)
         )
-        return dirty_edges * 4 > grammar.size or None
+        return dirty_edges * 4 > self._size.total or None
 
     # ------------------------------------------------------------------
     # maintenance and output
@@ -503,7 +576,9 @@ class CompressedXml:
         if full is None:
             full = not (self._incremental and self._baselined)
         compressor = GrammarRePair(
-            kin=self._kin, incremental=self._incremental
+            kin=self._kin, incremental=self._incremental,
+            barriers=(self._shards.heads
+                      if self._shards is not None else None),
         )
         if full or not self._incremental:
             self._grammar = compressor.compress(self._grammar, in_place=True)
@@ -525,7 +600,7 @@ class CompressedXml:
         self.last_repair_stats = compressor.stats
         self._dirty.clear()
         self._baselined = True
-        self._last_compressed_size = max(1, self._grammar.size)
+        self._last_compressed_size = max(1, self._size.total)
         self.recompress_runs += 1
         self.recompress_seconds += time.perf_counter() - started
         self.maintenance_seconds += compressor.stats.maintenance_seconds
@@ -534,7 +609,10 @@ class CompressedXml:
             compressor.stats.rules_adapted
             + compressor.stats.rules_partially_rescanned
         )
-        return self._grammar.size
+        # Compression only shrinks rule bodies; shards that fell below
+        # the merge threshold are folded back into their parents here.
+        self._reshard()
+        return self._size.total
 
     def to_document(self, budget: int = 50_000_000) -> XmlNode:
         """Decompress to a structure tree (guarded by a node budget)."""

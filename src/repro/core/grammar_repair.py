@@ -124,6 +124,12 @@ class GrammarRePair:
     round_hook:
         Test/diagnostics callback invoked after every incremental round
         with ``(grammar, occurrence_index, opaque)``.
+    barriers:
+        Spine shard heads (see :class:`repro.grammar.sharding.ShardManager`).
+        Their reference edges are never censused or resolved through --
+        the spine skeleton stays put while shard *bodies* compress like
+        any rule -- and the pruning phase keeps them even though each is
+        referenced exactly once.
     """
 
     def __init__(
@@ -135,6 +141,7 @@ class GrammarRePair:
         rule_prefix: str = "X",
         export_prefix: str = "F",
         round_hook: Optional[Callable] = None,
+        barriers: Optional[Set[Symbol]] = None,
     ) -> None:
         self.kin = kin
         self.prune = prune
@@ -143,7 +150,12 @@ class GrammarRePair:
         self.rule_prefix = rule_prefix
         self.export_prefix = export_prefix
         self.round_hook = round_hook
+        self.barriers: Set[Symbol] = set(barriers) if barriers else set()
         self.stats = GrammarRePairStats()
+        # Structure maps captured from the occurrence index right before
+        # it detaches: lets the pruning phase run without whole-grammar
+        # walks (reference counts, referencers, sizes, anti-SL order).
+        self._prune_hints: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def compress(
@@ -165,6 +177,7 @@ class GrammarRePair:
         stats.initial_size = working.size
         stats.max_intermediate_size = stats.initial_size
         stats.size_trace.append(stats.initial_size)
+        self._prune_hints = None
 
         if self.incremental:
             self._compress_incremental(working, stats, dirty_rules)
@@ -172,7 +185,16 @@ class GrammarRePair:
             self._compress_full_rescan(working, stats)
 
         if self.prune:
-            stats.rules_pruned = prune_grammar(working)
+            if self._prune_hints is not None:
+                counts, order, referencers, sizes = self._prune_hints
+                stats.rules_pruned = prune_grammar(
+                    working, protected=self.barriers, counts=counts,
+                    order=order, referencers=referencers, sizes=sizes,
+                )
+            else:
+                stats.rules_pruned = prune_grammar(
+                    working, protected=self.barriers
+                )
         stats.final_size = working.size
         stats.size_trace.append(stats.final_size)
         if stats.final_size > stats.max_intermediate_size:
@@ -211,7 +233,9 @@ class GrammarRePair:
     ) -> None:
         """One full census, then touched-rules-only maintenance."""
         opaque: Set[Symbol] = set()
-        index = GrammarOccurrenceIndex(working, opaque)
+        index = GrammarOccurrenceIndex(
+            working, opaque, barriers=self.barriers
+        )
         seed = None
         if dirty_rules is not None:
             seed = set(dirty_rules)
@@ -289,6 +313,15 @@ class GrammarRePair:
             stats.rules_censused = index.rules_censused
             stats.rules_adapted = index.rules_adapted
             stats.rules_partially_rescanned = index.rules_partially_rescanned
+            # Hand the maintained structure maps to the pruning phase so
+            # it runs without a single whole-grammar setup walk (the
+            # ROADMAP "fold pruning into the occurrence index" item).
+            self._prune_hints = (
+                dict(index.reference_counts_live()),
+                index.anti_sl_order_live(),
+                index.referencers_live(),
+                index.rule_edges_live(),
+            )
             index.detach()
 
     def _compress_full_rescan(
@@ -300,7 +333,9 @@ class GrammarRePair:
         clock = time.perf_counter
         while True:
             started = clock()
-            table = retrieve_occurrences(working, opaque)
+            table = retrieve_occurrences(
+                working, opaque, barriers=self.barriers
+            )
             stats.full_censuses += 1
             census_count = sum(
                 1 for head in working.rules if head not in opaque

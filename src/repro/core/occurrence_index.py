@@ -100,9 +100,18 @@ class GrammarOccurrenceIndex:
     :meth:`detach` when done (before pruning, which rewrites wholesale).
     """
 
-    def __init__(self, grammar: Grammar, opaque: Set[Symbol]) -> None:
+    def __init__(
+        self,
+        grammar: Grammar,
+        opaque: Set[Symbol],
+        barriers: Optional[Set[Symbol]] = None,
+    ) -> None:
         self._grammar = grammar
         self._opaque = opaque
+        # Spine shard heads: never resolved through, never part of a
+        # digram (the generators incident to their reference edges are
+        # skipped) -- their bodies are ordinary compression material.
+        self._barriers: Set[Symbol] = barriers if barriers else set()
         self._by_rule: Dict[Symbol, _RuleTable] = {}
         # rule -> {id(generator) -> digram}: the reverse lookup removals
         # need.
@@ -208,7 +217,7 @@ class GrammarOccurrenceIndex:
             self._refresh_structure(head)
         if usage_map is None:
             usage_map = self.usage_from_structure()
-        resolver = Resolver(grammar, self._opaque)
+        resolver = Resolver(grammar, self._opaque, barriers=self._barriers)
         order = anti_sl_order(grammar)
         if seed_rules is not None:
             dirty = {h for h in seed_rules if grammar.has_rule(h)}
@@ -315,7 +324,7 @@ class GrammarOccurrenceIndex:
                 )
                 self._changed_digrams.add(digram)
             self._rule_usage[head] = new_weight
-        resolver = Resolver(grammar, self._opaque)
+        resolver = Resolver(grammar, self._opaque, barriers=self._barriers)
         for head, log in adapt.items():
             self._adapt_rule(head, log, resolver, usage_map)
         census_count = 0
@@ -386,6 +395,30 @@ class GrammarOccurrenceIndex:
         cached call graph -- the processing order a replacement round
         needs, without an O(|G|) ``anti_sl_order`` walk."""
         return self._order_affected(set(heads))
+
+    def referencers_live(self) -> Dict[Symbol, Set[Symbol]]:
+        """``symbol -> rule heads referencing it``, copied from the cached
+        structure maps.  Together with :meth:`reference_counts_live`,
+        :meth:`rule_edges_live` and :meth:`anti_sl_order_live` this is the
+        whole setup the pruning phase historically recomputed with
+        full-grammar walks (``reference_counts`` + two ``sl_order`` DFS
+        passes + per-rule ``edge_count``); handing the cached maps over is
+        what lets :func:`repro.repair.pruning.prune_grammar` run without
+        a single whole-grammar scan per recompression."""
+        return {
+            symbol: set(heads)
+            for symbol, heads in self._referencers.items()
+            if heads
+        }
+
+    def rule_edges_live(self) -> Dict[Symbol, int]:
+        """Per-rule RHS edge counts, as of the last build/apply_round."""
+        return dict(self._rule_edges)
+
+    def anti_sl_order_live(self) -> List[Symbol]:
+        """A callees-first order over every current rule, derived from
+        the maintained topological levels (no call-graph walk)."""
+        return self._order_affected(set(self._grammar.rules))
 
     def grammar_size(self) -> int:
         """``|G|`` in edges, tracked incrementally at structure refreshes
@@ -458,7 +491,8 @@ class GrammarOccurrenceIndex:
     # internals
     # ------------------------------------------------------------------
     def _is_transparent(self, symbol: Symbol) -> bool:
-        return symbol.is_nonterminal and symbol not in self._opaque
+        return (symbol.is_nonterminal and symbol not in self._opaque
+                and symbol not in self._barriers)
 
     def _refresh_structure(self, head: Symbol) -> bool:
         """Recompute ``head``'s reference/boundary sets and interface
@@ -693,6 +727,9 @@ class GrammarOccurrenceIndex:
         Mirrors one iteration of :meth:`_census_rule`'s scan loop -- the
         equal-label claim protocol must stay in lockstep with it."""
         self._remove_generator(head, node, per_rule, gen_map)
+        if self._barriers and (node.symbol in self._barriers
+                               or node.parent.symbol in self._barriers):
+            return  # shard reference edges are pinned: no digram here
         parent_node, child_index, parent_path = resolver.tree_parent(node)
         child_node, child_path = resolver.tree_child(node)
         digram = Digram(parent_node.symbol, child_index, child_node.symbol)
@@ -853,6 +890,7 @@ class GrammarOccurrenceIndex:
                 or (parent_symbol.is_nonterminal
                     and parent_symbol not in opaque)
             ):
+                # _store_occurrence re-applies the barrier skip itself.
                 self._store_occurrence(
                     head, node, resolver, weight, per_rule, gen_map
                 )
@@ -897,12 +935,18 @@ class GrammarOccurrenceIndex:
             stack.extend(reversed(node.children))
         claims = self._claims
         opaque = self._opaque
+        barriers = self._barriers
         for node in order:
             parent = node.parent
             symbol = node.symbol
             if parent is None or symbol.is_parameter:
                 continue
             parent_symbol = parent.symbol
+            if barriers and (symbol in barriers
+                             or parent_symbol in barriers):
+                # Shard reference edges are pinned: replacement must
+                # never absorb, move, or duplicate them.
+                continue
             if not (
                 (symbol.is_nonterminal and symbol not in opaque)
                 or (parent_symbol.is_nonterminal

@@ -10,6 +10,15 @@ of parameter ``yi`` inside that nonterminal's rule.
 digrams resolve.  Nonterminals freshly introduced for digrams during the
 current GrammarRePair run are *opaque* -- they act as terminals (Algorithm
 1 adds ``X`` to ``F``).
+
+*Barrier* nonterminals (the spine shard heads of
+:class:`repro.grammar.sharding.ShardManager`) are likewise not resolved
+through: a shard reference pins down where a shard body is spliced into
+the document, and replacement must never move or duplicate it.  Unlike
+opaque rules, barrier rules' *bodies* are ordinary compression material
+-- only the reference edge is out of bounds, and the census skips the
+generators incident to it (see :func:`repro.core.retrieve.retrieve_occurrences`
+and :class:`repro.core.occurrence_index.GrammarOccurrenceIndex`).
 """
 
 from __future__ import annotations
@@ -31,9 +40,17 @@ class Resolver:
     counting pass.
     """
 
-    def __init__(self, grammar: Grammar, opaque: Optional[Set[Symbol]] = None):
+    def __init__(
+        self,
+        grammar: Grammar,
+        opaque: Optional[Set[Symbol]] = None,
+        barriers: Optional[Set[Symbol]] = None,
+    ):
         self.grammar = grammar
         self.opaque: Set[Symbol] = opaque if opaque is not None else set()
+        self.barriers: Set[Symbol] = (
+            barriers if barriers is not None else set()
+        )
         self._param_nodes: Dict[Symbol, Dict[int, Node]] = {}
         # Built on first rule_of_node call: resolution walks never need
         # it, and per-round resolver rebuilds should not pay for it.
@@ -42,7 +59,8 @@ class Resolver:
     # ------------------------------------------------------------------
     def is_transparent(self, symbol: Symbol) -> bool:
         """Digrams resolve *through* transparent nonterminals."""
-        return symbol.is_nonterminal and symbol not in self.opaque
+        return (symbol.is_nonterminal and symbol not in self.opaque
+                and symbol not in self.barriers)
 
     def rule_of_node(self, node: Node) -> Symbol:
         """The rule head whose right-hand side contains ``node``."""

@@ -109,10 +109,18 @@ def retrieve_occurrences(
     opaque: Optional[Set[Symbol]] = None,
     resolver: Optional[Resolver] = None,
     usage_map: Optional[Dict[Symbol, int]] = None,
+    barriers: Optional[Set[Symbol]] = None,
 ) -> OccurrenceTable:
-    """Run RETRIEVEOCCS over the whole grammar."""
+    """Run RETRIEVEOCCS over the whole grammar.
+
+    ``barriers`` (spine shard heads) are never resolved through and the
+    generators incident to their reference edges are skipped entirely:
+    shard references must stay where they are, so no digram may contain
+    them on either side.  Shard *bodies* are censused like any rule.
+    """
     if resolver is None:
-        resolver = Resolver(grammar, opaque)
+        resolver = Resolver(grammar, opaque, barriers=barriers)
+    barrier_set = resolver.barriers
     if usage_map is None:
         usage_map = usage(grammar)
     table = OccurrenceTable()
@@ -138,6 +146,11 @@ def retrieve_occurrences(
             stack.extend(reversed(node.children))
         for node in order:
             if node.parent is None or node.symbol.is_parameter:
+                continue
+            if barrier_set and (node.symbol in barrier_set
+                                or node.parent.symbol in barrier_set):
+                # The edge above a shard reference / below a shard
+                # application is pinned: no digram may absorb it.
                 continue
             parent_node, child_index, parent_path = resolver.tree_parent(node)
             child_node, child_path = resolver.tree_child(node)

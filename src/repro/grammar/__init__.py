@@ -30,7 +30,8 @@ from repro.grammar.serialize import (
     format_grammar,
     parse_grammar,
 )
-from repro.grammar.slcf import Grammar, GrammarError
+from repro.grammar.sharding import ShardManager, ShardStats
+from repro.grammar.slcf import Grammar, GrammarError, GrammarSizeTracker
 from repro.grammar.strings import (
     gn_family_grammar,
     grammar_string,
@@ -41,6 +42,9 @@ __all__ = [
     "Grammar",
     "GrammarError",
     "GrammarIndex",
+    "GrammarSizeTracker",
+    "ShardManager",
+    "ShardStats",
     "inline_at",
     "inline_all_references",
     "expand",

@@ -560,6 +560,88 @@ class GrammarIndex:
         located = self._locate_element(element_index)
         return located[0], located[4]
 
+    def resolve_preorder(self, position: int) -> List[PathStep]:
+        """Derivation path to the node at binary preorder ``position``.
+
+        Produces exactly the steps
+        :func:`repro.grammar.navigation.resolve_preorder_path` would --
+        but descends on the cached per-RHS-node subtree sizes, so each
+        step costs O(rule width) instead of the O(generated subtree)
+        node walk ``generated_size_of_subtree_with_env`` pays per child
+        probe.  This is the resolver behind append targets (child-list
+        terminators are *nodes*, not elements, so the element descent
+        cannot address them): without it, every append to a long child
+        list re-walks the list's whole compressed representation.
+        """
+        check_element_index(position, "preorder position")
+        total = self.node_count  # ensures the start rule's tables
+        if position >= total:
+            raise IndexError(
+                f"preorder index {position} out of range for a tree of "
+                f"{total} nodes"
+            )
+        grammar = self._grammar
+        node = grammar.rhs(grammar.start)
+        table = self._tables[grammar.start]
+        env: Tuple[_Binding, ...] = ()
+        remaining = position
+        steps: List[PathStep] = []
+
+        while True:
+            symbol = node.symbol
+            if symbol.is_parameter:
+                binding = env[symbol.param_index - 1]
+                node, env, table = binding[0], binding[1], binding[2]
+                continue
+
+            if symbol.is_terminal:
+                if remaining == 0:
+                    steps.append(PathStep(node, enters_rule=False))
+                    return steps
+                remaining -= 1  # the terminal itself
+                for child in node.children:
+                    child_nodes, _elems = self._sizes(child, env, table)
+                    if remaining < child_nodes:
+                        node = child
+                        break
+                    remaining -= child_nodes
+                else:  # pragma: no cover - inconsistent tables
+                    raise AssertionError("offset beyond subtree")
+                continue
+
+            # Nonterminal application: virtual preorder interleaves the
+            # body segments with the argument subtrees (seg0, arg1,
+            # seg1, ..., argk, segk); a body-segment target enters the
+            # rule with ``remaining`` unchanged, an argument target is
+            # descended into directly (mirrors resolve_preorder_path).
+            if symbol not in self._tables:
+                self._ensure(symbol)
+            callee_nodes = self._node_segments[symbol]
+            descend_to: Optional[Node] = None
+            preceding = callee_nodes[0]
+            if remaining >= preceding:
+                for child_pos, child in enumerate(node.children, start=1):
+                    child_nodes, _elems = self._sizes(child, env, table)
+                    if remaining < preceding + child_nodes:
+                        remaining -= preceding
+                        descend_to = child
+                        break
+                    preceding += child_nodes + callee_nodes[child_pos]
+                    if remaining < preceding:
+                        break  # a body segment after this arg: enter
+            if descend_to is not None:
+                node = descend_to
+                continue
+            steps.append(PathStep(node, enters_rule=True))
+            outer_env = env
+            env = tuple(
+                (child, outer_env, table)
+                + self._sizes(child, outer_env, table)
+                for child in node.children
+            )
+            node = grammar.rhs(symbol)
+            table = self._tables[symbol]
+
     def tag_of(self, element_index: int) -> str:
         """Label of the ``element_index``-th element (document order)."""
         return self._locate_element(element_index)[1].symbol.name

@@ -19,7 +19,12 @@ right-hand side is installed (:meth:`Grammar.set_rule`), removed
 (:meth:`Grammar.remove_rule`), or mutated in place
 (:meth:`Grammar.notify_rule_changed`, called by the mutation layer after
 in-place rewrites such as path isolation or digram replacement).  This is
-the invalidation channel that lets per-rule caches survive updates.
+the invalidation channel that lets per-rule caches survive updates -- and
+that the spine-sharding policy (:class:`repro.grammar.sharding.ShardManager`)
+rides to rebalance exactly the rules each mutation epoch touched:
+splitting an oversized start rule into shard rules is just a sequence of
+ordinary ``set_rule``/``notify_rule_changed`` events, so every registered
+index treats it as a local change.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from repro.trees.node import Node, deep_copy, edge_count, node_count
 from repro.trees.symbols import Alphabet, Symbol
 
-__all__ = ["Grammar", "GrammarError", "RuleTouchRecorder"]
+__all__ = ["Grammar", "GrammarError", "RuleTouchRecorder", "GrammarSizeTracker"]
 
 
 class GrammarError(ValueError):
@@ -69,6 +74,54 @@ class RuleTouchRecorder:
     def clear(self) -> None:
         self.changed.clear()
         self.removed.clear()
+
+
+class GrammarSizeTracker:
+    """Observer maintaining ``|G|`` (total RHS edges) incrementally.
+
+    ``Grammar.size`` walks every right-hand side -- O(|G|) -- which is
+    fine for one-off reports but not for a per-update maintenance policy
+    (:meth:`repro.api.CompressedXml._maybe_auto_recompress` consults the
+    size after *every* operation; with a sharded spine the operation
+    itself only touches O(width) nodes, so the size probe must not
+    reintroduce an O(|G|) walk).  The tracker recomputes lazily and only
+    the rules reported changed since the last read: one ``edge_count``
+    walk per dirtied rule, amortized over however many mutations the
+    epoch batched.
+    """
+
+    __slots__ = ("_grammar", "_edges", "_dirty", "_total")
+
+    def __init__(self, grammar: "Grammar") -> None:
+        self._grammar = grammar
+        self._edges: Dict[Symbol, int] = {}
+        self._dirty: Set[Symbol] = set(grammar.rules)
+        self._total = 0
+        grammar.register_observer(self)
+
+    def rule_changed(self, head: Symbol) -> None:
+        self._dirty.add(head)
+
+    def rule_relabeled(self, head: Symbol) -> None:
+        """Relabels change no edge count."""
+
+    def rule_removed(self, head: Symbol) -> None:
+        self._dirty.discard(head)
+        self._total -= self._edges.pop(head, 0)
+
+    @property
+    def total(self) -> int:
+        """``|G|`` in edges, equal to ``Grammar.size`` at all times."""
+        if self._dirty:
+            grammar = self._grammar
+            for head in self._dirty:
+                if not grammar.has_rule(head):
+                    continue
+                new = edge_count(grammar.rules[head])
+                self._total += new - self._edges.get(head, 0)
+                self._edges[head] = new
+            self._dirty.clear()
+        return self._total
 
 
 class Grammar:
@@ -211,6 +264,11 @@ class Grammar:
     def node_size(self) -> int:
         """Total number of RHS nodes (size + number of rules)."""
         return sum(node_count(rhs) for rhs in self.rules.values())
+
+    def rule_width(self, nonterminal: Symbol) -> int:
+        """RHS node count of one rule -- the quantity the spine-sharding
+        policy budgets (``O(width)`` isolation and recompute per rule)."""
+        return node_count(self.rhs(nonterminal))
 
     def copy(self) -> "Grammar":
         """Deep copy: fresh rule trees, shared symbols/alphabet."""

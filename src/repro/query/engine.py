@@ -30,6 +30,7 @@ from itertools import islice
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.grammar.index import GrammarIndex, check_element_index
+from repro.grammar.navigation import stream_preorder
 from repro.query.label_index import LabelIndex
 from repro.query.parser import CHILD, LabelPath, QueryStep, parse_path
 from repro.trees.binary import decode_binary
@@ -231,13 +232,36 @@ def extract_subtree(gindex: GrammarIndex, element_index: int) -> XmlNode:
     rebuilds the ranked tree from the symbol ranks, and decodes it.  The
     element's next-sibling slot lies outside the window by construction;
     the reconstruction caps it (and nothing else) with ``⊥``.
+
+    The document root (element 0) short-circuits: its subtree *is* the
+    whole document, so there is no window to locate and nothing to skip
+    -- the symbols come straight off :func:`stream_preorder` (constant
+    work per node, no count-table lookups) instead of the full-window
+    walk, which pays subtree-size arithmetic per streamed symbol just to
+    skip nothing.
     """
     check_element_index(element_index)
+    bottom = gindex.grammar.alphabet.bottom()
+    if element_index == 0:
+        if gindex.element_count == 0:  # pragma: no cover - no document
+            raise IndexError("element index 0 out of range (0 elements)")
+        return decode_binary(
+            _rebuild_binary(stream_preorder(gindex.grammar), bottom)
+        )
     start = gindex.preorder_of_element(element_index)
     terminator = gindex.end_of_children_position(element_index)
     symbols = _iter_window_symbols(gindex, start, terminator + 1)
-    bottom = gindex.grammar.alphabet.bottom()
+    return decode_binary(_rebuild_binary(symbols, bottom))
 
+
+def _rebuild_binary(symbols: Iterator[Symbol], bottom: Symbol) -> Node:
+    """Rebuild a ranked tree from a preorder symbol stream.
+
+    An exhausted stream caps the remaining open slot with ``⊥`` -- for a
+    window this is the target's next-sibling slot, which lies outside the
+    window by construction (and nothing else); for a whole-document
+    stream it never triggers.
+    """
     root: Optional[Node] = None
     # Frames: [symbol, collected children]; a frame closes when its child
     # list reaches the symbol's rank.
@@ -257,7 +281,7 @@ def extract_subtree(gindex: GrammarIndex, element_index: int) -> XmlNode:
             next_symbol = bottom  # the capped next-sibling slot
         frames.append([next_symbol, []])
     assert root is not None
-    return decode_binary(root)
+    return root
 
 
 # ----------------------------------------------------------------------

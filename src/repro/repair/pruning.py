@@ -8,6 +8,17 @@ with ``size`` counting edges.  Unproductive rules are removed by inlining.
 Following TreeRePair's greedy strategy, rules referenced exactly once are
 inlined first, then the grammar is scanned in anti-SL order (callees first,
 so a caller's size already reflects earlier inlinings when it is judged).
+
+Historically the setup cost one ``reference_counts`` walk, two DFS passes
+for the anti-SL order, and one ``edge_count`` walk per judged rule --
+O(|G|) per recompression even when nothing is prunable.
+:func:`prune_grammar` therefore accepts the cached structure maps of a
+:class:`repro.core.occurrence_index.GrammarOccurrenceIndex` (reference
+counts, referencer sets, per-rule edge counts, topological order): with
+them, pruning performs **no whole-grammar walk at all** -- inlining is
+scoped to the actual referencers, and counts/sizes are maintained by
+dict arithmetic exactly as the occurrence index maintains them between
+rounds.  Without hints the historical self-contained walks are used.
 """
 
 from __future__ import annotations
@@ -15,7 +26,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.grammar.derivation import inline_all_references
+from repro.grammar.derivation import inline_all_references, inline_at
 from repro.grammar.properties import anti_sl_order, reference_counts
 from repro.grammar.slcf import Grammar
 from repro.trees.node import Node, edge_count
@@ -41,18 +52,91 @@ def _callee_histogram(rhs: Node) -> Counter:
     return histogram
 
 
+def _inline_references_scoped(
+    grammar: Grammar,
+    nonterminal: Symbol,
+    heads: Iterable[Symbol],
+) -> Dict[Symbol, int]:
+    """Inline ``nonterminal`` at its references inside ``heads`` only and
+    drop its rule -- :func:`~repro.grammar.derivation.inline_all_references`
+    without the full-grammar reference scan.  Returns the number of
+    references inlined per head (for size maintenance)."""
+    template = grammar.rhs(nonterminal)
+    per_head: Dict[Symbol, int] = {}
+    for head in heads:
+        if head is nonterminal or not grammar.has_rule(head):
+            continue
+        rhs = grammar.rules[head]
+        # Collect references first: inlining mutates the tree under us.
+        targets = [
+            candidate
+            for candidate in _preorder(rhs)
+            if candidate.symbol is nonterminal
+        ]
+        for target in targets:
+            is_rule_root = target.parent is None
+            new_root, _ = inline_at(grammar, target, rhs_override=template)
+            if is_rule_root:
+                grammar.set_rule(head, new_root)
+        if targets:
+            per_head[head] = len(targets)
+            grammar.notify_rule_changed(head)
+    grammar.remove_rule(nonterminal)
+    return per_head
+
+
+def _preorder(root: Node):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
 def prune_grammar(
     grammar: Grammar,
     protected: Iterable[Symbol] = (),
+    counts: Optional[Dict[Symbol, int]] = None,
+    order: Optional[List[Symbol]] = None,
+    referencers: Optional[Dict[Symbol, Set[Symbol]]] = None,
+    sizes: Optional[Dict[Symbol, int]] = None,
 ) -> int:
     """Remove unproductive rules by inlining; returns how many were removed.
 
     ``protected`` rules (besides the start rule, which is always kept) are
-    never inlined away.
+    never inlined away -- :class:`repro.api.CompressedXml` passes the
+    spine shard heads here (a shard is referenced exactly once, which
+    phase 1 would otherwise always inline).
+
+    ``counts`` / ``order`` / ``referencers`` / ``sizes`` are the cached
+    structure maps of a :class:`~repro.core.occurrence_index.GrammarOccurrenceIndex`
+    (reference counts, anti-SL order, referencer sets, RHS edge counts).
+    When *all four* are supplied, pruning performs no whole-grammar walks:
+    counts and sizes are maintained by dict arithmetic across inlinings,
+    and each inlining visits only the rules that actually reference the
+    pruned head.  When any is missing, the historical self-contained
+    recomputation runs instead (``TreeRePair`` and direct callers).
     """
     keep: Set[Symbol] = {grammar.start, *protected}
-    counts: Dict[Symbol, int] = reference_counts(grammar)
+    hinted = (counts is not None and order is not None
+              and referencers is not None and sizes is not None)
+    if hinted:
+        # Private copies, restricted to live rules: the maps are
+        # maintained in place below.
+        counts = {head: counts.get(head, 0) for head in grammar.rules}
+        sizes = {head: sizes.get(head, 0) for head in grammar.rules}
+        referencers = {
+            symbol: set(heads) for symbol, heads in referencers.items()
+        }
+        order = list(order)
+    else:
+        counts = reference_counts(grammar)
     removed = 0
+
+    def rule_size(head: Symbol) -> int:
+        if hinted:
+            return sizes[head]
+        return edge_count(grammar.rhs(head))
 
     def inline_away(head: Symbol) -> None:
         nonlocal removed
@@ -62,7 +146,28 @@ def prune_grammar(
             # Dead rule: just account for the disappearing references.
             for callee, occurrences in histogram.items():
                 counts[callee] -= occurrences
+            if hinted:
+                for callee in histogram:
+                    refs = referencers.get(callee)
+                    if refs is not None:
+                        refs.discard(head)
+                sizes.pop(head, None)
             grammar.remove_rule(head)
+        elif hinted:
+            hosts = referencers.pop(head, set())
+            body_edges = sizes.pop(head)
+            per_head = _inline_references_scoped(grammar, head, hosts)
+            # Every inlined reference replaces one reference node by the
+            # body: the host gains ``body_edges - rank`` edges, and the
+            # body's own references once per inline (minus the ones the
+            # removed rule carried).
+            for host, inlined in per_head.items():
+                sizes[host] += inlined * (body_edges - head.rank)
+            for callee, occurrences in histogram.items():
+                counts[callee] += (n - 1) * occurrences
+                refs = referencers.setdefault(callee, set())
+                refs.discard(head)
+                refs.update(per_head)
         else:
             inline_all_references(grammar, head)
             for callee, occurrences in histogram.items():
@@ -84,18 +189,24 @@ def prune_grammar(
             if count == 0 and callee not in keep and grammar.has_rule(callee)
         )
 
+    if not hinted:
+        order = anti_sl_order(grammar)
+
     # Phase 1: rules referenced exactly once never pay for themselves.
-    for head in anti_sl_order(grammar):
+    for head in order:
         if head in keep or not grammar.has_rule(head):
             continue
         if counts.get(head) == 1:
             inline_away(head)
 
     # Phase 2: anti-SL saving scan.
-    for head in anti_sl_order(grammar):
+    if not hinted:
+        order = anti_sl_order(grammar)
+    for head in order:
         if head in keep or not grammar.has_rule(head):
             continue
-        if saving(grammar, head, counts[head]) < 0:
+        size = rule_size(head)
+        if counts[head] * (size - head.rank) - size < 0:
             inline_away(head)
 
     return removed

@@ -45,12 +45,15 @@ plans a whole list of operations first and executes it in few strokes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING, Container, Iterable, List, Optional, Sequence, Tuple,
+    Union,
+)
 
 from repro.grammar.index import check_element_index
-from repro.grammar.navigation import resolve_preorder_path
 from repro.grammar.slcf import Grammar
 from repro.trees.binary import encode_forest
+from repro.trees.symbols import Symbol
 from repro.trees.unranked import XmlNode, xml_node_count
 from repro.updates.operations import UpdateError
 
@@ -166,6 +169,10 @@ class BatchStats:
     isolations: int = 0
     inlined_rules: int = 0
     per_path_inlines: int = 0
+    #: Spine rules (start rule / shards) whose bodies the batch actually
+    #: rewrote, summed over groups.  With a sharded spine a clustered
+    #: burst touches ~``ops / width`` shards instead of one giant RHS.
+    rules_touched: int = 0
 
     @property
     def inlines_saved(self) -> int:
@@ -307,6 +314,7 @@ def execute_batch(
     grammar: Grammar,
     grammar_index: "GrammarIndex",
     ops: Iterable[BatchOp],
+    spine: Optional[Container[Symbol]] = None,
 ) -> BatchStats:
     """Plan and apply a batch of element-index operations.
 
@@ -337,7 +345,9 @@ def execute_batch(
         stats.groups += 1
         stats.isolations += len(planned)
         stats.per_path_inlines += sum(p.enter_steps for p in planned)
-        stats.inlined_rules += apply_isolated_batch(grammar, planned)
+        inlined, touched = apply_isolated_batch(grammar, planned, spine=spine)
+        stats.inlined_rules += inlined
+        stats.rules_touched += touched
         planned.clear()
         records.clear()
         renamed_pre.clear()
@@ -359,6 +369,13 @@ def execute_batch(
         if isinstance(op, BatchDelete) and target == 0:
             flush()
             raise UpdateError("deleting the document root is not allowed")
+        if isinstance(op, BatchInsert) and target == 0:
+            # Error parity with CompressedXml.insert: a sibling before
+            # the document root would make the document a forest.
+            flush()
+            raise UpdateError(
+                "inserting before the document root would create a forest"
+            )
 
         pre = _to_pre_group(target, records)
         if pre is None:
@@ -406,9 +423,7 @@ def execute_batch(
         else:  # BatchAppend: the target is the parent's child-list terminator
             _parent_pos, _parent_steps, pre_extent, position = \
                 grammar_index.resolve_element_with_extent(pre)
-            steps = resolve_preorder_path(
-                grammar, position, segments=grammar_index.segments()
-            )
+            steps = grammar_index.resolve_preorder(position)
             planned.append(PlannedEdit("insert", position, steps, fragment=fragment))
             # The appended elements land one past the parent's subtree --
             # at apply-time index target + extent, which is exactly the

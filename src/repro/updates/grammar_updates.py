@@ -1,6 +1,6 @@
 """Updates on grammar-compressed trees (Section III / V-C).
 
-Each operation isolates the target node into the start rule (path
+Each operation isolates the target node into a mutable spine rule (path
 isolation), applies the tree-level edit there, and garbage-collects rules
 that lost their last reference.  *No recompression happens here* -- this is
 the paper's "naive update"; callers interleave
@@ -12,11 +12,18 @@ Every operation accepts an optional shared
 tables replace the per-call ``parameter_segments`` rebuild, and the
 grammar's observer channel keeps the index correct across the mutations
 performed here.
+
+With a sharded spine (``spine=`` carries the shard heads of a
+:class:`repro.grammar.sharding.ShardManager`), the edit lands in the
+deepest shard the derivation path descends into -- only that shard's
+``O(width)`` body is isolated and re-indexed, which is what keeps updates
+O(depth · width) when the start rule would otherwise have grown with the
+whole update history (see :mod:`repro.updates.path_isolation`).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Container, Iterable, List, Optional, Set, Tuple
 
 from repro.grammar.navigation import PathStep, resolve_preorder_path
 from repro.grammar.properties import collect_garbage
@@ -50,19 +57,33 @@ __all__ = [
 ]
 
 
+def _resolve(
+    grammar: Grammar,
+    index: int,
+    grammar_index: Optional["GrammarIndex"],
+) -> List[PathStep]:
+    """Derivation path to preorder ``index``: through the structural
+    index's cached per-node subtree sizes when one is shared (O(depth ·
+    rule-width)), else the self-contained segment walk."""
+    if grammar_index is not None:
+        return grammar_index.resolve_preorder(index)
+    return resolve_preorder_path(grammar, index)
+
+
 def rename(
     grammar: Grammar,
     index: int,
     new_label: str,
     grammar_index: Optional["GrammarIndex"] = None,
     steps: Optional[list] = None,
+    spine: Optional[Container[Symbol]] = None,
 ) -> int:
     """Relabel the (non-``⊥``) node at preorder ``index`` of ``valG(S)``.
 
     Renaming a node to the label it already carries is a no-op: the target
     is located by a read-only path resolution and, when the labels
-    coincide, no terminal is interned and no path isolation (i.e. no start
-    rule growth) happens at all.
+    coincide, no terminal is interned and no path isolation (i.e. no
+    spine rule growth) happens at all.
 
     ``steps`` may carry a derivation path already resolved for ``index``
     (e.g. by :meth:`GrammarIndex.resolve_element`), saving the descent.
@@ -70,22 +91,20 @@ def rename(
     Returns the number of rule inlines the isolation performed.
     """
     if steps is None:
-        segments = (grammar_index.segments()
-                    if grammar_index is not None else None)
-        steps = resolve_preorder_path(grammar, index, segments=segments)
+        steps = _resolve(grammar, index, grammar_index)
     current_symbol = steps[-1].node.symbol
     if current_symbol.name == new_label and not current_symbol.is_bottom:
         return 0
-    result = isolate(grammar, index, steps=steps)
+    result = isolate(grammar, index, steps=steps, spine=spine)
     target = result.node
     symbol = grammar.alphabet.terminal(new_label, target.symbol.rank)
     rename_node(target, symbol)
     # Relabeling changes no structural count, but label censuses and
     # dirty-rule recorders listen on the observer channel and must see
     # it; isolation alone may not have notified at all when the target
-    # already sat in the start rule.  The relabel-specific event lets
-    # size-only caches (GrammarIndex) keep their tables.
-    grammar.notify_rule_relabeled(grammar.start)
+    # already sat explicit in the mutated rule.  The relabel-specific
+    # event lets size-only caches (GrammarIndex) keep their tables.
+    grammar.notify_rule_relabeled(result.rule)
     return result.inlined_rules
 
 
@@ -95,6 +114,7 @@ def insert(
     fragment: Node,
     grammar_index: Optional["GrammarIndex"] = None,
     steps: Optional[list] = None,
+    spine: Optional[Container[Symbol]] = None,
 ) -> int:
     """Insert an encoded forest before the node at preorder ``index``.
 
@@ -104,9 +124,10 @@ def insert(
 
     Returns the number of rule inlines the isolation performed.
     """
-    result = isolate(grammar, index, grammar_index=grammar_index, steps=steps)
-    new_root = insert_before(grammar.rhs(grammar.start), result.node, fragment)
-    grammar.set_rule(grammar.start, new_root)
+    result = isolate(grammar, index, grammar_index=grammar_index,
+                     steps=steps, spine=spine)
+    new_root = insert_before(grammar.rhs(result.rule), result.node, fragment)
+    grammar.set_rule(result.rule, new_root)
     return result.inlined_rules
 
 
@@ -115,6 +136,7 @@ def delete(
     index: int,
     grammar_index: Optional["GrammarIndex"] = None,
     steps: Optional[list] = None,
+    spine: Optional[Container[Symbol]] = None,
 ) -> int:
     """Delete the subtree rooted at the node at preorder ``index``.
 
@@ -126,16 +148,36 @@ def delete(
 
     Returns the number of rule inlines the isolation performed.
     """
-    result = isolate(grammar, index, grammar_index=grammar_index, steps=steps)
+    result = isolate(grammar, index, grammar_index=grammar_index,
+                     steps=steps, spine=spine)
     target = result.node
-    if target is grammar.rhs(grammar.start) and target.children:
+    if index == 0 and target.children:
+        # Preorder 0 is the document root; with a sharded spine its
+        # terminal may sit inside a chunk shard's body (the start rule's
+        # decomposition moves it there), so the root is recognized by
+        # its index, not by being the start RHS root.  A preorder-0 node
+        # with a real next-sibling chain is not a document root (general
+        # SLCF trees) and stays deletable.
         sibling = target.children[1]
         if sibling.symbol.is_bottom:
             raise UpdateError("deleting the document root is not allowed")
-    new_root = delete_subtree(grammar.rhs(grammar.start), target)
-    grammar.set_rule(grammar.start, new_root)
+    new_root = delete_subtree(grammar.rhs(result.rule), target)
+    grammar.set_rule(result.rule, new_root)
     collect_garbage(grammar)
+    _repair_spine_ranks(spine)
     return result.inlined_rules
+
+
+def _repair_spine_ranks(spine) -> None:
+    """After deletes: restore shard ranks when a delete consumed a
+    chunk's continuation parameter (see
+    :meth:`repro.grammar.sharding.ShardManager.repair_ranks`).  A plain
+    set of shard heads (tests, direct callers) has no repair hook and is
+    skipped -- only deletes that cross a shard's continuation boundary
+    need it."""
+    repair = getattr(spine, "repair_ranks", None)
+    if repair is not None:
+        repair()
 
 
 class PlannedEdit:
@@ -174,8 +216,9 @@ class PlannedEdit:
 def apply_isolated_batch(
     grammar: Grammar,
     planned: List[PlannedEdit],
-) -> int:
-    """Execute one batch group against a single isolated spine.
+    spine: Optional[Container[Symbol]] = None,
+) -> Tuple[int, int]:
+    """Execute one batch group against the isolated spine rules.
 
     The union of the planned derivation paths is isolated in one pass
     (shared prefixes inlined once, see
@@ -191,52 +234,75 @@ def apply_isolated_batch(
     :func:`~repro.updates.operations.splice_before`, so append chains on
     one parent keep their order.
 
-    Observers see a single mutation epoch: isolation defers all
-    notifications, and one final ``set_rule`` reports the start rule's
-    change; garbage collection after deletes reports removed rules as
-    usual.  Returns the number of rule inlines performed.
+    Observers see one mutation epoch per *touched* spine rule: isolation
+    defers all notifications, and one final ``set_rule`` per rule that
+    was actually inlined into or edited reports the change (with
+    ``spine`` shard heads, a burst of ``k`` clustered ops touches about
+    ``k / width`` shards); garbage collection after deletes reports
+    removed rules as usual.  Returns ``(rule inlines performed, spine
+    rules mutated)``.
     """
     if not planned:
-        return 0
-    iso = isolate_many(grammar, [edit.steps for edit in planned])
-    root = iso.root
+        return 0, 0
+    iso = isolate_many(
+        grammar, [edit.steps for edit in planned], spine=spine
+    )
+    roots = iso.roots
+    # Rules whose bodies actually changed: an inline landed in them, or
+    # (tracked below) a tree-level edit does.  Shards merely descended
+    # through must not fire spurious epochs.
+    mutated: Set[Symbol] = set(iso.mutated)
+
+    def flush(error: Optional[UpdateError] = None) -> None:
+        for rule in mutated:
+            grammar.set_rule(rule, roots[rule])
+        if deleted or error is not None:
+            collect_garbage(grammar)
+            # Before the planner's next index descent: a delete may have
+            # consumed a chunk shard's continuation parameter.
+            _repair_spine_ranks(spine)
+        if error is not None:
+            raise error
+
     terminator_remap: dict = {}
     deleted = False
-    for edit, target in zip(planned, iso.nodes):
+    for edit, target, rule in zip(planned, iso.nodes, iso.rules):
         if edit.kind == "rename":
             symbol = grammar.alphabet.terminal(edit.label, target.symbol.rank)
             if target.symbol is not symbol:
                 rename_node(target, symbol)
+                mutated.add(rule)
         elif edit.kind == "insert":
             while id(target) in terminator_remap:
                 target = terminator_remap[id(target)]
             spliced = deep_copy(edit.fragment)
             if spliced.symbol.is_bottom:
                 continue
-            root, terminator = splice_before(root, target, spliced)
+            new_root, terminator = splice_before(roots[rule], target, spliced)
+            roots[rule] = new_root
+            mutated.add(rule)
             if terminator is not None:
                 terminator_remap[id(target)] = terminator
         elif edit.kind == "delete":
-            if target is root and target.children:
+            if edit.position == 0 and target.children:
+                # Preorder 0 = the document root, wherever its terminal
+                # now sits (start rule or a chunk shard's body).
                 sibling = target.children[1]
                 if sibling.symbol.is_bottom:
                     # Unreachable through the batch planner (it rejects
                     # apply-time index 0), but keep the grammar coherent
                     # before refusing, mirroring the sequential loop's
                     # state after its earlier operations.
-                    grammar.set_rule(grammar.start, root)
-                    collect_garbage(grammar)
-                    raise UpdateError(
+                    flush(UpdateError(
                         "deleting the document root is not allowed"
-                    )
-            root = delete_subtree(root, target)
+                    ))
+            roots[rule] = delete_subtree(roots[rule], target)
+            mutated.add(rule)
             deleted = True
         else:  # pragma: no cover - planner emits only the kinds above
             raise UpdateError(f"unknown planned edit kind {edit.kind!r}")
-    grammar.set_rule(grammar.start, root)
-    if deleted:
-        collect_garbage(grammar)
-    return iso.inlined_rules
+    flush()
+    return iso.inlined_rules, len(mutated)
 
 
 def apply_op(

@@ -386,3 +386,102 @@ class TestDirtyScopedRecompression:
         assert doc.recompress_seconds > 0.0
         assert doc.last_repair_stats is not None
         assert doc.last_repair_stats.seed_rule_count is not None
+
+
+class TestPruningRidesCachedStructure:
+    """The recompression pruning phase must not re-walk the grammar.
+
+    Historically ``prune_grammar`` recomputed reference counts, two
+    anti-SL orders, and per-rule edge counts from scratch -- an O(|G|)
+    setup per recompression even when nothing was prunable.  Incremental
+    runs now hand it the occurrence index's cached structure maps; the
+    historical walks remain only for the non-incremental baseline."""
+
+    XML = "<log>" + "<e><a/><b/><c/></e>" * 60 + "</log>"
+
+    def _forbid_walks(self, monkeypatch):
+        from repro.repair import pruning
+
+        calls = {"reference_counts": 0, "anti_sl_order": 0}
+
+        def counting(name, fn):
+            def wrapper(*args, **kwargs):
+                calls[name] += 1
+                return fn(*args, **kwargs)
+            return wrapper
+
+        monkeypatch.setattr(
+            pruning, "reference_counts",
+            counting("reference_counts", pruning.reference_counts),
+        )
+        monkeypatch.setattr(
+            pruning, "anti_sl_order",
+            counting("anti_sl_order", pruning.anti_sl_order),
+        )
+        return calls
+
+    def test_incremental_prune_does_no_setup_walks(self, monkeypatch):
+        doc = CompressedXml.from_xml(self.XML, compress=False)
+        calls = self._forbid_walks(monkeypatch)
+        compressor = GrammarRePair()
+        compressor.compress(doc.grammar, in_place=True)
+        assert compressor.stats.rounds > 0
+        assert calls["reference_counts"] == 0, (
+            "incremental pruning re-walked the grammar for reference "
+            "counts instead of using the occurrence index's cached maps"
+        )
+        assert calls["anti_sl_order"] == 0
+        doc.grammar.validate()
+
+    def test_rescan_baseline_keeps_historical_walks(self, monkeypatch):
+        doc = CompressedXml.from_xml(self.XML, compress=False)
+        calls = self._forbid_walks(monkeypatch)
+        GrammarRePair(incremental=False).compress(doc.grammar, in_place=True)
+        assert calls["reference_counts"] >= 1
+        assert calls["anti_sl_order"] >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(slcf_grammars())
+    def test_hinted_prune_equals_historical_prune(self, grammar):
+        """Cached-structure pruning and the self-contained walks remove
+        the same rules and generate the same document."""
+        from repro.core.occurrence_index import GrammarOccurrenceIndex
+        from repro.repair.pruning import prune_grammar
+
+        reference = grammar.copy()
+        hinted = grammar.copy()
+        index = GrammarOccurrenceIndex(hinted, opaque=set())
+        index.build()
+        hints = dict(
+            counts=dict(index.reference_counts_live()),
+            order=index.anti_sl_order_live(),
+            referencers=index.referencers_live(),
+            sizes=index.rule_edges_live(),
+        )
+        index.detach()
+        removed_hinted = prune_grammar(hinted, **hints)
+        removed_plain = prune_grammar(reference)
+        assert removed_hinted == removed_plain
+        assert generates_same_tree(hinted, reference)
+        hinted.validate()
+
+    @settings(max_examples=20, deadline=None)
+    @given(xml_documents(max_elements=25), update_scripts(max_ops=8))
+    def test_census_volume_drops_versus_rescan(self, tree, script):
+        """End to end, the incremental path's total per-rule scans
+        (census entries) stay at or below the rescan baseline's -- the
+        pruning fold must not sneak whole-grammar work back in."""
+        incremental = CompressedXml.from_document(tree)
+        rescan = CompressedXml.from_document(
+            tree, incremental_recompress=False
+        )
+        for _ in replay_script(incremental, script):
+            pass
+        for _ in replay_script(rescan, script):
+            pass
+        incremental.recompress()
+        rescan.recompress()
+        assert incremental.to_xml() == rescan.to_xml()
+        assert sum(incremental.last_repair_stats.census_trace) <= sum(
+            rescan.last_repair_stats.census_trace
+        )

@@ -129,6 +129,27 @@ class TestStaticQueries:
                 assert ours.node is reference.node
                 assert ours.enters_rule == reference.enters_rule
 
+    @given(slcf_grammars())
+    @settings(max_examples=40, deadline=None)
+    def test_resolve_preorder_matches_navigation(self, grammar):
+        """The indexed node-preorder resolver (the append path's resolver:
+        child-list terminators are nodes, not elements) must produce
+        node-for-node the steps of the self-contained segment walk, at
+        every position of the generated tree."""
+        index = GrammarIndex(grammar)
+        total = index.node_count
+        for position in range(total):
+            steps = index.resolve_preorder(position)
+            expected = resolve_preorder_path(grammar, position)
+            assert len(steps) == len(expected)
+            for ours, reference in zip(steps, expected):
+                assert ours.node is reference.node
+                assert ours.enters_rule == reference.enters_rule
+        with pytest.raises(IndexError):
+            index.resolve_preorder(total)
+        with pytest.raises(IndexError):
+            index.resolve_preorder(-1)
+
 
 # ----------------------------------------------------------------------
 # invalidation: direct rule mutation through the observer channel

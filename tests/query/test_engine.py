@@ -15,6 +15,7 @@ from repro.query.engine import extract_subtree, iter_matching_elements, select
 from repro.query.label_index import LabelIndex
 from repro.query.naive import naive_select
 from repro.trees.unranked import XmlNode, xml_equal
+from repro.trees.xml_io import serialize_xml
 from repro.updates.batch import BatchAppend, BatchDelete, BatchInsert, BatchRename
 
 from tests.strategies import (
@@ -203,6 +204,24 @@ class TestSubtreeExtraction:
     def test_subtree_xml_of_root_is_whole_document(self):
         doc = CompressedXml.from_xml(LOG)
         assert doc.subtree_xml(0) == LOG
+
+    def test_root_extraction_never_walks_the_window(self, monkeypatch):
+        """Element 0's subtree is the whole document: it must ride the
+        plain preorder stream, not the count-table window walk (which
+        pays subtree-size arithmetic per symbol just to skip nothing)."""
+        from repro.query import engine
+
+        doc = CompressedXml.from_xml(LOG)
+
+        def forbid(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError(
+                "extract_subtree(0) fell back to the full-window walk"
+            )
+
+        monkeypatch.setattr(engine, "_iter_window_symbols", forbid)
+        assert serialize_xml(extract_subtree(doc.index, 0)) == LOG
+        with pytest.raises(AssertionError):
+            extract_subtree(doc.index, 1)  # non-root still windows
 
     def test_subtree_xml_leaf_and_indent(self):
         doc = CompressedXml.from_xml(LOG)

@@ -157,6 +157,19 @@ def _renumber_parameters_in_preorder(root: Node) -> None:
         node.symbol = parameter_symbol(index)
 
 
+#: Deliberately tiny width budgets: combined with the small documents
+#: the tree strategies produce, every drawn budget forces real shard
+#: splits (and, with deletes in the script, merges), so the shard
+#: invariants are exercised instead of trivially holding on an unsharded
+#: spine.  8 is the enforced minimum width.
+SHARD_WIDTHS = (8, 12, 16, 24)
+
+
+def shard_widths():
+    """A random spine-sharding width budget for ``CompressedXml``."""
+    return st.sampled_from(SHARD_WIDTHS)
+
+
 #: The update kinds :func:`update_scripts` draws from.  ``recompress`` is
 #: rarer so scripts mostly exercise the incremental (non-rebuild) path.
 UPDATE_KINDS = (
