@@ -1,0 +1,216 @@
+"""Macro-benchmark: the price of durability and the speed of recovery.
+
+Quantifies the PR-6 tentpole.  Every committed update on a
+:class:`repro.storage.durable.DurableXml` pays the WAL-first protocol
+-- serialize the logical operation, append + fsync, then apply in
+memory, checkpointing whenever the live WAL outgrows its threshold.
+This benchmark drives the *same* mixed update stream (clustered
+rename/insert/append/delete bursts over an EXI-Weblog-like document)
+through a plain in-memory ``CompressedXml`` and through a durable
+store, and then measures cold recovery (open = newest snapshot + WAL
+tail replay) of the store it just produced.
+
+Reported per variant: wall time, sustained ops/s, mean and p95 commit
+latency.  For the store: checkpoints taken, final generation, live WAL
+bytes, recovery wall time and records replayed.  The acceptance gate at
+full scale -- 50k edges, 500 updates -- is that durable commits sustain
+at least half the in-memory throughput (the WAL tax stays under 2x; the
+update work itself dominates fsyncs of small JSON records), and the
+benchmark asserts the recovered document equals the live one
+byte-for-byte.  ``--smoke`` (the CI job) runs a tiny scale and checks
+the JSON schema, equality, and recovery only.
+
+Results go to ``BENCH_wal.json`` at the repo root.  Like all ``bench_*``
+modules this is collected by pytest only via an explicit path.
+"""
+
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.api import CompressedXml
+from repro.storage.durable import DurableXml
+from repro.updates.batch import BatchAppend, BatchDelete, BatchInsert, \
+    BatchRename
+from repro.updates.workload import generate_clustered_element_ops
+
+FULL_SCALE = {"edges": 50_000, "updates": 500, "bursts": 10}
+SMOKE_SCALE = {"edges": 2_000, "updates": 50, "bursts": 5}
+CHECKPOINT_WAL_BYTES = 16 * 1024
+SEED = 42
+TAGS = ("ip", "user", "ts", "request", "status", "bytes", "extra")
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_wal.json"
+)
+
+
+def make_doc(edges, seed=SEED):
+    from repro.datasets.synthetic import make_corpus
+
+    return CompressedXml.from_document(
+        make_corpus("EXI-Weblog", edges=edges, seed=seed)
+    )
+
+
+def apply_op(target, op):
+    """One logical op through the facade-shaped API (both variants)."""
+    if isinstance(op, BatchRename):
+        target.rename(op.index, op.new_tag)
+    elif isinstance(op, BatchInsert):
+        target.insert(op.index, list(op.content))
+    elif isinstance(op, BatchAppend):
+        target.append_child(op.parent_index, list(op.content))
+    else:
+        target.delete(op.index)
+
+
+def timed_apply(target, ops, latencies):
+    for op in ops:
+        started = time.perf_counter()
+        apply_op(target, op)
+        latencies.append(time.perf_counter() - started)
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def variant_report(latencies):
+    total = sum(latencies)
+    return {
+        "total_s": round(total, 4),
+        "ops_per_s": round(len(latencies) / total, 2) if total else None,
+        "mean_commit_ms": round(1000.0 * total / len(latencies), 4),
+        "p95_commit_ms": round(1000.0 * percentile(latencies, 0.95), 4),
+    }
+
+
+def run(edges, updates, bursts, smoke=False):
+    rng = random.Random(SEED)
+    memory_doc = make_doc(edges)
+    store_dir = tempfile.mkdtemp(prefix="bench_wal_")
+    print(f"workload: EXI-Weblog {edges} edges, {updates} mixed updates "
+          f"in {bursts} bursts, checkpoint threshold "
+          f"{CHECKPOINT_WAL_BYTES // 1024} KiB")
+    try:
+        started = time.perf_counter()
+        store = DurableXml.create(
+            os.path.join(store_dir, "store"), make_doc(edges),
+            checkpoint_wal_bytes=CHECKPOINT_WAL_BYTES,
+        )
+        create_s = time.perf_counter() - started
+
+        memory_lat, durable_lat = [], []
+        per_burst = updates // bursts
+        for _ in range(bursts):
+            ops = generate_clustered_element_ops(
+                memory_doc.element_count, per_burst, rng=rng, tags=TAGS
+            )
+            timed_apply(memory_doc, ops, memory_lat)
+            timed_apply(store, ops, durable_lat)
+
+        assert store.to_xml() == memory_doc.to_xml(), \
+            "durable store diverged from the in-memory document"
+        generation = store.generation
+        wal_bytes = store.wal_size
+        store.close()
+
+        started = time.perf_counter()
+        reopened = DurableXml.open(os.path.join(store_dir, "store"))
+        recovery_s = time.perf_counter() - started
+        replayed = reopened.last_recovery.replayed
+        assert reopened.to_xml() == memory_doc.to_xml(), \
+            "recovery reconstructed a different document"
+        reopened.close()
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    memory = variant_report(memory_lat)
+    durable = variant_report(durable_lat)
+    durable["checkpoints"] = generation
+    durable["final_generation"] = generation
+    durable["live_wal_bytes"] = wal_bytes
+    durable["store_create_s"] = round(create_s, 4)
+    slowdown = durable["total_s"] / memory["total_s"] \
+        if memory["total_s"] else 1.0
+
+    print(f"  in-memory : {memory['total_s']:8.3f}s, "
+          f"{memory['ops_per_s']} ops/s, "
+          f"p95 {memory['p95_commit_ms']:.2f}ms")
+    print(f"  durable   : {durable['total_s']:8.3f}s, "
+          f"{durable['ops_per_s']} ops/s, "
+          f"p95 {durable['p95_commit_ms']:.2f}ms, "
+          f"{generation} checkpoints, {wal_bytes} live WAL bytes")
+    print(f"  WAL tax   : {slowdown:.2f}x wall time")
+    print(f"  recovery  : {recovery_s:.3f}s "
+          f"(snapshot + {replayed} replayed records)")
+
+    report = {
+        "benchmark": "bench_wal",
+        "workload": {
+            "corpus": "EXI-Weblog",
+            "edges": edges,
+            "updates": len(memory_lat),
+            "bursts": bursts,
+            "checkpoint_wal_bytes": CHECKPOINT_WAL_BYTES,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        "in_memory": memory,
+        "durable": durable,
+        "wal_tax_wall_time": round(slowdown, 3),
+        "recovery": {
+            "total_s": round(recovery_s, 4),
+            "replayed_records": replayed,
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(JSON_PATH)}")
+    return report
+
+
+def check_schema(report):
+    """The machine-readable contract future PRs regress against."""
+    for section in ("workload", "in_memory", "durable", "recovery"):
+        assert section in report, f"missing section {section!r}"
+    for key in ("total_s", "ops_per_s", "mean_commit_ms", "p95_commit_ms"):
+        assert key in report["in_memory"], f"missing {key!r}"
+        assert key in report["durable"], f"missing {key!r}"
+    for key in ("checkpoints", "live_wal_bytes", "store_create_s"):
+        assert key in report["durable"], f"missing {key!r}"
+    for key in ("total_s", "replayed_records"):
+        assert key in report["recovery"], f"missing recovery {key!r}"
+    assert "wal_tax_wall_time" in report
+
+
+def check_wal_tax(report, max_slowdown=2.0):
+    """The acceptance gate: WAL-on throughput within 2x of in-memory."""
+    tax = report["wal_tax_wall_time"]
+    assert tax <= max_slowdown, (
+        f"durable commits are {tax:.2f}x slower than in-memory "
+        f"(gate: {max_slowdown}x)"
+    )
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    scale = SMOKE_SCALE if smoke else FULL_SCALE
+    report = run(smoke=smoke, **scale)
+    check_schema(report)
+    if not smoke:
+        check_wal_tax(report)
+    print("bench_wal: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

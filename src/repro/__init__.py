@@ -24,6 +24,7 @@ from repro.repair.tree_repair import TreeRePair, tree_repair
 
 __all__ = [
     "CompressedXml",
+    "DurableXml",
     "GrammarRePair",
     "grammar_repair",
     "TreeRePair",
@@ -31,3 +32,13 @@ __all__ = [
     "Grammar",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: the durability layer pulls in the storage file formats, which
+    # plain in-memory use never needs.
+    if name == "DurableXml":
+        from repro.storage.durable import DurableXml
+
+        return DurableXml
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

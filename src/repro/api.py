@@ -55,8 +55,9 @@ Example::
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Union, TYPE_CHECKING
 
 from repro.core.grammar_repair import GrammarRePair, GrammarRePairStats
 from repro.grammar.index import GrammarIndex
@@ -64,6 +65,7 @@ from repro.grammar.serialize import format_grammar, parse_grammar
 from repro.grammar.sharding import ShardManager
 from repro.grammar.slcf import Grammar, GrammarSizeTracker, RuleTouchRecorder
 from repro.trees.binary import decode_binary, encode_binary, encode_forest
+from repro.trees.node import deep_copy
 from repro.trees.symbols import Alphabet
 from repro.trees.unranked import XmlNode
 from repro.trees.xml_io import parse_xml, serialize_xml
@@ -74,7 +76,21 @@ from repro.updates import grammar_updates
 from repro.updates.batch import BatchBuilder, BatchOp, BatchStats, execute_batch
 from repro.updates.operations import UpdateError
 
-__all__ = ["CompressedXml"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.faults import StorageIO
+    from repro.storage.snapshot import DocumentState
+
+__all__ = ["CompressedXml", "DurableXml"]
+
+
+def __getattr__(name: str):
+    # ``repro.api.DurableXml`` without importing the storage package (and
+    # its file-format machinery) on every plain-document import.
+    if name == "DurableXml":
+        from repro.storage.durable import DurableXml
+
+        return DurableXml
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CompressedXml:
@@ -195,6 +211,53 @@ class CompressedXml:
         """Load a previously saved grammar (text format)."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls(parse_grammar(handle.read()), **kwargs)
+
+    @classmethod
+    def from_state(cls, state: "DocumentState", **kwargs) -> "CompressedXml":
+        """Resume a document from exported state (see :meth:`export_state`).
+
+        The shard hierarchy is re-attached without resharding, the
+        structural index adopts the per-rule segments without walking a
+        single rule, and the label index adopts the censuses without
+        re-censusing -- a reload answers counting, addressing, and label
+        queries immediately.  ``kwargs`` may carry runtime policy
+        (``auto_recompress_factor``, ``incremental_recompress``); the
+        persisted facts (``kin``, shard width) come from the state.
+        """
+        for fixed in ("kin", "shard_width"):
+            if fixed in kwargs:
+                raise TypeError(
+                    f"{fixed} is restored from the snapshot state and "
+                    f"cannot be overridden"
+                )
+        doc = cls(state.grammar, kin=state.kin, shard_width=None, **kwargs)
+        if state.shard is not None:
+            doc._shards = ShardManager.restore(
+                state.grammar,
+                width=state.shard.width,
+                prefix=state.shard.prefix,
+                heads=set(state.shard.parents),
+                parents=state.shard.parents,
+            )
+        if state.segments:
+            doc._index.import_segments(state.segments)
+        if state.label_counts is not None:
+            label_index = LabelIndex(state.grammar)
+            label_index.import_counts(state.label_counts)
+            doc._label_index = label_index
+        doc._baselined = state.baselined
+        doc._last_compressed_size = max(1, state.last_compressed_size)
+        for head in state.dirty_rules:
+            if state.grammar.has_rule(head):
+                doc._dirty.changed.add(head)
+        return doc
+
+    @classmethod
+    def from_snapshot_file(cls, path: str, **kwargs) -> "CompressedXml":
+        """Load a binary snapshot (see :meth:`save_snapshot`)."""
+        from repro.storage.snapshot import read_snapshot
+
+        return cls.from_state(read_snapshot(path), **kwargs)
 
     # ------------------------------------------------------------------
     # inspection
@@ -477,7 +540,9 @@ class CompressedXml:
         """
         return BatchBuilder(self)
 
-    def apply_batch(self, ops: Sequence[BatchOp]) -> BatchStats:
+    def apply_batch(
+        self, ops: Sequence[BatchOp], transactional: bool = False
+    ) -> BatchStats:
         """Apply a list of element-index operations as one program.
 
         Operations (:class:`~repro.updates.batch.BatchRename` /
@@ -491,17 +556,26 @@ class CompressedXml:
         spine in one mutation epoch, and the automatic recompression
         policy settles once at the end instead of once per operation.
 
-        An invalid index raises (``IndexError``, or ``UpdateError`` for
-        a root deletion) after the operations before it were applied,
-        exactly as the sequential loop would; the instrumentation
-        counters (``updates_applied`` etc.) are only advanced on
-        success.
+        By default an invalid index raises (``IndexError``, or
+        ``UpdateError`` for a root deletion) after the operations before
+        it were applied, exactly as the sequential loop would; the
+        instrumentation counters (``updates_applied`` etc.) are only
+        advanced on success.  With ``transactional=True`` a failing
+        batch instead rolls the document back to its pre-batch state --
+        grammar, shard hierarchy, and (through the observer channel)
+        every index -- so the batch is all-or-nothing; this is the mode
+        the durability layer logs batches under, where replay must never
+        reproduce a half-applied program.
         """
+        backup = self._transaction_backup() if transactional else None
         try:
             stats = execute_batch(
                 self._grammar, self._index, ops, spine=self._spine()
             )
         except Exception:
+            if backup is not None:
+                self._transaction_restore(backup)
+                raise
             # Error parity with the sequential loop requires the already-
             # applied prefix to stay; keep its spine inside budget too.
             self._reshard()
@@ -512,6 +586,54 @@ class CompressedXml:
         self._reshard()
         self._maybe_auto_recompress()
         return stats
+
+    def _transaction_backup(self):
+        """Capture everything a failed transactional batch must restore.
+
+        Rule bodies are *deep*-copied: mid-batch resharding can reinstall
+        a live body object under a fresh head, so a shallow backup could
+        alias trees a later isolation step then mutates.  The grammar is
+        small (that is the whole point), so this is O(|G|).
+        """
+        rules = {
+            head: deep_copy(rhs)
+            for head, rhs in self._grammar.rules.items()
+        }
+        shard = None
+        if self._shards is not None:
+            shard = (
+                set(self._shards.heads),
+                dict(self._shards._parent),
+                set(self._shards._touched),
+            )
+        return rules, shard
+
+    def _transaction_restore(self, backup) -> None:
+        """Put the grammar and shard hierarchy back to the backup.
+
+        Every restored rule goes through ``set_rule``, so the persistent
+        indexes see ordinary per-rule change events and evict whatever
+        the half-applied batch had polluted -- no wholesale reset.
+        """
+        rules, shard = backup
+        grammar = self._grammar
+        manager = self._shards
+        if manager is not None:
+            # The restore is not an update epoch: suppress the shard
+            # observer (its maps are restored wholesale below).
+            manager._resharding = True
+        try:
+            for head in [h for h in grammar.rules if h not in rules]:
+                grammar.remove_rule(head)
+            for head, rhs in rules.items():
+                grammar.set_rule(head, rhs)
+        finally:
+            if manager is not None:
+                manager._resharding = False
+                heads, parents, touched = shard
+                manager.heads = heads
+                manager._parent = parents
+                manager._touched = touched
 
     def _after_update(self) -> None:
         self.updates_applied += 1
@@ -625,9 +747,57 @@ class CompressedXml:
         return serialize_xml(self.to_document(budget=budget), indent=indent)
 
     def save_grammar(self, path: str) -> None:
-        """Persist the grammar in the text format."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Persist the grammar in the text format, crash-atomically.
+
+        The text is written to a temp file, flushed and fsync'd, then
+        renamed over ``path`` -- a crash mid-save leaves the previous
+        file intact instead of a truncated grammar.
+        """
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(format_grammar(self._grammar))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # durable state (the snapshot layer's view of the document)
+    # ------------------------------------------------------------------
+    def export_state(self) -> "DocumentState":
+        """Everything a restart needs to resume *exactly*: the grammar,
+        the shard hierarchy, the structural index's per-rule segments,
+        the label index's per-rule censuses, and the recompression
+        baseline.  Forces the cacheable state for the whole reachable
+        grammar first, so the resulting snapshot restores queries
+        without recomputation (see :meth:`from_state`)."""
+        from repro.storage.snapshot import DocumentState, ShardState
+
+        shard = None
+        if self._shards is not None:
+            width, prefix, parents = self._shards.export_state()
+            shard = ShardState(width=width, prefix=prefix, parents=parents)
+        return DocumentState(
+            grammar=self._grammar,
+            kin=self._kin,
+            element_count=self.element_count,
+            baselined=self._baselined,
+            last_compressed_size=self._last_compressed_size,
+            dirty_rules=[
+                head for head in self._dirty.changed
+                if self._grammar.has_rule(head)
+            ],
+            shard=shard,
+            segments=self._index.export_segments(),
+            label_counts=self.label_index.export_counts(),
+        )
+
+    def save_snapshot(
+        self, path: str, io: Optional["StorageIO"] = None
+    ) -> None:
+        """Write a crash-atomic binary snapshot (temp file + rename)."""
+        from repro.storage.snapshot import write_snapshot
+
+        write_snapshot(path, self.export_state(), io=io)
 
     def __repr__(self) -> str:
         return (

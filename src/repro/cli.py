@@ -7,6 +7,8 @@ Subcommands::
     repro-xml stats     doc.xml | doc.grammar       # Table III-style row
     repro-xml query     doc.grammar '/log//status'  # grammar-native select
     repro-xml update    doc.grammar rename 3 newtag [-o out.grammar]
+    repro-xml durable   init store/ --xml doc.xml   # crash-safe store
+    repro-xml durable   update store/ rename 3 newtag
     repro-xml experiment table3 figure2 ...         # regenerate results
 """
 
@@ -104,6 +106,69 @@ def _cmd_update(args) -> int:
     return 0
 
 
+def _cmd_durable(args) -> int:
+    from repro.storage import DurableXml
+
+    action = args.action
+    if action == "init":
+        if not args.xml:
+            print("durable init needs --xml FILE", file=sys.stderr)
+            return 2
+        with open(args.xml, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with DurableXml.from_xml(
+            args.store, text, overwrite=args.overwrite
+        ) as store:
+            print(
+                f"initialized {args.store}: {store.element_count} elements, "
+                f"grammar size {store.compressed_size}, generation 0"
+            )
+        return 0
+
+    with DurableXml.open(args.store) as store:
+        recovery = store.last_recovery
+        if action == "status":
+            print(f"store:       {store.directory}")
+            print(f"generation:  {store.generation}")
+            print(f"wal bytes:   {store.wal_size}")
+            print(f"replayed:    {recovery.replayed} record(s)")
+            if recovery.degraded:
+                print("recovered:   degraded (previous snapshot generation)")
+            if recovery.dropped_tail_record:
+                print("recovered:   dropped unacknowledged tail record")
+            print(f"elements:    {store.element_count}")
+            print(f"c-edges:     {store.compressed_size}")
+        elif action == "update":
+            operation = args.args[0]
+            if operation == "rename":
+                store.rename(int(args.args[1]), args.args[2])
+            elif operation == "insert":
+                store.insert(int(args.args[1]), parse_xml(args.args[2]))
+            elif operation == "append":
+                store.append_child(int(args.args[1]), parse_xml(args.args[2]))
+            elif operation == "delete":
+                store.delete(int(args.args[1]))
+            else:
+                print(f"unknown durable update {operation!r}",
+                      file=sys.stderr)
+                return 2
+            print(
+                f"{operation} committed; generation {store.generation}, "
+                f"wal {store.wal_size} bytes"
+            )
+        elif action == "query":
+            matches = store.select(args.args[0])
+            for index in matches:
+                print(f"{index}\t{store.tag_of(index)}")
+            print(f"{len(matches)} match(es)", file=sys.stderr)
+        elif action == "checkpoint":
+            generation = store.checkpoint()
+            print(f"checkpointed: now at generation {generation}")
+        else:  # pragma: no cover - argparse restricts choices
+            raise AssertionError(action)
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments import EXPERIMENTS
 
@@ -181,6 +246,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.add_argument("--no-recompress", action="store_true")
     p.set_defaults(handler=_cmd_update)
+
+    p = sub.add_parser(
+        "durable",
+        help="crash-safe store: WAL-logged updates, snapshots, recovery",
+    )
+    p.add_argument(
+        "action",
+        choices=("init", "status", "update", "query", "checkpoint"),
+    )
+    p.add_argument("store", help="store directory")
+    p.add_argument(
+        "args",
+        nargs="*",
+        help="init: (with --xml) | update: rename I TAG / insert I XML / "
+        "append I XML / delete I | query: LABELPATH",
+    )
+    p.add_argument("--xml", help="input XML file (init)")
+    p.add_argument("--overwrite", action="store_true")
+    p.set_defaults(handler=_cmd_durable)
 
     p = sub.add_parser("experiment", help="regenerate paper tables/figures")
     p.add_argument("names", nargs="+")

@@ -194,16 +194,82 @@ class GrammarIndex:
         return head in self._node_segments
 
     # ------------------------------------------------------------------
+    # snapshot state (the serializable half of the cache)
+    # ------------------------------------------------------------------
+    def export_segments(self) -> Dict[Symbol, Tuple[List[int], List[int]]]:
+        """Per-rule (node, element) segment lists for every rule.
+
+        Forces the whole reachable grammar first, so a snapshot built
+        from this restores counting/addressing for *all* rules.  The
+        id-keyed per-node tables are deliberately not exported -- they
+        reference live ``Node`` objects and rebuild lazily per rule on
+        first descent.
+        """
+        self._ensure(self._grammar.start)
+        for head in self._grammar.rules:
+            if head not in self._node_segments:
+                self._ensure(head)  # unreachable-but-live rules, if any
+        return {
+            head: (list(self._node_segments[head]),
+                   list(self._elem_segments[head]))
+            for head in self._node_segments
+        }
+
+    def import_segments(
+        self, segments: Dict[Symbol, Tuple[List[int], List[int]]]
+    ) -> None:
+        """Adopt snapshot segment lists without recomputation.
+
+        Rebuilds the reverse call edges from the grammar so per-rule
+        observer evictions keep cascading correctly over imported
+        entries.  Counting queries (``element_count``, subtree sizes)
+        are answered straight from the imported lists; descents rebuild
+        their per-node tables lazily, one rule at a time.
+        """
+        grammar = self._grammar
+        self._node_segments.clear()
+        self._elem_segments.clear()
+        self._tables.clear()
+        self._dependents.clear()
+        for head, (node_segs, elem_segs) in segments.items():
+            if head not in grammar.rules:
+                raise GrammarError(
+                    f"segments for unknown rule {head!r}"
+                )
+            if len(node_segs) != head.rank + 1 or \
+                    len(elem_segs) != head.rank + 1:
+                raise GrammarError(
+                    f"rule {head!r}: segment arity does not match rank "
+                    f"{head.rank}"
+                )
+            self._node_segments[head] = list(node_segs)
+            self._elem_segments[head] = list(elem_segs)
+        for head in self._node_segments:
+            walk = [grammar.rhs(head)]
+            seen: Set[Symbol] = set()
+            while walk:
+                node = walk.pop()
+                symbol = node.symbol
+                if symbol.is_nonterminal and symbol not in seen:
+                    seen.add(symbol)
+                    self._dependents.setdefault(symbol, set()).add(head)
+                walk.extend(node.children)
+
+    # ------------------------------------------------------------------
     # lazy recompute (bottom-up along the call DAG)
     # ------------------------------------------------------------------
     def _ensure(self, head: Symbol) -> None:
-        if head in self._node_segments:
+        # Membership is judged on the id-keyed per-node tables, not the
+        # segment lists: imported snapshot state restores the segments
+        # (the cross-rule aggregates) without tables, and those rules
+        # must still rebuild their table lazily on first descent.
+        if head in self._tables:
             return
         pending: Set[Symbol] = set()
         stack = [head]
         while stack:
             current = stack[-1]
-            if current in self._node_segments:
+            if current in self._tables:
                 pending.discard(current)
                 stack.pop()
                 continue

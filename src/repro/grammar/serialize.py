@@ -57,7 +57,7 @@ def parse_grammar(text: str, alphabet: Optional[Alphabet] = None) -> Grammar:
     if alphabet is None:
         alphabet = Alphabet()
     start_name: Optional[str] = None
-    raw_rules: List[Tuple[str, int, str]] = []
+    raw_rules: List[Tuple[str, int, str, int]] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split(";", 1)[0].strip()
         if not line:
@@ -71,38 +71,59 @@ def parse_grammar(text: str, alphabet: Optional[Alphabet] = None) -> Grammar:
         if match is None:
             raise GrammarFormatError(f"line {lineno}: cannot parse {line!r}")
         rank = int(match.group("rank") or 0)
-        raw_rules.append((match.group("name"), rank, match.group("body")))
+        raw_rules.append(
+            (match.group("name"), rank, match.group("body"), lineno)
+        )
     if start_name is None:
         raise GrammarFormatError("missing 'start <name>' directive")
     if not raw_rules:
         raise GrammarFormatError("grammar has no rules")
 
+    # Duplicate rule names are rejected up front with both line numbers:
+    # a file holding two bodies for one head is ambiguous whatever their
+    # declared ranks are, and letting the second intern (same rank) or
+    # clash in the alphabet (different rank) would surface as a confusing
+    # downstream error instead of this one.
+    first_line: Dict[str, int] = {}
+    for name, _, _, lineno in raw_rules:
+        if name in first_line:
+            raise GrammarFormatError(
+                f"line {lineno}: duplicate rule for {name!r} "
+                f"(first defined on line {first_line[name]})"
+            )
+        first_line[name] = lineno
+
     # First pass: intern all rule heads so the term parser can classify
     # occurrences of nonterminals.
-    names = {name for name, _, _ in raw_rules}
+    names = set(first_line)
     if start_name not in names:
         raise GrammarFormatError(f"start symbol {start_name!r} has no rule")
-    for name, rank, _ in raw_rules:
+    for name, rank, _, lineno in raw_rules:
         existing = alphabet.get(name)
         if existing is not None and not existing.is_nonterminal:
             raise GrammarFormatError(
                 f"rule head {name!r} clashes with a non-nonterminal symbol"
             )
-        alphabet.nonterminal(name, rank)
+        try:
+            alphabet.nonterminal(name, rank)
+        except ValueError as exc:
+            raise GrammarFormatError(f"line {lineno}: {exc}") from exc
 
     start = alphabet.get(start_name)
     assert start is not None
     grammar = Grammar(alphabet, start)
     frozen_names = frozenset(names)
-    for name, rank, body in raw_rules:
+    for name, rank, body, lineno in raw_rules:
         head = alphabet.get(name)
         assert head is not None
-        if head in grammar.rules:
+        if head in grammar.rules:  # pragma: no cover - caught above
             raise GrammarFormatError(f"duplicate rule for {name!r}")
         try:
             rhs = parse_term(body, alphabet, nonterminal_names=frozen_names)
         except ValueError as exc:
-            raise GrammarFormatError(f"rule {name!r}: {exc}") from exc
+            raise GrammarFormatError(
+                f"line {lineno}: rule {name!r}: {exc}"
+            ) from exc
         grammar.set_rule(head, rhs)
     try:
         grammar.validate()

@@ -151,6 +151,52 @@ class ShardManager:
         self._touched.add(grammar.start)
         self.reshard()
 
+    @classmethod
+    def restore(
+        cls,
+        grammar: Grammar,
+        width: int,
+        prefix: str,
+        heads: Set[Symbol],
+        parents: Dict[Symbol, Symbol],
+    ) -> "ShardManager":
+        """Re-attach a manager to a grammar whose shard hierarchy already
+        exists (loaded from a snapshot) -- without the constructor's
+        initial reshard pass, so a reload performs zero split/merge work.
+
+        The restored hierarchy is verified with :meth:`check_invariants`;
+        a snapshot whose shard section does not match its grammar raises
+        :class:`~repro.grammar.slcf.GrammarError` here rather than
+        corrupting later isolations.
+        """
+        if width < MIN_SHARD_WIDTH:
+            raise ValueError(
+                f"shard width must be >= {MIN_SHARD_WIDTH}, got {width}"
+            )
+        self = cls.__new__(cls)
+        self._grammar = grammar
+        self.width = width
+        self.prefix = prefix
+        self.heads = set(heads)
+        self._parent = dict(parents)
+        self._touched = set()
+        self._resharding = False
+        self.stats = ShardStats()
+        for head in self.heads:
+            if head not in grammar.rules:
+                raise GrammarError(f"shard head {head!r} has no rule")
+        grammar.register_observer(self)
+        self.check_invariants()
+        return self
+
+    def export_state(self):
+        """The serializable shard hierarchy: (width, prefix, parent map).
+
+        ``heads`` is implied by the parent map's keys -- every shard has
+        exactly one parent spine rule.
+        """
+        return self.width, self.prefix, dict(self._parent)
+
     # ------------------------------------------------------------------
     # grammar observer protocol
     # ------------------------------------------------------------------

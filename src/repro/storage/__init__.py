@@ -1,0 +1,61 @@
+"""Durability for compressed XML documents: WAL, snapshots, recovery.
+
+The paper's claim is that updates on grammar-compressed XML are cheap
+enough to apply in place; this package makes them *durable* without
+giving that up.  The design is the classic logical-WAL + checkpoint
+pair, specialized to the SLCF grammar model:
+
+* :mod:`repro.storage.wal` -- a write-ahead log of the *logical*
+  operations (``rename/insert/append/delete/apply_batch``), each a
+  length-prefixed, CRC32-checksummed, fsync'd record appended *before*
+  the in-memory mutation.  Replaying the log against a snapshot is
+  deterministic, so the log never needs to capture grammar internals.
+
+* :mod:`repro.storage.snapshot` -- a binary, versioned, checksummed
+  image of a :class:`repro.api.CompressedXml`: the grammar itself plus
+  the shard hierarchy and the structural/label index tables, so a
+  reload neither re-shards nor re-censuses.
+
+* :mod:`repro.storage.recovery` -- generation manifests and the
+  open-time protocol: newest valid snapshot + WAL tail replay, with
+  graceful degradation to the previous generation when the newest
+  snapshot is corrupt.
+
+* :mod:`repro.storage.durable` -- :class:`DurableXml`, the facade
+  combining the above behind the ``CompressedXml`` API.
+
+* :mod:`repro.storage.faults` -- the injectable crash-point layer all
+  file mutation goes through, driving the fault-injection test suite.
+"""
+
+from repro.storage.durable import DurableXml
+from repro.storage.faults import (
+    CRASH_POINTS,
+    FaultyIO,
+    SimulatedCrash,
+    StorageIO,
+)
+from repro.storage.recovery import RecoveryError, recover
+from repro.storage.snapshot import (
+    DocumentState,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.storage.wal import WalRecordError, WriteAheadLog
+
+__all__ = [
+    "DurableXml",
+    "StorageIO",
+    "FaultyIO",
+    "SimulatedCrash",
+    "CRASH_POINTS",
+    "RecoveryError",
+    "recover",
+    "DocumentState",
+    "SnapshotError",
+    "read_snapshot",
+    "write_snapshot",
+    "WalRecordError",
+    "WriteAheadLog",
+]

@@ -1,0 +1,314 @@
+"""``DurableXml``: the crash-safe facade over ``CompressedXml``.
+
+Commit protocol for every mutating call (the WAL-first rule)::
+
+    validate cheaply -> WAL append + fsync -> apply in memory
+                                           -> rollback WAL on failure
+    -> maybe checkpoint (WAL grew past the threshold)
+
+The logged record -- not the caller's arguments -- is what gets
+applied, through the same :func:`repro.storage.recovery.apply_record`
+dispatcher recovery uses, so a replay after a crash reconstructs
+*exactly* the state the live process had.  An apply that raises (an
+out-of-range index, a malformed fragment) rolls the WAL back to the
+record's start offset and leaves the in-memory document untouched
+(single ops are exception-safe; batches run transactionally), so a
+failed operation is a no-op both on disk and in memory.
+
+Checkpointing writes ``snapshot.(g+1)`` crash-atomically, creates an
+empty ``wal.(g+1)``, and then switches the generation manifest -- the
+atomic commit point.  Generation ``g`` is kept as the degradation
+fallback; generations below it are retired.  The cadence check rides
+the same after-update hook as the document's auto-recompression
+policy: after each committed operation, a WAL that has outgrown
+``checkpoint_wal_bytes`` triggers a checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Union, TYPE_CHECKING
+
+from repro.storage.faults import StorageIO
+from repro.storage.recovery import (
+    RecoveredDocument,
+    StoreLayout,
+    apply_record,
+    read_manifest,
+    recover,
+    write_manifest,
+)
+from repro.storage.snapshot import write_snapshot
+from repro.storage.wal import (
+    WriteAheadLog,
+    append_record,
+    batch_record,
+    delete_record,
+    insert_record,
+    rename_record,
+)
+from repro.trees.unranked import XmlNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import CompressedXml
+    from repro.updates.batch import BatchBuilder, BatchOp, BatchStats
+
+__all__ = ["DurableXml", "DEFAULT_CHECKPOINT_WAL_BYTES"]
+
+#: Checkpoint once the live WAL outgrows this many bytes.  Small enough
+#: that recovery replays at most a few hundred operations, large enough
+#: that steady-state traffic amortizes a snapshot over many commits.
+DEFAULT_CHECKPOINT_WAL_BYTES = 256 * 1024
+
+
+def _normalize_content(
+    content: Union[XmlNode, Sequence[XmlNode]]
+) -> List[XmlNode]:
+    from repro.updates.batch import _normalize_content as normalize
+
+    return list(normalize(content))
+
+
+class DurableXml:
+    """A ``CompressedXml`` whose updates survive process death.
+
+    Construct with :meth:`create` (new store) or :meth:`open`
+    (recover an existing one); never directly.  Read methods --
+    ``select``/``tags``/``to_xml``/``element_count``/... -- are
+    delegated to the in-memory document untouched; the update methods
+    are wrapped in the WAL-first commit protocol.
+    """
+
+    def __init__(
+        self,
+        doc: "CompressedXml",
+        directory: str,
+        wal: WriteAheadLog,
+        generation: int,
+        io: StorageIO,
+        checkpoint_wal_bytes: int,
+    ) -> None:
+        self._doc = doc
+        self._layout = StoreLayout(directory)
+        self._wal = wal
+        self._generation = generation
+        self._io = io
+        self._checkpoint_wal_bytes = checkpoint_wal_bytes
+        #: Populated by :meth:`open` with what recovery had to do.
+        self.last_recovery: Optional[RecoveredDocument] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        document: "CompressedXml",
+        io: Optional[StorageIO] = None,
+        checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+        overwrite: bool = False,
+    ) -> "DurableXml":
+        """Initialize a new store directory around ``document``.
+
+        Writes ``snapshot.000000``, an empty ``wal.000000``, and the
+        generation-0 manifest.  An existing store is refused unless
+        ``overwrite=True`` (which restarts it at generation 0).
+        """
+        if io is None:
+            io = StorageIO()
+        os.makedirs(directory, exist_ok=True)
+        layout = StoreLayout(directory)
+        if not overwrite and os.path.exists(layout.manifest_path):
+            raise FileExistsError(
+                f"{directory} already holds a durable store; pass "
+                f"overwrite=True to reinitialize it"
+            )
+        write_snapshot(layout.snapshot_path(0), document.export_state(),
+                       io=io)
+        wal = WriteAheadLog(layout.wal_path(0), io=io, create=True)
+        write_manifest(directory, 0, io=io)
+        return cls(document, directory, wal, 0, io, checkpoint_wal_bytes)
+
+    @classmethod
+    def from_xml(
+        cls,
+        directory: str,
+        text: str,
+        io: Optional[StorageIO] = None,
+        checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+        overwrite: bool = False,
+        **doc_kwargs,
+    ) -> "DurableXml":
+        """Compress ``text`` and :meth:`create` a store around it."""
+        from repro.api import CompressedXml
+
+        return cls.create(
+            directory,
+            CompressedXml.from_xml(text, **doc_kwargs),
+            io=io,
+            checkpoint_wal_bytes=checkpoint_wal_bytes,
+            overwrite=overwrite,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        io: Optional[StorageIO] = None,
+        checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+        **doc_kwargs,
+    ) -> "DurableXml":
+        """Recover an existing store (newest snapshot + WAL replay).
+
+        When recovery had to degrade to the previous snapshot
+        generation, an immediate checkpoint re-establishes a healthy
+        newest image before any new commits are accepted.  (A dropped
+        tail record needs no checkpoint: the truncation already left
+        the disk consistent.)
+        """
+        if io is None:
+            io = StorageIO()
+        result = recover(directory, io=io, **doc_kwargs)
+        self = cls(result.doc, directory, result.wal, result.generation,
+                   io, checkpoint_wal_bytes)
+        self.last_recovery = result
+        if result.degraded:
+            self.checkpoint()
+        return self
+
+    # ------------------------------------------------------------------
+    # the commit protocol
+    # ------------------------------------------------------------------
+    def _commit(self, record: dict):
+        """WAL-first: persist the record, then apply it in memory."""
+        offset = self._wal.append(record)
+        try:
+            result = apply_record(self._doc, record)
+        except Exception:
+            # The operation failed cleanly in memory (the single-op and
+            # transactional-batch paths guarantee no partial state); it
+            # must not survive into a future replay either.
+            self._wal.rollback_to(offset)
+            raise
+        self._maybe_checkpoint()
+        return result
+
+    def rename(self, element_index: int, new_tag: str) -> None:
+        """Durably relabel an element (see ``CompressedXml.rename``)."""
+        self._commit(rename_record(element_index, new_tag))
+
+    def insert(
+        self,
+        element_index: int,
+        content: Union[XmlNode, Sequence[XmlNode]],
+    ) -> None:
+        """Durably insert elements before an element."""
+        self._commit(insert_record(element_index,
+                                   _normalize_content(content)))
+
+    def append_child(
+        self,
+        parent_element_index: int,
+        content: Union[XmlNode, Sequence[XmlNode]],
+    ) -> None:
+        """Durably append elements as last children of an element."""
+        self._commit(append_record(parent_element_index,
+                                   _normalize_content(content)))
+
+    def delete(self, element_index: int) -> None:
+        """Durably delete an element and its subtree."""
+        self._commit(delete_record(element_index))
+
+    def apply_batch(self, ops: Sequence["BatchOp"]) -> "BatchStats":
+        """Durably apply a batch as ONE atomic record.
+
+        Unlike the in-memory default (sequential error parity), a batch
+        that fails part-way is rolled back entirely -- in memory via
+        the transactional batch mode, on disk via WAL rollback -- so
+        replay can never observe a half-applied batch.
+        """
+        return self._commit(batch_record(list(ops)))
+
+    def batch(self) -> "BatchBuilder":
+        """Collect operations for one durable :meth:`apply_batch`."""
+        from repro.updates.batch import BatchBuilder
+
+        return BatchBuilder(self)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self) -> None:
+        if self._wal.size >= self._checkpoint_wal_bytes:
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Snapshot now and start a fresh WAL generation.
+
+        Returns the new generation number.  Crash-safe at every step:
+        until the manifest rename lands, the store still opens at the
+        old generation with its complete WAL; afterwards the old
+        generation is the degradation fallback and only generations
+        below *it* are retired.
+        """
+        current = self._generation
+        nxt = current + 1
+        state = self._doc.export_state()
+        write_snapshot(self._layout.snapshot_path(nxt), state, io=self._io)
+        self._wal.close()
+        new_wal = WriteAheadLog(self._layout.wal_path(nxt), io=self._io,
+                                create=True)
+        write_manifest(self._layout.directory, nxt, io=self._io)
+        # -- the manifest rename above was the commit point ------------
+        self._generation = nxt
+        self._wal = new_wal
+        for old in self._layout.generations_on_disk():
+            if old < current:
+                self._io.remove(self._layout.snapshot_path(old),
+                                "checkpoint:clean")
+                self._io.remove(self._layout.wal_path(old),
+                                "checkpoint:clean")
+        return nxt
+
+    # ------------------------------------------------------------------
+    # inspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def document(self) -> "CompressedXml":
+        """The live in-memory document (reads are cheap and direct)."""
+        return self._doc
+
+    @property
+    def directory(self) -> str:
+        return self._layout.directory
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def wal_size(self) -> int:
+        """Bytes in the live WAL (the checkpoint-cadence metric)."""
+        return self._wal.size
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "DurableXml":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __getattr__(self, name: str):
+        # Read-side API (select, tags, to_xml, element_count, ...) is
+        # delegated to the document; mutators are overridden above.
+        return getattr(self._doc, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DurableXml {self._layout.directory!r} "
+            f"generation {self._generation}, "
+            f"{self._doc.element_count} elements>"
+        )

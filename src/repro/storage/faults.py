@@ -1,0 +1,226 @@
+"""The injectable crash-point layer under all durable file mutation.
+
+Every side-effecting filesystem primitive the storage subsystem performs
+-- writing bytes, fsync, ``os.replace``, truncation, file creation and
+removal -- goes through a :class:`StorageIO` instance.  The default
+implementation simply performs the operation; :class:`FaultyIO` is the
+fault-injection double the test harness swaps in: it raises
+:class:`SimulatedCrash` at a scheduled *crash point*, emulating the
+process being killed at exactly that instant.
+
+Crash-point semantics model a **process kill, not media loss**: bytes
+the code handed to the OS before the crash survive (our WAL/commit
+protocols must therefore be correct for both "record fully on disk" and
+"record torn/absent"), a ``mid-write`` crash leaves a *torn* prefix of
+the payload behind, and everything after the raise simply never
+executes.  :class:`SimulatedCrash` deliberately subclasses
+``BaseException``: the storage code's internal ``except Exception``
+error handling (e.g. the WAL rollback on a failed apply) must not be
+able to "survive" a kill.
+
+Crash points are labeled (``"wal:append:before-fsync"``, ...).  The
+full registry is :data:`CRASH_POINTS`, which the matrix test iterates;
+:class:`FaultyIO` additionally supports crashing at the *n*-th crash
+point hit overall (any label), which is what the Hypothesis property
+test uses to cover every reachable interleaving.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, IO, Optional
+
+__all__ = [
+    "StorageIO",
+    "FaultyIO",
+    "SimulatedCrash",
+    "CRASH_POINTS",
+]
+
+
+class SimulatedCrash(BaseException):
+    """The process was "killed" at a labeled crash point.
+
+    A ``BaseException`` on purpose: internal ``except Exception``
+    recovery paths in the storage code must not swallow a kill.
+    """
+
+    def __init__(self, label: str) -> None:
+        super().__init__(label)
+        self.label = label
+
+
+#: Every labeled crash point the storage subsystem can hit, for the
+#: kill-at-every-point matrix test.  Compound labels are formed as
+#: ``"<site>:<phase>"`` where the site names the protocol step and the
+#: phase one of ``before-write`` / ``mid-write`` / ``after-write`` /
+#: ``before-fsync`` / ``after-fsync`` / ``before-rename`` /
+#: ``after-rename`` / ``before-truncate`` / ``after-truncate``.
+CRASH_POINTS = tuple(
+    f"{site}:{phase}"
+    for site, phases in (
+        # One committed operation record appended to the live WAL.
+        ("wal:append", ("before-write", "mid-write", "after-write",
+                        "before-fsync", "after-fsync")),
+        # A fresh WAL file (header) created at checkpoint/create time.
+        ("wal:create", ("before-write", "mid-write", "after-write",
+                        "before-fsync", "after-fsync")),
+        # Torn-tail truncation while opening an existing WAL.
+        ("wal:open", ("before-truncate", "after-truncate")),
+        # Rolling the WAL back after an in-memory apply failed.
+        ("wal:rollback", ("before-truncate", "after-truncate")),
+        # Snapshot image written to its temp file.
+        ("snapshot:write", ("before-write", "mid-write", "after-write",
+                            "before-fsync", "after-fsync")),
+        # Temp snapshot renamed over its final name.
+        ("snapshot:commit", ("before-rename", "after-rename")),
+        # Manifest written to its temp file, then renamed (the atomic
+        # generation switch -- the commit point of a checkpoint).
+        ("manifest:write", ("before-write", "mid-write", "after-write",
+                            "before-fsync", "after-fsync")),
+        ("manifest:commit", ("before-rename", "after-rename")),
+        # Old-generation files removed after a completed checkpoint.
+        ("checkpoint:clean", ("before-remove",)),
+    )
+    for phase in phases
+)
+
+
+class StorageIO:
+    """All side-effecting filesystem primitives, behind crash points.
+
+    The default implementation is the real thing; tests inject
+    :class:`FaultyIO`.  Reads are not routed through here -- a killed
+    process cannot corrupt data by reading.
+    """
+
+    def crash_point(self, label: str) -> None:
+        """Hook invoked at every labeled point; a no-op in production."""
+
+    # -- primitives ----------------------------------------------------
+    def open_append(self, path: str) -> IO[bytes]:
+        return open(path, "ab")
+
+    def write(self, handle: IO[bytes], data: bytes, site: str) -> None:
+        """Write ``data``, with before/mid/after crash points."""
+        self.crash_point(site + ":before-write")
+        self._write_payload(handle, data, site)
+        self.crash_point(site + ":after-write")
+
+    def _write_payload(self, handle: IO[bytes], data: bytes,
+                       site: str) -> None:
+        handle.write(data)
+
+    def fsync(self, handle: IO[bytes], site: str) -> None:
+        self.crash_point(site + ":before-fsync")
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.crash_point(site + ":after-fsync")
+
+    def replace(self, source: str, destination: str, site: str) -> None:
+        """Atomic rename, with before/after crash points."""
+        self.crash_point(site + ":before-rename")
+        os.replace(source, destination)
+        self.crash_point(site + ":after-rename")
+
+    def truncate(self, path: str, size: int, site: str) -> None:
+        self.crash_point(site + ":before-truncate")
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.crash_point(site + ":after-truncate")
+
+    def remove(self, path: str, site: str) -> None:
+        self.crash_point(site + ":before-remove")
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def fsync_dir(self, path: str) -> None:
+        """Flush directory metadata (new/renamed files); best effort on
+        platforms whose directories cannot be opened."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+class FaultyIO(StorageIO):
+    """A :class:`StorageIO` that kills the process at a chosen point.
+
+    Two scheduling modes:
+
+    * ``FaultyIO(crash_label="wal:append:after-write", occurrence=2)``
+      crashes the second time that exact label is hit;
+    * ``FaultyIO(crash_invocation=k)`` crashes at the *k*-th crash
+      point hit overall (1-based, any label) -- the mode the property
+      test uses to sweep every reachable point of a concrete run.
+
+    ``arm()``/``disarm()`` gate the countdown so a test can build the
+    store cleanly and inject faults only into the phase under test.
+    Once crashed, *every* later primitive raises again (the process is
+    dead); ``occurrences`` records how often each label was reached,
+    which the matrix test uses to skip never-reached labels.
+    """
+
+    def __init__(
+        self,
+        crash_label: Optional[str] = None,
+        occurrence: int = 1,
+        crash_invocation: Optional[int] = None,
+        torn_fraction: float = 0.5,
+    ) -> None:
+        if (crash_label is None) == (crash_invocation is None):
+            raise ValueError(
+                "schedule exactly one of crash_label / crash_invocation"
+            )
+        self._crash_label = crash_label
+        self._label_countdown = occurrence
+        self._invocation_countdown = crash_invocation or 0
+        self._torn_fraction = torn_fraction
+        self._armed = True
+        self.crashed = False
+        self.occurrences: Dict[str, int] = {}
+
+    def arm(self) -> None:
+        self._armed = True
+
+    def disarm(self) -> None:
+        self._armed = False
+
+    def _due(self, label: str) -> bool:
+        if not self._armed:
+            return False
+        self.occurrences[label] = self.occurrences.get(label, 0) + 1
+        if self.crashed:
+            return True
+        if self._crash_label is not None:
+            if label == self._crash_label:
+                self._label_countdown -= 1
+                return self._label_countdown <= 0
+            return False
+        self._invocation_countdown -= 1
+        return self._invocation_countdown <= 0
+
+    def crash_point(self, label: str) -> None:
+        if self._due(label):
+            self.crashed = True
+            raise SimulatedCrash(label)
+
+    def _write_payload(self, handle, data: bytes, site: str) -> None:
+        # A mid-write kill leaves a torn prefix of the payload on disk:
+        # the bytes were handed to the OS before the process died.
+        if self._due(site + ":mid-write"):
+            self.crashed = True
+            cut = max(1, int(len(data) * self._torn_fraction)) \
+                if len(data) > 1 else 0
+            handle.write(data[:cut])
+            handle.flush()
+            raise SimulatedCrash(site + ":mid-write")
+        handle.write(data)

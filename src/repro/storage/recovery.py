@@ -1,0 +1,303 @@
+"""Store layout, generation manifests, and the recovery protocol.
+
+A durable store is one directory::
+
+    store/
+      MANIFEST          JSON {"format": "repro-store", "version": 1,
+                              "generation": N}
+      snapshot.000N     binary snapshot at generation N
+      wal.000N          operations committed since snapshot N
+      snapshot.000N-1   previous generation, kept as the degradation
+      wal.000N-1        fallback until the next checkpoint retires it
+
+The manifest is the single source of truth for which generation is
+live, and it is only ever switched by an atomic temp-file +
+``os.replace`` -- that rename is the commit point of a checkpoint.  A
+checkpoint therefore orders: write ``snapshot.N+1`` (crash-atomic),
+create ``wal.N+1`` (empty, fsync'd), switch the manifest, then retire
+generation ``N-1``.  A crash anywhere before the switch leaves the
+store at generation ``N`` with at most some stray ``N+1`` files, which
+the next checkpoint simply overwrites.
+
+Recovery (:func:`recover`) reads the manifest, loads ``snapshot.N``,
+verifies its checksum and element-count invariants, and replays
+``wal.N``.  When ``snapshot.N`` is corrupt (bit rot, torn by a dying
+disk), it *degrades*: load ``snapshot.N-1`` and replay ``wal.N-1`` in
+full before ``wal.N`` -- replay is deterministic, so the result is the
+same document.  Only the final WAL's *last* record may fail to apply
+(the operation crashed between its fsync and its acknowledgment); it
+is dropped and truncated like a torn tail.  A failing record anywhere
+else is real corruption and raises :class:`RecoveryError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.storage.faults import StorageIO
+from repro.storage.snapshot import SnapshotError, read_snapshot
+from repro.storage.wal import (
+    WalRecordError,
+    WriteAheadLog,
+    batch_ops_from_record,
+    content_from_record,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import CompressedXml
+
+__all__ = [
+    "MANIFEST_NAME",
+    "RecoveryError",
+    "StoreLayout",
+    "read_manifest",
+    "write_manifest",
+    "apply_record",
+    "recover",
+    "RecoveredDocument",
+]
+
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_FORMAT = "repro-store"
+MANIFEST_VERSION = 1
+
+
+class RecoveryError(RuntimeError):
+    """The store cannot be recovered (no valid snapshot generation, a
+    corrupt manifest, or a non-tail WAL record that fails to apply)."""
+
+
+class StoreLayout:
+    """Path arithmetic for one store directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.manifest_path = os.path.join(directory, MANIFEST_NAME)
+
+    def snapshot_path(self, generation: int) -> str:
+        return os.path.join(self.directory, f"snapshot.{generation:06d}")
+
+    def wal_path(self, generation: int) -> str:
+        return os.path.join(self.directory, f"wal.{generation:06d}")
+
+    def generations_on_disk(self) -> List[int]:
+        """Generations with a snapshot file present (stray or live)."""
+        found = []
+        for name in os.listdir(self.directory):
+            if name.startswith("snapshot.") and not name.endswith(".tmp"):
+                suffix = name[len("snapshot."):]
+                if suffix.isdigit():
+                    found.append(int(suffix))
+        return sorted(found)
+
+
+def read_manifest(directory: str) -> int:
+    """The live generation number, or a :class:`RecoveryError`."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise RecoveryError(
+            f"{directory}: not a durable store (no {MANIFEST_NAME})"
+        ) from None
+    except ValueError as exc:
+        raise RecoveryError(f"{path}: corrupt manifest: {exc}") from exc
+    if manifest.get("format") != MANIFEST_FORMAT or \
+            not isinstance(manifest.get("generation"), int):
+        raise RecoveryError(f"{path}: unrecognized manifest {manifest!r}")
+    return manifest["generation"]
+
+
+def write_manifest(
+    directory: str, generation: int, io: Optional[StorageIO] = None
+) -> None:
+    """Atomically point the store at ``generation`` (the commit point)."""
+    if io is None:
+        io = StorageIO()
+    path = os.path.join(directory, MANIFEST_NAME)
+    data = json.dumps({
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "generation": generation,
+    }, sort_keys=True).encode("utf-8")
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        io.write(handle, data, "manifest:write")
+        io.fsync(handle, "manifest:write")
+    io.replace(tmp, path, "manifest:commit")
+    io.fsync_dir(directory)
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def apply_record(doc: "CompressedXml", record: dict) -> None:
+    """Apply one logged operation to an in-memory document.
+
+    Shared by recovery replay and by the tests; must stay in exact
+    correspondence with what :class:`repro.storage.durable.DurableXml`
+    logs before applying.
+    """
+    op = record.get("op")
+    if op == "rename":
+        doc.rename(record["i"], record["tag"])
+    elif op == "insert":
+        doc.insert(record["i"], content_from_record(record["xml"]))
+    elif op == "append":
+        doc.append_child(record["i"], content_from_record(record["xml"]))
+    elif op == "delete":
+        doc.delete(record["i"])
+    elif op == "batch":
+        doc.apply_batch(batch_ops_from_record(record), transactional=True)
+    else:
+        raise WalRecordError(f"unknown WAL record kind {op!r}")
+
+
+@dataclass
+class RecoveredDocument:
+    """What :func:`recover` hands the :class:`DurableXml` facade."""
+
+    doc: "CompressedXml"
+    generation: int
+    wal: WriteAheadLog
+    replayed: int
+    #: The newest snapshot was corrupt; the previous generation plus a
+    #: full-WAL replay reconstructed the state.  The facade should
+    #: checkpoint immediately to re-establish a healthy newest image.
+    degraded: bool
+    #: The final WAL's unacknowledged tail record failed to apply and
+    #: was dropped (truncated) -- together with ``degraded`` this is
+    #: the signal that the on-disk state was repaired during open.
+    dropped_tail_record: bool
+
+
+def _replay(
+    doc: "CompressedXml",
+    wal: WriteAheadLog,
+    allow_drop_last: bool,
+) -> tuple:
+    """Replay a WAL's recovered records; returns (applied, dropped)."""
+    records = wal.recovered_records
+    applied = 0
+    for position, record in enumerate(records):
+        try:
+            apply_record(doc, record)
+        except Exception as exc:
+            if allow_drop_last and position == len(records) - 1:
+                # The crash happened between the record's fsync and the
+                # in-memory apply being acknowledged -- or the apply
+                # itself failed and the process died before the WAL
+                # rollback.  Either way the operation was never
+                # acknowledged: drop it like a torn tail.
+                _truncate_last_record(wal)
+                return applied, True
+            raise RecoveryError(
+                f"WAL record {position} ({record.get('op')!r}) failed "
+                f"to apply during replay: {exc}"
+            ) from exc
+        applied += 1
+    return applied, False
+
+
+def _truncate_last_record(wal: WriteAheadLog) -> None:
+    """Cut the final (just-rejected) record off the log."""
+    from repro.storage.wal import encode_payload, _frame
+
+    last = wal.recovered_records[-1]
+    tail = len(_frame(encode_payload(last)))
+    wal.recovered_records.pop()
+    wal.rollback_to(wal.size - tail)
+
+
+# ----------------------------------------------------------------------
+# the open protocol
+# ----------------------------------------------------------------------
+def recover(
+    directory: str,
+    io: Optional[StorageIO] = None,
+    **doc_kwargs,
+) -> RecoveredDocument:
+    """Open a store: newest valid snapshot + WAL tail replay.
+
+    ``doc_kwargs`` (``auto_recompress_factor``, ...) are forwarded to
+    ``CompressedXml.from_state`` -- runtime policy is the caller's,
+    while the grammar/shard/index state comes from the snapshot.
+    """
+    from repro.api import CompressedXml
+
+    if io is None:
+        io = StorageIO()
+    layout = StoreLayout(directory)
+    generation = read_manifest(directory)
+
+    doc: Optional[CompressedXml] = None
+    degraded = False
+    newest_error: Optional[Exception] = None
+    try:
+        state = read_snapshot(layout.snapshot_path(generation))
+        doc = CompressedXml.from_state(state, **doc_kwargs)
+    except (SnapshotError, FileNotFoundError, ValueError) as exc:
+        newest_error = exc
+
+    dropped = False
+    replayed = 0
+    if doc is None:
+        # Degradation: the previous generation's snapshot plus a *full*
+        # replay of its WAL reconstructs the exact pre-checkpoint state
+        # (replay is deterministic); the live WAL then replays on top.
+        previous = generation - 1
+        if previous < 0:
+            raise RecoveryError(
+                f"{directory}: snapshot generation {generation} is "
+                f"unreadable and no previous generation exists: "
+                f"{newest_error}"
+            )
+        try:
+            state = read_snapshot(layout.snapshot_path(previous))
+            doc = CompressedXml.from_state(state, **doc_kwargs)
+        except (SnapshotError, FileNotFoundError, ValueError) as exc:
+            raise RecoveryError(
+                f"{directory}: generations {generation} and {previous} "
+                f"are both unreadable ({newest_error}; {exc})"
+            ) from exc
+        degraded = True
+        try:
+            previous_wal = WriteAheadLog(layout.wal_path(previous), io=io)
+        except FileNotFoundError:
+            previous_wal = None
+        if previous_wal is not None:
+            # Every record here was acknowledged before the checkpoint
+            # that produced the (now corrupt) newest snapshot, so none
+            # may fail -- except when that checkpoint never completed
+            # and this is effectively the final WAL; the live-WAL replay
+            # below still guards the true tail.
+            applied, _ = _replay(doc, previous_wal, allow_drop_last=False)
+            replayed += applied
+
+    # The live generation's WAL.  Missing is legal only in the degraded
+    # path (a checkpoint died after the manifest switch could not have
+    # happened -- but a dying disk may lose files); treat as empty.
+    wal_path = layout.wal_path(generation)
+    try:
+        wal = WriteAheadLog(wal_path, io=io)
+    except FileNotFoundError:
+        if not degraded:
+            raise RecoveryError(
+                f"{directory}: live WAL {wal_path} is missing"
+            ) from None
+        wal = WriteAheadLog(wal_path, io=io, create=True)
+    applied, dropped = _replay(doc, wal, allow_drop_last=True)
+    replayed += applied
+
+    return RecoveredDocument(
+        doc=doc,
+        generation=generation,
+        wal=wal,
+        replayed=replayed,
+        degraded=degraded,
+        dropped_tail_record=dropped,
+    )

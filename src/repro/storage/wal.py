@@ -1,0 +1,280 @@
+"""The write-ahead log of logical update operations.
+
+File layout::
+
+    +--------------------+   8-byte magic ``b"RXWAL01\\n"``
+    | record | record | ...
+
+    record := u32le payload_length | u32le crc32(payload) | payload
+
+Payloads are canonical JSON (sorted keys, no whitespace) describing one
+committed operation -- ``rename``/``insert``/``append``/``delete``/
+``batch`` -- in the element-index coordinates of the document *at the
+time the operation was applied*.  Replaying the records in order against
+the snapshot they follow is deterministic, which is the whole contract:
+the log stores the operation language (FLUX-style), never grammar
+internals.
+
+Durability protocol: :meth:`WriteAheadLog.append` writes the framed
+record and fsyncs **before** the caller mutates the in-memory document.
+A crash can therefore leave (a) no trace of the in-flight operation,
+(b) a torn/corrupt tail record, or (c) a complete record whose apply
+never ran -- recovery handles all three (see
+:mod:`repro.storage.recovery`).  On open, a torn or checksum-corrupt
+tail is truncated away (not fatal): those bytes belong to an operation
+that was never acknowledged.  Anything *after* the first bad record is
+dropped with it -- a valid-looking frame beyond a corrupt one cannot
+have been acknowledged either.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Dict, IO, List, Optional, Sequence, Tuple
+
+from repro.trees.unranked import XmlNode
+from repro.trees.xml_io import parse_xml, serialize_xml
+
+from repro.storage.faults import StorageIO
+
+__all__ = [
+    "WAL_MAGIC",
+    "WalRecordError",
+    "WriteAheadLog",
+    "scan_wal",
+    "rename_record",
+    "insert_record",
+    "append_record",
+    "delete_record",
+    "batch_record",
+    "batch_ops_from_record",
+    "content_from_record",
+]
+
+WAL_MAGIC = b"RXWAL01\n"
+
+_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Frames larger than this are torn/garbage length fields, never real
+#: records (a batch of thousands of ops stays far below); bounding the
+#: length keeps a corrupt tail from provoking a giant allocation.
+_MAX_RECORD = 64 * 1024 * 1024
+
+
+class WalRecordError(ValueError):
+    """Raised on malformed WAL record payloads (not on torn tails)."""
+
+
+# ----------------------------------------------------------------------
+# record payloads (the logical operation language)
+# ----------------------------------------------------------------------
+def _encode_content(content: Sequence[XmlNode]) -> List[str]:
+    return [serialize_xml(node) for node in content]
+
+
+def content_from_record(encoded: Sequence[str]) -> List[XmlNode]:
+    """Decode insert/append content back to structure trees."""
+    return [parse_xml(text) for text in encoded]
+
+
+def rename_record(index: int, new_tag: str) -> dict:
+    return {"op": "rename", "i": index, "tag": new_tag}
+
+
+def insert_record(index: int, content: Sequence[XmlNode]) -> dict:
+    return {"op": "insert", "i": index, "xml": _encode_content(content)}
+
+
+def append_record(parent_index: int, content: Sequence[XmlNode]) -> dict:
+    return {"op": "append", "i": parent_index,
+            "xml": _encode_content(content)}
+
+
+def delete_record(index: int) -> dict:
+    return {"op": "delete", "i": index}
+
+
+def batch_record(ops: Sequence[object]) -> dict:
+    """Encode a list of ``BatchOp`` instances as one atomic record."""
+    from repro.updates.batch import (
+        BatchAppend, BatchDelete, BatchInsert, BatchRename,
+    )
+
+    encoded: List[dict] = []
+    for op in ops:
+        if isinstance(op, BatchRename):
+            encoded.append(rename_record(op.index, op.new_tag))
+        elif isinstance(op, BatchInsert):
+            encoded.append(insert_record(op.index, op.content))
+        elif isinstance(op, BatchAppend):
+            encoded.append(append_record(op.parent_index, op.content))
+        elif isinstance(op, BatchDelete):
+            encoded.append(delete_record(op.index))
+        else:
+            raise WalRecordError(f"cannot log batch op {op!r}")
+    return {"op": "batch", "ops": encoded}
+
+
+def batch_ops_from_record(record: dict) -> List[object]:
+    """Decode a ``batch`` record back into ``BatchOp`` instances."""
+    from repro.updates.batch import (
+        BatchAppend, BatchDelete, BatchInsert, BatchRename,
+    )
+
+    ops: List[object] = []
+    for entry in record["ops"]:
+        kind = entry.get("op")
+        if kind == "rename":
+            ops.append(BatchRename(entry["i"], entry["tag"]))
+        elif kind == "insert":
+            ops.append(BatchInsert(entry["i"],
+                                   content_from_record(entry["xml"])))
+        elif kind == "append":
+            ops.append(BatchAppend(entry["i"],
+                                   content_from_record(entry["xml"])))
+        elif kind == "delete":
+            ops.append(BatchDelete(entry["i"]))
+        else:
+            raise WalRecordError(f"unknown batch op kind {kind!r}")
+    return ops
+
+
+def _frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_payload(record: dict) -> bytes:
+    """Canonical JSON bytes for one record (stable across replays)."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# scanning
+# ----------------------------------------------------------------------
+def scan_wal(path: str) -> Tuple[List[dict], int, bool]:
+    """Read every valid record of a WAL file.
+
+    Returns ``(records, valid_size, torn)`` where ``valid_size`` is the
+    byte offset just past the last valid record and ``torn`` reports
+    whether trailing bytes beyond it were found (a torn or corrupt
+    tail, to be truncated by the caller).  A file without the magic
+    header raises :class:`WalRecordError` -- that is not a torn tail
+    but a file that was never a WAL.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < len(WAL_MAGIC) or not data.startswith(WAL_MAGIC):
+        raise WalRecordError(f"{path}: not a WAL file (bad magic)")
+    records: List[dict] = []
+    offset = len(WAL_MAGIC)
+    valid = offset
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            break  # torn frame header
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if length > _MAX_RECORD or end > total:
+            break  # torn payload (or garbage length field)
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt tail
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except ValueError:
+            break  # checksum collision on garbage: treat as corrupt tail
+        records.append(record)
+        offset = end
+        valid = end
+    return records, valid, valid != total
+
+
+# ----------------------------------------------------------------------
+# the log
+# ----------------------------------------------------------------------
+class WriteAheadLog:
+    """An append-only, fsync-on-commit operation log.
+
+    ``create=True`` initializes a fresh file (magic header, fsync'd);
+    otherwise the existing file is scanned, a torn/corrupt tail is
+    truncated away, and the surviving records are exposed as
+    ``recovered_records`` for the recovery layer to replay.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        io: Optional[StorageIO] = None,
+        create: bool = False,
+    ) -> None:
+        self.path = path
+        self._io = io if io is not None else StorageIO()
+        self.recovered_records: List[dict] = []
+        self.truncated_tail = False
+        if create:
+            # O_EXCL-like freshness is the caller's concern (generation
+            # numbering); a leftover file from a crashed checkpoint is
+            # legitimately overwritten here.
+            with open(path, "wb") as handle:
+                self._io.write(handle, WAL_MAGIC, "wal:create")
+                self._io.fsync(handle, "wal:create")
+            self._size = len(WAL_MAGIC)
+        else:
+            records, valid, torn = scan_wal(path)
+            self.recovered_records = records
+            self.truncated_tail = torn
+            if torn:
+                self._io.truncate(path, valid, "wal:open")
+            self._size = valid
+        self._handle: Optional[IO[bytes]] = None
+
+    # -- appending -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Bytes of committed log, the checkpoint-cadence metric."""
+        return self._size
+
+    def _ensure_handle(self) -> IO[bytes]:
+        if self._handle is None:
+            self._handle = self._io.open_append(self.path)
+        return self._handle
+
+    def append(self, record: dict) -> int:
+        """Durably append one record; returns its start offset.
+
+        The record is on disk (written *and* fsync'd) when this
+        returns -- the caller may then apply the operation in memory.
+        """
+        framed = _frame(encode_payload(record))
+        handle = self._ensure_handle()
+        offset = self._size
+        self._io.write(handle, framed, "wal:append")
+        self._io.fsync(handle, "wal:append")
+        self._size += len(framed)
+        return offset
+
+    def rollback_to(self, offset: int) -> None:
+        """Cut the log back to ``offset`` (a failed in-memory apply:
+        the logged operation must not survive into replay)."""
+        if offset > self._size:
+            raise ValueError(f"cannot roll forward to {offset}")
+        self.close()
+        self._io.truncate(self.path, offset, "wal:rollback")
+        self._size = offset
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -29,7 +29,7 @@ from repro.grammar.navigation import PathStep, resolve_preorder_path
 from repro.grammar.properties import collect_garbage
 from repro.grammar.slcf import Grammar
 from repro.trees.node import Node, deep_copy
-from repro.trees.symbols import Symbol
+from repro.trees.symbols import BOTTOM_NAME, Symbol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.grammar.index import GrammarIndex
@@ -42,6 +42,7 @@ from repro.updates.operations import (
     delete_subtree,
     insert_before,
     rename_node,
+    rightmost_null,
     splice_before,
 )
 from repro.updates.path_isolation import isolate, isolate_many
@@ -95,10 +96,19 @@ def rename(
     current_symbol = steps[-1].node.symbol
     if current_symbol.name == new_label and not current_symbol.is_bottom:
         return 0
+    # Validate fully before mutating anything: the target and the new
+    # label are both known from the read-only resolution, so every way
+    # this operation can fail -- a ⊥ target, renaming *to* ⊥, an
+    # alphabet rank clash on the new label -- is rejected here, and a
+    # raising rename leaves the grammar exactly as it was (no isolation
+    # bloat, no half-applied relabel).
+    if current_symbol.is_bottom:
+        raise UpdateError("cannot rename the empty node ⊥")
+    if new_label == BOTTOM_NAME:
+        raise UpdateError("cannot rename a node to ⊥")
+    symbol = grammar.alphabet.terminal(new_label, current_symbol.rank)
     result = isolate(grammar, index, steps=steps, spine=spine)
-    target = result.node
-    symbol = grammar.alphabet.terminal(new_label, target.symbol.rank)
-    rename_node(target, symbol)
+    rename_node(result.node, symbol)
     # Relabeling changes no structural count, but label censuses and
     # dirty-rule recorders listen on the observer channel and must see
     # it; isolation alone may not have notified at all when the target
@@ -124,6 +134,10 @@ def insert(
 
     Returns the number of rule inlines the isolation performed.
     """
+    # Validate the fragment before isolating (a forest root that *is* ⊥
+    # passes trivially -- it splices as the identity): a malformed
+    # fragment must not cost the spine rule any isolation bloat.
+    rightmost_null(fragment)
     result = isolate(grammar, index, grammar_index=grammar_index,
                      steps=steps, spine=spine)
     new_root = insert_before(grammar.rhs(result.rule), result.node, fragment)
@@ -148,6 +162,17 @@ def delete(
 
     Returns the number of rule inlines the isolation performed.
     """
+    if steps is None:
+        steps = _resolve(grammar, index, grammar_index)
+    target_symbol = steps[-1].node.symbol
+    # Reject undeletable targets before isolating (same errors
+    # ``delete_subtree`` would raise, moved ahead of any mutation).
+    if target_symbol.is_bottom:
+        raise UpdateError("cannot delete the empty node ⊥")
+    if target_symbol.rank != 2:
+        raise UpdateError(
+            f"delete needs a binary-encoded element, got {target_symbol!r}"
+        )
     result = isolate(grammar, index, grammar_index=grammar_index,
                      steps=steps, spine=spine)
     target = result.node

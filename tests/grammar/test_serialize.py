@@ -44,6 +44,22 @@ class TestParsing:
         with pytest.raises(GrammarFormatError, match="duplicate"):
             parse_grammar("start S\nS -> a\nS -> b\n")
 
+    def test_duplicate_rule_reports_both_lines(self):
+        text = "start S\nS -> A\nA -> a\n; gap\nA -> b\n"
+        with pytest.raises(
+            GrammarFormatError,
+            match=r"line 5: duplicate rule for 'A' \(first defined on "
+                  r"line 3\)",
+        ):
+            parse_grammar(text)
+
+    def test_duplicate_rule_with_conflicting_ranks(self):
+        # Before the up-front duplicate pass this surfaced as a
+        # confusing alphabet rank-clash error on the second head.
+        text = "start S\nS -> A(a,b)\nA/2 -> f(y1,y2)\nA -> c\n"
+        with pytest.raises(GrammarFormatError, match="duplicate rule"):
+            parse_grammar(text)
+
     def test_duplicate_start_directive(self):
         with pytest.raises(GrammarFormatError, match="duplicate start"):
             parse_grammar("start S\nstart S\nS -> a\n")

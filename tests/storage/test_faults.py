@@ -1,0 +1,115 @@
+"""The fault-injection layer itself: scheduling modes, torn writes,
+stay-dead semantics, and the crash-point registry."""
+
+import pytest
+
+from repro.storage.faults import (
+    CRASH_POINTS,
+    FaultyIO,
+    SimulatedCrash,
+    StorageIO,
+)
+
+
+class TestRegistry:
+    def test_crash_points_are_unique_and_labeled(self):
+        assert len(CRASH_POINTS) == len(set(CRASH_POINTS))
+        assert all(label.count(":") == 2 for label in CRASH_POINTS)
+
+    def test_every_protocol_site_is_covered(self):
+        sites = {label.rsplit(":", 1)[0] for label in CRASH_POINTS}
+        assert sites == {
+            "wal:append", "wal:create", "wal:open", "wal:rollback",
+            "snapshot:write", "snapshot:commit",
+            "manifest:write", "manifest:commit",
+            "checkpoint:clean",
+        }
+
+    def test_simulated_crash_is_not_an_exception(self):
+        # Internal ``except Exception`` error handling must not be able
+        # to swallow a kill.
+        assert issubclass(SimulatedCrash, BaseException)
+        assert not issubclass(SimulatedCrash, Exception)
+
+
+class TestScheduling:
+    def test_exactly_one_mode_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultyIO()
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultyIO(crash_label="wal:append:before-write",
+                     crash_invocation=3)
+
+    def test_label_mode_crashes_at_nth_occurrence(self):
+        io = FaultyIO(crash_label="site:after-write", occurrence=2)
+        io.crash_point("site:after-write")
+        io.crash_point("site:other")
+        with pytest.raises(SimulatedCrash) as info:
+            io.crash_point("site:after-write")
+        assert info.value.label == "site:after-write"
+        assert io.crashed
+        assert io.occurrences["site:after-write"] == 2
+
+    def test_invocation_mode_counts_every_label(self):
+        io = FaultyIO(crash_invocation=3)
+        io.crash_point("a:x")
+        io.crash_point("b:y")
+        with pytest.raises(SimulatedCrash) as info:
+            io.crash_point("c:z")
+        assert info.value.label == "c:z"
+
+    def test_once_dead_stays_dead(self):
+        io = FaultyIO(crash_invocation=1)
+        with pytest.raises(SimulatedCrash):
+            io.crash_point("first:hit")
+        # The process is dead: every later primitive raises too, no
+        # matter the label or how often it was scheduled.
+        with pytest.raises(SimulatedCrash):
+            io.crash_point("completely:different")
+
+    def test_disarm_suspends_the_countdown(self, tmp_path):
+        io = FaultyIO(crash_invocation=1)
+        io.disarm()
+        io.crash_point("setup:phase")
+        assert io.occurrences == {}
+        io.arm()
+        with pytest.raises(SimulatedCrash):
+            io.crash_point("armed:phase")
+
+
+class TestTornWrites:
+    def test_mid_write_leaves_a_torn_prefix(self, tmp_path):
+        path = str(tmp_path / "file")
+        io = FaultyIO(crash_label="site:mid-write", torn_fraction=0.5)
+        payload = b"0123456789abcdef"
+        with open(path, "wb") as handle:
+            with pytest.raises(SimulatedCrash):
+                io.write(handle, payload, "site")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data == payload[: len(payload) // 2]
+
+    def test_unscheduled_write_is_untouched(self, tmp_path):
+        path = str(tmp_path / "file")
+        io = FaultyIO(crash_label="other:mid-write")
+        with open(path, "wb") as handle:
+            io.write(handle, b"payload", "site")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"payload"
+
+
+class TestDefaultIO:
+    def test_default_io_is_a_no_op_layer(self, tmp_path):
+        io = StorageIO()
+        io.crash_point("anything:goes")
+        path = str(tmp_path / "file")
+        with open(path, "wb") as handle:
+            io.write(handle, b"data", "site")
+            io.fsync(handle, "site")
+        io.replace(path, path + ".2", "site")
+        io.truncate(path + ".2", 2, "site")
+        with open(path + ".2", "rb") as handle:
+            assert handle.read() == b"da"
+        io.remove(path + ".2", "site")
+        io.remove(path + ".2", "site")  # second remove: tolerated
+        io.fsync_dir(str(tmp_path))

@@ -1,0 +1,225 @@
+"""Manifest handling, WAL replay, and degraded (previous-generation)
+recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import CompressedXml
+from repro.storage.durable import DurableXml
+from repro.storage.recovery import (
+    MANIFEST_NAME,
+    RecoveryError,
+    StoreLayout,
+    read_manifest,
+    recover,
+    write_manifest,
+)
+from repro.storage.wal import (
+    WriteAheadLog,
+    delete_record,
+    rename_record,
+)
+from repro.trees.unranked import XmlNode
+
+XML = "<log>" + "<entry><ip/><status/></entry>" * 5 + "</log>"
+
+
+def make_store(tmp_path, name="store", **kwargs):
+    directory = str(tmp_path / name)
+    return directory, DurableXml.from_xml(directory, XML, **kwargs)
+
+
+def corrupt(path, offset=25):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        write_manifest(str(tmp_path), 7)
+        assert read_manifest(str(tmp_path)) == 7
+        write_manifest(str(tmp_path), 8)
+        assert read_manifest(str(tmp_path)) == 8
+        assert not os.path.exists(
+            os.path.join(str(tmp_path), MANIFEST_NAME + ".tmp"))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(RecoveryError, match="not a durable store"):
+            read_manifest(str(tmp_path))
+
+    def test_corrupt_manifest(self, tmp_path):
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(path, "w") as handle:
+            handle.write("{oops")
+        with pytest.raises(RecoveryError, match="corrupt manifest"):
+            read_manifest(str(tmp_path))
+
+    def test_foreign_manifest(self, tmp_path):
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(path, "w") as handle:
+            json.dump({"format": "something-else", "generation": 1}, handle)
+        with pytest.raises(RecoveryError, match="unrecognized"):
+            read_manifest(str(tmp_path))
+
+    def test_non_integer_generation(self, tmp_path):
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(path, "w") as handle:
+            json.dump({"format": "repro-store", "generation": "3"}, handle)
+        with pytest.raises(RecoveryError, match="unrecognized"):
+            read_manifest(str(tmp_path))
+
+
+class TestReplay:
+    def test_recover_replays_the_wal_tail(self, tmp_path):
+        directory, store = make_store(tmp_path)
+        store.rename(1, "record")
+        store.append_child(0, XmlNode("extra"))
+        expected = store.to_xml()
+        store.close()
+
+        result = recover(directory)
+        assert result.replayed == 2
+        assert not result.degraded
+        assert not result.dropped_tail_record
+        assert result.generation == 0
+        assert result.doc.to_xml() == expected
+        result.wal.close()
+
+    def test_failing_last_record_is_dropped(self, tmp_path):
+        # A record can be durable yet unacknowledged: the process died
+        # between the fsync and the in-memory apply.  If the apply fails
+        # on replay, recovery drops it like a torn tail.
+        directory, store = make_store(tmp_path)
+        store.rename(1, "record")
+        expected = store.to_xml()
+        store.close()
+        layout = StoreLayout(directory)
+        wal = WriteAheadLog(layout.wal_path(0))
+        wal.append(rename_record(10 ** 6, "nope"))
+        wal.close()
+
+        result = recover(directory)
+        assert result.dropped_tail_record
+        assert result.replayed == 1
+        assert result.doc.to_xml() == expected
+        result.wal.close()
+        # ... and the drop truncated the log: a second open is clean.
+        again = recover(directory)
+        assert not again.dropped_tail_record
+        assert again.doc.to_xml() == expected
+        again.wal.close()
+
+    def test_failing_middle_record_is_fatal(self, tmp_path):
+        directory, store = make_store(tmp_path)
+        store.rename(1, "record")
+        store.close()
+        layout = StoreLayout(directory)
+        wal = WriteAheadLog(layout.wal_path(0))
+        wal.append(delete_record(10 ** 6))
+        wal.append(rename_record(2, "fine"))
+        wal.close()
+
+        with pytest.raises(RecoveryError, match="failed to apply"):
+            recover(directory)
+
+    def test_missing_live_wal_is_fatal(self, tmp_path):
+        directory, store = make_store(tmp_path)
+        store.close()
+        os.remove(StoreLayout(directory).wal_path(0))
+        with pytest.raises(RecoveryError, match="missing"):
+            recover(directory)
+
+    def test_doc_kwargs_reach_the_document(self, tmp_path):
+        directory, store = make_store(tmp_path)
+        store.close()
+        result = recover(directory, auto_recompress_factor=2.5)
+        assert result.doc._auto_factor == 2.5
+        result.wal.close()
+
+
+class TestDegradedRecovery:
+    def checkpointed_store(self, tmp_path):
+        directory, store = make_store(tmp_path)
+        store.rename(1, "record")
+        store.append_child(0, XmlNode("extra", [XmlNode("x")]))
+        store.checkpoint()
+        store.delete(4)
+        expected = store.to_xml()
+        store.close()
+        assert read_manifest(directory) == 1
+        return directory, expected
+
+    def test_corrupt_newest_snapshot_degrades(self, tmp_path):
+        directory, expected = self.checkpointed_store(tmp_path)
+        corrupt(StoreLayout(directory).snapshot_path(1))
+
+        result = recover(directory)
+        assert result.degraded
+        # Generation 0's WAL (2 records) replays in full, then the live
+        # generation-1 WAL (1 record) on top.
+        assert result.replayed == 3
+        assert result.doc.to_xml() == expected
+        result.wal.close()
+
+    def test_missing_newest_snapshot_degrades(self, tmp_path):
+        directory, expected = self.checkpointed_store(tmp_path)
+        os.remove(StoreLayout(directory).snapshot_path(1))
+        result = recover(directory)
+        assert result.degraded
+        assert result.doc.to_xml() == expected
+        result.wal.close()
+
+    def test_degraded_with_missing_live_wal(self, tmp_path):
+        # A dying disk can lose both the newest snapshot and its WAL;
+        # the previous generation alone must still reconstruct the last
+        # checkpointed state.
+        directory, store = make_store(tmp_path)
+        store.rename(1, "record")
+        store.checkpoint()
+        checkpointed = store.to_xml()
+        store.close()
+        layout = StoreLayout(directory)
+        os.remove(layout.snapshot_path(1))
+        os.remove(layout.wal_path(1))
+
+        result = recover(directory)
+        assert result.degraded
+        assert result.doc.to_xml() == checkpointed
+        assert os.path.exists(layout.wal_path(1))
+        result.wal.close()
+
+    def test_both_generations_corrupt_is_fatal(self, tmp_path):
+        directory, _ = self.checkpointed_store(tmp_path)
+        layout = StoreLayout(directory)
+        corrupt(layout.snapshot_path(0))
+        corrupt(layout.snapshot_path(1))
+        with pytest.raises(RecoveryError, match="both unreadable"):
+            recover(directory)
+
+    def test_generation_zero_corrupt_is_fatal(self, tmp_path):
+        directory, store = make_store(tmp_path)
+        store.close()
+        corrupt(StoreLayout(directory).snapshot_path(0))
+        with pytest.raises(RecoveryError,
+                           match="no previous generation"):
+            recover(directory)
+
+    def test_open_after_degradation_recheckpoints(self, tmp_path):
+        directory, expected = self.checkpointed_store(tmp_path)
+        layout = StoreLayout(directory)
+        corrupt(layout.snapshot_path(1))
+
+        with DurableXml.open(directory) as store:
+            assert store.last_recovery.degraded
+            # The facade immediately re-established a healthy newest
+            # image: a fresh generation whose snapshot is valid.
+            assert store.generation == 2
+            assert store.to_xml() == expected
+        with DurableXml.open(directory) as store:
+            assert not store.last_recovery.degraded
+            assert store.to_xml() == expected

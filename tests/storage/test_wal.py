@@ -1,0 +1,205 @@
+"""WAL framing, scanning, torn-tail truncation, and record codecs."""
+
+import os
+import struct
+
+import pytest
+
+from repro.storage.wal import (
+    WAL_MAGIC,
+    WalRecordError,
+    WriteAheadLog,
+    append_record,
+    batch_ops_from_record,
+    batch_record,
+    content_from_record,
+    delete_record,
+    encode_payload,
+    insert_record,
+    rename_record,
+    scan_wal,
+)
+from repro.trees.unranked import XmlNode
+from repro.trees.xml_io import serialize_xml
+from repro.updates.batch import (
+    BatchAppend,
+    BatchDelete,
+    BatchInsert,
+    BatchRename,
+)
+
+RECORDS = [
+    rename_record(3, "status"),
+    insert_record(1, [XmlNode("x", [XmlNode("y")])]),
+    delete_record(7),
+]
+
+
+def wal_file(tmp_path, name="wal"):
+    return str(tmp_path / name)
+
+
+class TestFraming:
+    def test_create_writes_magic_only(self, tmp_path):
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        assert wal.size == len(WAL_MAGIC)
+        wal.close()
+        with open(path, "rb") as handle:
+            assert handle.read() == WAL_MAGIC
+        assert scan_wal(path) == ([], len(WAL_MAGIC), False)
+
+    def test_append_then_reopen_round_trips(self, tmp_path):
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        offsets = [wal.append(record) for record in RECORDS]
+        assert offsets[0] == len(WAL_MAGIC)
+        assert offsets == sorted(offsets)
+        assert wal.size == os.path.getsize(path)
+        wal.close()
+
+        reopened = WriteAheadLog(path)
+        assert reopened.recovered_records == RECORDS
+        assert not reopened.truncated_tail
+        assert reopened.size == wal.size
+        reopened.close()
+
+    def test_append_after_reopen_continues_log(self, tmp_path):
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        wal.append(RECORDS[0])
+        wal.close()
+        wal = WriteAheadLog(path)
+        wal.append(RECORDS[1])
+        wal.close()
+        records, _, torn = scan_wal(path)
+        assert records == RECORDS[:2]
+        assert not torn
+
+    def test_not_a_wal_raises(self, tmp_path):
+        path = wal_file(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a log")
+        with pytest.raises(WalRecordError, match="bad magic"):
+            scan_wal(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            WriteAheadLog(wal_file(tmp_path, "absent"))
+
+
+class TestTornTails:
+    def make_log(self, tmp_path):
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        return path, wal.size
+
+    def test_garbage_tail_is_truncated_on_open(self, tmp_path):
+        path, valid = self.make_log(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x99" * 11)
+        wal = WriteAheadLog(path)
+        assert wal.recovered_records == RECORDS
+        assert wal.truncated_tail
+        assert wal.size == valid
+        wal.close()
+        assert os.path.getsize(path) == valid
+
+    def test_half_written_record_is_truncated(self, tmp_path):
+        path, valid = self.make_log(tmp_path)
+        frame_tail = encode_payload(rename_record(9, "torn"))
+        framed = struct.pack("<II", len(frame_tail), 0) + frame_tail
+        with open(path, "ab") as handle:
+            handle.write(framed[: len(framed) // 2])
+        wal = WriteAheadLog(path)
+        assert wal.recovered_records == RECORDS
+        assert wal.truncated_tail
+        assert wal.size == valid
+        wal.close()
+
+    def test_corrupt_payload_drops_everything_after_it(self, tmp_path):
+        # Flip one byte inside the SECOND record's payload: the first
+        # record survives; the corrupt one and the (valid-looking) third
+        # are both dropped -- nothing beyond the first bad record can
+        # have been acknowledged.
+        path, _ = self.make_log(tmp_path)
+        first = len(WAL_MAGIC) + 8 + len(encode_payload(RECORDS[0]))
+        with open(path, "r+b") as handle:
+            handle.seek(first + 8 + 2)
+            byte = handle.read(1)
+            handle.seek(first + 8 + 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        wal = WriteAheadLog(path)
+        assert wal.recovered_records == RECORDS[:1]
+        assert wal.truncated_tail
+        assert wal.size == first
+        wal.close()
+
+    def test_giant_length_field_is_treated_as_torn(self, tmp_path):
+        path, valid = self.make_log(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 1 << 30, 0) + b"xx")
+        wal = WriteAheadLog(path)
+        assert wal.recovered_records == RECORDS
+        assert wal.size == valid
+        wal.close()
+
+    def test_rollback_cuts_the_tail_record(self, tmp_path):
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        wal.append(RECORDS[0])
+        offset = wal.append(RECORDS[1])
+        wal.rollback_to(offset)
+        assert wal.size == offset
+        wal.close()
+        records, _, torn = scan_wal(path)
+        assert records == RECORDS[:1]
+        assert not torn
+
+    def test_rollback_forward_is_rejected(self, tmp_path):
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        with pytest.raises(ValueError, match="roll forward"):
+            wal.rollback_to(wal.size + 4)
+        wal.close()
+
+
+class TestRecordCodecs:
+    def test_content_round_trips_as_xml(self):
+        content = [XmlNode("a", [XmlNode("b"), XmlNode("c")]), XmlNode("d")]
+        record = insert_record(2, content)
+        decoded = content_from_record(record["xml"])
+        assert [serialize_xml(node) for node in decoded] == \
+            [serialize_xml(node) for node in content]
+
+    def test_payload_encoding_is_canonical(self):
+        record = {"tag": "z", "op": "rename", "i": 1}
+        assert encode_payload(record) == \
+            encode_payload({"op": "rename", "i": 1, "tag": "z"})
+        assert b" " not in encode_payload(record)
+
+    def test_batch_record_round_trips_ops(self):
+        ops = [
+            BatchRename(4, "new"),
+            BatchInsert(1, [XmlNode("frag", [XmlNode("leaf")])]),
+            BatchAppend(0, [XmlNode("tail")]),
+            BatchDelete(6),
+        ]
+        record = batch_record(ops)
+        assert record["op"] == "batch"
+        decoded = batch_ops_from_record(record)
+        assert [type(op) for op in decoded] == [type(op) for op in ops]
+        assert decoded[0].index == 4 and decoded[0].new_tag == "new"
+        assert decoded[3].index == 6
+        assert serialize_xml(decoded[1].content[0]) == \
+            serialize_xml(ops[1].content[0])
+
+    def test_batch_record_rejects_unknown_ops(self):
+        with pytest.raises(WalRecordError, match="cannot log"):
+            batch_record([object()])
+        with pytest.raises(WalRecordError, match="unknown batch op"):
+            batch_ops_from_record({"op": "batch",
+                                   "ops": [{"op": "mystery"}]})

@@ -44,6 +44,18 @@ class TestConstruction:
         loaded = CompressedXml.from_grammar_file(str(saved))
         assert loaded.to_xml() == listy_xml(20)
 
+    def test_save_grammar_replaces_atomically(self, tmp_path):
+        # Overwriting an existing grammar file goes through a temp file
+        # + os.replace: a crash mid-save can never leave a half-written
+        # grammar under the target name, and no temp residue survives.
+        saved = tmp_path / "doc.grammar"
+        CompressedXml.from_xml(listy_xml(10)).save_grammar(str(saved))
+        CompressedXml.from_xml(listy_xml(30)).save_grammar(str(saved))
+        loaded = CompressedXml.from_grammar_file(str(saved))
+        assert loaded.to_xml() == listy_xml(30)
+        assert [p.name for p in tmp_path.iterdir()
+                if p.name.endswith(".tmp")] == []
+
     @given(xml_documents(max_elements=25))
     @settings(max_examples=20, deadline=None)
     def test_roundtrip_property(self, tree):

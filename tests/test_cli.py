@@ -120,6 +120,35 @@ class TestQueryCommand:
 
 
 class TestExperimentCommand:
+    def test_durable_init_update_query(self, xml_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["durable", "init", store, "--xml", str(xml_file)]) == 0
+        assert "generation 0" in capsys.readouterr().out
+
+        assert main(["durable", "update", store, "rename", "1",
+                     "first"]) == 0
+        assert "rename committed" in capsys.readouterr().out
+        assert main(["durable", "query", store, "//first"]) == 0
+        out = capsys.readouterr().out
+        assert "1\tfirst" in out
+
+    def test_durable_init_requires_xml(self, tmp_path, capsys):
+        assert main(["durable", "init", str(tmp_path / "s")]) == 2
+        assert "--xml" in capsys.readouterr().err
+
+    def test_durable_status_and_checkpoint(self, xml_file, tmp_path,
+                                           capsys):
+        store = str(tmp_path / "store")
+        main(["durable", "init", store, "--xml", str(xml_file)])
+        main(["durable", "update", store, "delete", "4"])
+        capsys.readouterr()
+        assert main(["durable", "checkpoint", store]) == 0
+        assert "generation 1" in capsys.readouterr().out
+        assert main(["durable", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "generation:  1" in out
+        assert "replayed:    0 record(s)" in out
+
     def test_unknown_experiment_fails(self, capsys):
         assert main(["experiment", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
