@@ -12,7 +12,10 @@ tail replay) of the store it just produced.
 
 Reported per variant: wall time, sustained ops/s, mean and p95 commit
 latency.  For the store: checkpoints taken, final generation, live WAL
-bytes, recovery wall time and records replayed.  The acceptance gate at
+bytes, segment rotations (the chain runs at a deliberately small
+segment size so rotation + compaction are on the hot path), a timed
+online scrub of the finished store (which must come back clean), and
+recovery wall time with records replayed.  The acceptance gate at
 full scale -- 50k edges, 500 updates -- is that durable commits sustain
 at least half the in-memory throughput (the WAL tax stays under 2x; the
 update work itself dominates fsyncs of small JSON records), and the
@@ -41,6 +44,7 @@ from repro.updates.workload import generate_clustered_element_ops
 FULL_SCALE = {"edges": 50_000, "updates": 500, "bursts": 10}
 SMOKE_SCALE = {"edges": 2_000, "updates": 50, "bursts": 5}
 CHECKPOINT_WAL_BYTES = 16 * 1024
+WAL_SEGMENT_BYTES = 1024  # several rotations even at smoke scale
 SEED = 42
 TAGS = ("ip", "user", "ts", "request", "status", "bytes", "extra")
 
@@ -103,6 +107,7 @@ def run(edges, updates, bursts, smoke=False):
         store = DurableXml.create(
             os.path.join(store_dir, "store"), make_doc(edges),
             checkpoint_wal_bytes=CHECKPOINT_WAL_BYTES,
+            wal_segment_bytes=WAL_SEGMENT_BYTES,
         )
         create_s = time.perf_counter() - started
 
@@ -119,6 +124,20 @@ def run(edges, updates, bursts, smoke=False):
             "durable store diverged from the in-memory document"
         generation = store.generation
         wal_bytes = store.wal_size
+        rotations = store.wal_rotations
+        segment_count = store.wal_segment_count
+        assert rotations > 0, (
+            "workload never rotated the WAL; shrink WAL_SEGMENT_BYTES "
+            "so segmentation stays on the benchmarked path"
+        )
+
+        started = time.perf_counter()
+        scrub_report = store.scrub()
+        scrub_s = time.perf_counter() - started
+        assert scrub_report.ok, (
+            f"scrub found inconsistencies in a healthy store: "
+            f"{[f.as_dict() for f in scrub_report.findings]}"
+        )
         store.close()
 
         started = time.perf_counter()
@@ -137,6 +156,9 @@ def run(edges, updates, bursts, smoke=False):
     durable["final_generation"] = generation
     durable["live_wal_bytes"] = wal_bytes
     durable["store_create_s"] = round(create_s, 4)
+    durable["wal_segment_bytes"] = WAL_SEGMENT_BYTES
+    durable["wal_rotations"] = rotations
+    durable["final_segment_count"] = segment_count
     slowdown = durable["total_s"] / memory["total_s"] \
         if memory["total_s"] else 1.0
 
@@ -148,6 +170,13 @@ def run(edges, updates, bursts, smoke=False):
           f"p95 {durable['p95_commit_ms']:.2f}ms, "
           f"{generation} checkpoints, {wal_bytes} live WAL bytes")
     print(f"  WAL tax   : {slowdown:.2f}x wall time")
+    print(f"  segments  : {rotations} rotations at "
+          f"{WAL_SEGMENT_BYTES // 1024} KiB, {segment_count} live "
+          f"segment(s) at close")
+    print(f"  scrub     : {scrub_s:.3f}s clean "
+          f"({scrub_report.checked['wal_files']} WAL files, "
+          f"{scrub_report.checked['wal_records']} records, "
+          f"{scrub_report.checked['elements']} elements)")
     print(f"  recovery  : {recovery_s:.3f}s "
           f"(snapshot + {replayed} replayed records)")
 
@@ -159,6 +188,7 @@ def run(edges, updates, bursts, smoke=False):
             "updates": len(memory_lat),
             "bursts": bursts,
             "checkpoint_wal_bytes": CHECKPOINT_WAL_BYTES,
+            "wal_segment_bytes": WAL_SEGMENT_BYTES,
             "seed": SEED,
             "smoke": smoke,
         },
@@ -168,6 +198,13 @@ def run(edges, updates, bursts, smoke=False):
         "recovery": {
             "total_s": round(recovery_s, 4),
             "replayed_records": replayed,
+        },
+        "scrub": {
+            "total_s": round(scrub_s, 4),
+            "ok": scrub_report.ok,
+            "wal_files": scrub_report.checked["wal_files"],
+            "wal_records": scrub_report.checked["wal_records"],
+            "elements": scrub_report.checked["elements"],
         },
     }
     with open(JSON_PATH, "w", encoding="utf-8") as handle:
@@ -179,15 +216,21 @@ def run(edges, updates, bursts, smoke=False):
 
 def check_schema(report):
     """The machine-readable contract future PRs regress against."""
-    for section in ("workload", "in_memory", "durable", "recovery"):
+    for section in ("workload", "in_memory", "durable", "recovery",
+                    "scrub"):
         assert section in report, f"missing section {section!r}"
     for key in ("total_s", "ops_per_s", "mean_commit_ms", "p95_commit_ms"):
         assert key in report["in_memory"], f"missing {key!r}"
         assert key in report["durable"], f"missing {key!r}"
-    for key in ("checkpoints", "live_wal_bytes", "store_create_s"):
+    for key in ("checkpoints", "live_wal_bytes", "store_create_s",
+                "wal_segment_bytes", "wal_rotations",
+                "final_segment_count"):
         assert key in report["durable"], f"missing {key!r}"
     for key in ("total_s", "replayed_records"):
         assert key in report["recovery"], f"missing recovery {key!r}"
+    for key in ("total_s", "ok", "wal_files", "wal_records", "elements"):
+        assert key in report["scrub"], f"missing scrub {key!r}"
+    assert report["scrub"]["ok"] is True
     assert "wal_tax_wall_time" in report
 
 

@@ -1,0 +1,114 @@
+"""Surviving a bad disk -- retries, read-only degradation, and scrub.
+
+The durable store never lets an I/O error corrupt state or escape as a
+raw ``OSError``.  The failure ladder:
+
+* a *transient* write error (flaky controller, momentary ENOSPC) is
+  retried with capped exponential backoff -- if it clears within the
+  budget, the commit succeeds and the caller never knows;
+* a *persistent* one flips the store **read-only**: every write raises
+  a typed ``StoreDegraded`` naming the cause while queries keep serving
+  the last acknowledged state;
+* once the disk is healthy again, one successful ``checkpoint()``
+  re-seals the store and restores writes;
+* damage that happens *behind the store's back* -- bit rot in a
+  fallback snapshot or a compacted log -- is caught by the online
+  ``scrub()``, and ``scrub(repair=True)`` heals it in place.
+
+This example injects real errnos through the same fault layer the CI
+error-injection matrix uses, so everything below is the production
+code path.
+
+Run with::
+
+    python examples/degraded_mode.py
+"""
+
+import errno
+import os
+import tempfile
+
+from repro.storage import (
+    DurableXml,
+    FaultyIO,
+    RetryPolicy,
+    StoreDegraded,
+)
+
+WEBLOG = (
+    "<log>"
+    + "".join("<entry><ip/><ts/><request/><status/></entry>"
+              for _ in range(50))
+    + "</log>"
+)
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="repro_degraded_")
+    store_dir = os.path.join(root, "weblog")
+
+    # A deterministic, sleep-free retry budget for the demo (the
+    # default policy backs off 5ms -> 20ms -> 80ms -> capped 250ms).
+    retry = RetryPolicy(attempts=3, base_delay=0.005, max_delay=0.02,
+                        sleep=lambda _s: None)
+
+    # -- a flaky disk: one transient EIO, absorbed by the retry loop --
+    flaky = FaultyIO(error_label="wal:append:before-write",
+                     error_count=1, error_errno=errno.EIO)
+    flaky.disarm()
+    store = DurableXml.from_xml(store_dir, WEBLOG, io=flaky, retry=retry)
+    flaky.arm()
+    store.rename(1, "first")          # hits EIO once, retries, commits
+    print(f"transient EIO: commit succeeded anyway "
+          f"(injected {len(flaky.errors_injected)} error(s), "
+          f"store healthy: degraded={store.degraded})")
+
+    # -- the disk fills up: persistent ENOSPC -------------------------
+    store.close()
+    full_disk = FaultyIO(error_label="wal:append:before-write",
+                         error_persistent=True,
+                         error_errno=errno.ENOSPC)
+    full_disk.disarm()
+    store = DurableXml.open(store_dir, io=full_disk, retry=retry)
+    full_disk.arm()
+    try:
+        store.rename(2, "second")
+    except StoreDegraded as exc:
+        print(f"persistent ENOSPC: {exc}")
+    print(f"  reads still serve: {len(store.select('//status'))} "
+          f"status elements, element_count={store.element_count}")
+    try:
+        store.delete(3)
+    except StoreDegraded:
+        print("  every further write refused with the same typed error")
+    health = store.health()
+    print(f"  health(): degraded={health['degraded']}, "
+          f"cause={health['degraded_cause']!r}")
+
+    # -- the operator frees space: one checkpoint restores writes -----
+    full_disk.disarm()
+    generation = store.checkpoint()
+    store.rename(2, "second")         # accepted again
+    print(f"disk fixed: checkpoint -> generation {generation}, "
+          f"degraded={store.degraded}, writes accepted again")
+
+    # -- bit rot in the compacted fallback log ------------------------
+    compacted = os.path.join(store_dir, "wal.000000.compact")
+    with open(compacted, "r+b") as handle:
+        handle.seek(20)
+        byte = handle.read(1)
+        handle.seek(20)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    report = store.scrub()
+    finding = report.findings[0]
+    print(f"scrub: found [{finding.kind}] in "
+          f"{os.path.basename(finding.subject)}")
+    report = store.scrub(repair=True)
+    print(f"  repair: {report.repaired_count} finding(s) healed, "
+          f"corrupt file retired={not os.path.exists(compacted)}")
+    print(f"  re-scrub clean: {store.scrub().ok}")
+    store.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -746,19 +746,30 @@ class CompressedXml:
         """Decompress and serialize to XML text."""
         return serialize_xml(self.to_document(budget=budget), indent=indent)
 
-    def save_grammar(self, path: str) -> None:
+    def save_grammar(self, path: str, io=None) -> None:
         """Persist the grammar in the text format, crash-atomically.
 
         The text is written to a temp file, flushed and fsync'd, then
-        renamed over ``path`` -- a crash mid-save leaves the previous
-        file intact instead of a truncated grammar.
+        renamed over ``path``, and the parent directory entry is
+        fsync'd -- a crash mid-save leaves the previous file intact
+        instead of a truncated grammar, and a power cut after the
+        rename cannot roll the *name* back either.  All four steps run
+        through the injectable ``repro.storage.faults.StorageIO`` layer
+        (site ``grammar:save``), so the fault matrix covers this commit
+        point like every other one.
         """
+        from repro.storage.faults import StorageIO
+
+        if io is None:
+            io = StorageIO()
         tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(format_grammar(self._grammar))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        data = format_grammar(self._grammar).encode("utf-8")
+        with open(tmp, "wb") as handle:
+            io.write(handle, data, "grammar:save")
+            io.fsync(handle, "grammar:save")
+        io.replace(tmp, path, "grammar:save")
+        io.fsync_dir(os.path.dirname(os.path.abspath(path)),
+                     "grammar:save")
 
     # ------------------------------------------------------------------
     # durable state (the snapshot layer's view of the document)

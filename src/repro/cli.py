@@ -107,8 +107,33 @@ def _cmd_update(args) -> int:
 
 
 def _cmd_durable(args) -> int:
-    from repro.storage import DurableXml
+    from repro.storage import (
+        CheckpointError,
+        DurableXml,
+        RecoveryError,
+        StoreDegraded,
+        WalWriteError,
+    )
 
+    try:
+        return _run_durable(args, DurableXml)
+    except (StoreDegraded, RecoveryError, CheckpointError,
+            WalWriteError) as exc:
+        # Typed storage failures are operator-facing conditions, not
+        # programming errors: one diagnostic line and a non-zero exit
+        # instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        if isinstance(exc, StoreDegraded):
+            print(
+                "the store is serving reads only; fix the disk and run "
+                "'durable checkpoint' (or 'durable scrub --repair') to "
+                "restore writes",
+                file=sys.stderr,
+            )
+        return 1
+
+
+def _run_durable(args, DurableXml) -> int:
     action = args.action
     if action == "init":
         if not args.xml:
@@ -131,11 +156,18 @@ def _cmd_durable(args) -> int:
             print(f"store:       {store.directory}")
             print(f"generation:  {store.generation}")
             print(f"wal bytes:   {store.wal_size}")
+            print(
+                f"wal chain:   {store.wal_segment_count} segment(s), "
+                f"active segment {store._wal.active_segment} "
+                f"({store._wal.active_segment_size} bytes)"
+            )
             print(f"replayed:    {recovery.replayed} record(s)")
             if recovery.degraded:
                 print("recovered:   degraded (previous snapshot generation)")
             if recovery.dropped_tail_record:
                 print("recovered:   dropped unacknowledged tail record")
+            print(f"degraded:    "
+                  f"{'yes (read-only)' if store.degraded else 'no'}")
             print(f"elements:    {store.element_count}")
             print(f"c-edges:     {store.compressed_size}")
         elif action == "update":
@@ -164,9 +196,42 @@ def _cmd_durable(args) -> int:
         elif action == "checkpoint":
             generation = store.checkpoint()
             print(f"checkpointed: now at generation {generation}")
+        elif action == "scrub":
+            report = store.scrub(repair=args.repair)
+            summary = report.summary()
+            print(f"scrubbed:    {summary['checked']['snapshots']} "
+                  f"snapshot(s), {summary['checked']['wal_files']} WAL "
+                  f"file(s) ({summary['checked']['wal_records']} "
+                  f"records), {summary['checked']['index_rules']} index "
+                  f"rule(s), {summary['checked']['label_rules']} label "
+                  f"census(es), {summary['checked']['elements']} "
+                  f"element(s)")
+            for finding in report.findings:
+                state = "repaired" if finding.repaired else "FOUND"
+                print(f"{state}:    [{finding.kind}] {finding.subject}: "
+                      f"{finding.detail}")
+            if report.repair_error:
+                print(f"repair error: {report.repair_error}",
+                      file=sys.stderr)
+                return 1
+            if report.ok:
+                print("scrub:       clean")
+            elif not args.repair:
+                print("scrub:       findings above; re-run with "
+                      "--repair to fix", file=sys.stderr)
+                return 1
+            return 0
+        elif action == "health":
+            _print_health(store.health())
         else:  # pragma: no cover - argparse restricts choices
             raise AssertionError(action)
     return 0
+
+
+def _print_health(health: dict) -> None:
+    import json
+
+    print(json.dumps(health, indent=2, sort_keys=True))
 
 
 def _cmd_experiment(args) -> int:
@@ -253,7 +318,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "action",
-        choices=("init", "status", "update", "query", "checkpoint"),
+        choices=("init", "status", "update", "query", "checkpoint",
+                 "scrub", "health"),
     )
     p.add_argument("store", help="store directory")
     p.add_argument(
@@ -264,6 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--xml", help="input XML file (init)")
     p.add_argument("--overwrite", action="store_true")
+    p.add_argument(
+        "--repair", action="store_true",
+        help="scrub: rebuild drifted indexes and retire corrupt files",
+    )
     p.set_defaults(handler=_cmd_durable)
 
     p = sub.add_parser("experiment", help="regenerate paper tables/figures")

@@ -193,6 +193,12 @@ class GrammarIndex:
         """True when ``head``'s tables are currently materialized."""
         return head in self._node_segments
 
+    def cached_rules(self) -> Tuple[Symbol, ...]:
+        """The rules with materialized segments, for external audits
+        (the storage scrub verifies exactly these against a fresh
+        recomputation and evicts the ones that drifted)."""
+        return tuple(self._node_segments)
+
     # ------------------------------------------------------------------
     # snapshot state (the serializable half of the cache)
     # ------------------------------------------------------------------

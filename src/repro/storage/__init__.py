@@ -2,14 +2,18 @@
 
 The paper's claim is that updates on grammar-compressed XML are cheap
 enough to apply in place; this package makes them *durable* without
-giving that up.  The design is the classic logical-WAL + checkpoint
-pair, specialized to the SLCF grammar model:
+giving that up -- and, since PR 7, *self-healing* under a misbehaving
+disk.  The design is the classic logical-WAL + checkpoint pair,
+specialized to the SLCF grammar model:
 
 * :mod:`repro.storage.wal` -- a write-ahead log of the *logical*
   operations (``rename/insert/append/delete/apply_batch``), each a
   length-prefixed, CRC32-checksummed, fsync'd record appended *before*
-  the in-memory mutation.  Replaying the log against a snapshot is
-  deterministic, so the log never needs to capture grammar internals.
+  the in-memory mutation.  The live log is a chain of size-bounded
+  segments (:class:`SegmentedWal`) rotated on a threshold and compacted
+  once fully checkpointed, so damage is quarantined per segment;
+  transient I/O errors are retried with bounded backoff and exhaustion
+  surfaces as a typed :class:`WalWriteError`.
 
 * :mod:`repro.storage.snapshot` -- a binary, versioned, checksummed
   image of a :class:`repro.api.CompressedXml`: the grammar itself plus
@@ -17,45 +21,71 @@ pair, specialized to the SLCF grammar model:
   reload neither re-shards nor re-censuses.
 
 * :mod:`repro.storage.recovery` -- generation manifests and the
-  open-time protocol: newest valid snapshot + WAL tail replay, with
+  open-time protocol: newest valid snapshot + WAL chain replay, with
   graceful degradation to the previous generation when the newest
   snapshot is corrupt.
 
 * :mod:`repro.storage.durable` -- :class:`DurableXml`, the facade
-  combining the above behind the ``CompressedXml`` API.
+  combining the above behind the ``CompressedXml`` API; a persistent
+  write failure flips it into read-only degraded mode
+  (:class:`StoreDegraded`) instead of corrupting the log.
 
-* :mod:`repro.storage.faults` -- the injectable crash-point layer all
-  file mutation goes through, driving the fault-injection test suite.
+* :mod:`repro.storage.scrub` -- the online audit/repair pass
+  (``DurableXml.scrub``): disk checksums re-verified, index caches
+  compared against streaming oracles, inconsistent rules rebuilt.
+
+* :mod:`repro.storage.faults` -- the injectable fault layer all file
+  mutation goes through: simulated kills *and* injected ``errno``
+  failures at the same labeled points, driving the crash and
+  error-injection test matrices.
 """
 
-from repro.storage.durable import DurableXml
+from repro.storage.durable import (
+    CheckpointError,
+    DurableXml,
+    StoreDegraded,
+)
 from repro.storage.faults import (
     CRASH_POINTS,
     FaultyIO,
+    RetryPolicy,
     SimulatedCrash,
     StorageIO,
 )
 from repro.storage.recovery import RecoveryError, recover
+from repro.storage.scrub import ScrubFinding, ScrubReport
 from repro.storage.snapshot import (
     DocumentState,
     SnapshotError,
     read_snapshot,
     write_snapshot,
 )
-from repro.storage.wal import WalRecordError, WriteAheadLog
+from repro.storage.wal import (
+    SegmentedWal,
+    WalRecordError,
+    WalWriteError,
+    WriteAheadLog,
+)
 
 __all__ = [
     "DurableXml",
+    "StoreDegraded",
+    "CheckpointError",
     "StorageIO",
     "FaultyIO",
+    "RetryPolicy",
     "SimulatedCrash",
     "CRASH_POINTS",
     "RecoveryError",
     "recover",
+    "ScrubFinding",
+    "ScrubReport",
     "DocumentState",
     "SnapshotError",
     "read_snapshot",
     "write_snapshot",
     "WalRecordError",
+    "WalWriteError",
     "WriteAheadLog",
+    "SegmentedWal",
 ]

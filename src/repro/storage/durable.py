@@ -1,4 +1,4 @@
-"""``DurableXml``: the crash-safe facade over ``CompressedXml``.
+"""``DurableXml``: the fault-tolerant facade over ``CompressedXml``.
 
 Commit protocol for every mutating call (the WAL-first rule)::
 
@@ -15,13 +15,30 @@ record's start offset and leaves the in-memory document untouched
 (single ops are exception-safe; batches run transactionally), so a
 failed operation is a no-op both on disk and in memory.
 
+Disk faults: the WAL layer absorbs *transient* I/O errors with bounded
+retry/backoff; when an append (or its rollback) fails *persistently*
+the store flips into **read-only degraded mode** -- reads keep serving
+from memory, every write raises :class:`StoreDegraded` carrying the
+causing error, and the on-disk log still ends at (or truncates back
+to) the last acknowledged operation.  A later, fully error-free
+:meth:`checkpoint` on a healthy disk proves the path end-to-end and
+clears degradation.  Auto-checkpoints (the cadence check after each
+commit) never turn a committed update into an error: their failures
+are recorded in ``last_checkpoint_error`` and surfaced by
+:meth:`health`, while an *explicit* ``checkpoint()`` raises
+:class:`CheckpointError`.  Because the manifest rename is the commit
+point, a checkpoint that errors mid-flight re-reads the manifest to
+learn which side of the point it died on -- a switch that landed is a
+success (with a recorded cleanup error), not a rollback.
+
 Checkpointing writes ``snapshot.(g+1)`` crash-atomically, creates an
-empty ``wal.(g+1)``, and then switches the generation manifest -- the
-atomic commit point.  Generation ``g`` is kept as the degradation
-fallback; generations below it are retired.  The cadence check rides
-the same after-update hook as the document's auto-recompression
-policy: after each committed operation, a WAL that has outgrown
-``checkpoint_wal_bytes`` triggers a checkpoint.
+empty ``wal.(g+1)`` chain, and then switches the generation manifest.
+Generation ``g`` is kept as the degradation fallback -- its segment
+chain compacted into one ``wal.g.compact`` file -- and generations
+below it are retired.  :meth:`scrub` re-verifies every on-disk
+artifact and audits the live indexes against streaming oracles (see
+:mod:`repro.storage.scrub`); :meth:`health` reports the store's shape
+without touching the disk.
 """
 
 from __future__ import annotations
@@ -29,9 +46,10 @@ from __future__ import annotations
 import os
 from typing import List, Optional, Sequence, Union, TYPE_CHECKING
 
-from repro.storage.faults import StorageIO
+from repro.storage.faults import RetryPolicy, StorageIO
 from repro.storage.recovery import (
     RecoveredDocument,
+    RecoveryError,
     StoreLayout,
     apply_record,
     read_manifest,
@@ -40,9 +58,12 @@ from repro.storage.recovery import (
 )
 from repro.storage.snapshot import write_snapshot
 from repro.storage.wal import (
-    WriteAheadLog,
+    DEFAULT_SEGMENT_BYTES,
+    SegmentedWal,
+    WalWriteError,
     append_record,
     batch_record,
+    compact_generation,
     delete_record,
     insert_record,
     rename_record,
@@ -51,14 +72,48 @@ from repro.trees.unranked import XmlNode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api import CompressedXml
+    from repro.storage.scrub import ScrubReport
     from repro.updates.batch import BatchBuilder, BatchOp, BatchStats
 
-__all__ = ["DurableXml", "DEFAULT_CHECKPOINT_WAL_BYTES"]
+__all__ = [
+    "DurableXml",
+    "StoreDegraded",
+    "CheckpointError",
+    "DEFAULT_CHECKPOINT_WAL_BYTES",
+]
 
-#: Checkpoint once the live WAL outgrows this many bytes.  Small enough
-#: that recovery replays at most a few hundred operations, large enough
-#: that steady-state traffic amortizes a snapshot over many commits.
+#: Checkpoint once the live WAL chain outgrows this many bytes.  Small
+#: enough that recovery replays at most a few hundred operations, large
+#: enough that steady-state traffic amortizes a snapshot over many
+#: commits (and rotates the 64 KiB segments a few times in between).
 DEFAULT_CHECKPOINT_WAL_BYTES = 256 * 1024
+
+
+class StoreDegraded(RuntimeError):
+    """The store is serving reads only.
+
+    Raised by every mutating call after a persistent I/O failure
+    flipped the store read-only; ``cause`` is the error that did it
+    (typically a :class:`repro.storage.wal.WalWriteError` wrapping an
+    ``ENOSPC``/``EIO``).  A successful :meth:`DurableXml.checkpoint`
+    on a healthy disk clears the condition.
+    """
+
+    def __init__(self, message: str,
+                 cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
+class CheckpointError(RuntimeError):
+    """An explicit :meth:`DurableXml.checkpoint` failed before its
+    commit point; the store continues at its previous generation with
+    the complete WAL chain (nothing was lost)."""
+
+    def __init__(self, message: str,
+                 cause: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.cause = cause
 
 
 def _normalize_content(
@@ -70,7 +125,8 @@ def _normalize_content(
 
 
 class DurableXml:
-    """A ``CompressedXml`` whose updates survive process death.
+    """A ``CompressedXml`` whose updates survive process death and
+    whose storage survives a misbehaving disk.
 
     Construct with :meth:`create` (new store) or :meth:`open`
     (recover an existing one); never directly.  Read methods --
@@ -83,10 +139,12 @@ class DurableXml:
         self,
         doc: "CompressedXml",
         directory: str,
-        wal: WriteAheadLog,
+        wal: SegmentedWal,
         generation: int,
         io: StorageIO,
         checkpoint_wal_bytes: int,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._doc = doc
         self._layout = StoreLayout(directory)
@@ -94,8 +152,16 @@ class DurableXml:
         self._generation = generation
         self._io = io
         self._checkpoint_wal_bytes = checkpoint_wal_bytes
+        self._wal_segment_bytes = wal_segment_bytes
+        self._retry = retry
+        self._degraded_cause: Optional[BaseException] = None
         #: Populated by :meth:`open` with what recovery had to do.
         self.last_recovery: Optional[RecoveredDocument] = None
+        #: The most recent auto-checkpoint (or post-commit-point
+        #: cleanup) failure; cleared by an error-free checkpoint.
+        self.last_checkpoint_error: Optional[BaseException] = None
+        #: The most recent :meth:`scrub` report, surfaced by health().
+        self.last_scrub: Optional["ScrubReport"] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -107,6 +173,8 @@ class DurableXml:
         document: "CompressedXml",
         io: Optional[StorageIO] = None,
         checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        retry: Optional[RetryPolicy] = None,
         overwrite: bool = False,
     ) -> "DurableXml":
         """Initialize a new store directory around ``document``.
@@ -126,9 +194,11 @@ class DurableXml:
             )
         write_snapshot(layout.snapshot_path(0), document.export_state(),
                        io=io)
-        wal = WriteAheadLog(layout.wal_path(0), io=io, create=True)
+        wal = SegmentedWal(directory, 0, io=io, create=True,
+                           segment_bytes=wal_segment_bytes, retry=retry)
         write_manifest(directory, 0, io=io)
-        return cls(document, directory, wal, 0, io, checkpoint_wal_bytes)
+        return cls(document, directory, wal, 0, io, checkpoint_wal_bytes,
+                   wal_segment_bytes=wal_segment_bytes, retry=retry)
 
     @classmethod
     def from_xml(
@@ -137,6 +207,8 @@ class DurableXml:
         text: str,
         io: Optional[StorageIO] = None,
         checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        retry: Optional[RetryPolicy] = None,
         overwrite: bool = False,
         **doc_kwargs,
     ) -> "DurableXml":
@@ -148,6 +220,8 @@ class DurableXml:
             CompressedXml.from_xml(text, **doc_kwargs),
             io=io,
             checkpoint_wal_bytes=checkpoint_wal_bytes,
+            wal_segment_bytes=wal_segment_bytes,
+            retry=retry,
             overwrite=overwrite,
         )
 
@@ -157,9 +231,11 @@ class DurableXml:
         directory: str,
         io: Optional[StorageIO] = None,
         checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        retry: Optional[RetryPolicy] = None,
         **doc_kwargs,
     ) -> "DurableXml":
-        """Recover an existing store (newest snapshot + WAL replay).
+        """Recover an existing store (newest snapshot + chain replay).
 
         When recovery had to degrade to the previous snapshot
         generation, an immediate checkpoint re-establishes a healthy
@@ -169,9 +245,12 @@ class DurableXml:
         """
         if io is None:
             io = StorageIO()
-        result = recover(directory, io=io, **doc_kwargs)
+        result = recover(directory, io=io,
+                         wal_segment_bytes=wal_segment_bytes,
+                         retry=retry, **doc_kwargs)
         self = cls(result.doc, directory, result.wal, result.generation,
-                   io, checkpoint_wal_bytes)
+                   io, checkpoint_wal_bytes,
+                   wal_segment_bytes=wal_segment_bytes, retry=retry)
         self.last_recovery = result
         if result.degraded:
             self.checkpoint()
@@ -180,16 +259,49 @@ class DurableXml:
     # ------------------------------------------------------------------
     # the commit protocol
     # ------------------------------------------------------------------
+    def _degrade(self, cause: BaseException) -> None:
+        self._degraded_cause = cause
+
+    def _require_writable(self) -> None:
+        if self._degraded_cause is not None:
+            raise StoreDegraded(
+                f"{self._layout.directory}: store is read-only "
+                f"(degraded): {self._degraded_cause}",
+                cause=self._degraded_cause,
+            )
+
     def _commit(self, record: dict):
         """WAL-first: persist the record, then apply it in memory."""
-        offset = self._wal.append(record)
+        self._require_writable()
+        try:
+            token = self._wal.append(record)
+        except WalWriteError as exc:
+            # Retries are exhausted: the disk is persistently refusing
+            # writes.  The chain still ends at (or recovery will
+            # truncate it back to) the last acknowledged record; flip
+            # read-only rather than surface a raw OSError mid-commit.
+            self._degrade(exc)
+            raise StoreDegraded(
+                f"{self._layout.directory}: commit failed and the "
+                f"store is now read-only: {exc}",
+                cause=exc,
+            ) from exc
         try:
             result = apply_record(self._doc, record)
         except Exception:
             # The operation failed cleanly in memory (the single-op and
             # transactional-batch paths guarantee no partial state); it
             # must not survive into a future replay either.
-            self._wal.rollback_to(offset)
+            try:
+                self._wal.rollback_to(token)
+            except WalWriteError as rollback_exc:
+                # The disk would not even take the rollback: the
+                # unacknowledged record is stranded in the log.
+                # Recovery's drop-last replay handles exactly that
+                # artifact, but nothing may be appended after it --
+                # degrade, and re-raise the apply error (the operation
+                # failed either way).
+                self._degrade(rollback_exc)
             raise
         self._maybe_checkpoint()
         return result
@@ -240,36 +352,148 @@ class DurableXml:
     # checkpointing
     # ------------------------------------------------------------------
     def _maybe_checkpoint(self) -> None:
-        if self._wal.size >= self._checkpoint_wal_bytes:
+        if self._wal.size < self._checkpoint_wal_bytes:
+            return
+        try:
             self.checkpoint()
+        except CheckpointError as exc:
+            # The cadence checkpoint is an optimization; its failure
+            # must not turn the just-acknowledged commit into an error.
+            # The chain keeps growing and the next commit retries.
+            self.last_checkpoint_error = exc
 
     def checkpoint(self) -> int:
         """Snapshot now and start a fresh WAL generation.
 
         Returns the new generation number.  Crash-safe at every step:
         until the manifest rename lands, the store still opens at the
-        old generation with its complete WAL; afterwards the old
-        generation is the degradation fallback and only generations
-        below *it* are retired.
+        old generation with its complete chain; afterwards the old
+        generation is the degradation fallback (compacted) and only
+        generations below *it* are retired.  An I/O error before the
+        commit point raises :class:`CheckpointError` and changes
+        nothing; an error *after* it (detected by re-reading the
+        manifest) is a success with the cleanup failure recorded.  A
+        checkpoint that completes with no error at all also clears
+        degraded mode -- the full write path was just proven healthy.
         """
         current = self._generation
         nxt = current + 1
         state = self._doc.export_state()
-        write_snapshot(self._layout.snapshot_path(nxt), state, io=self._io)
-        self._wal.close()
-        new_wal = WriteAheadLog(self._layout.wal_path(nxt), io=self._io,
-                                create=True)
-        write_manifest(self._layout.directory, nxt, io=self._io)
+        try:
+            # A failed append may have stranded an unacknowledged
+            # record on disk; it must not survive into the fallback
+            # chain this checkpoint is about to seal.
+            self._wal.seal_tail()
+            write_snapshot(self._layout.snapshot_path(nxt), state,
+                           io=self._io)
+            self._wal.close()
+            new_wal = SegmentedWal(
+                self._layout.directory, nxt, io=self._io, create=True,
+                segment_bytes=self._wal_segment_bytes, retry=self._retry,
+            )
+        except (OSError, WalWriteError) as exc:
+            raise CheckpointError(
+                f"{self._layout.directory}: checkpoint to generation "
+                f"{nxt} failed before the commit point: {exc}",
+                cause=exc,
+            ) from exc
+        switch_error: Optional[BaseException] = None
+        try:
+            write_manifest(self._layout.directory, nxt, io=self._io)
+        except OSError as exc:
+            # The rename inside write_manifest is the commit point; an
+            # error on the later directory fsync leaves the switch in
+            # place.  Ask the disk which side we died on.
+            try:
+                committed = read_manifest(self._layout.directory) == nxt
+            except RecoveryError:
+                committed = False
+            if not committed:
+                new_wal.close()
+                raise CheckpointError(
+                    f"{self._layout.directory}: checkpoint to "
+                    f"generation {nxt} failed at the manifest switch: "
+                    f"{exc}",
+                    cause=exc,
+                ) from exc
+            switch_error = exc
         # -- the manifest rename above was the commit point ------------
         self._generation = nxt
         self._wal = new_wal
-        for old in self._layout.generations_on_disk():
-            if old < current:
-                self._io.remove(self._layout.snapshot_path(old),
-                                "checkpoint:clean")
-                self._io.remove(self._layout.wal_path(old),
-                                "checkpoint:clean")
+        cleanup_error: Optional[BaseException] = None
+        try:
+            for old in self._layout.generations_on_disk():
+                if old < current:
+                    self._io.remove(self._layout.snapshot_path(old),
+                                    "checkpoint:clean")
+                    for path in self._layout.wal_files(old):
+                        self._io.remove(path, "checkpoint:clean")
+            # The previous generation is now fully checkpointed: its
+            # chain collapses to one compacted fallback file.
+            compact_generation(self._layout.directory, current,
+                               io=self._io)
+        except OSError as exc:
+            # Retirement/compaction failures are cosmetic -- the
+            # checkpoint is committed; stray files are retried by the
+            # next checkpoint (and reported by scrub).
+            cleanup_error = exc
+        error = switch_error or cleanup_error
+        self.last_checkpoint_error = error
+        if error is None:
+            # An end-to-end error-free checkpoint is the proof of a
+            # healthy disk that lifts read-only degradation.
+            self._degraded_cause = None
         return nxt
+
+    # ------------------------------------------------------------------
+    # scrub / health
+    # ------------------------------------------------------------------
+    def scrub(self, repair: bool = False) -> "ScrubReport":
+        """Re-verify every on-disk artifact and audit the live indexes
+        against streaming oracles; with ``repair=True`` rebuild exactly
+        the inconsistent index rules and retire corrupt fallback files.
+        See :mod:`repro.storage.scrub` for the full contract."""
+        from repro.storage.scrub import run_scrub
+
+        report = run_scrub(self, repair=repair)
+        self.last_scrub = report
+        return report
+
+    def health(self) -> dict:
+        """A structured, disk-untouched report of the store's shape:
+        generation, segment chain, degradation, last errors, and the
+        most recent scrub findings."""
+        recovery = None
+        if self.last_recovery is not None:
+            recovery = {
+                "replayed": self.last_recovery.replayed,
+                "degraded": self.last_recovery.degraded,
+                "dropped_tail_record":
+                    self.last_recovery.dropped_tail_record,
+            }
+        return {
+            "directory": self._layout.directory,
+            "generation": self._generation,
+            "element_count": self._doc.element_count,
+            "degraded": self.degraded,
+            "degraded_cause": str(self._degraded_cause)
+            if self._degraded_cause is not None else None,
+            "wal": {
+                "size_bytes": self._wal.size,
+                "segment_count": self._wal.segment_count,
+                "active_segment": self._wal.active_segment,
+                "active_segment_bytes": self._wal.active_segment_size,
+                "segment_bytes_limit": self._wal_segment_bytes,
+                "rotations": self._wal.rotations,
+                "tail_error": self._wal.tail_error,
+            },
+            "checkpoint_wal_bytes": self._checkpoint_wal_bytes,
+            "last_checkpoint_error": str(self.last_checkpoint_error)
+            if self.last_checkpoint_error is not None else None,
+            "last_recovery": recovery,
+            "last_scrub": self.last_scrub.summary()
+            if self.last_scrub is not None else None,
+        }
 
     # ------------------------------------------------------------------
     # inspection / lifecycle
@@ -288,9 +512,26 @@ class DurableXml:
         return self._generation
 
     @property
+    def degraded(self) -> bool:
+        """Read-only mode after a persistent I/O failure."""
+        return self._degraded_cause is not None
+
+    @property
+    def degraded_cause(self) -> Optional[BaseException]:
+        return self._degraded_cause
+
+    @property
     def wal_size(self) -> int:
-        """Bytes in the live WAL (the checkpoint-cadence metric)."""
+        """Bytes in the live chain (the checkpoint-cadence metric)."""
         return self._wal.size
+
+    @property
+    def wal_segment_count(self) -> int:
+        return self._wal.segment_count
+
+    @property
+    def wal_rotations(self) -> int:
+        return self._wal.rotations
 
     def close(self) -> None:
         self._wal.close()
@@ -307,8 +548,9 @@ class DurableXml:
         return getattr(self._doc, name)
 
     def __repr__(self) -> str:
+        state = " DEGRADED" if self._degraded_cause is not None else ""
         return (
             f"<DurableXml {self._layout.directory!r} "
             f"generation {self._generation}, "
-            f"{self._doc.element_count} elements>"
+            f"{self._doc.element_count} elements{state}>"
         )

@@ -6,28 +6,37 @@ A durable store is one directory::
       MANIFEST          JSON {"format": "repro-store", "version": 1,
                               "generation": N}
       snapshot.000N     binary snapshot at generation N
-      wal.000N          operations committed since snapshot N
+      wal.000N          segment 0 of the chain committed since snapshot N
+      wal.000N.000001   further chain segments (size-bounded rotation)
       snapshot.000N-1   previous generation, kept as the degradation
-      wal.000N-1        fallback until the next checkpoint retires it
+      wal.000N-1.compact  ... fallback (its chain compacted to one file)
+                        until the next checkpoint retires it
 
 The manifest is the single source of truth for which generation is
 live, and it is only ever switched by an atomic temp-file +
 ``os.replace`` -- that rename is the commit point of a checkpoint.  A
 checkpoint therefore orders: write ``snapshot.N+1`` (crash-atomic),
 create ``wal.N+1`` (empty, fsync'd), switch the manifest, then retire
-generation ``N-1``.  A crash anywhere before the switch leaves the
-store at generation ``N`` with at most some stray ``N+1`` files, which
-the next checkpoint simply overwrites.
+generation ``N-1`` and compact generation ``N``'s chain.  A crash
+anywhere before the switch leaves the store at generation ``N`` with at
+most some stray ``N+1`` files, which the next checkpoint simply
+overwrites.
 
 Recovery (:func:`recover`) reads the manifest, loads ``snapshot.N``,
 verifies its checksum and element-count invariants, and replays
-``wal.N``.  When ``snapshot.N`` is corrupt (bit rot, torn by a dying
-disk), it *degrades*: load ``snapshot.N-1`` and replay ``wal.N-1`` in
-full before ``wal.N`` -- replay is deterministic, so the result is the
-same document.  Only the final WAL's *last* record may fail to apply
-(the operation crashed between its fsync and its acknowledgment); it
-is dropped and truncated like a torn tail.  A failing record anywhere
-else is real corruption and raises :class:`RecoveryError`.
+``wal.N``'s segment chain.  When ``snapshot.N`` is corrupt (bit rot,
+torn by a dying disk), it *degrades*: load ``snapshot.N-1`` and replay
+generation ``N-1``'s log (compacted form preferred) in full before
+``wal.N`` -- replay is deterministic, so the result is the same
+document.  Only a log's *last* record may fail to apply: for the live
+chain that is the operation that crashed between its fsync and its
+acknowledgment, and for the fallback log it is an operation whose
+in-memory apply failed but whose WAL rollback could not reach the disk
+before the store degraded.  Either way the record was never
+acknowledged; it is dropped and truncated like a torn tail.  A failing
+record anywhere else is real corruption and raises
+:class:`RecoveryError` with the file path, byte offset, and record
+ordinal of the offender.
 """
 
 from __future__ import annotations
@@ -35,15 +44,20 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, Optional, Union, TYPE_CHECKING
 
-from repro.storage.faults import StorageIO
+from repro.storage.faults import RetryPolicy, StorageIO
 from repro.storage.snapshot import SnapshotError, read_snapshot
 from repro.storage.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    SegmentedWal,
     WalRecordError,
     WriteAheadLog,
     batch_ops_from_record,
+    compact_path,
     content_from_record,
+    generation_wal_files,
+    list_segments,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -64,10 +78,15 @@ MANIFEST_NAME = "MANIFEST"
 MANIFEST_FORMAT = "repro-store"
 MANIFEST_VERSION = 1
 
+#: Either log shape replay understands: the live segment chain, or a
+#: single file (a fallback generation's compacted log).
+ReplayableLog = Union[SegmentedWal, WriteAheadLog]
+
 
 class RecoveryError(RuntimeError):
     """The store cannot be recovered (no valid snapshot generation, a
-    corrupt manifest, or a non-tail WAL record that fails to apply)."""
+    corrupt manifest, a broken WAL segment chain, or a non-tail WAL
+    record that fails to apply)."""
 
 
 class StoreLayout:
@@ -81,7 +100,18 @@ class StoreLayout:
         return os.path.join(self.directory, f"snapshot.{generation:06d}")
 
     def wal_path(self, generation: int) -> str:
+        """Segment 0 of a generation's chain (the PR-6 name)."""
         return os.path.join(self.directory, f"wal.{generation:06d}")
+
+    def compact_path(self, generation: int) -> str:
+        return compact_path(self.directory, generation)
+
+    def wal_segments(self, generation: int) -> List[int]:
+        return list_segments(self.directory, generation)
+
+    def wal_files(self, generation: int) -> List[str]:
+        """Every WAL file of a generation (chain + compacted form)."""
+        return generation_wal_files(self.directory, generation)
 
     def generations_on_disk(self) -> List[int]:
         """Generations with a snapshot file present (stray or live)."""
@@ -115,7 +145,11 @@ def read_manifest(directory: str) -> int:
 def write_manifest(
     directory: str, generation: int, io: Optional[StorageIO] = None
 ) -> None:
-    """Atomically point the store at ``generation`` (the commit point)."""
+    """Atomically point the store at ``generation`` (the commit point).
+
+    The rename is followed by a directory-entry fsync (under its own
+    fault point): without it a power cut can roll the *name* back even
+    though the rename "succeeded"."""
     if io is None:
         io = StorageIO()
     path = os.path.join(directory, MANIFEST_NAME)
@@ -129,7 +163,7 @@ def write_manifest(
         io.write(handle, data, "manifest:write")
         io.fsync(handle, "manifest:write")
     io.replace(tmp, path, "manifest:commit")
-    io.fsync_dir(directory)
+    io.fsync_dir(directory, "manifest:commit")
 
 
 # ----------------------------------------------------------------------
@@ -163,65 +197,73 @@ class RecoveredDocument:
 
     doc: "CompressedXml"
     generation: int
-    wal: WriteAheadLog
+    wal: SegmentedWal
     replayed: int
     #: The newest snapshot was corrupt; the previous generation plus a
-    #: full-WAL replay reconstructed the state.  The facade should
+    #: full-log replay reconstructed the state.  The facade should
     #: checkpoint immediately to re-establish a healthy newest image.
     degraded: bool
-    #: The final WAL's unacknowledged tail record failed to apply and
-    #: was dropped (truncated) -- together with ``degraded`` this is
-    #: the signal that the on-disk state was repaired during open.
+    #: A log's final unacknowledged record failed to apply and was
+    #: dropped (truncated) -- together with ``degraded`` this is the
+    #: signal that the on-disk state was repaired during open.
     dropped_tail_record: bool
 
 
 def _replay(
     doc: "CompressedXml",
-    wal: WriteAheadLog,
+    wal: ReplayableLog,
     allow_drop_last: bool,
 ) -> tuple:
-    """Replay a WAL's recovered records; returns (applied, dropped)."""
+    """Replay a log's recovered records; returns (applied, dropped)."""
     records = wal.recovered_records
     applied = 0
-    for position, record in enumerate(records):
+    for position, record in enumerate(list(records)):
         try:
             apply_record(doc, record)
         except Exception as exc:
             if allow_drop_last and position == len(records) - 1:
                 # The crash happened between the record's fsync and the
                 # in-memory apply being acknowledged -- or the apply
-                # itself failed and the process died before the WAL
-                # rollback.  Either way the operation was never
+                # itself failed and the WAL rollback never reached the
+                # disk.  Either way the operation was never
                 # acknowledged: drop it like a torn tail.
-                _truncate_last_record(wal)
+                wal.drop_last_record()
                 return applied, True
+            path, offset = wal.record_source(position)
             raise RecoveryError(
-                f"WAL record {position} ({record.get('op')!r}) failed "
-                f"to apply during replay: {exc}"
+                f"{path}: WAL record #{position} at byte offset "
+                f"{offset} ({record.get('op')!r}) failed to apply "
+                f"during replay: {exc}"
             ) from exc
         applied += 1
     return applied, False
 
 
-def _truncate_last_record(wal: WriteAheadLog) -> None:
-    """Cut the final (just-rejected) record off the log."""
-    from repro.storage.wal import encode_payload, _frame
-
-    last = wal.recovered_records[-1]
-    tail = len(_frame(encode_payload(last)))
-    wal.recovered_records.pop()
-    wal.rollback_to(wal.size - tail)
-
-
 # ----------------------------------------------------------------------
 # the open protocol
 # ----------------------------------------------------------------------
+def _open_fallback_log(
+    layout: StoreLayout, generation: int, io: StorageIO
+) -> Optional[ReplayableLog]:
+    """The previous generation's log for degraded replay: compacted
+    form when present, the raw segment chain otherwise."""
+    compacted = layout.compact_path(generation)
+    if os.path.exists(compacted):
+        return WriteAheadLog(compacted, io=io)
+    try:
+        return SegmentedWal(layout.directory, generation, io=io)
+    except FileNotFoundError:
+        return None
+
+
 def recover(
     directory: str,
     io: Optional[StorageIO] = None,
+    wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    retry: Optional[RetryPolicy] = None,
     **doc_kwargs,
 ) -> RecoveredDocument:
-    """Open a store: newest valid snapshot + WAL tail replay.
+    """Open a store: newest valid snapshot + WAL chain replay.
 
     ``doc_kwargs`` (``auto_recompress_factor``, ...) are forwarded to
     ``CompressedXml.from_state`` -- runtime policy is the caller's,
@@ -247,8 +289,8 @@ def recover(
     replayed = 0
     if doc is None:
         # Degradation: the previous generation's snapshot plus a *full*
-        # replay of its WAL reconstructs the exact pre-checkpoint state
-        # (replay is deterministic); the live WAL then replays on top.
+        # replay of its log reconstructs the exact pre-checkpoint state
+        # (replay is deterministic); the live chain then replays on top.
         previous = generation - 1
         if previous < 0:
             raise RecoveryError(
@@ -266,32 +308,47 @@ def recover(
             ) from exc
         degraded = True
         try:
-            previous_wal = WriteAheadLog(layout.wal_path(previous), io=io)
-        except FileNotFoundError:
-            previous_wal = None
+            previous_wal = _open_fallback_log(layout, previous, io)
+        except WalRecordError as exc:
+            raise RecoveryError(
+                f"{directory}: generation {previous} WAL needed for "
+                f"degraded recovery is corrupt: {exc}"
+            ) from exc
         if previous_wal is not None:
-            # Every record here was acknowledged before the checkpoint
-            # that produced the (now corrupt) newest snapshot, so none
-            # may fail -- except when that checkpoint never completed
-            # and this is effectively the final WAL; the live-WAL replay
-            # below still guards the true tail.
-            applied, _ = _replay(doc, previous_wal, allow_drop_last=False)
+            # Every acknowledged record here precedes the checkpoint
+            # that produced the (now corrupt) newest snapshot and must
+            # replay cleanly -- but the *last* record may be a failed
+            # apply whose WAL rollback never reached the degrading
+            # disk, and that one was never acknowledged: drop it.
+            applied, dropped_prev = _replay(doc, previous_wal,
+                                            allow_drop_last=True)
             replayed += applied
+            dropped = dropped or dropped_prev
+            previous_wal.close()
 
-    # The live generation's WAL.  Missing is legal only in the degraded
-    # path (a checkpoint died after the manifest switch could not have
-    # happened -- but a dying disk may lose files); treat as empty.
-    wal_path = layout.wal_path(generation)
+    # The live generation's chain.  Missing is legal only in the
+    # degraded path (a checkpoint died after the manifest switch could
+    # not have happened -- but a dying disk may lose files); treat as
+    # empty.
     try:
-        wal = WriteAheadLog(wal_path, io=io)
+        wal = SegmentedWal(directory, generation, io=io,
+                           segment_bytes=wal_segment_bytes, retry=retry)
     except FileNotFoundError:
         if not degraded:
             raise RecoveryError(
-                f"{directory}: live WAL {wal_path} is missing"
+                f"{directory}: live WAL {layout.wal_path(generation)} "
+                f"is missing"
             ) from None
-        wal = WriteAheadLog(wal_path, io=io, create=True)
-    applied, dropped = _replay(doc, wal, allow_drop_last=True)
+        wal = SegmentedWal(directory, generation, io=io, create=True,
+                           segment_bytes=wal_segment_bytes, retry=retry)
+    except WalRecordError as exc:
+        raise RecoveryError(
+            f"{directory}: live WAL chain for generation {generation} "
+            f"is corrupt: {exc}"
+        ) from exc
+    applied, dropped_live = _replay(doc, wal, allow_drop_last=True)
     replayed += applied
+    dropped = dropped or dropped_live
 
     return RecoveredDocument(
         doc=doc,

@@ -446,7 +446,8 @@ def write_snapshot(
         io.write(handle, data, "snapshot:write")
         io.fsync(handle, "snapshot:write")
     io.replace(tmp, path, "snapshot:commit")
-    io.fsync_dir(os.path.dirname(os.path.abspath(path)))
+    io.fsync_dir(os.path.dirname(os.path.abspath(path)),
+                 "snapshot:commit")
 
 
 def read_snapshot(path: str) -> DocumentState:

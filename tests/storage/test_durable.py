@@ -120,7 +120,7 @@ class TestCommitProtocol:
         with DurableXml.from_xml(str(tmp_path / "store"),
                                  BASE_XML) as store:
             store.rename(1, "record")
-        assert store._wal._handle is None
+        assert store._wal.closed
 
 
 class TestCheckpointing:
@@ -183,6 +183,7 @@ def committed_prefix_states():
     refs.append(oracle.to_xml())
     refs.append(refs[-1])  # failing rename: no state change
     refs.append(refs[-1])  # checkpoint: no state change
+    refs.append(refs[-1])  # grammar export: no state change
     oracle.delete(4)
     refs.append(oracle.to_xml())
     refs.append(refs[-1])  # checkpoint: no state change
@@ -206,6 +207,10 @@ def run_script(store):
     yield
     store.checkpoint()
     yield
+    store.save_grammar(
+        os.path.join(store.directory, "export.grammar"), io=store._io
+    )
+    yield
     store.delete(4)
     yield
     store.checkpoint()  # retires generation 0: checkpoint:clean
@@ -227,7 +232,7 @@ def run_killed(directory, io):
     try:
         store = DurableXml.create(
             directory, CompressedXml.from_xml(BASE_XML), io=io,
-            checkpoint_wal_bytes=HUGE,
+            checkpoint_wal_bytes=HUGE, wal_segment_bytes=1,
         )
         for _ in run_script(store):
             acked += 1

@@ -17,9 +17,12 @@ from repro.storage.recovery import (
     write_manifest,
 )
 from repro.storage.wal import (
+    WAL_MAGIC,
     WriteAheadLog,
     delete_record,
     rename_record,
+    scan_wal,
+    segment_path,
 )
 from repro.trees.unranked import XmlNode
 
@@ -140,6 +143,154 @@ class TestReplay:
         result = recover(directory, auto_recompress_factor=2.5)
         assert result.doc._auto_factor == 2.5
         result.wal.close()
+
+
+class TestErrorContext:
+    """Corruption errors carry file path, byte offset, and record
+    ordinal -- the formats are a contract operators and tests pin."""
+
+    def test_replay_failure_names_path_offset_and_ordinal(self, tmp_path):
+        directory, store = make_store(tmp_path)
+        store.close()
+        layout = StoreLayout(directory)
+        wal = WriteAheadLog(layout.wal_path(0))
+        offset = wal.append(delete_record(10 ** 6))
+        wal.append(rename_record(2, "fine"))
+        wal.close()
+
+        with pytest.raises(RecoveryError) as info:
+            recover(directory)
+        message = str(info.value)
+        assert message.startswith(
+            f"{layout.wal_path(0)}: WAL record #0 at byte offset "
+            f"{offset} ('delete') failed to apply during replay: "
+        )
+
+    def test_replay_failure_in_a_later_segment_names_it(self, tmp_path):
+        directory, store = make_store(tmp_path, wal_segment_bytes=1)
+        store.rename(1, "record")
+        store.close()
+        second = segment_path(directory, 0, 1)
+        wal = WriteAheadLog(second, create=True)
+        wal.append(delete_record(10 ** 6))
+        wal.append(rename_record(2, "fine"))
+        wal.close()
+
+        with pytest.raises(RecoveryError) as info:
+            recover(directory, wal_segment_bytes=1)
+        assert f"{second}: WAL record #1 at byte offset " \
+            f"{len(WAL_MAGIC)} ('delete')" in str(info.value)
+
+    def test_bad_magic_message_is_stable(self, tmp_path):
+        path = str(tmp_path / "notawal")
+        with open(path, "wb") as handle:
+            handle.write(b"garbage here")
+        with pytest.raises(Exception) as info:
+            WriteAheadLog(path)
+        assert str(info.value) == f"{path}: not a WAL file (bad magic)"
+
+    def test_corrupt_live_chain_reports_the_generation(self, tmp_path):
+        directory, store = make_store(tmp_path, wal_segment_bytes=1)
+        store.rename(1, "a")
+        store.rename(2, "b")
+        store.close()
+        # Tear a *non-final* segment: hard corruption of the chain.
+        with open(segment_path(directory, 0, 0), "ab") as handle:
+            handle.write(b"\x99" * 5)
+        with pytest.raises(RecoveryError) as info:
+            recover(directory, wal_segment_bytes=1)
+        message = str(info.value)
+        assert message.startswith(
+            f"{directory}: live WAL chain for generation 0 is corrupt: "
+            "non-final WAL segment is corrupt: "
+        )
+        assert "invalid WAL tail at byte offset" in message
+
+
+class TestChainRecovery:
+    def test_live_chain_replays_across_segments(self, tmp_path):
+        directory, store = make_store(tmp_path, wal_segment_bytes=1,
+                                      checkpoint_wal_bytes=1 << 30)
+        for index, tag in enumerate(("a", "b", "c", "d"), start=1):
+            store.rename(index, tag)
+        expected = store.to_xml()
+        assert store.wal_segment_count > 1
+        store.close()
+
+        result = recover(directory, wal_segment_bytes=1)
+        assert result.replayed == 4
+        assert result.doc.to_xml() == expected
+        assert result.wal.segment_count > 1
+        result.wal.close()
+
+    def test_compact_fallback_serves_degraded_recovery(self, tmp_path):
+        # Rotations, then a checkpoint: the old chain is compacted.
+        # Corrupting the new snapshot must recover through the
+        # compacted fallback log.
+        directory, store = make_store(tmp_path, wal_segment_bytes=1,
+                                      checkpoint_wal_bytes=1 << 30)
+        for index, tag in enumerate(("a", "b", "c"), start=1):
+            store.rename(index, tag)
+        store.checkpoint()
+        store.rename(4, "live")
+        expected = store.to_xml()
+        store.close()
+        layout = StoreLayout(directory)
+        assert os.path.exists(layout.compact_path(0))
+        assert layout.wal_segments(0) == []
+        corrupt(layout.snapshot_path(1))
+
+        result = recover(directory, wal_segment_bytes=1)
+        assert result.degraded
+        assert result.replayed == 4  # 3 compacted + 1 live
+        assert result.doc.to_xml() == expected
+        result.wal.close()
+
+    def test_corrupt_fallback_log_is_fatal_with_context(self, tmp_path):
+        directory, store = make_store(tmp_path, wal_segment_bytes=1,
+                                      checkpoint_wal_bytes=1 << 30)
+        store.rename(1, "a")
+        store.rename(2, "b")
+        store.checkpoint()
+        store.close()
+        layout = StoreLayout(directory)
+        corrupt(layout.snapshot_path(1))
+        # Replace the compacted fallback with a chain whose non-final
+        # segment is torn.
+        os.remove(layout.compact_path(0))
+        wal = WriteAheadLog(layout.wal_path(0), create=True)
+        wal.append(rename_record(1, "a"))
+        wal.close()
+        second = segment_path(directory, 0, 1)
+        WriteAheadLog(second, create=True).close()
+        with open(layout.wal_path(0), "ab") as handle:
+            handle.write(b"\x99" * 5)
+
+        with pytest.raises(RecoveryError) as info:
+            recover(directory, wal_segment_bytes=1)
+        assert str(info.value).startswith(
+            f"{directory}: generation 0 WAL needed for degraded "
+            f"recovery is corrupt: "
+        )
+
+    def test_checkpoint_compacts_and_drops_old_chain(self, tmp_path):
+        directory, store = make_store(tmp_path, wal_segment_bytes=1,
+                                      checkpoint_wal_bytes=1 << 30)
+        store.rename(1, "a")
+        store.rename(2, "b")
+        store.checkpoint()
+        store.close()
+        layout = StoreLayout(directory)
+        records, _, torn = scan_wal(layout.compact_path(0))
+        assert [r["op"] for r in records] == ["rename", "rename"]
+        assert not torn
+        assert layout.wal_segments(0) == []
+        # Next checkpoint retires the compacted generation entirely.
+        with DurableXml.open(directory,
+                             wal_segment_bytes=1) as store:
+            store.rename(3, "c")
+            store.checkpoint()
+        assert layout.wal_files(0) == []
 
 
 class TestDegradedRecovery:

@@ -1,23 +1,33 @@
-"""WAL framing, scanning, torn-tail truncation, and record codecs."""
+"""WAL framing, scanning, torn-tail truncation, segmented chains,
+append retry, compaction, and record codecs."""
 
+import errno
 import os
 import struct
 
 import pytest
 
+from repro.storage.faults import FaultyIO, RetryPolicy
 from repro.storage.wal import (
     WAL_MAGIC,
+    SegmentedWal,
     WalRecordError,
+    WalWriteError,
     WriteAheadLog,
     append_record,
     batch_ops_from_record,
     batch_record,
+    compact_generation,
+    compact_path,
     content_from_record,
     delete_record,
     encode_payload,
     insert_record,
+    list_segments,
     rename_record,
     scan_wal,
+    scan_wal_report,
+    segment_path,
 )
 from repro.trees.unranked import XmlNode
 from repro.trees.xml_io import serialize_xml
@@ -165,6 +175,321 @@ class TestTornTails:
         with pytest.raises(ValueError, match="roll forward"):
             wal.rollback_to(wal.size + 4)
         wal.close()
+
+
+class TestScanReport:
+    def test_clean_file_reports_spans(self, tmp_path):
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        report = scan_wal_report(path)
+        assert report.records == RECORDS
+        assert not report.torn
+        assert report.tail_reason is None
+        assert report.tail_message is None
+        assert report.spans[0][0] == len(WAL_MAGIC)
+        assert report.valid == report.total == os.path.getsize(path)
+        # Spans tile the file exactly.
+        for (_, end), (start, _) in zip(report.spans, report.spans[1:]):
+            assert end == start
+
+    def test_tail_message_pins_path_offset_and_ordinal(self, tmp_path):
+        # The operator-facing corruption description is a contract:
+        # file path, byte offset of the first bad frame, and the
+        # ordinal of the record that failed.
+        path = wal_file(tmp_path)
+        wal = WriteAheadLog(path, create=True)
+        wal.append(RECORDS[0])
+        valid = wal.size
+        wal.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x07" * 3)
+        report = scan_wal_report(path)
+        assert report.torn
+        assert report.tail_reason == "torn frame header"
+        assert report.tail_message == (
+            f"{path}: invalid WAL tail at byte offset {valid} "
+            f"(record #1): torn frame header"
+        )
+
+    def test_tail_reasons_name_the_defect(self, tmp_path):
+        path = wal_file(tmp_path)
+        WriteAheadLog(path, create=True).close()
+        payload = encode_payload(RECORDS[0])
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", len(payload), 0) + payload)
+        assert scan_wal_report(path).tail_reason == \
+            "payload checksum mismatch"
+
+        path2 = wal_file(tmp_path, "wal2")
+        WriteAheadLog(path2, create=True).close()
+        with open(path2, "ab") as handle:
+            handle.write(struct.pack("<II", 12, 0) + b"1234")
+        assert scan_wal_report(path2).tail_reason == \
+            "torn payload (4 of 12 bytes)"
+
+
+class TestAppendRetry:
+    def nosleep(self):
+        delays = []
+        return delays, RetryPolicy(attempts=3, base_delay=0.5,
+                                   max_delay=2.0, multiplier=2.0,
+                                   sleep=delays.append)
+
+    def test_transient_fsync_error_is_retried(self, tmp_path):
+        path = wal_file(tmp_path)
+        delays, retry = self.nosleep()
+        io = FaultyIO(error_label="wal:append:before-fsync",
+                      error_errno=errno.EIO, error_count=1)
+        wal = WriteAheadLog(path, io=io, create=True, retry=retry)
+        offset = wal.append(RECORDS[0])
+        assert offset == len(WAL_MAGIC)
+        wal.close()
+        # The backoff clock was consulted once, never the real one.
+        assert delays == [0.5]
+        assert io.errors_injected == \
+            [("wal:append:before-fsync", errno.EIO)]
+        records, _, torn = scan_wal(path)
+        assert records == RECORDS[:1]
+        assert not torn
+
+    def test_mid_write_error_restores_tail_before_rewrite(self, tmp_path):
+        path = wal_file(tmp_path)
+        _, retry = self.nosleep()
+        io = FaultyIO(error_label="wal:append:mid-write", error_count=1)
+        wal = WriteAheadLog(path, io=io, create=True, retry=retry)
+        wal.append(RECORDS[0])
+        wal.close()
+        # No torn prefix survives between the retries: the file holds
+        # exactly the one clean record.
+        report = scan_wal_report(path)
+        assert report.records == RECORDS[:1]
+        assert not report.torn
+
+    def test_exhausted_retries_raise_walwriteerror(self, tmp_path):
+        path = wal_file(tmp_path)
+        delays, retry = self.nosleep()
+        io = FaultyIO(error_label="wal:append:before-fsync",
+                      error_errno=errno.ENOSPC, error_count=99)
+        wal = WriteAheadLog(path, io=io, create=True, retry=retry)
+        with pytest.raises(WalWriteError) as info:
+            wal.append(RECORDS[0])
+        assert info.value.errno == errno.ENOSPC
+        assert info.value.tail_intact
+        assert "after 3 attempts" in str(info.value)
+        assert f"{path}: append failed at byte offset " \
+            f"{len(WAL_MAGIC)} (record #0)" in str(info.value)
+        assert delays == [0.5, 1.0]
+        wal.close()
+        # The log tail is intact: the failed record left no trace.
+        records, valid, torn = scan_wal(path)
+        assert records == [] and valid == len(WAL_MAGIC) and not torn
+
+    def test_create_failure_raises_walwriteerror(self, tmp_path):
+        _, retry = self.nosleep()
+        io = FaultyIO(error_label="wal:create:before-write",
+                      error_count=99)
+        with pytest.raises(WalWriteError, match="could not create"):
+            WriteAheadLog(wal_file(tmp_path), io=io, create=True,
+                          retry=retry)
+
+
+class TestSegmentedWal:
+    def test_segment_zero_keeps_the_unsegmented_name(self, tmp_path):
+        assert segment_path(str(tmp_path), 3, 0).endswith("wal.000003")
+        assert segment_path(str(tmp_path), 3, 2).endswith(
+            "wal.000003.000002")
+        assert compact_path(str(tmp_path), 3).endswith(
+            "wal.000003.compact")
+
+    def test_appends_rotate_on_the_size_bound(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        tokens = [wal.append(record) for record in RECORDS]
+        # segment_bytes=1: every append after the first rotates.
+        assert wal.rotations == 2
+        assert wal.segment_count == 3
+        assert [token[0] for token in tokens] == [0, 1, 2]
+        assert wal.record_count == 3
+        assert list_segments(directory, 0) == [0, 1, 2]
+        wal.close()
+
+    def test_chain_reopens_with_records_in_order(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        reopened = SegmentedWal(directory, 0, segment_bytes=1)
+        assert reopened.recovered_records == RECORDS
+        assert reopened.active_segment == 2
+        assert not reopened.truncated_tail
+        reopened.close()
+
+    def test_single_segment_store_opens_as_chain_of_one(self, tmp_path):
+        # Backward compatibility: a pre-segmentation wal.{g} file.
+        directory = str(tmp_path)
+        single = WriteAheadLog(segment_path(directory, 0, 0), create=True)
+        single.append(RECORDS[0])
+        single.close()
+        wal = SegmentedWal(directory, 0)
+        assert wal.segment_count == 1
+        assert wal.recovered_records == RECORDS[:1]
+        wal.close()
+
+    def test_chain_gap_is_hard_corruption(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        os.remove(segment_path(directory, 0, 1))
+        with pytest.raises(WalRecordError, match="chain has gaps"):
+            SegmentedWal(directory, 0)
+
+    def test_torn_nonfinal_segment_is_hard_corruption(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        with open(segment_path(directory, 0, 0), "ab") as handle:
+            handle.write(b"\x99" * 5)
+        with pytest.raises(WalRecordError,
+                           match="non-final WAL segment is corrupt"):
+            SegmentedWal(directory, 0)
+
+    def test_torn_final_segment_is_truncated(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        with open(segment_path(directory, 0, 2), "ab") as handle:
+            handle.write(b"\x99" * 5)
+        reopened = SegmentedWal(directory, 0, segment_bytes=1)
+        assert reopened.recovered_records == RECORDS
+        assert reopened.truncated_tail
+        assert reopened.tail_error is not None
+        reopened.close()
+
+    def test_rotation_crash_artifact_is_retired(self, tmp_path):
+        # A crash between rotation's file creation and its header
+        # fsync leaves a final segment with no/partial magic: it holds
+        # nothing acknowledged, so open drops it and resumes on the
+        # sealed predecessor.
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        artifact = segment_path(directory, 0, 3)
+        with open(artifact, "wb") as handle:
+            handle.write(WAL_MAGIC[:3])
+        reopened = SegmentedWal(directory, 0, segment_bytes=1)
+        assert reopened.recovered_records == RECORDS
+        assert reopened.active_segment == 2
+        assert not os.path.exists(artifact)
+        reopened.close()
+
+    def test_rollback_token_must_be_active(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        stale = wal.append(RECORDS[0])
+        wal.append(RECORDS[1])  # rotates: token 0 is now sealed
+        with pytest.raises(ValueError, match="not in the active segment"):
+            wal.rollback_to(stale)
+        wal.close()
+
+    def test_rollback_cuts_only_the_tail_record(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        wal.append(RECORDS[0])
+        token = wal.append(RECORDS[1])
+        wal.rollback_to(token)
+        assert wal.record_count == 1
+        wal.close()
+        reopened = SegmentedWal(directory, 0, segment_bytes=1)
+        assert reopened.recovered_records == RECORDS[:1]
+        reopened.close()
+
+    def test_drop_last_record_reaches_into_sealed_segments(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        reopened = SegmentedWal(directory, 0, segment_bytes=1)
+        reopened.drop_last_record()
+        assert reopened.recovered_records == RECORDS[:2]
+        assert reopened.record_count == 2
+        reopened.close()
+
+    def test_record_source_names_the_owning_segment(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        path, offset = wal.record_source(2)
+        assert path == segment_path(directory, 0, 2)
+        assert offset == len(WAL_MAGIC)
+        wal.close()
+
+    def test_failed_rotation_keeps_appending_to_the_old_segment(
+            self, tmp_path):
+        directory = str(tmp_path)
+        retry = RetryPolicy(attempts=2, sleep=lambda _: None)
+        io = FaultyIO(error_label="wal:create:before-write",
+                      error_count=99)
+        io.disarm()
+        wal = SegmentedWal(directory, 0, io=io, create=True,
+                           segment_bytes=1, retry=retry)
+        wal.append(RECORDS[0])
+        io.arm()
+        with pytest.raises(WalWriteError):
+            wal.append(RECORDS[1])
+        io.disarm()
+        # The chain healed onto the sealed-but-still-final segment:
+        # appends keep working and nothing was lost.
+        wal.append(RECORDS[2])
+        wal.close()
+        reopened = SegmentedWal(directory, 0, segment_bytes=1)
+        assert reopened.recovered_records == [RECORDS[0], RECORDS[2]]
+        reopened.close()
+
+
+class TestCompaction:
+    def test_chain_collapses_to_one_compact_file(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        target = compact_generation(directory, 0)
+        assert target == compact_path(directory, 0)
+        assert list_segments(directory, 0) == []
+        compacted = WriteAheadLog(target)
+        assert compacted.recovered_records == RECORDS
+        assert not compacted.truncated_tail
+        compacted.close()
+
+    def test_compaction_drops_torn_tails(self, tmp_path):
+        directory = str(tmp_path)
+        wal = SegmentedWal(directory, 0, create=True, segment_bytes=1)
+        for record in RECORDS:
+            wal.append(record)
+        wal.close()
+        with open(segment_path(directory, 0, 2), "ab") as handle:
+            handle.write(b"\x99" * 7)
+        target = compact_generation(directory, 0)
+        records, _, torn = scan_wal(target)
+        assert records == RECORDS
+        assert not torn
+
+    def test_compacting_nothing_returns_none(self, tmp_path):
+        assert compact_generation(str(tmp_path), 9) is None
 
 
 class TestRecordCodecs:

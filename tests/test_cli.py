@@ -1,5 +1,8 @@
 """Tests for the repro-xml command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import main
@@ -152,3 +155,93 @@ class TestExperimentCommand:
     def test_unknown_experiment_fails(self, capsys):
         assert main(["experiment", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+def _flip_byte(path, offset=25):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+@pytest.fixture
+def durable_store(xml_file, tmp_path, capsys):
+    """A store with a compacted fallback chain: init, one committed
+    update, one checkpoint."""
+    store = str(tmp_path / "store")
+    main(["durable", "init", store, "--xml", str(xml_file)])
+    main(["durable", "update", store, "rename", "1", "first"])
+    main(["durable", "checkpoint", store])
+    capsys.readouterr()
+    return store
+
+
+class TestDurableScrubCli:
+    def test_scrub_clean(self, durable_store, capsys):
+        assert main(["durable", "scrub", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "scrubbed:" in out
+        assert "scrub:       clean" in out
+
+    def test_scrub_without_repair_reports_and_fails(self, durable_store,
+                                                    capsys):
+        _flip_byte(os.path.join(durable_store, "wal.000000.compact"))
+        assert main(["durable", "scrub", durable_store]) == 1
+        captured = capsys.readouterr()
+        assert "FOUND:    [wal-corrupt]" in captured.out
+        assert "re-run with --repair" in captured.err
+
+    def test_scrub_repair_heals_the_store(self, durable_store, capsys):
+        compacted = os.path.join(durable_store, "wal.000000.compact")
+        _flip_byte(compacted)
+        assert main(["durable", "scrub", durable_store, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired:    [wal-corrupt]" in out
+        assert not os.path.exists(compacted)
+        assert main(["durable", "scrub", durable_store]) == 0
+        assert "scrub:       clean" in capsys.readouterr().out
+
+    def test_health_emits_json(self, durable_store, capsys):
+        assert main(["durable", "health", durable_store]) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["generation"] == 1
+        assert health["degraded"] is False
+        assert health["wal"]["segment_count"] == 1
+        assert health["last_recovery"]["replayed"] == 0
+
+    def test_status_shows_chain_and_degradation(self, durable_store,
+                                                capsys):
+        assert main(["durable", "status", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "wal chain:   1 segment(s), active segment 0" in out
+        assert "degraded:    no" in out
+
+
+class TestDurableErrorExits:
+    def test_corrupt_store_exits_nonzero_without_traceback(
+            self, durable_store, capsys):
+        os.remove(os.path.join(durable_store, "wal.000001"))
+        for action in ("status", "query", "scrub", "health"):
+            argv = ["durable", action, durable_store]
+            if action == "query":
+                argv.append("//first")
+            assert main(argv) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error: ")
+            assert "missing" in err
+
+    def test_degraded_store_prints_the_runbook_hint(
+            self, durable_store, capsys, monkeypatch):
+        from repro.storage.durable import DurableXml, StoreDegraded
+
+        def refuse(cls, *args, **kwargs):
+            raise StoreDegraded(
+                f"{durable_store}: store is read-only (degraded): boom")
+
+        monkeypatch.setattr(DurableXml, "open", classmethod(refuse))
+        assert main(["durable", "status", durable_store]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "read-only (degraded)" in err
+        assert "durable scrub --repair" in err
