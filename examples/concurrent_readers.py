@@ -1,0 +1,85 @@
+"""Snapshot isolation: long scans that survive concurrent writers.
+
+A report walks the whole document while update traffic keeps landing.
+Without isolation the scan would see a moving target -- indices shift
+under it, a renamed section changes mid-walk, a recompression reshapes
+the grammar it is iterating.  ``doc.snapshot()`` pins the grammar epoch
+current at that instant behind a copy-on-write overlay: the view
+answers the full query/navigation surface *as of then*, writers pay
+only a one-time preservation for the rule bodies they actually rewrite,
+and closing the view reclaims the overlay.
+
+This walkthrough opens a snapshot, lets a writer thread apply a few
+hundred batched renames and inserts, and shows the scan inside the
+snapshot is byte-identical to a scan taken before the writes -- while
+the live document has moved on.
+
+Run with ``PYTHONPATH=src python examples/concurrent_readers.py``.
+"""
+
+import random
+import threading
+
+from repro import CompressedXml
+from repro.trees.unranked import XmlNode
+
+
+def build_log(entries: int = 2000) -> str:
+    parts = ["<log><meta/>"]
+    for index in range(entries):
+        extra = "<ref/>" if index % 7 == 0 else ""
+        parts.append(f"<entry><ip/><ts/><req>{extra}</req></entry>")
+    parts.append("</log>")
+    return "".join(parts)
+
+
+def writer(doc: CompressedXml, rounds: int, done: threading.Event) -> None:
+    rng = random.Random(11)
+    for _ in range(rounds):
+        base = rng.randrange(2, doc.element_count - 8)
+        with doc.batch() as burst:
+            burst.rename(base, rng.choice(("seen", "flagged", "ok")))
+            burst.rename(base + 3, rng.choice(("audit", "entry")))
+            burst.insert(base + 5, XmlNode("note", [XmlNode("by")]))
+    done.set()
+
+
+def main() -> None:
+    doc = CompressedXml.from_xml(
+        build_log(), auto_recompress_factor=2.0, shard_width=64
+    )
+    before = list(doc.tags())
+    print(f"log: {doc.element_count} elements, "
+          f"grammar {doc.compressed_size} edges, "
+          f"epoch {doc.mvcc_info()['epoch']}")
+
+    with doc.snapshot() as view:
+        done = threading.Event()
+        thread = threading.Thread(target=writer, args=(doc, 150, done))
+        thread.start()
+
+        # The long scan: interleaves with the writer's commits, yet
+        # every answer comes from the pinned epoch.
+        seen = list(view.tags())
+        statuses = view.count("//req")
+        thread.join()
+
+        info = doc.mvcc_info()
+        print(f"while scanning      : epochs advanced to {info['epoch']}, "
+              f"pinned {info['pinned_epochs']}")
+        print(f"snapshot stable     : {seen == before} "
+              f"({len(seen)} tags, {statuses} <req> elements)")
+        print(f"live doc moved on   : "
+              f"{doc.element_count != view.element_count} "
+              f"({view.element_count} -> {doc.element_count} elements)")
+    print(f"overlay reclaimed   : pins now "
+          f"{doc.mvcc_info()['pinned_epochs']}")
+
+    # A fresh snapshot sees the new state, immediately.
+    with doc.snapshot() as view:
+        print(f"new snapshot agrees : "
+              f"{list(view.tags()) == list(doc.tags())}")
+
+
+if __name__ == "__main__":
+    main()

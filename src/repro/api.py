@@ -56,10 +56,12 @@ Example::
 from __future__ import annotations
 
 import os
+import threading
 import time
-from typing import Iterator, List, Optional, Sequence, Union, TYPE_CHECKING
+from typing import Iterator, List, Optional, Sequence, Set, Union, TYPE_CHECKING
 
 from repro.core.grammar_repair import GrammarRePair, GrammarRePairStats
+from repro.grammar.concurrency import ShardLockTable
 from repro.grammar.index import GrammarIndex
 from repro.grammar.serialize import format_grammar, parse_grammar
 from repro.grammar.sharding import ShardManager
@@ -75,12 +77,14 @@ from repro.query.label_index import LabelIndex
 from repro.updates import grammar_updates
 from repro.updates.batch import BatchBuilder, BatchOp, BatchStats, execute_batch
 from repro.updates.operations import UpdateError
+from repro.view import SnapshotView
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.faults import StorageIO
     from repro.storage.snapshot import DocumentState
+    from repro.trees.symbols import Symbol
 
-__all__ = ["CompressedXml", "DurableXml"]
+__all__ = ["CompressedXml", "DurableXml", "SnapshotView"]
 
 
 def __getattr__(name: str):
@@ -120,8 +124,14 @@ class CompressedXml:
         auto_recompress_factor: Optional[float] = None,
         incremental_recompress: bool = True,
         shard_width: Optional[int] = None,
+        shard_merge_hysteresis: Optional[int] = None,
     ) -> None:
         self._grammar = grammar
+        # Writer lock: every mutator (and snapshot(), which must pin
+        # between operations, never mid-surgery) runs under it.  Plain
+        # reads on the live document are *not* locked -- concurrent
+        # readers should hold a snapshot() instead.
+        self._lock = threading.RLock()
         self._index = GrammarIndex(grammar)
         # The label census index is created on first query use -- write-only
         # workloads never pay for it.  Once created it is maintained through
@@ -145,7 +155,15 @@ class CompressedXml:
         # reshard() pass rebalances whatever each epoch touched.
         self._shards: Optional[ShardManager] = None
         if shard_width is not None:
-            self._shards = ShardManager(grammar, width=shard_width)
+            shard_kwargs = {}
+            if shard_merge_hysteresis is not None:
+                shard_kwargs["merge_hysteresis"] = shard_merge_hysteresis
+            self._shards = ShardManager(grammar, width=shard_width,
+                                        **shard_kwargs)
+        # Per-shard commit locks for concurrent writers (the durable
+        # layer's group-commit path rides these); unsharded documents
+        # fall back to one document-wide "shard" (the start rule).
+        self._shard_locks = ShardLockTable()
         # Dirty scoping is only sound relative to a compressed baseline: a
         # grammar that was never RePair'd (compress=False, grammar files)
         # gets one full run first.
@@ -230,14 +248,19 @@ class CompressedXml:
                     f"{fixed} is restored from the snapshot state and "
                     f"cannot be overridden"
                 )
+        merge_hysteresis = kwargs.pop("shard_merge_hysteresis", None)
         doc = cls(state.grammar, kin=state.kin, shard_width=None, **kwargs)
         if state.shard is not None:
+            restore_kwargs = {}
+            if merge_hysteresis is not None:
+                restore_kwargs["merge_hysteresis"] = merge_hysteresis
             doc._shards = ShardManager.restore(
                 state.grammar,
                 width=state.shard.width,
                 prefix=state.shard.prefix,
                 heads=set(state.shard.parents),
                 parents=state.shard.parents,
+                **restore_kwargs,
             )
         if state.segments:
             doc._index.import_segments(state.segments)
@@ -442,11 +465,12 @@ class CompressedXml:
     # ------------------------------------------------------------------
     def rename(self, element_index: int, new_tag: str) -> None:
         """Relabel the ``element_index``-th element (document order)."""
-        position, steps = self._index.resolve_element(element_index)
-        self.rules_inlined_total += grammar_updates.rename(
-            self._grammar, position, new_tag,
-            grammar_index=self._index, steps=steps, spine=self._spine())
-        self._after_update()
+        with self._lock:
+            position, steps = self._index.resolve_element(element_index)
+            self.rules_inlined_total += grammar_updates.rename(
+                self._grammar, position, new_tag,
+                grammar_index=self._index, steps=steps, spine=self._spine())
+            self._after_update()
 
     def insert(
         self,
@@ -464,12 +488,13 @@ class CompressedXml:
                 "inserting before the document root would create a forest"
             )
         siblings = [content] if isinstance(content, XmlNode) else list(content)
-        fragment = encode_forest(siblings, self._grammar.alphabet)
-        position, steps = self._index.resolve_element(element_index)
-        self.rules_inlined_total += grammar_updates.insert(
-            self._grammar, position, fragment,
-            grammar_index=self._index, steps=steps, spine=self._spine())
-        self._after_update()
+        with self._lock:
+            fragment = encode_forest(siblings, self._grammar.alphabet)
+            position, steps = self._index.resolve_element(element_index)
+            self.rules_inlined_total += grammar_updates.insert(
+                self._grammar, position, fragment,
+                grammar_index=self._index, steps=steps, spine=self._spine())
+            self._after_update()
 
     def append_child(
         self,
@@ -489,12 +514,13 @@ class CompressedXml:
         so the isolation never runs past the derivation.
         """
         siblings = [content] if isinstance(content, XmlNode) else list(content)
-        fragment = encode_forest(siblings, self._grammar.alphabet)
-        position = self._end_of_children_position(parent_element_index)
-        self.rules_inlined_total += grammar_updates.insert(
-            self._grammar, position, fragment, grammar_index=self._index,
-            spine=self._spine())
-        self._after_update()
+        with self._lock:
+            fragment = encode_forest(siblings, self._grammar.alphabet)
+            position = self._end_of_children_position(parent_element_index)
+            self.rules_inlined_total += grammar_updates.insert(
+                self._grammar, position, fragment, grammar_index=self._index,
+                spine=self._spine())
+            self._after_update()
 
     def _end_of_children_position(self, parent_element_index: int) -> int:
         """Binary preorder index of the parent's child-list terminator.
@@ -517,11 +543,89 @@ class CompressedXml:
         """
         if element_index == 0:
             raise UpdateError("deleting the document root is not allowed")
-        position, steps = self._index.resolve_element(element_index)
-        self.rules_inlined_total += grammar_updates.delete(
-            self._grammar, position, grammar_index=self._index, steps=steps,
-            spine=self._spine())
-        self._after_update()
+        with self._lock:
+            position, steps = self._index.resolve_element(element_index)
+            self.rules_inlined_total += grammar_updates.delete(
+                self._grammar, position, grammar_index=self._index,
+                steps=steps, spine=self._spine())
+            self._after_update()
+
+    # ------------------------------------------------------------------
+    # snapshots (MVCC read isolation)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SnapshotView:
+        """Pin the current epoch and return an immutable reader view.
+
+        The view answers the whole query/navigation/serialization
+        surface *as of now*, unaffected by any later update, batch,
+        reshard, or recompression -- see :class:`repro.view.SnapshotView`.
+        Close it (``with doc.snapshot() as view:``) to release the pin;
+        the copy-on-write overlay backing the pinned epoch is reclaimed
+        when its last view closes.
+        """
+        with self._lock:
+            return SnapshotView(self)
+
+    def mvcc_info(self) -> dict:
+        """Live epoch and pin accounting (operator introspection)."""
+        grammar = self._grammar
+        pins = grammar.pinned_epochs()
+        return {
+            "epoch": grammar.epoch,
+            "pinned_snapshots": sum(pins.values()),
+            "pinned_epochs": sorted(pins),
+            "oldest_pin_age_seconds": grammar.oldest_pin_age(),
+        }
+
+    # ------------------------------------------------------------------
+    # shard-scoped write locking
+    # ------------------------------------------------------------------
+    @property
+    def shard_locks(self) -> ShardLockTable:
+        """Per-shard commit locks (see :mod:`repro.grammar.concurrency`).
+
+        The document itself serializes in-memory mutation under its
+        write lock; these locks order full *commits* (WAL append + apply
+        + fsync in the durable layer) so batches on disjoint shards can
+        overlap their durability work while conflicting batches
+        serialize end-to-end.
+        """
+        return self._shard_locks
+
+    def shard_of(self, element_index: int) -> "Symbol":
+        """The spine rule owning an element (the deepest shard head on
+        its derivation path; the start rule when unsharded)."""
+        owner = self._grammar.start
+        if self._shards is None:
+            return owner
+        with self._lock:
+            _, steps = self._index.resolve_element(element_index)
+            spine = self._shards
+            for step in steps:
+                if step.enters_rule and step.node.symbol in spine:
+                    owner = step.node.symbol
+        return owner
+
+    def shard_heads_for(self, ops: Sequence[BatchOp]) -> "Set[Symbol]":
+        """The set of shard heads a batch will write.
+
+        Resolved against the current document state; used by concurrent
+        committers to acquire the right per-shard locks *before* the
+        commit.  Indices use the batch's sequential semantics, so later
+        ops' resolutions are approximations once earlier ops shift
+        indices -- safe for locking (the resolution is a superset
+        heuristic; the in-memory apply itself is still serialized), not
+        for addressing.
+        """
+        heads = set()
+        with self._lock:
+            for op in ops:
+                index = getattr(op, "index", None)
+                if index is None:
+                    index = op.parent_index
+                index = min(index, max(0, self.element_count - 1))
+                heads.add(self.shard_of(index))
+        return heads
 
     # ------------------------------------------------------------------
     # batch updates
@@ -567,38 +671,47 @@ class CompressedXml:
         the durability layer logs batches under, where replay must never
         reproduce a half-applied program.
         """
-        backup = self._transaction_backup() if transactional else None
-        try:
-            stats = execute_batch(
-                self._grammar, self._index, ops, spine=self._spine()
-            )
-        except Exception:
-            if backup is not None:
-                self._transaction_restore(backup)
+        with self._lock:
+            base_epoch = self._grammar.epoch
+            backup = self._transaction_backup() if transactional else None
+            try:
+                stats = execute_batch(
+                    self._grammar, self._index, ops, spine=self._spine()
+                )
+            except Exception:
+                if backup is not None:
+                    self._transaction_restore(backup)
+                    raise
+                # Error parity with the sequential loop requires the
+                # already-applied prefix to stay; keep its spine inside
+                # budget too.
+                self._reshard()
                 raise
-            # Error parity with the sequential loop requires the already-
-            # applied prefix to stay; keep its spine inside budget too.
+            if backup is not None:
+                self._transaction_release(backup)
+            self.updates_applied += stats.operations
+            self.batches_applied += 1
+            self.rules_inlined_total += stats.inlined_rules
             self._reshard()
-            raise
-        self.updates_applied += stats.operations
-        self.batches_applied += 1
-        self.rules_inlined_total += stats.inlined_rules
-        self._reshard()
-        self._maybe_auto_recompress()
-        return stats
+            self._maybe_auto_recompress()
+            stats.base_epoch = base_epoch
+            stats.commit_epoch = self._grammar.epoch
+            return stats
 
     def _transaction_backup(self):
-        """Capture everything a failed transactional batch must restore.
+        """Pin the pre-batch epoch as the rollback point.
 
-        Rule bodies are *deep*-copied: mid-batch resharding can reinstall
-        a live body object under a fresh head, so a shallow backup could
-        alias trees a later isolation step then mutates.  The grammar is
-        small (that is the whole point), so this is O(|G|).
+        The copy-on-write machinery behind reader snapshots doubles as
+        the transaction log: with the epoch pinned, every rule the batch
+        rewrites gets its pristine body preserved into the pin's overlay
+        before the first mutation (reads hook :meth:`Grammar.rhs`,
+        installs hook ``set_rule``/``remove_rule``).  Success costs
+        O(touched rules) lazy copies instead of the eager O(|G|) deep
+        copy of every body; only the rare failure path pays for the
+        restore.  The shard hierarchy's maps are tiny and have no CoW
+        channel, so they are still captured eagerly.
         """
-        rules = {
-            head: deep_copy(rhs)
-            for head, rhs in self._grammar.rules.items()
-        }
+        epoch = self._grammar.pin(rollback=True)
         shard = None
         if self._shards is not None:
             shard = (
@@ -606,27 +719,38 @@ class CompressedXml:
                 dict(self._shards._parent),
                 set(self._shards._touched),
             )
-        return rules, shard
+        return epoch, shard
+
+    def _transaction_release(self, backup) -> None:
+        """Drop the rollback pin after a committed batch."""
+        self._grammar.unpin(backup[0], rollback=True)
 
     def _transaction_restore(self, backup) -> None:
-        """Put the grammar and shard hierarchy back to the backup.
+        """Put the grammar and shard hierarchy back to the pinned epoch.
 
         Every restored rule goes through ``set_rule``, so the persistent
         indexes see ordinary per-rule change events and evict whatever
         the half-applied batch had polluted -- no wholesale reset.
+        Bodies are deep-copied on the way back in: a concurrent reader
+        snapshot pinned at the same epoch shares the overlay's preserved
+        trees, and reinstalling them live would let later writes mutate
+        what that reader sees.
         """
-        rules, shard = backup
+        epoch, shard = backup
         grammar = self._grammar
+        preserved = grammar.preserved_at(epoch)
         manager = self._shards
         if manager is not None:
             # The restore is not an update epoch: suppress the shard
             # observer (its maps are restored wholesale below).
             manager._resharding = True
         try:
-            for head in [h for h in grammar.rules if h not in rules]:
-                grammar.remove_rule(head)
-            for head, rhs in rules.items():
-                grammar.set_rule(head, rhs)
+            for head, body in preserved.items():
+                if body is None:
+                    if grammar.has_rule(head):
+                        grammar.remove_rule(head)
+                else:
+                    grammar.set_rule(head, deep_copy(body))
         finally:
             if manager is not None:
                 manager._resharding = False
@@ -634,6 +758,7 @@ class CompressedXml:
                 manager.heads = heads
                 manager._parent = parents
                 manager._touched = touched
+            grammar.unpin(epoch, rollback=True)
 
     def _after_update(self) -> None:
         self.updates_applied += 1
@@ -653,7 +778,12 @@ class CompressedXml:
         if self._auto_factor is None:
             return
         if self._size.total > self._auto_factor * self._last_compressed_size:
-            self.recompress(full=self._scoped_census_unprofitable())
+            # Called mid-commit (already under the document lock, and in
+            # concurrent mode under the spine gate's *shared* side), so
+            # this must not route through the public recompress() and
+            # its exclusive-gate acquisition.  The commit lock above us
+            # serializes all applies, which is barrier enough.
+            self._recompress_locked(self._scoped_census_unprofitable())
 
     def _scoped_census_unprofitable(self) -> Optional[bool]:
         """Auto-recompress policy: scope the census to the dirty rules
@@ -693,8 +823,23 @@ class CompressedXml:
         never compressed does this automatically, as does a document
         constructed with ``incremental_recompress=False``, which also
         restores the historical wholesale index reset).
+
+        An explicit recompression is a whole-document barrier: it takes
+        the shard spine gate exclusively, draining in-flight
+        shard-scoped commits and holding new ones out until the rewrite
+        finishes.
         """
+        with self._shard_locks.spine.exclusive():
+            with self._lock:
+                return self._recompress_locked(full)
+
+    def _recompress_locked(self, full: Optional[bool]) -> int:
         started = time.perf_counter()
+        # GrammarRePair's warm occurrence lists may rewrite a body this
+        # run never re-read, which would defeat the read-triggered
+        # copy-on-write preservation -- so with snapshots pinned, every
+        # pristine body is preserved up front.
+        self._grammar.preserve_all()
         if full is None:
             full = not (self._incremental and self._baselined)
         compressor = GrammarRePair(
@@ -733,6 +878,10 @@ class CompressedXml:
         )
         # Compression only shrinks rule bodies; shards that fell below
         # the merge threshold are folded back into their parents here.
+        # Merge damping is dropped first: this thinning is compression,
+        # not traffic churn (see ShardManager.recompression_settled).
+        if self._shards is not None:
+            self._shards.recompression_settled()
         self._reshard()
         return self._size.total
 

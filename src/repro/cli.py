@@ -170,6 +170,16 @@ def _run_durable(args, DurableXml) -> int:
                   f"{'yes (read-only)' if store.degraded else 'no'}")
             print(f"elements:    {store.element_count}")
             print(f"c-edges:     {store.compressed_size}")
+            mvcc = store.mvcc_info()
+            print(f"epoch:       {mvcc['epoch']}")
+            pins = mvcc["pinned_snapshots"]
+            if pins:
+                age = mvcc["oldest_pin_age_seconds"]
+                print(f"snapshots:   {pins} pinned "
+                      f"(oldest epoch {min(mvcc['pinned_epochs'])}, "
+                      f"age {age:.1f}s)")
+            else:
+                print("snapshots:   0 pinned")
         elif action == "update":
             operation = args.args[0]
             if operation == "rename":

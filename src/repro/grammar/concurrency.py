@@ -1,0 +1,117 @@
+"""Lock hierarchy for shard-scoped concurrent commits.
+
+Shards (:mod:`repro.grammar.sharding`) are single-reference spine
+subtrees -- disjoint write domains -- so two batches that touch
+different shards may commit in parallel; batches that meet on a shard
+must serialize, and whole-document maintenance (an explicit full
+recompression, a checkpoint cutover) needs a barrier against every
+in-flight commit.  Three layers, always acquired top-down:
+
+1. the **spine gate** (:class:`SpineGate`): shared by every shard-scoped
+   commit, exclusive for reshard/recompress-style barriers;
+2. **per-shard locks** (:class:`ShardLockTable`): one ``threading.Lock``
+   per spine rule head, acquired in sorted order (deadlock-free) for
+   all shards a batch touches;
+3. whatever the caller serializes below (the durable layer's commit
+   lock, the document's write lock, the grammar's version lock).
+
+The table is policy-free: it never inspects the grammar.  Mapping a
+batch to its shard heads is the document layer's job
+(:meth:`repro.api.CompressedXml.shard_heads_for`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator
+
+from repro.trees.symbols import Symbol
+
+__all__ = ["ShardLockTable", "SpineGate"]
+
+
+class SpineGate:
+    """A reader-writer gate over the shard spine.
+
+    ``shared()`` admits any number of concurrent holders (shard-scoped
+    commits); ``exclusive()`` waits out the holders and blocks new ones
+    (reshard/recompress/checkpoint barriers).  Writers are preferred:
+    once an exclusive acquisition is pending, new shared entries wait,
+    so a barrier cannot starve under a steady commit stream.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._shared = 0
+        self._exclusive = False
+
+    @contextmanager
+    def shared(self) -> Iterator[None]:
+        with self._cond:
+            while self._exclusive:
+                self._cond.wait()
+            self._shared += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._shared -= 1
+                if self._shared == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        with self._cond:
+            while self._exclusive:
+                self._cond.wait()
+            self._exclusive = True
+            while self._shared:
+                self._cond.wait()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._exclusive = False
+                self._cond.notify_all()
+
+
+class ShardLockTable:
+    """One lock per shard head, acquired in sorted order.
+
+    Locks are minted on first use and never retired: a shard head that
+    was merged away keeps a (cheap, uncontended) lock behind, which
+    spares every acquisition a registration dance with the reshard
+    policy.
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._locks: Dict[Symbol, threading.Lock] = {}
+        self.spine = SpineGate()
+
+    def lock_for(self, head: Symbol) -> threading.Lock:
+        with self._guard:
+            return self._locks.setdefault(head, threading.Lock())
+
+    @contextmanager
+    def holding(self, heads: Iterable[Symbol]) -> Iterator[None]:
+        """Hold the locks of every given shard head (sorted acquisition).
+
+        Duplicates are collapsed; the empty set is a no-op.  Nest only
+        inside :meth:`SpineGate.shared` -- never acquire the gate's
+        exclusive side while holding shard locks.
+        """
+        ordered = sorted(set(heads), key=lambda symbol: symbol.name)
+        locks = [self.lock_for(head) for head in ordered]
+        for lock in locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._locks)

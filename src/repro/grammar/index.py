@@ -124,6 +124,11 @@ class GrammarIndex:
         # Reverse call edges registered at computation time: callee -> rule
         # heads whose cached tables were derived from it.
         self._dependents: Dict[Symbol, Set[Symbol]] = {}
+        # Memoized ``_locate_element`` descents.  Relabels change neither
+        # subtree sizes nor node identities, so a located path stays
+        # valid across rename traffic (the hot case: repeated point
+        # updates to the same region); any structural change clears it.
+        self._locations: Dict[Tuple[int, bool], tuple] = {}
         # Eviction instrumentation: per-rule evictions through the observer
         # channel vs wholesale resets.  Dirty-rule-scoped recompression is
         # asserted against these (untouched rules must keep their tables).
@@ -165,6 +170,7 @@ class GrammarIndex:
         walking the dependent closure is sound.  Uncached rules are clean
         by definition (they recompute lazily).
         """
+        self._locations.clear()
         stack = [head]
         while stack:
             current = stack.pop()
@@ -182,6 +188,7 @@ class GrammarIndex:
         self._elem_segments.clear()
         self._tables.clear()
         self._dependents.clear()
+        self._locations.clear()
         self.wholesale_invalidations += 1
 
     @property
@@ -461,6 +468,18 @@ class GrammarIndex:
                 f"({total} elements)"
             )
         grammar = self._grammar
+        key = (element_index, track_axes)
+        cached = self._locations.get(key)
+        if cached is not None and not getattr(grammar, "_reader_pins", 0):
+            # Cache hits are disabled while *reader* snapshots are
+            # pinned: the descent's ``rhs()`` reads double as the
+            # copy-on-write preservation points for the rules an update
+            # is about to rewrite in place, and a memoized path would
+            # skip them.  Transaction-rollback pins don't count -- the
+            # batch machinery preserves every rule it rewrites through
+            # its own reads (see :meth:`Grammar.pin`).
+            position, node, env, table, steps, parent, depth = cached
+            return position, node, env, table, list(steps), parent, depth
         node = grammar.rhs(grammar.start)
         table = self._tables[grammar.start]
         env: Tuple[_Binding, ...] = ()
@@ -482,6 +501,12 @@ class GrammarIndex:
                 if is_element:
                     if remaining == 0:
                         steps.append(PathStep(node, enters_rule=False))
+                        if len(self._locations) >= 4096:
+                            self._locations.clear()
+                        self._locations[key] = (
+                            position, node, env, table, tuple(steps),
+                            parent, depth,
+                        )
                         return position, node, env, table, steps, parent, depth
                     remaining -= 1
                 position += 1

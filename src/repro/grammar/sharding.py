@@ -63,7 +63,10 @@ from repro.grammar.slcf import Grammar, GrammarError
 from repro.trees.node import Node, node_count
 from repro.trees.symbols import Symbol
 
-__all__ = ["ShardManager", "ShardStats", "DEFAULT_SHARD_WIDTH", "MIN_SHARD_WIDTH"]
+__all__ = [
+    "ShardManager", "ShardStats", "DEFAULT_SHARD_WIDTH",
+    "DEFAULT_MERGE_HYSTERESIS", "MIN_SHARD_WIDTH",
+]
 
 #: Default width budget (RHS nodes) for spine rules.  At the EXI-Weblog
 #: benchmark scale this keeps isolation and index recompute around a few
@@ -73,6 +76,14 @@ DEFAULT_SHARD_WIDTH = 256
 #: Widths below this make the heavy-path cut degenerate (a cut must be
 #: able to carve out a multi-node subtree strictly inside the rule body).
 MIN_SHARD_WIDTH = 8
+
+#: Split/merge hysteresis: a shard minted (or re-shaped) by a split is
+#: not merged back for this many subsequent reshard passes.  Append
+#: traffic that oscillates a rule around the width budget otherwise
+#: thrashes -- bench_shard showed splits ~ merges ~ 70 per 2k appends --
+#: paying an O(width) inline for work the next pass redoes.  Zero
+#: disables the damping (the historical eager-merge behavior).
+DEFAULT_MERGE_HYSTERESIS = 4
 
 
 @dataclass
@@ -96,6 +107,17 @@ class ShardStats:
     #: Shard heads removed by garbage collection (a delete took the whole
     #: shard subtree with it) rather than by an explicit merge.
     collected: int = 0
+    #: Merges the split/merge hysteresis suppressed: the shard was under
+    #: the merge threshold but had been split-minted within the last
+    #: ``merge_hysteresis`` rebalancing epochs.
+    merges_suppressed: int = 0
+    #: Reshard passes that performed at least one split or merge.  This
+    #: -- not ``reshard_runs`` -- is the hysteresis clock: reshard runs
+    #: after *every* update epoch (usually finding nothing to do), so a
+    #: pass-counted window would expire within a handful of updates;
+    #: counting structural events makes "the last K passes" mean "the
+    #: last K times the hierarchy actually moved".
+    rebalance_epochs: int = 0
     #: The most recent rebalancing actions (debugging aid).  Bounded: a
     #: long-lived document performs one action per drifted rule forever,
     #: and the manager must not accumulate memory alongside the
@@ -127,6 +149,7 @@ class ShardManager:
         grammar: Grammar,
         width: int = DEFAULT_SHARD_WIDTH,
         prefix: str = "Sp",
+        merge_hysteresis: int = DEFAULT_MERGE_HYSTERESIS,
     ) -> None:
         if width < MIN_SHARD_WIDTH:
             raise ValueError(
@@ -135,11 +158,20 @@ class ShardManager:
         self._grammar = grammar
         self.width = width
         self.prefix = prefix
+        self.merge_hysteresis = merge_hysteresis
         self.heads: Set[Symbol] = set()
         # shard head -> spine rule whose RHS holds its single reference.
         self._parent: Dict[Symbol, Symbol] = {}
         # Spine rules mutated since the last reshard (observer-fed).
         self._touched: Set[Symbol] = set()
+        # shard head -> reshard pass (stats.reshard_runs value) in which a
+        # split minted or re-shaped it; merges are damped against it.
+        self._split_pass: Dict[Symbol, int] = {}
+        # Heads whose merge the window suppressed: reshard() only
+        # examines touched rules, and a suppressed shard may never be
+        # touched again -- recompression_settled() re-queues these so
+        # the post-compression consolidation pass reconsiders them.
+        self._merge_deferred: Set[Symbol] = set()
         # Reentrancy guard: the manager's own splits/merges fire observer
         # notifications (for the indexes); they must not re-dirty us.
         self._resharding = False
@@ -159,6 +191,7 @@ class ShardManager:
         prefix: str,
         heads: Set[Symbol],
         parents: Dict[Symbol, Symbol],
+        merge_hysteresis: int = DEFAULT_MERGE_HYSTERESIS,
     ) -> "ShardManager":
         """Re-attach a manager to a grammar whose shard hierarchy already
         exists (loaded from a snapshot) -- without the constructor's
@@ -177,9 +210,12 @@ class ShardManager:
         self._grammar = grammar
         self.width = width
         self.prefix = prefix
+        self.merge_hysteresis = merge_hysteresis
         self.heads = set(heads)
         self._parent = dict(parents)
         self._touched = set()
+        self._split_pass = {}
+        self._merge_deferred = set()
         self._resharding = False
         self.stats = ShardStats()
         for head in self.heads:
@@ -395,6 +431,7 @@ class ShardManager:
         if parent is None:
             grammar.set_rule(owner, reference)
         else:
+            grammar.preserve_for_write(owner)
             parent.set_child(application.child_index(), reference)
             grammar.notify_rule_changed(owner)
         self.heads.discard(head)
@@ -429,6 +466,12 @@ class ShardManager:
         grammar = self._grammar
         stats = self.stats
         stats.reshard_runs += 1
+        if self._split_pass:
+            # Expired hysteresis marks (and heads merged/collected away).
+            horizon = stats.rebalance_epochs - self.merge_hysteresis
+            for head in [h for h, p in self._split_pass.items()
+                         if p < horizon or h not in self.heads]:
+                del self._split_pass[head]
         actions = 0
         upper = 2 * self.width
         lower = self.width // 2
@@ -453,6 +496,18 @@ class ShardManager:
                         # the parent may now be oversized itself.
                         work.append(owner)
                 elif head in self.heads and width < lower:
+                    # Hysteresis never holds a critically small shard.
+                    # In the binary encoding a shard down to one leaf
+                    # element has body ``elem(⊥, y1)`` -- 3 nodes --
+                    # and deleting that element would leave the bare
+                    # parameter SLCF rejects.  Leaf deletes shrink a
+                    # body 2 nodes at a time through a reshard pass
+                    # each, so merging unconditionally at width <= 3
+                    # always fires before the fatal delete.
+                    if width > 3 and self._merge_suppressed(head):
+                        stats.merges_suppressed += 1
+                        self._merge_deferred.add(head)
+                        continue
                     owner = self._merge(head)
                     if owner is not None:
                         actions += 1
@@ -461,7 +516,44 @@ class ShardManager:
                         work.append(owner)
         finally:
             self._resharding = False
+        if actions:
+            stats.rebalance_epochs += 1
         return actions
+
+    def recompression_settled(self) -> None:
+        """Forget the merge-damping marks after a recompression.
+
+        The suppression window damps *traffic* churn -- appends and
+        deletes oscillating a shard around the width budget.  A
+        recompression re-derives body widths wholesale: a shard it
+        pushed under the merge threshold is thin because its content
+        compressed, not because a dip is about to refill it.  Holding
+        such shards apart freezes the post-compression consolidation
+        (the hysteresis clock only advances on passes that do work,
+        which suppression prevents) and lets the reference depth
+        ratchet up under sustained appends; dropping the marks lets the
+        very next reshard pass fold them back into their parents.
+
+        Suppressed heads are re-queued as touched work: a shard whose
+        merge was declined while the window was open may never be
+        touched by traffic again, and the consolidation pass only
+        examines touched rules.
+        """
+        self._split_pass.clear()
+        self._touched |= self._merge_deferred
+        self._merge_deferred = set()
+
+    def _merge_suppressed(self, head: Symbol) -> bool:
+        """Damp split/merge thrash: a head split-minted within the last
+        ``merge_hysteresis`` rebalancing epochs (reshard passes that
+        did structural work) stays put even while under the merge
+        threshold (append traffic will likely refill it)."""
+        minted = self._split_pass.get(head)
+        return (
+            minted is not None
+            and self.stats.rebalance_epochs - minted
+            < self.merge_hysteresis
+        )
 
     # ------------------------------------------------------------------
     # splitting
@@ -487,6 +579,7 @@ class ShardManager:
         """
         grammar = self._grammar
         before = self.stats.shards_created
+        before_heads = set(self.heads)
         body = grammar.rhs(owner)
         parent_head = self._parent.get(owner)
         recheck: Optional[Symbol] = None
@@ -504,6 +597,15 @@ class ShardManager:
                 self._graft(owner, parent_head, built)
                 recheck = parent_head
         created = self.stats.shards_created - before
+        # Hysteresis marks: everything this split minted (and the split
+        # rule itself, when it survived as a shard) starts a merge
+        # grace period -- see _merge_suppressed.
+        minted_at = self.stats.rebalance_epochs
+        for head in self.heads:
+            if head not in before_heads:
+                self._split_pass[head] = minted_at
+        if owner in self.heads:
+            self._split_pass[owner] = minted_at
         self.stats.splits += 1
         self.stats.history.append(
             f"split {owner.name}[{owner_width}] +{created}"

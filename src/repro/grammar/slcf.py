@@ -29,6 +29,8 @@ index treats it as a local change.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.trees.node import Node, deep_copy, edge_count, node_count
@@ -39,6 +41,51 @@ __all__ = ["Grammar", "GrammarError", "RuleTouchRecorder", "GrammarSizeTracker"]
 
 class GrammarError(ValueError):
     """Raised when a grammar violates the SLCF model."""
+
+
+class _Missing:
+    """Overlay sentinel: the rule did not exist at the pinned epoch."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing-at-epoch>"
+
+
+_MISSING = _Missing()
+
+
+class _CowRuleTable(dict):
+    """The grammar's rule ``dict`` with copy-on-write preservation hooks.
+
+    Every in-place rewrite in this code base *reads* the rule body it is
+    about to mutate -- through :meth:`Grammar.rhs` or through this
+    mapping -- before the first surgery on it (path isolation descends
+    via ``rhs``, digram replacement scans bodies it fetched here, the
+    shard manager inspects ``rhs`` before splitting).  Hooking the reads
+    therefore suffices to preserve the pre-image of a rule into every
+    pinned epoch's overlay *before* it can change.  The one known
+    violator -- GrammarRePair's warm occurrence lists, which let a later
+    run mutate a body it only read in an earlier run -- is covered by an
+    explicit :meth:`Grammar.preserve_all` barrier in ``recompress``.
+
+    With no pins outstanding the hook is a single attribute check on
+    top of the plain ``dict`` operation.
+    """
+
+    __slots__ = ("grammar",)
+
+    def __getitem__(self, head):
+        grammar = self.grammar
+        if grammar._pins:
+            grammar._preserve(head)
+        return dict.__getitem__(self, head)
+
+    def get(self, head, default=None):
+        grammar = self.grammar
+        if grammar._pins:
+            grammar._preserve(head)
+        return dict.get(self, head, default)
 
 
 class RuleTouchRecorder:
@@ -133,7 +180,11 @@ class Grammar:
     drawn.
     """
 
-    __slots__ = ("alphabet", "start", "rules", "_observers")
+    __slots__ = (
+        "alphabet", "start", "rules", "_observers",
+        "epoch", "_pins", "_overlays", "_pin_times", "_version_lock",
+        "_reader_pins", "_reader_pins_at",
+    )
 
     def __init__(self, alphabet: Alphabet, start: Symbol) -> None:
         if not start.is_nonterminal:
@@ -142,8 +193,27 @@ class Grammar:
             raise GrammarError(f"start symbol {start!r} must have rank 0")
         self.alphabet = alphabet
         self.start = start
-        self.rules: Dict[Symbol, Node] = {}
+        self.rules: Dict[Symbol, Node] = _CowRuleTable()
+        self.rules.grammar = self
         self._observers: List[object] = []
+        #: Monotone version counter, bumped on every mutation event
+        #: (install, removal, in-place rewrite, relabel).  Pinning the
+        #: current epoch freezes the grammar as observed *now*.
+        self.epoch = 0
+        self._pins: Dict[int, int] = {}
+        self._overlays: Dict[int, Dict[Symbol, object]] = {}
+        self._pin_times: Dict[int, float] = {}
+        #: Pins held by reader snapshots (vs transaction-rollback pins),
+        #: total and per epoch.  Resolution caches may be consulted only
+        #: when no reader pins exist: a reader pin makes the resolution
+        #: descent's ``rhs()`` reads load-bearing as copy-on-write
+        #: preservation points.  Conversely, an overlay whose epoch has
+        #: *only* rollback pins skips read-triggered preservation
+        #: entirely -- the batch machinery preserves at its write points
+        #: -- so the happy path of a transaction copies nothing.
+        self._reader_pins = 0
+        self._reader_pins_at: Dict[int, int] = {}
+        self._version_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # construction
@@ -174,15 +244,21 @@ class Grammar:
             raise GrammarError(
                 "a right-hand side must not be a single parameter node"
             )
+        if self._pins:
+            self._preserve(nonterminal, for_write=True)
         rhs.parent = None
-        self.rules[nonterminal] = rhs
+        dict.__setitem__(self.rules, nonterminal, rhs)
+        self.epoch += 1
         for observer in self._observers:
             observer.rule_changed(nonterminal)
 
     def remove_rule(self, nonterminal: Symbol) -> None:
         if nonterminal is self.start:
             raise GrammarError("cannot remove the start rule")
+        if self._pins:
+            self._preserve(nonterminal, for_write=True)
         del self.rules[nonterminal]
+        self.epoch += 1
         for observer in self._observers:
             observer.rule_removed(nonterminal)
 
@@ -212,6 +288,7 @@ class Grammar:
         inside an installed RHS (path isolation, digram replacement,
         inlining) must call this so registered indexes stay correct.
         """
+        self.epoch += 1
         for observer in self._observers:
             observer.rule_changed(nonterminal)
 
@@ -226,6 +303,7 @@ class Grammar:
         recorders must all still see the mutation (relabels do change
         digrams and label counts).
         """
+        self.epoch += 1
         for observer in self._observers:
             relabeled = getattr(observer, "rule_relabeled", None)
             if relabeled is not None:
@@ -234,11 +312,227 @@ class Grammar:
                 observer.rule_changed(nonterminal)
 
     # ------------------------------------------------------------------
+    # MVCC: pinned epochs and copy-on-write overlays
+    # ------------------------------------------------------------------
+    #
+    # ``pin()`` freezes the grammar as of the current epoch.  Mutations
+    # keep rewriting the live rule bodies in place (so node identities
+    # -- the keys of every id()-keyed index table -- never change), but
+    # before the *first* rewrite of a rule after a pin, the rule's
+    # pristine body is deep-copied into the pinned epoch's overlay.  A
+    # reader resolves a rule through ``rule_at``: overlay hit if the
+    # rule changed since the pin, otherwise a lazily-made private copy
+    # of the (still pristine) live body.  Readers therefore never hold
+    # a reference to a body a writer may mutate.  When the last pin on
+    # an epoch drops, its overlay is garbage.
+
+    def pin(self, rollback: bool = False) -> int:
+        """Pin the current epoch; returns the epoch number.
+
+        Call only between operations (the document layer holds its
+        write lock around this, so no mutation is mid-flight).
+        ``rollback`` marks a transaction-rollback pin: it fills the same
+        overlay, but does not count as a *reader* -- resolution caches
+        stay consultable, because every mutation path of a batch
+        preserves the rules it rewrites on its own (``isolate_many``
+        reads each walked spine rule, ``inline_at`` each callee,
+        ``set_rule``/``remove_rule`` preserve directly).
+        """
+        with self._version_lock:
+            epoch = self.epoch
+            count = self._pins.get(epoch, 0)
+            self._pins[epoch] = count + 1
+            if not rollback:
+                self._reader_pins += 1
+                self._reader_pins_at[epoch] = \
+                    self._reader_pins_at.get(epoch, 0) + 1
+            if count == 0:
+                self._overlays[epoch] = {}
+                self._pin_times[epoch] = time.monotonic()
+            return epoch
+
+    def unpin(self, epoch: int, rollback: bool = False) -> None:
+        """Drop one pin; the overlay is freed with the last pin."""
+        with self._version_lock:
+            count = self._pins.get(epoch)
+            if count is None:
+                raise GrammarError(f"epoch {epoch} is not pinned")
+            if not rollback:
+                self._reader_pins -= 1
+                remaining = self._reader_pins_at.get(epoch, 0) - 1
+                if remaining <= 0:
+                    self._reader_pins_at.pop(epoch, None)
+                else:
+                    self._reader_pins_at[epoch] = remaining
+            if count == 1:
+                del self._pins[epoch]
+                del self._overlays[epoch]
+                del self._pin_times[epoch]
+            else:
+                self._pins[epoch] = count - 1
+
+    def _preserve(self, head: Symbol, for_write: bool = False) -> None:
+        """Copy ``head``'s pristine body into every overlay lacking it.
+
+        An overlay lacking ``head`` means the rule has not changed since
+        that epoch was pinned -- so one deep copy of the current live
+        body serves every lacking overlay (they all pinned the same
+        content).  First preservation wins; later calls are no-ops.
+
+        Read-triggered calls (``for_write=False``) fill only overlays
+        some *reader* pinned: reads are conservative (a descent touches
+        every spine rule on its path, mutation or not), and an epoch
+        pinned purely for transaction rollback would pay a deep copy
+        per walked rule per batch for an overlay that is discarded
+        unread on commit.  Write points pass ``for_write=True`` and
+        fill every overlay -- rollback needs exactly the rules actually
+        rewritten.
+        """
+        with self._version_lock:
+            if for_write:
+                lacking = [
+                    overlay for overlay in self._overlays.values()
+                    if head not in overlay
+                ]
+            else:
+                readers = self._reader_pins_at
+                lacking = [
+                    overlay for epoch, overlay in self._overlays.items()
+                    if head not in overlay and epoch in readers
+                ]
+            if not lacking:
+                return
+            live = dict.get(self.rules, head)
+            preserved = _MISSING if live is None else deep_copy(live)
+            for overlay in lacking:
+                overlay[head] = preserved
+
+    def preserve_for_write(self, head: Symbol) -> None:
+        """Preserve ``head`` ahead of an in-place rewrite of its body.
+
+        Mutation paths that splice or relabel inside an installed RHS
+        (bypassing :meth:`set_rule`) must call this before the first
+        rewrite: it is what makes a transaction-rollback overlay
+        complete, and it backstops reader overlays when no hooked read
+        preceded the rewrite.  No-op without pins; first call wins.
+        """
+        if self._pins:
+            self._preserve(head, for_write=True)
+
+    def preserve_all(self) -> None:
+        """Preserve every rule into every lacking overlay.
+
+        Barrier for mutation paths that do *not* re-read a body before
+        rewriting it (GrammarRePair's warm occurrence lists); called by
+        the recompressor before a run while snapshots are pinned.
+        """
+        if not self._pins:
+            return
+        with self._version_lock:
+            for head in list(dict.keys(self.rules)):
+                self._preserve(head, for_write=True)
+
+    def rule_at(self, epoch: int, head: Symbol) -> Node:
+        """``head``'s body as of pinned ``epoch`` (immutable to writers).
+
+        Falls through to a private copy of the live body when the rule
+        has not changed since the pin; the copy is cached in the overlay
+        so repeated reads (and id()-keyed snapshot indexes) see one
+        stable object.
+        """
+        with self._version_lock:
+            try:
+                overlay = self._overlays[epoch]
+            except KeyError:
+                raise GrammarError(f"epoch {epoch} is not pinned") from None
+            body = overlay.get(head)
+            if body is None and head not in overlay:
+                live = dict.get(self.rules, head)
+                body = _MISSING if live is None else deep_copy(live)
+                overlay[head] = body
+            if body is _MISSING:
+                raise GrammarError(
+                    f"no rule for nonterminal {head!r} at epoch {epoch}"
+                )
+            return body
+
+    def has_rule_at(self, epoch: int, head: Symbol) -> bool:
+        with self._version_lock:
+            try:
+                overlay = self._overlays[epoch]
+            except KeyError:
+                raise GrammarError(f"epoch {epoch} is not pinned") from None
+            if head in overlay:
+                return overlay[head] is not _MISSING
+            return head in self.rules
+
+    def heads_at(self, epoch: int) -> List[Symbol]:
+        """Rule heads as of pinned ``epoch`` (live order, removed last)."""
+        with self._version_lock:
+            try:
+                overlay = self._overlays[epoch]
+            except KeyError:
+                raise GrammarError(f"epoch {epoch} is not pinned") from None
+            heads = [
+                head for head in dict.keys(self.rules)
+                if overlay.get(head) is not _MISSING
+            ]
+            live = self.rules
+            heads.extend(
+                head for head, body in overlay.items()
+                if body is not _MISSING and head not in live
+            )
+            return heads
+
+    def preserved_at(self, epoch: int) -> Dict[Symbol, Optional[Node]]:
+        """The rules rewritten since ``epoch`` was pinned, with their
+        pristine pinned bodies (``None`` for a rule that did not exist).
+
+        This is the transaction-rollback surface: every mutation path
+        preserves a rule before its first post-pin rewrite (reads
+        through :meth:`rhs`/the rule table hook it, :meth:`set_rule` and
+        :meth:`remove_rule` do it directly), so after a half-applied
+        batch the overlay holds exactly the pre-batch bodies to restore.
+        The returned bodies may be shared with concurrent reader
+        snapshots of the same epoch -- callers reinstalling them must
+        deep-copy.
+        """
+        with self._version_lock:
+            try:
+                overlay = self._overlays[epoch]
+            except KeyError:
+                raise GrammarError(f"epoch {epoch} is not pinned") from None
+            return {
+                head: (None if body is _MISSING else body)
+                for head, body in overlay.items()
+            }
+
+    def pinned_epochs(self) -> Dict[int, int]:
+        """Pinned epoch -> reference count (a copy)."""
+        with self._version_lock:
+            return dict(self._pins)
+
+    @property
+    def pin_count(self) -> int:
+        """Total outstanding pins across all epochs."""
+        with self._version_lock:
+            return sum(self._pins.values())
+
+    def oldest_pin_age(self) -> Optional[float]:
+        """Seconds since the oldest still-pinned epoch was pinned."""
+        with self._version_lock:
+            if not self._pin_times:
+                return None
+            return time.monotonic() - min(self._pin_times.values())
+
+    # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
     def rhs(self, nonterminal: Symbol) -> Node:
+        if self._pins:
+            self._preserve(nonterminal)
         try:
-            return self.rules[nonterminal]
+            return dict.__getitem__(self.rules, nonterminal)
         except KeyError:
             raise GrammarError(f"no rule for nonterminal {nonterminal!r}") from None
 

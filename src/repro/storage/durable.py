@@ -15,6 +15,16 @@ record's start offset and leaves the in-memory document untouched
 (single ops are exception-safe; batches run transactionally), so a
 failed operation is a no-op both on disk and in memory.
 
+``group_commit=True`` switches to the pipelined variant of the same
+protocol for multi-threaded writers: append (no fsync) + apply run
+under a short commit lock -- WAL order is apply order, and the
+WAL-append-before-epoch-publish rule still holds -- while the fsync
+runs outside it under shard-scoped locks, so commits on disjoint
+shards overlap and coalesce their fsyncs
+(:meth:`repro.storage.wal.SegmentedWal.sync_to`) and checkpoints
+serialize from a pinned snapshot view without blocking the commit
+stream (:meth:`DurableXml._checkpoint_concurrent`).
+
 Disk faults: the WAL layer absorbs *transient* I/O errors with bounded
 retry/backoff; when an append (or its rollback) fails *persistently*
 the store flips into **read-only degraded mode** -- reads keep serving
@@ -44,6 +54,7 @@ without touching the disk.
 from __future__ import annotations
 
 import os
+import threading
 from typing import List, Optional, Sequence, Union, TYPE_CHECKING
 
 from repro.storage.faults import RetryPolicy, StorageIO
@@ -145,6 +156,7 @@ class DurableXml:
         checkpoint_wal_bytes: int,
         wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         retry: Optional[RetryPolicy] = None,
+        group_commit: bool = False,
     ) -> None:
         self._doc = doc
         self._layout = StoreLayout(directory)
@@ -155,6 +167,19 @@ class DurableXml:
         self._wal_segment_bytes = wal_segment_bytes
         self._retry = retry
         self._degraded_cause: Optional[BaseException] = None
+        #: Pipelined group commit (see :meth:`_commit_group`): commits
+        #: from multiple threads write + apply under one short lock and
+        #: fsync outside it, coalescing; disjoint-shard commits overlap
+        #: their fsyncs, same-shard commits serialize on shard locks.
+        self._group_commit = group_commit
+        self._commit_lock = threading.Lock()
+        self._checkpoint_lock = threading.Lock()
+        #: The generation the next checkpoint cutover targets.  Runs
+        #: ahead of ``_generation`` when a concurrent checkpoint failed
+        #: after its WAL cutover (the chain of that never-manifested
+        #: generation holds live records; recovery's continuation
+        #: replay folds it back in).
+        self._next_generation = generation + 1
         #: Populated by :meth:`open` with what recovery had to do.
         self.last_recovery: Optional[RecoveredDocument] = None
         #: The most recent auto-checkpoint (or post-commit-point
@@ -176,6 +201,7 @@ class DurableXml:
         wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         retry: Optional[RetryPolicy] = None,
         overwrite: bool = False,
+        group_commit: bool = False,
     ) -> "DurableXml":
         """Initialize a new store directory around ``document``.
 
@@ -198,7 +224,8 @@ class DurableXml:
                            segment_bytes=wal_segment_bytes, retry=retry)
         write_manifest(directory, 0, io=io)
         return cls(document, directory, wal, 0, io, checkpoint_wal_bytes,
-                   wal_segment_bytes=wal_segment_bytes, retry=retry)
+                   wal_segment_bytes=wal_segment_bytes, retry=retry,
+                   group_commit=group_commit)
 
     @classmethod
     def from_xml(
@@ -210,6 +237,7 @@ class DurableXml:
         wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         retry: Optional[RetryPolicy] = None,
         overwrite: bool = False,
+        group_commit: bool = False,
         **doc_kwargs,
     ) -> "DurableXml":
         """Compress ``text`` and :meth:`create` a store around it."""
@@ -223,6 +251,7 @@ class DurableXml:
             wal_segment_bytes=wal_segment_bytes,
             retry=retry,
             overwrite=overwrite,
+            group_commit=group_commit,
         )
 
     @classmethod
@@ -233,6 +262,7 @@ class DurableXml:
         checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
         wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         retry: Optional[RetryPolicy] = None,
+        group_commit: bool = False,
         **doc_kwargs,
     ) -> "DurableXml":
         """Recover an existing store (newest snapshot + chain replay).
@@ -241,7 +271,11 @@ class DurableXml:
         generation, an immediate checkpoint re-establishes a healthy
         newest image before any new commits are accepted.  (A dropped
         tail record needs no checkpoint: the truncation already left
-        the disk consistent.)
+        the disk consistent.)  When recovery found *continuation*
+        generations -- WAL chains a group-commit checkpoint cut over to
+        whose manifest switch never landed -- the store adopts the
+        newest chain and folds the whole tail into a fresh generation
+        with an immediate checkpoint.
         """
         if io is None:
             io = StorageIO()
@@ -250,9 +284,17 @@ class DurableXml:
                          retry=retry, **doc_kwargs)
         self = cls(result.doc, directory, result.wal, result.generation,
                    io, checkpoint_wal_bytes,
-                   wal_segment_bytes=wal_segment_bytes, retry=retry)
+                   wal_segment_bytes=wal_segment_bytes, retry=retry,
+                   group_commit=group_commit)
         self.last_recovery = result
-        if result.degraded:
+        if result.continuation_generations:
+            # The live state is snapshot.g + wal.g + the continuation
+            # chains in order; appends now flow to the newest chain.
+            # Checkpointing from here writes one snapshot covering the
+            # whole sequence and retires the multi-chain shape.
+            self._generation = result.continuation_generations[-1]
+            self._next_generation = self._generation + 1
+        if result.degraded or result.continuation_generations:
             self.checkpoint()
         return self
 
@@ -270,8 +312,16 @@ class DurableXml:
                 cause=self._degraded_cause,
             )
 
-    def _commit(self, record: dict):
-        """WAL-first: persist the record, then apply it in memory."""
+    def _commit(self, record: dict, heads: Optional[Sequence] = None):
+        """WAL-first: persist the record, then apply it in memory.
+
+        Dispatches to :meth:`_commit_group` in group-commit mode;
+        ``heads`` are the shard heads the operation touches (resolved
+        by the mutator wrappers, only when group commit is on).
+        """
+        if self._group_commit:
+            return self._commit_group(record,
+                                      heads if heads is not None else ())
         self._require_writable()
         try:
             token = self._wal.append(record)
@@ -306,9 +356,76 @@ class DurableXml:
         self._maybe_checkpoint()
         return result
 
+    def _commit_group(self, record: dict, heads: Sequence):
+        """The pipelined commit path (``group_commit=True``).
+
+        Lock order: spine gate (shared) -> shard locks (sorted) ->
+        commit lock.  WAL append (no fsync) and the in-memory apply run
+        under the short commit lock -- WAL order therefore *is* apply
+        order -- and the fsync runs outside it, still under the shard
+        locks: commits touching the same shard acknowledge in order,
+        while disjoint-shard commits overlap their fsyncs and coalesce
+        them (``SegmentedWal.sync_to``).  The WAL-before-epoch-publish
+        rule of the serial path is preserved: the record is *written*
+        before the apply bumps the grammar epoch; only its durability
+        is deferred until just before acknowledgment.
+        """
+        locks = self._doc.shard_locks
+        with locks.spine.shared():
+            with locks.holding(heads):
+                with self._commit_lock:
+                    self._require_writable()
+                    # Capture the chain: a concurrent checkpoint may
+                    # swap self._wal before our sync_to runs (the old
+                    # chain is fsync'd during the cutover, making the
+                    # late sync_to a cheap no-op).
+                    wal = self._wal
+                    try:
+                        token = wal.append_nosync(record)
+                    except WalWriteError as exc:
+                        self._degrade(exc)
+                        raise StoreDegraded(
+                            f"{self._layout.directory}: commit failed "
+                            f"and the store is now read-only: {exc}",
+                            cause=exc,
+                        ) from exc
+                    try:
+                        result = apply_record(self._doc, record)
+                    except Exception:
+                        try:
+                            wal.rollback_to(token)
+                        except WalWriteError as rollback_exc:
+                            self._degrade(rollback_exc)
+                        raise
+                try:
+                    wal.sync_to(token)
+                except WalWriteError as exc:
+                    # The record was applied in memory but could not be
+                    # made durable -- the same persistent-failure shape
+                    # as a serial append exhausting its retries.
+                    self._degrade(exc)
+                    raise StoreDegraded(
+                        f"{self._layout.directory}: group-commit fsync "
+                        f"failed and the store is now read-only: {exc}",
+                        cause=exc,
+                    ) from exc
+        self._maybe_checkpoint()
+        return result
+
+    def _single_op_heads(self, element_index: int) -> Sequence:
+        """The shard head owning one element (clamped: an end-of-range
+        insert locks the last element's shard, which is conservative
+        but always sound)."""
+        doc = self._doc
+        index = min(max(element_index, 0),
+                    max(0, doc.element_count - 1))
+        return (doc.shard_of(index),)
+
     def rename(self, element_index: int, new_tag: str) -> None:
         """Durably relabel an element (see ``CompressedXml.rename``)."""
-        self._commit(rename_record(element_index, new_tag))
+        heads = (self._single_op_heads(element_index)
+                 if self._group_commit else None)
+        self._commit(rename_record(element_index, new_tag), heads)
 
     def insert(
         self,
@@ -316,8 +433,10 @@ class DurableXml:
         content: Union[XmlNode, Sequence[XmlNode]],
     ) -> None:
         """Durably insert elements before an element."""
+        heads = (self._single_op_heads(element_index)
+                 if self._group_commit else None)
         self._commit(insert_record(element_index,
-                                   _normalize_content(content)))
+                                   _normalize_content(content)), heads)
 
     def append_child(
         self,
@@ -325,12 +444,16 @@ class DurableXml:
         content: Union[XmlNode, Sequence[XmlNode]],
     ) -> None:
         """Durably append elements as last children of an element."""
+        heads = (self._single_op_heads(parent_element_index)
+                 if self._group_commit else None)
         self._commit(append_record(parent_element_index,
-                                   _normalize_content(content)))
+                                   _normalize_content(content)), heads)
 
     def delete(self, element_index: int) -> None:
         """Durably delete an element and its subtree."""
-        self._commit(delete_record(element_index))
+        heads = (self._single_op_heads(element_index)
+                 if self._group_commit else None)
+        self._commit(delete_record(element_index), heads)
 
     def apply_batch(self, ops: Sequence["BatchOp"]) -> "BatchStats":
         """Durably apply a batch as ONE atomic record.
@@ -338,9 +461,15 @@ class DurableXml:
         Unlike the in-memory default (sequential error parity), a batch
         that fails part-way is rolled back entirely -- in memory via
         the transactional batch mode, on disk via WAL rollback -- so
-        replay can never observe a half-applied batch.
+        replay can never observe a half-applied batch.  In group-commit
+        mode the batch holds the locks of every shard it touches, so
+        disjoint-shard batches overlap their fsyncs while conflicting
+        batches serialize.
         """
-        return self._commit(batch_record(list(ops)))
+        ops = list(ops)
+        heads = (self._doc.shard_heads_for(ops)
+                 if self._group_commit else None)
+        return self._commit(batch_record(ops), heads)
 
     def batch(self) -> "BatchBuilder":
         """Collect operations for one durable :meth:`apply_batch`."""
@@ -353,6 +482,10 @@ class DurableXml:
     # ------------------------------------------------------------------
     def _maybe_checkpoint(self) -> None:
         if self._wal.size < self._checkpoint_wal_bytes:
+            return
+        if self._group_commit and self._checkpoint_lock.locked():
+            # Another thread is already checkpointing; the cadence
+            # trigger is satisfied by that one.
             return
         try:
             self.checkpoint()
@@ -375,7 +508,15 @@ class DurableXml:
         manifest) is a success with the cleanup failure recorded.  A
         checkpoint that completes with no error at all also clears
         degraded mode -- the full write path was just proven healthy.
+
+        In group-commit mode this dispatches to the *non-blocking*
+        variant (:meth:`_checkpoint_concurrent`): the WAL cuts over
+        first under the commit lock, and the snapshot serializes from a
+        pinned :class:`~repro.view.SnapshotView` while writers keep
+        committing into the new chain.
         """
+        if self._group_commit:
+            return self._checkpoint_concurrent()
         current = self._generation
         nxt = current + 1
         state = self._doc.export_state()
@@ -397,6 +538,20 @@ class DurableXml:
                 f"{nxt} failed before the commit point: {exc}",
                 cause=exc,
             ) from exc
+        return self._switch_and_clean(current, nxt, new_wal=new_wal)
+
+    def _switch_and_clean(
+        self,
+        current: int,
+        nxt: int,
+        new_wal: Optional[SegmentedWal] = None,
+    ) -> int:
+        """Manifest switch (the commit point) plus retirement and
+        compaction.  ``new_wal`` is the not-yet-live chain of the
+        serial path (installed after the switch, closed if the switch
+        fails); the concurrent path passes ``None`` because its chain
+        went live at the cutover and must survive a failed switch.
+        """
         switch_error: Optional[BaseException] = None
         try:
             write_manifest(self._layout.directory, nxt, io=self._io)
@@ -409,7 +564,8 @@ class DurableXml:
             except RecoveryError:
                 committed = False
             if not committed:
-                new_wal.close()
+                if new_wal is not None:
+                    new_wal.close()
                 raise CheckpointError(
                     f"{self._layout.directory}: checkpoint to "
                     f"generation {nxt} failed at the manifest switch: "
@@ -419,7 +575,9 @@ class DurableXml:
             switch_error = exc
         # -- the manifest rename above was the commit point ------------
         self._generation = nxt
-        self._wal = new_wal
+        if new_wal is not None:
+            self._wal = new_wal
+        self._next_generation = nxt + 1
         cleanup_error: Optional[BaseException] = None
         try:
             for old in self._layout.generations_on_disk():
@@ -427,6 +585,14 @@ class DurableXml:
                     self._io.remove(self._layout.snapshot_path(old),
                                     "checkpoint:clean")
                     for path in self._layout.wal_files(old):
+                        self._io.remove(path, "checkpoint:clean")
+            # Snapshot-less WAL chains below the fallback, or between
+            # the fallback and the new generation (never-manifested
+            # cutover targets whose records the new snapshot covers),
+            # are debris: retire them.
+            for gen in self._wal_generations_on_disk():
+                if gen < current or current < gen < nxt:
+                    for path in self._layout.wal_files(gen):
                         self._io.remove(path, "checkpoint:clean")
             # The previous generation is now fully checkpointed: its
             # chain collapses to one compacted fallback file.
@@ -444,6 +610,85 @@ class DurableXml:
             # healthy disk that lifts read-only degradation.
             self._degraded_cause = None
         return nxt
+
+    def _wal_generations_on_disk(self) -> List[int]:
+        """Generations with any WAL file present (chain or compacted),
+        snapshot or not -- the sweep basis for retiring debris chains."""
+        found = set()
+        for name in os.listdir(self._layout.directory):
+            if not name.startswith("wal."):
+                continue
+            suffix = name.split(".")[1]
+            if suffix.isdigit():
+                found.add(int(suffix))
+        return sorted(found)
+
+    def _checkpoint_concurrent(self) -> int:
+        """The non-blocking checkpoint of group-commit mode.
+
+        Cutover first, serialize second: under the commit lock the old
+        chain is fsync'd and sealed, the document is pinned
+        (:meth:`~repro.api.CompressedXml.snapshot`), and a fresh chain
+        goes live -- a few milliseconds during which commits queue on
+        the lock.  The expensive part (exporting the pinned state and
+        writing ``snapshot.(g+1)``) then runs against the immutable
+        view while writers commit freely into the new chain.  A crash
+        or error between cutover and manifest switch leaves the
+        never-manifested chain on disk holding acknowledged records;
+        recovery replays it as a *continuation* of the manifest
+        generation (see :mod:`repro.storage.recovery`), and the next
+        checkpoint attempt targets the generation after it.
+        """
+        with self._checkpoint_lock:
+            current = self._generation
+            nxt = self._next_generation
+            with self._commit_lock:
+                old_wal = self._wal
+                try:
+                    # Fsync the old chain's tail: pending sync_to calls
+                    # on captured references become no-ops, and every
+                    # acknowledged-or-applied record is durable before
+                    # the pin.
+                    old_wal.sync()
+                    old_wal.seal_tail()
+                    view = self._doc.snapshot()
+                    new_wal = SegmentedWal(
+                        self._layout.directory, nxt, io=self._io,
+                        create=True,
+                        segment_bytes=self._wal_segment_bytes,
+                        retry=self._retry,
+                    )
+                except (OSError, WalWriteError) as exc:
+                    raise CheckpointError(
+                        f"{self._layout.directory}: checkpoint to "
+                        f"generation {nxt} failed before the WAL "
+                        f"cutover: {exc}",
+                        cause=exc,
+                    ) from exc
+                self._wal = new_wal
+                self._next_generation = nxt + 1
+            try:
+                try:
+                    state = view.export_state()
+                    write_snapshot(self._layout.snapshot_path(nxt),
+                                   state, io=self._io)
+                except (OSError, WalWriteError) as exc:
+                    # Cutover already happened: commits are flowing
+                    # into the new chain while the manifest still
+                    # points at the old generation.  That is exactly
+                    # the continuation shape recovery handles, so
+                    # nothing is lost -- but the checkpoint failed.
+                    raise CheckpointError(
+                        f"{self._layout.directory}: checkpoint to "
+                        f"generation {nxt} failed writing the "
+                        f"snapshot (WAL already cut over; recovery "
+                        f"replays the continuation chain): {exc}",
+                        cause=exc,
+                    ) from exc
+            finally:
+                view.close()
+            old_wal.close()
+            return self._switch_and_clean(current, nxt)
 
     # ------------------------------------------------------------------
     # scrub / health
@@ -486,6 +731,10 @@ class DurableXml:
                 "segment_bytes_limit": self._wal_segment_bytes,
                 "rotations": self._wal.rotations,
                 "tail_error": self._wal.tail_error,
+            },
+            "mvcc": {
+                "group_commit": self._group_commit,
+                **self._doc.mvcc_info(),
             },
             "checkpoint_wal_bytes": self._checkpoint_wal_bytes,
             "last_checkpoint_error": str(self.last_checkpoint_error)

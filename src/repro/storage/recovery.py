@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Union, TYPE_CHECKING
 
 from repro.storage.faults import RetryPolicy, StorageIO
@@ -207,6 +207,13 @@ class RecoveredDocument:
     #: dropped (truncated) -- together with ``degraded`` this is the
     #: signal that the on-disk state was repaired during open.
     dropped_tail_record: bool
+    #: Generations *above* the manifest generation whose WAL chains
+    #: held committed records: a group-commit checkpoint cut the WAL
+    #: over but crashed (or failed) before its manifest switch.  The
+    #: chains were replayed, in order, after the live chain; ``wal`` is
+    #: the newest of them, and the facade folds the whole sequence into
+    #: one fresh generation with an immediate checkpoint.
+    continuation_generations: List[int] = field(default_factory=list)
 
 
 def _replay(
@@ -346,9 +353,59 @@ def recover(
             f"{directory}: live WAL chain for generation {generation} "
             f"is corrupt: {exc}"
         ) from exc
-    applied, dropped_live = _replay(doc, wal, allow_drop_last=True)
+
+    # Continuation chains: a group-commit checkpoint cuts the WAL over
+    # to generation g+1 *before* writing the snapshot and switching the
+    # manifest, so a crash in that window leaves acknowledged records
+    # in chains above the manifest generation.  Probe upward; the
+    # chains replay, in order, after the live chain.  Chains that are
+    # all empty are the old (serial) checkpoint's stray artifact and
+    # are ignored exactly as before.
+    probed = []
+    cont = generation + 1
+    while True:
+        try:
+            cont_wal = SegmentedWal(directory, cont, io=io,
+                                    segment_bytes=wal_segment_bytes,
+                                    retry=retry,
+                                    retire_torn_creation=True)
+        except FileNotFoundError:
+            break
+        except WalRecordError as exc:
+            raise RecoveryError(
+                f"{directory}: continuation WAL chain for generation "
+                f"{cont} is corrupt: {exc}"
+            ) from exc
+        probed.append((cont, cont_wal))
+        cont += 1
+    continuation = probed if any(w.record_count for _, w in probed) \
+        else []
+
+    # Only the final chain of the whole sequence may drop its last
+    # record: every earlier chain was sealed by a cutover, so its
+    # records were applied before later acknowledged operations built
+    # on them.
+    applied, dropped_live = _replay(
+        doc, wal, allow_drop_last=not continuation
+    )
     replayed += applied
     dropped = dropped or dropped_live
+
+    if continuation:
+        for position, (gen, cont_wal) in enumerate(continuation):
+            final = position == len(continuation) - 1
+            applied, dropped_cont = _replay(
+                doc, cont_wal, allow_drop_last=final
+            )
+            replayed += applied
+            dropped = dropped or dropped_cont
+        wal.close()
+        for _gen, cont_wal in continuation[:-1]:
+            cont_wal.close()
+        wal = continuation[-1][1]
+    else:
+        for _gen, cont_wal in probed:
+            cont_wal.close()
 
     return RecoveredDocument(
         doc=doc,
@@ -357,4 +414,5 @@ def recover(
         replayed=replayed,
         degraded=degraded,
         dropped_tail_record=dropped,
+        continuation_generations=[gen for gen, _ in continuation],
     )

@@ -173,6 +173,12 @@ class BatchStats:
     #: rewrote, summed over groups.  With a sharded spine a clustered
     #: burst touches ~``ops / width`` shards instead of one giant RHS.
     rules_touched: int = 0
+    #: Grammar epoch the batch resolved against / the epoch it published
+    #: (filled in by :meth:`repro.api.CompressedXml.apply_batch`): a
+    #: writer's edits are planned at ``base_epoch`` and become visible to
+    #: new snapshots exactly at ``commit_epoch``.
+    base_epoch: int = 0
+    commit_epoch: int = 0
 
     @property
     def inlines_saved(self) -> int:

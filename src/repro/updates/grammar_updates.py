@@ -108,6 +108,7 @@ def rename(
         raise UpdateError("cannot rename a node to ⊥")
     symbol = grammar.alphabet.terminal(new_label, current_symbol.rank)
     result = isolate(grammar, index, steps=steps, spine=spine)
+    grammar.preserve_for_write(result.rule)
     rename_node(result.node, symbol)
     # Relabeling changes no structural count, but label censuses and
     # dirty-rule recorders listen on the observer channel and must see
@@ -273,14 +274,23 @@ def apply_isolated_batch(
         grammar, [edit.steps for edit in planned], spine=spine
     )
     roots = iso.roots
-    # Rules whose bodies actually changed: an inline landed in them, or
-    # (tracked below) a tree-level edit does.  Shards merely descended
-    # through must not fire spurious epochs.
+    # Rules whose bodies *structurally* changed: an inline landed in
+    # them, or (tracked below) a tree-level edit does.  Shards merely
+    # descended through must not fire spurious epochs.  Rules touched
+    # only by renames are kept apart: the relabel already happened in
+    # place on the installed body (``roots[rule]`` is the live RHS when
+    # no inline replaced it), so they take the relabel-specific
+    # notification -- same as the single-op path -- and size-only caches
+    # (GrammarIndex) keep their structural tables instead of recomputing
+    # them after every rename-only batch.
     mutated: Set[Symbol] = set(iso.mutated)
+    relabeled: Set[Symbol] = set()
 
     def flush(error: Optional[UpdateError] = None) -> None:
         for rule in mutated:
             grammar.set_rule(rule, roots[rule])
+        for rule in relabeled - mutated:
+            grammar.notify_rule_relabeled(rule)
         if deleted or error is not None:
             collect_garbage(grammar)
             # Before the planner's next index descent: a delete may have
@@ -295,14 +305,16 @@ def apply_isolated_batch(
         if edit.kind == "rename":
             symbol = grammar.alphabet.terminal(edit.label, target.symbol.rank)
             if target.symbol is not symbol:
+                grammar.preserve_for_write(rule)
                 rename_node(target, symbol)
-                mutated.add(rule)
+                relabeled.add(rule)
         elif edit.kind == "insert":
             while id(target) in terminator_remap:
                 target = terminator_remap[id(target)]
             spliced = deep_copy(edit.fragment)
             if spliced.symbol.is_bottom:
                 continue
+            grammar.preserve_for_write(rule)
             new_root, terminator = splice_before(roots[rule], target, spliced)
             roots[rule] = new_root
             mutated.add(rule)
@@ -321,13 +333,14 @@ def apply_isolated_batch(
                     flush(UpdateError(
                         "deleting the document root is not allowed"
                     ))
+            grammar.preserve_for_write(rule)
             roots[rule] = delete_subtree(roots[rule], target)
             mutated.add(rule)
             deleted = True
         else:  # pragma: no cover - planner emits only the kinds above
             raise UpdateError(f"unknown planned edit kind {edit.kind!r}")
     flush()
-    return iso.inlined_rules, len(mutated)
+    return iso.inlined_rules, len(mutated | relabeled)
 
 
 def apply_op(

@@ -108,6 +108,7 @@ def isolate(
             current = None
             continue
         was_root = node is grammar.rhs(rule)
+        grammar.preserve_for_write(rule)
         new_root, copy_map = inline_at(grammar, node)
         if was_root:
             grammar.set_rule(rule, new_root)
@@ -238,6 +239,7 @@ def isolate_many(
                 stack.append((members, depth + 1, None, symbol))
                 continue
             was_root = node is roots[rule]
+            grammar.preserve_for_write(rule)
             new_root, copy_map = inline_at(grammar, node)
             if was_root:
                 roots[rule] = new_root

@@ -213,7 +213,7 @@ class TestHealth:
         health = store.health()
         assert set(health) == {
             "directory", "generation", "element_count", "degraded",
-            "degraded_cause", "wal", "checkpoint_wal_bytes",
+            "degraded_cause", "wal", "mvcc", "checkpoint_wal_bytes",
             "last_checkpoint_error", "last_recovery", "last_scrub",
         }
         assert set(health["wal"]) == {
@@ -221,6 +221,12 @@ class TestHealth:
             "active_segment_bytes", "segment_bytes_limit", "rotations",
             "tail_error",
         }
+        assert set(health["mvcc"]) == {
+            "group_commit", "epoch", "pinned_snapshots",
+            "pinned_epochs", "oldest_pin_age_seconds",
+        }
+        assert health["mvcc"]["group_commit"] is False
+        assert health["mvcc"]["pinned_snapshots"] == 0
         assert health["directory"] == store.directory
         assert health["generation"] == 1
         assert health["element_count"] == ELEMENTS + 1

@@ -1,0 +1,287 @@
+"""MVCC snapshot isolation: pinned views across update interleavings.
+
+The contract under test: ``doc.snapshot()`` pins the grammar epoch that
+was current at the call, and the returned :class:`SnapshotView` answers
+the whole read surface *as of that epoch* no matter what the writer does
+afterwards -- single updates, batches, resharding, or recompression
+(incremental and wholesale).  Pins are refcounted; the copy-on-write
+overlay behind an epoch is reclaimed when its last view closes.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import CompressedXml
+from repro.trees.unranked import XmlNode
+from repro.trees.xml_io import parse_xml
+from repro.updates.batch import (
+    BatchAppend,
+    BatchDelete,
+    BatchInsert,
+    BatchRename,
+)
+
+from tests.strategies import (
+    batch_scripts,
+    shard_widths,
+    update_scripts,
+    xml_documents,
+)
+
+XML = "<log>" + "<entry><ip/><status/></entry>" * 6 + "</log>"
+
+
+def make_doc(**kwargs):
+    return CompressedXml.from_xml(XML, **kwargs)
+
+
+def concretize(seq_doc, script):
+    """Replay an abstract batch script on the sequential oracle,
+    recording the concrete ops valid at each op's application time
+    (same scheme as the batch equivalence suite)."""
+    ops = []
+    for kind, fraction, tag, wide in script:
+        count = seq_doc.element_count
+        content = (
+            [XmlNode(tag), XmlNode("wide", [XmlNode("inner")])]
+            if wide else XmlNode(tag)
+        )
+        if kind == "rename":
+            index = int(fraction * count)
+            seq_doc.rename(index, tag)
+            ops.append(BatchRename(index, tag))
+        elif kind == "insert":
+            if count < 2:
+                continue
+            index = 1 + int(fraction * (count - 1))
+            seq_doc.insert(index, content)
+            ops.append(BatchInsert(index, content))
+        elif kind == "append":
+            index = int(fraction * count)
+            seq_doc.append_child(index, content)
+            ops.append(BatchAppend(index, content))
+        else:
+            if count < 3:
+                continue
+            index = 1 + int(fraction * (count - 1))
+            seq_doc.delete(index)
+            ops.append(BatchDelete(index))
+    return ops
+
+
+def replay(doc, script):
+    """Apply one (kind, fraction, tag) entry at a time, yielding after
+    each so the caller can interpose snapshots."""
+    for kind, fraction, tag in script:
+        count = doc.element_count
+        if kind == "rename":
+            doc.rename(int(fraction * count), tag)
+        elif kind == "insert" and count > 1:
+            doc.insert(1 + int(fraction * (count - 1)), XmlNode(tag))
+        elif kind == "append":
+            doc.append_child(int(fraction * count),
+                             XmlNode(tag, [XmlNode(tag)]))
+        elif kind == "delete" and count > 1:
+            doc.delete(1 + int(fraction * (count - 1)))
+        elif kind == "recompress":
+            doc.recompress()
+        yield kind
+
+
+class TestSnapshotBasics:
+    def test_view_reflects_pin_time_state(self):
+        doc = make_doc()
+        before = doc.to_xml()
+        with doc.snapshot() as view:
+            doc.rename(1, "renamed")
+            doc.append_child(0, XmlNode("tail"))
+            doc.delete(doc.element_count - 1)
+            doc.recompress()
+            assert view.to_xml() == before
+            assert view.element_count == 19
+            assert view.tag_of(1) == "entry"
+        assert doc.to_xml() != before
+
+    def test_read_surface_matches_document_at_pin(self):
+        doc = make_doc()
+        view = doc.snapshot()
+        expected_tags = list(doc.tags())
+        expected_status = doc.select("//status")
+        expected_count = doc.count("/log/entry")
+        expected_subtree = doc.subtree_xml(1)
+        doc.rename(2, "moved")
+        doc.insert(3, parse_xml("<extra><deep/></extra>"))
+        assert list(view.tags()) == expected_tags
+        assert view.select("//status") == expected_status
+        assert view.count("/log/entry") == expected_count
+        assert view.subtree_xml(1) == expected_subtree
+        assert view.parent_of(2) == 1
+        assert view.first_child(1) == 2
+        assert view.next_sibling(2) == 3
+        view.close()
+
+    def test_closed_view_raises(self):
+        doc = make_doc()
+        view = doc.snapshot()
+        view.close()
+        assert view.closed
+        with pytest.raises(ValueError, match="closed"):
+            view.to_xml()
+        with pytest.raises(ValueError, match="closed"):
+            view.select("//entry")
+        view.close()  # idempotent
+
+    def test_pin_accounting_and_overlay_reclamation(self):
+        doc = make_doc()
+        grammar = doc.grammar
+        assert doc.mvcc_info()["pinned_snapshots"] == 0
+        first = doc.snapshot()
+        doc.rename(1, "r1")
+        second = doc.snapshot()
+        third = doc.snapshot()  # same epoch as second: shared pin
+        info = doc.mvcc_info()
+        assert info["pinned_snapshots"] == 3
+        assert info["pinned_epochs"] == [first.epoch, second.epoch]
+        assert second.epoch == third.epoch
+        assert info["epoch"] >= second.epoch
+        assert info["oldest_pin_age_seconds"] >= 0.0
+        doc.rename(2, "r2")  # forces overlay entries for pinned epochs
+        first.close()
+        assert doc.mvcc_info()["pinned_epochs"] == [second.epoch]
+        second.close()
+        third.close()
+        assert doc.mvcc_info()["pinned_snapshots"] == 0
+        assert grammar.pinned_epochs() == {}
+
+    def test_views_on_distinct_epochs_diverge(self):
+        doc = make_doc()
+        v0 = doc.snapshot()
+        doc.rename(1, "one")
+        v1 = doc.snapshot()
+        doc.rename(1, "two")
+        v2 = doc.snapshot()
+        assert v0.tag_of(1) == "entry"
+        assert v1.tag_of(1) == "one"
+        assert v2.tag_of(1) == "two"
+        assert doc.tag_of(1) == "two"
+        for view in (v0, v1, v2):
+            view.close()
+
+    def test_snapshot_of_sharded_document(self):
+        doc = make_doc(shard_width=8)
+        doc_xml = doc.to_xml()
+        with doc.snapshot() as view:
+            for _ in range(24):  # force splits / resharding
+                doc.append_child(0, XmlNode("burst", [XmlNode("x")]))
+            assert view.to_xml() == doc_xml
+            assert view.element_count == 19
+
+
+class TestSnapshotVsBatch:
+    def test_view_stable_across_batch_with_auto_recompress(self):
+        doc = make_doc(shard_width=8, auto_recompress_factor=1.1)
+        before = doc.to_xml()
+        with doc.snapshot() as view:
+            stats = doc.apply_batch(
+                [BatchAppend(0, XmlNode("a", [XmlNode("b")]))
+                 for _ in range(20)]
+                + [BatchRename(1, "renamed"), BatchDelete(5)]
+            )
+            assert view.to_xml() == before
+        assert stats.commit_epoch > stats.base_epoch
+        assert doc.to_xml() != before
+
+    def test_batch_stamps_epoch_window(self):
+        doc = make_doc()
+        epoch_before = doc.grammar.epoch
+        stats = doc.apply_batch([BatchRename(1, "stamped")])
+        assert stats.base_epoch == epoch_before
+        assert stats.commit_epoch == doc.grammar.epoch
+        assert stats.commit_epoch > stats.base_epoch
+
+    def test_export_state_round_trips_pinned_state(self):
+        doc = make_doc(shard_width=8)
+        with doc.snapshot() as view:
+            expected = view.to_xml()
+            doc.apply_batch(
+                [BatchAppend(0, XmlNode("noise")) for _ in range(12)]
+            )
+            state = view.export_state()
+        restored = CompressedXml.from_state(state)
+        assert restored.to_xml() == expected
+        assert restored.element_count == 19
+
+
+class TestEvictionVsPin:
+    """Satellite: wholesale index eviction must not reach into views.
+
+    With ``incremental_recompress=False`` a recompression resets the
+    document's indexes via ``invalidate_all`` -- the one remaining
+    wholesale-eviction path.  A pinned view owns private index tables
+    over its frozen grammar (built with ``register=False``), so the
+    reset must be invisible to it.
+    """
+
+    def test_wholesale_invalidation_does_not_touch_views(self):
+        doc = make_doc(incremental_recompress=False)
+        with doc.snapshot() as view:
+            expected = view.to_xml()
+            assert view.element_count == 19  # warm the view's tables
+            assert view.select("//status")
+            for index in range(1, 8):
+                doc.rename(index, f"t{index}")
+            doc.recompress()  # invalidate_all on the doc's indexes
+            assert view.to_xml() == expected
+            assert view.element_count == 19
+            assert view.tag_of(1) == "entry"
+            assert len(view.select("//status")) == 6
+
+    def test_doc_indexes_do_recover_after_wholesale_reset(self):
+        doc = make_doc(incremental_recompress=False)
+        with doc.snapshot() as view:
+            doc.rename(1, "alpha")
+            doc.recompress()
+            assert doc.tag_of(1) == "alpha"
+            assert view.tag_of(1) == "entry"
+
+
+class TestSnapshotProperties:
+    @given(xml_documents(max_elements=20), update_scripts(max_ops=8),
+           shard_widths())
+    @settings(max_examples=25, deadline=None)
+    def test_every_pin_replays_to_pin_time_xml(self, tree, script, width):
+        """Interleave a snapshot between every update: at the end each
+        pinned view still serializes to the document as it was at its
+        pin, and closing them all releases every overlay."""
+        doc = CompressedXml.from_document(tree, shard_width=width)
+        pinned = [(doc.snapshot(), doc.to_xml())]
+        for _ in replay(doc, script):
+            pinned.append((doc.snapshot(), doc.to_xml()))
+        for view, expected in pinned:
+            assert view.to_xml() == expected
+            assert view.element_count == \
+                expected.count("<") - expected.count("</")
+        for view, _ in pinned:
+            view.close()
+        assert doc.grammar.pinned_epochs() == {}
+        doc.grammar.validate()
+
+    @given(xml_documents(max_elements=20), batch_scripts(max_ops=10),
+           shard_widths())
+    @settings(max_examples=20, deadline=None)
+    def test_pins_survive_batches(self, tree, script, width):
+        """Same invariant with whole batches (single mutation epoch,
+        trailing reshard + auto-recompress) between the pins."""
+        doc = CompressedXml.from_document(tree, shard_width=width)
+        oracle = CompressedXml.from_document(tree)
+        pinned = [(doc.snapshot(), doc.to_xml())]
+        ops = concretize(oracle, script)
+        for position in range(0, len(ops), 3):
+            doc.apply_batch(ops[position:position + 3])
+            pinned.append((doc.snapshot(), doc.to_xml()))
+        assert doc.to_xml() == oracle.to_xml()
+        for view, expected in pinned:
+            assert view.to_xml() == expected
+        for view, _ in pinned:
+            view.close()
+        assert doc.grammar.pinned_epochs() == {}
