@@ -40,6 +40,7 @@ import sys
 import time
 
 from repro.api import CompressedXml
+from repro.obs.metrics import summarize_latencies
 from repro.updates.batch import (
     BatchAppend,
     BatchDelete,
@@ -68,9 +69,11 @@ def make_doc(edges, seed=SEED):
     )
 
 
-def apply_sequentially(doc, ops):
-    """The baseline: the same ops through the single-op API, one by one."""
+def apply_sequentially(doc, ops, samples):
+    """The baseline: the same ops through the single-op API, one by one.
+    Per-op wall times land in ``samples`` (seconds)."""
     for op in ops:
+        started = time.perf_counter()
         if isinstance(op, BatchRename):
             doc.rename(op.index, op.new_tag)
         elif isinstance(op, BatchInsert):
@@ -79,6 +82,7 @@ def apply_sequentially(doc, ops):
             doc.append_child(op.parent_index, list(op.content))
         else:
             doc.delete(op.index)
+        samples.append(time.perf_counter() - started)
 
 
 def run(edges, ops_per_batch, batches, smoke=False):
@@ -90,16 +94,20 @@ def run(edges, ops_per_batch, batches, smoke=False):
 
     seq_s = bat_s = 0.0
     batch_stats = []
+    seq_samples = []
+    bat_samples = []
     for _ in range(batches):
         ops = generate_clustered_element_ops(
             doc_bat.element_count, ops_per_batch, rng=rng, tags=TAGS
         )
         started = time.perf_counter()
-        apply_sequentially(doc_seq, ops)
+        apply_sequentially(doc_seq, ops, seq_samples)
         seq_s += time.perf_counter() - started
         started = time.perf_counter()
         stats = doc_bat.apply_batch(ops)
-        bat_s += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        bat_s += elapsed
+        bat_samples.append(elapsed)
         batch_stats.append(stats)
 
     # Same ops, sequential semantics on both paths: the documents must be
@@ -133,6 +141,8 @@ def run(edges, ops_per_batch, batches, smoke=False):
 
     seq = variant(doc_seq, seq_s)
     bat = variant(doc_bat, bat_s)
+    seq["latency"] = summarize_latencies(seq_samples)  # per single op
+    bat["latency"] = summarize_latencies(bat_samples)  # per batch call
     bat["batch_groups"] = groups
     bat["per_path_inlines"] = per_path
     bat["inlines_saved"] = per_path - doc_bat.rules_inlined_total
@@ -180,9 +190,14 @@ def check_schema(report):
         assert section in report, f"missing section {section!r}"
     for key in ("total_s", "ops_per_s", "rules_inlined", "recompress_runs",
                 "recompress_s", "final_c_edges", "element_count",
-                "grammar_wholesale_invalidations"):
+                "grammar_wholesale_invalidations", "latency"):
         assert key in report["sequential"], f"missing {key!r}"
         assert key in report["batched"], f"missing {key!r}"
+    for variant in ("sequential", "batched"):
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in report[variant]["latency"], \
+                f"{variant}: missing latency {key!r}"
+        assert report[variant]["latency"]["count"] > 0
     for key in ("batch_groups", "per_path_inlines", "inlines_saved"):
         assert key in report["batched"], f"missing {key!r}"
     for key in ("rule_inlines", "wall_time"):

@@ -35,6 +35,7 @@ import threading
 import time
 
 from repro.api import CompressedXml
+from repro.obs.metrics import summarize_latencies
 from repro.storage.durable import DurableXml
 from repro.trees.unranked import XmlNode
 from repro.updates.batch import BatchRename
@@ -157,6 +158,8 @@ def run_latency(edges, reads, writers):
         "quiet_p99_us": percentile(quiet, 0.99) * 1e6,
         "contended_p50_us": percentile(contended, 0.50) * 1e6,
         "contended_p99_us": percentile(contended, 0.99) * 1e6,
+        "quiet": summarize_latencies(quiet),
+        "contended": summarize_latencies(contended),
         "grammar_index_wholesale": doc.index.wholesale_invalidations,
         "label_index_wholesale": doc.label_index.wholesale_invalidations,
     }
@@ -275,9 +278,15 @@ def check_schema(report):
         assert section in report, f"missing section {section!r}"
     for key in ("reads", "quiet_p50_us", "quiet_p99_us",
                 "contended_p50_us", "contended_p99_us",
+                "quiet", "contended",
                 "writer_batches_during_contended",
                 "grammar_index_wholesale", "label_index_wholesale"):
         assert key in report["latency"], f"missing latency {key!r}"
+    for variant in ("quiet", "contended"):
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in report["latency"][variant], \
+                f"{variant}: missing latency {key!r}"
+        assert report["latency"][variant]["count"] > 0
     for key in ("writers", "batches_per_writer", "total_batches",
                 "ops_per_batch", "distinct_shards", "disjoint",
                 "serial_s", "group_s", "speedup",

@@ -1,0 +1,305 @@
+"""Observability benchmark: instrumentation overhead and export coverage.
+
+Quantifies the PR-9 tentpole from two sides:
+
+1. **Overhead.**  Every hot path resolves its metric handles at wiring
+   time -- a document bound to a disabled registry holds shared no-op
+   handles, so instrumented code never branches on an enabled flag.
+   This benchmark drives the *identical* mixed update stream through a
+   document bound to a live :class:`~repro.obs.metrics.MetricsRegistry`
+   and one bound to ``NULL_REGISTRY``, interleaving repeats (A B A B
+   ...), taking per-op minima across repeats, and gating on the
+   **median per-op** relative slowdown (see :func:`measure_overhead`
+   for why that estimator and not a totals ratio).  The gate:
+   enabled-vs-disabled overhead on the update path stays within
+   ``MAX_OVERHEAD_PCT`` (5%).
+
+2. **Coverage.**  After an instrumented workload that touches updates,
+   batches, queries, recompression, and a durable store (commits,
+   checkpoint, scrub, recovery), every family the registry declared
+   must appear in the Prometheus text exposition -- a metric that was
+   declared but never exported is a broken dashboard, caught here
+   rather than in production.
+
+Results go to ``BENCH_obs.json`` at the repo root.  ``--smoke`` (the CI
+job) runs a reduced scale but still enforces both gates; the full scale
+(50k edges, 500 updates) is the acceptance measurement.  Like all
+``bench_*`` modules it is collected by pytest only via an explicit path.
+"""
+
+import gc
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.api import CompressedXml
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    summarize_latencies,
+)
+from repro.trees.unranked import XmlNode
+
+FULL_SCALE = {"edges": 50_000, "updates": 500, "repeats": 3}
+SMOKE_SCALE = {"edges": 5_000, "updates": 120, "repeats": 3}
+AUTO_FACTOR = 2.0
+SEED = 42
+TAGS = ("ip", "user", "ts", "request", "status", "bytes", "extra")
+MAX_OVERHEAD_PCT = 5.0
+
+#: Families the ISSUE names explicitly; the coverage gate additionally
+#: sweeps everything ``declared_names()`` reports.
+REQUIRED_FAMILIES = (
+    "repro_update_seconds",
+    "repro_batch_stage_seconds",
+    "repro_recompress_stage_seconds",
+    "repro_query_stage_seconds",
+    "repro_commit_seconds",
+    "repro_fsync_seconds",
+    "repro_recovery_seconds",
+)
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_obs.json"
+)
+
+
+def make_doc(edges, registry, seed=SEED):
+    from repro.datasets.synthetic import make_corpus
+
+    return CompressedXml.from_document(
+        make_corpus("EXI-Weblog", edges=edges, seed=seed),
+        auto_recompress_factor=AUTO_FACTOR,
+        metrics=registry,
+    )
+
+
+def make_ops(updates, seed=SEED):
+    """Fraction-addressed mixed ops; identical stream on both variants."""
+    rng = random.Random(seed)
+    kinds = ("rename", "rename", "rename", "insert", "insert",
+             "append", "delete")
+    return [
+        (rng.choice(kinds), rng.random(), rng.choice(TAGS))
+        for _ in range(updates)
+    ]
+
+
+def apply_op(doc, op):
+    kind, fraction, tag = op
+    count = doc.element_count
+    if kind == "rename":
+        doc.rename(1 + int(fraction * (count - 1)), tag)
+    elif kind == "insert":
+        doc.insert(1 + int(fraction * (count - 1)),
+                   XmlNode("entry", [XmlNode(tag)]))
+    elif kind == "append":
+        doc.append_child(int(fraction * count), XmlNode(tag))
+    elif kind == "delete" and count > 2:
+        doc.delete(1 + int(fraction * (count - 1)))
+
+
+def run_update_pass(edges, ops, registry):
+    """One timed pass of the update stream on a fresh document."""
+    doc = make_doc(edges, registry)
+    gc.collect()  # heap noise stays outside the timed region
+    samples = []
+    started = time.perf_counter()
+    for op in ops:
+        op_started = time.perf_counter()
+        apply_op(doc, op)
+        samples.append(time.perf_counter() - op_started)
+    return time.perf_counter() - started, samples
+
+
+def measure_overhead(edges, updates, repeats):
+    """Interleaved repeats, gated on the *median per-op* overhead.
+
+    The two variants replay the identical op stream, so op *i* does the
+    same logical work in every pass; ``min`` over repeats strips the GC
+    and scheduler spikes a single pass folds in.  The gated number is
+    the median over ops of the relative per-op slowdown: every op pays
+    the same handful of ``perf_counter`` calls and handle dispatches,
+    so the median is the instrumentation cost -- whereas a totals ratio
+    is decided by the intrinsic run-to-run variance of the few huge
+    auto-recompression ops (150ms+ each, ~1% jitter even on minima),
+    which would swamp a microsecond-scale effect.  The totals ratio is
+    still reported, unembellished, as ``total_overhead_pct``.
+    """
+    ops = make_ops(updates)
+    enabled_runs, disabled_runs = [], []
+    enabled_all, disabled_all = [], []
+    for _ in range(repeats):
+        total, samples = run_update_pass(edges, ops, MetricsRegistry())
+        enabled_runs.append(total)
+        enabled_all.append(samples)
+        total, samples = run_update_pass(edges, ops, NULL_REGISTRY)
+        disabled_runs.append(total)
+        disabled_all.append(samples)
+    enabled_best_ops = [min(per_op) for per_op in zip(*enabled_all)]
+    disabled_best_ops = [min(per_op) for per_op in zip(*disabled_all)]
+    best_enabled = sum(enabled_best_ops)
+    best_disabled = sum(disabled_best_ops)
+    relative = sorted(
+        (e - d) / d
+        for e, d in zip(enabled_best_ops, disabled_best_ops)
+    )
+    median_pct = 100.0 * relative[len(relative) // 2]
+    total_pct = 100.0 * (best_enabled - best_disabled) / best_disabled
+    return {
+        "enabled_runs_s": [round(t, 4) for t in enabled_runs],
+        "disabled_runs_s": [round(t, 4) for t in disabled_runs],
+        "best_enabled_s": round(best_enabled, 4),
+        "best_disabled_s": round(best_disabled, 4),
+        "overhead_pct": round(median_pct, 3),
+        "total_overhead_pct": round(total_pct, 3),
+        "enabled_latency": summarize_latencies(enabled_best_ops),
+        "disabled_latency": summarize_latencies(disabled_best_ops),
+    }
+
+
+def run_coverage(edges):
+    """Drive every instrumented subsystem, then audit the export."""
+    from repro.storage.durable import DurableXml
+
+    registry = MetricsRegistry()
+    store_dir = tempfile.mkdtemp(prefix="bench_obs_")
+    try:
+        doc = make_doc(min(edges, 5_000), registry)
+        doc.rename(1, "probe")
+        doc.select("//probe")
+        doc.count("//ip")
+        with doc.batch() as batch:
+            batch.rename(2, "probe2")
+            batch.append_child(0, XmlNode("tail"))
+        doc.recompress()
+
+        store = DurableXml.create(
+            os.path.join(store_dir, "store"),
+            make_doc(1_000, registry),
+        )
+        store.rename(1, "probe")
+        store.checkpoint()
+        store.scrub()
+        store.close()
+        reopened = DurableXml.open(os.path.join(store_dir, "store"),
+                                   metrics=registry)
+        reopened.close()
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    declared = sorted(registry.declared_names())
+    exported = registry.render_prometheus()
+    missing = [name for name in declared
+               if f"# TYPE {name} " not in exported]
+    missing += [name for name in REQUIRED_FAMILIES
+                if name not in declared and name not in missing]
+    return {
+        "declared_families": len(declared),
+        "missing_from_export": missing,
+        "exposition_bytes": len(exported),
+    }
+
+
+def run(edges, updates, repeats, smoke=False):
+    print(f"workload: EXI-Weblog {edges} edges, {updates} mixed updates, "
+          f"{repeats} interleaved repeats per variant")
+    overhead = measure_overhead(edges, updates, repeats)
+    print(f"  enabled  : min {overhead['best_enabled_s']:.3f}s of "
+          f"{overhead['enabled_runs_s']}")
+    print(f"  disabled : min {overhead['best_disabled_s']:.3f}s of "
+          f"{overhead['disabled_runs_s']}")
+    print(f"  overhead : {overhead['overhead_pct']:+.2f}% median "
+          f"per-op ({overhead['total_overhead_pct']:+.2f}% on totals; "
+          f"gate <= {MAX_OVERHEAD_PCT}%)")
+
+    coverage = run_coverage(edges)
+    print(f"  coverage : {coverage['declared_families']} declared "
+          f"families, {len(coverage['missing_from_export'])} missing "
+          f"from the exposition "
+          f"({coverage['exposition_bytes']} bytes)")
+
+    report = {
+        "benchmark": "bench_obs",
+        "workload": {
+            "corpus": "EXI-Weblog",
+            "edges": edges,
+            "updates": updates,
+            "repeats": repeats,
+            "auto_recompress_factor": AUTO_FACTOR,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        "overhead": overhead,
+        "coverage": coverage,
+        "gates": {
+            "max_overhead_pct": MAX_OVERHEAD_PCT,
+        },
+    }
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(JSON_PATH)}")
+    return report
+
+
+def check_schema(report):
+    """The machine-readable contract future PRs regress against."""
+    for section in ("workload", "overhead", "coverage", "gates"):
+        assert section in report, f"missing section {section!r}"
+    for key in ("enabled_runs_s", "disabled_runs_s", "best_enabled_s",
+                "best_disabled_s", "overhead_pct", "total_overhead_pct",
+                "enabled_latency", "disabled_latency"):
+        assert key in report["overhead"], f"missing overhead {key!r}"
+    for variant in ("enabled_latency", "disabled_latency"):
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in report["overhead"][variant], \
+                f"{variant}: missing latency {key!r}"
+        assert report["overhead"][variant]["count"] > 0
+    for key in ("declared_families", "missing_from_export",
+                "exposition_bytes"):
+        assert key in report["coverage"], f"missing coverage {key!r}"
+
+
+def check_coverage(report):
+    """Every declared family must reach the Prometheus exposition."""
+    missing = report["coverage"]["missing_from_export"]
+    assert not missing, (
+        f"declared metrics missing from the Prometheus exposition: "
+        f"{missing}"
+    )
+    assert report["coverage"]["declared_families"] >= \
+        len(REQUIRED_FAMILIES)
+
+
+def check_overhead(report):
+    """The 5% gate on enabled-vs-disabled update-path overhead
+    (median per-op; see :func:`measure_overhead` for why)."""
+    overhead = report["overhead"]["overhead_pct"]
+    assert overhead <= MAX_OVERHEAD_PCT, (
+        f"metrics instrumentation costs {overhead:+.2f}% per op on the "
+        f"update path (gate: {MAX_OVERHEAD_PCT}%)"
+    )
+
+
+def test_obs_smoke():
+    """Entry point at a CI-friendly scale (explicit-path pytest runs)."""
+    report = run(smoke=True, **SMOKE_SCALE)
+    check_schema(report)
+    check_coverage(report)
+    check_overhead(report)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    scale = SMOKE_SCALE if smoke else FULL_SCALE
+    report = run(smoke=smoke, **scale)
+    check_schema(report)
+    check_coverage(report)
+    check_overhead(report)
+    print("bench_obs: all checks passed (declared families all exported, "
+          f"instrumentation overhead within {MAX_OVERHEAD_PCT}%)")

@@ -38,6 +38,7 @@ import sys
 import time
 
 from repro.api import CompressedXml
+from repro.obs.metrics import summarize_latencies
 from repro.query.naive import naive_select
 from repro.trees.unranked import XmlNode
 
@@ -117,20 +118,24 @@ def run(edges, rounds, updates_per_round, engine_queries_per_round,
 
     engine_s = naive_s = 0.0
     engine_queries = naive_queries = 0
+    engine_samples = []
+    naive_samples = []
     matches = []
     for _ in range(rounds):
         apply_traffic(doc, rng, updates_per_round)
 
-        started = time.perf_counter()
         for _ in range(engine_queries_per_round):
+            started = time.perf_counter()
             matches = doc.select(QUERY)
-        engine_s += time.perf_counter() - started
+            engine_samples.append(time.perf_counter() - started)
+        engine_s += sum(engine_samples[-engine_queries_per_round:])
         engine_queries += engine_queries_per_round
 
-        started = time.perf_counter()
         for _ in range(naive_queries_per_round):
+            started = time.perf_counter()
             naive_matches = naive_select(doc.to_document(), QUERY)
-        naive_s += time.perf_counter() - started
+            naive_samples.append(time.perf_counter() - started)
+        naive_s += sum(naive_samples[-naive_queries_per_round:])
         naive_queries += naive_queries_per_round
 
         # Equal answers or the timing comparison is meaningless.
@@ -182,11 +187,13 @@ def run(edges, rounds, updates_per_round, engine_queries_per_round,
             "total_s": round(engine_s, 4),
             "queries": engine_queries,
             "per_query_ms": round(engine_ms, 4),
+            "latency": summarize_latencies(engine_samples),
         },
         "naive": {
             "total_s": round(naive_s, 4),
             "queries": naive_queries,
             "per_query_ms": round(naive_ms, 4),
+            "latency": summarize_latencies(naive_samples),
         },
         "maintenance": {
             "label_rules_censused_initial": initial_census,
@@ -217,9 +224,14 @@ def check_schema(report):
     for section in ("workload", "query", "engine", "naive", "maintenance",
                     "speedup"):
         assert section in report, f"missing section {section!r}"
-    for key in ("total_s", "queries", "per_query_ms"):
+    for key in ("total_s", "queries", "per_query_ms", "latency"):
         assert key in report["engine"], f"missing engine {key!r}"
         assert key in report["naive"], f"missing naive {key!r}"
+    for variant in ("engine", "naive"):
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in report[variant]["latency"], \
+                f"{variant}: missing latency {key!r}"
+        assert report[variant]["latency"]["count"] > 0
     for key in ("label_rules_censused_initial",
                 "label_rules_censused_maintenance",
                 "label_rules_rebuild_volume",

@@ -36,6 +36,7 @@ import sys
 import time
 
 from repro.api import CompressedXml
+from repro.obs.metrics import summarize_latencies
 from repro.trees.unranked import XmlNode
 
 FULL_SCALE = {"edges": 50_000, "updates": 500}
@@ -88,9 +89,12 @@ def apply_op(doc, op):
 
 def run_variant(edges, ops, incremental):
     doc = make_doc(edges, incremental)
+    samples = []
     start = time.perf_counter()
     for op in ops:
+        op_started = time.perf_counter()
         apply_op(doc, op)
+        samples.append(time.perf_counter() - op_started)
     total_s = time.perf_counter() - start
     stats = doc.last_repair_stats
     result = {
@@ -107,6 +111,7 @@ def run_variant(edges, ops, incremental):
         "rules_adapted": doc.rules_adapted_total,
         "index_wholesale_resets": doc.index.wholesale_invalidations,
         "grammar_rules": len(doc.grammar),
+        "latency": summarize_latencies(samples),
     }
     if stats is not None:
         result["last_run"] = {
@@ -215,9 +220,14 @@ def check_schema(report):
         assert section in report, f"missing section {section!r}"
     for key in ("total_s", "ops_per_s", "recompress_runs", "recompress_s",
                 "maintenance_s", "rules_censused", "final_c_edges",
-                "grammar_rules"):
+                "grammar_rules", "latency"):
         assert key in report["full_rescan"], f"missing {key!r}"
         assert key in report["incremental"], f"missing {key!r}"
+    for variant in ("full_rescan", "incremental"):
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in report[variant]["latency"], \
+                f"{variant}: missing latency {key!r}"
+        assert report[variant]["latency"]["count"] > 0
     for key in ("rule_census_volume", "occurrence_maintenance",
                 "recompress_wall_time", "ops_per_s"):
         assert key in report["speedup"], f"missing speedup {key!r}"

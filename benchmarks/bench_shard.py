@@ -41,6 +41,7 @@ import sys
 import time
 
 from repro.api import CompressedXml
+from repro.obs.metrics import summarize_latencies
 from repro.trees.node import node_count
 from repro.trees.unranked import XmlNode
 
@@ -100,6 +101,7 @@ def run_variant(doc, appends, buckets, label):
     per_bucket = appends // buckets
     curve = []          # update-only ops/s (isolation + index recompute)
     width_curve = []
+    samples = []        # per-append wall times (includes recompression)
     total_s = 0.0
     update_s = 0.0
     for bucket in range(buckets):
@@ -114,7 +116,9 @@ def run_variant(doc, appends, buckets, label):
         recompress_before = doc.recompress_seconds
         started = time.perf_counter()
         for record in records:
+            op_started = time.perf_counter()
             doc.append_child(0, record)
+            samples.append(time.perf_counter() - op_started)
         elapsed = time.perf_counter() - started
         total_s += elapsed
         # The sustained-ops/s curve isolates the per-update work the
@@ -149,6 +153,7 @@ def run_variant(doc, appends, buckets, label):
         "rules_inlined": doc.rules_inlined_total,
         "grammar_index_wholesale": doc.index.wholesale_invalidations,
         "label_index_wholesale": doc.label_index.wholesale_invalidations,
+        "latency": summarize_latencies(samples),
     }
 
 
@@ -300,9 +305,15 @@ def check_schema(report):
     for key in ("total_s", "ops_per_s_curve", "max_rule_width_curve",
                 "max_rule_width", "final_c_edges", "element_count",
                 "recompress_runs", "rules_inlined",
-                "grammar_index_wholesale", "label_index_wholesale"):
+                "grammar_index_wholesale", "label_index_wholesale",
+                "latency"):
         assert key in report["unsharded"], f"missing {key!r}"
         assert key in report["sharded"], f"missing {key!r}"
+    for variant in ("unsharded", "sharded"):
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in report[variant]["latency"], \
+                f"{variant}: missing latency {key!r}"
+        assert report[variant]["latency"]["count"] > 0
     for key in ("shards", "spine_depth", "splits", "merges"):
         assert key in report["sharded"], f"missing sharded {key!r}"
     for key in ("wall_time", "sustained_ops_ratio", "sharded_flatness",

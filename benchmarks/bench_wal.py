@@ -36,6 +36,7 @@ import tempfile
 import time
 
 from repro.api import CompressedXml
+from repro.obs.metrics import summarize_latencies
 from repro.storage.durable import DurableXml
 from repro.updates.batch import BatchAppend, BatchDelete, BatchInsert, \
     BatchRename
@@ -92,6 +93,7 @@ def variant_report(latencies):
         "ops_per_s": round(len(latencies) / total, 2) if total else None,
         "mean_commit_ms": round(1000.0 * total / len(latencies), 4),
         "p95_commit_ms": round(1000.0 * percentile(latencies, 0.95), 4),
+        "latency": summarize_latencies(latencies),
     }
 
 
@@ -219,9 +221,15 @@ def check_schema(report):
     for section in ("workload", "in_memory", "durable", "recovery",
                     "scrub"):
         assert section in report, f"missing section {section!r}"
-    for key in ("total_s", "ops_per_s", "mean_commit_ms", "p95_commit_ms"):
+    for key in ("total_s", "ops_per_s", "mean_commit_ms", "p95_commit_ms",
+                "latency"):
         assert key in report["in_memory"], f"missing {key!r}"
         assert key in report["durable"], f"missing {key!r}"
+    for variant in ("in_memory", "durable"):
+        for key in ("count", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in report[variant]["latency"], \
+                f"{variant}: missing latency {key!r}"
+        assert report[variant]["latency"]["count"] > 0
     for key in ("checkpoints", "live_wal_bytes", "store_create_s",
                 "wal_segment_bytes", "wal_rotations",
                 "final_segment_count"):

@@ -1,0 +1,101 @@
+"""Observability quickstart: per-document metrics, p99s, and a scrape.
+
+One registry per document (or the process-global default) collects
+latency histograms, counters, and live gauge sources from every hot
+path.  This walkthrough drives a mixed workload -- single ops, an
+atomic batch, queries, an explicit recompression -- then reads the
+results three ways:
+
+* the in-process summary (``doc.metrics()``) with p50/p95/p99 per
+  histogram family, the same block ``DurableXml.health()`` embeds;
+* the human-readable table (``registry.render_table()``), what
+  ``repro-xml durable metrics store/`` prints;
+* the Prometheus text exposition (``registry.render_prometheus()``),
+  what ``durable metrics store/ --prometheus`` serves to a scraper.
+
+It also arms the tracer's slow-op threshold so the recompression shows
+up as one structured log line with its stage breakdown -- the "why was
+that slow" breadcrumb (see the runbook table in the README).
+
+Run with ``PYTHONPATH=src python examples/metrics.py``.
+"""
+
+import logging
+
+from repro import CompressedXml
+from repro.obs import MetricsRegistry, Tracer, set_default_tracer
+from repro.trees.unranked import XmlNode
+
+
+def build_log(entries: int = 1500) -> str:
+    parts = ["<log>"]
+    for index in range(entries):
+        extra = "<ref/>" if index % 5 == 0 else ""
+        parts.append(f"<entry><ip/><ts/><req>{extra}</req></entry>")
+    parts.append("</log>")
+    return "".join(parts)
+
+
+def main() -> None:
+    # Slow-op tracing: any root span over 5ms logs one line with its
+    # per-stage breakdown through stdlib logging.
+    logging.basicConfig(format="%(name)s: %(message)s")
+    set_default_tracer(Tracer(slow_op_seconds=0.005))
+
+    registry = MetricsRegistry()
+    doc = CompressedXml.from_xml(
+        build_log(), metrics=registry, shard_width=64
+    )
+    print(f"log: {doc.element_count} elements, "
+          f"grammar {doc.compressed_size} edges\n")
+
+    # -- the mixed load ------------------------------------------------
+    for index in range(40):
+        doc.rename(2 + index * 7, "seen")
+    with doc.batch() as burst:
+        burst.rename(5, "flagged")
+        burst.insert(9, XmlNode("note", [XmlNode("by")]))
+        burst.append_child(0, XmlNode("tail"))
+    hits = doc.select("//seen")
+    total = doc.count("//ip")
+    doc.recompress()
+    print(f"applied 40 renames + 1 batch; //seen -> {len(hits)} hits, "
+          f"//ip -> {total}\n")
+
+    # -- 1. in-process percentiles: the p99 view -----------------------
+    # doc.metrics() is the compact count+p50/p99 summary health() embeds;
+    # collect() has the full snapshot (p95, min/max/mean) in seconds.
+    collected = registry.collect()
+    print("update/query p50..p99 (ms):")
+    for family in ("repro_update_seconds{op=\"rename\"}",
+                   "repro_batch_seconds",
+                   "repro_query_stage_seconds{stage=\"walk\"}",
+                   "repro_recompress_seconds"):
+        snap = collected["histograms"][family]
+        print(f"  {family:48s} n={snap['count']:<4d} "
+              f"p50={snap['p50_s'] * 1e3:7.3f}  "
+              f"p95={snap['p95_s'] * 1e3:7.3f}  "
+              f"p99={snap['p99_s'] * 1e3:7.3f}")
+
+    # -- 2. the operator table (what `durable metrics` prints) ---------
+    print("\n--- render_table() (excerpt) ---")
+    table = registry.render_table()
+    for line in table.splitlines():
+        if "recompress" in line or line.startswith(("counters", "gauges")):
+            print(line)
+
+    # -- 3. the scrape (what `durable metrics --prometheus` serves) ----
+    print("\n--- render_prometheus() (excerpt) ---")
+    exposition = registry.render_prometheus()
+    for line in exposition.splitlines():
+        if line.startswith(("# TYPE repro_update_seconds",
+                            "repro_update_seconds_count",
+                            "repro_queries_total",
+                            "repro_doc_element_count")):
+            print(line)
+    print(f"... {len(exposition.splitlines())} lines, "
+          f"{len(exposition)} bytes total")
+
+
+if __name__ == "__main__":
+    main()

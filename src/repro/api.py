@@ -58,9 +58,12 @@ from __future__ import annotations
 import os
 import threading
 import time
+import weakref
 from typing import Iterator, List, Optional, Sequence, Set, Union, TYPE_CHECKING
 
 from repro.core.grammar_repair import GrammarRePair, GrammarRePairStats
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import trace_span
 from repro.grammar.concurrency import ShardLockTable
 from repro.grammar.index import GrammarIndex
 from repro.grammar.serialize import format_grammar, parse_grammar
@@ -71,9 +74,15 @@ from repro.trees.node import deep_copy
 from repro.trees.symbols import Alphabet
 from repro.trees.unranked import XmlNode
 from repro.trees.xml_io import parse_xml, serialize_xml
-from repro.query.engine import count_matches, extract_subtree
+from repro.query.engine import (
+    count_matches,
+    extract_subtree,
+    read_prune_counter,
+    reset_prune_counter,
+)
 from repro.query.engine import select as engine_select
 from repro.query.label_index import LabelIndex
+from repro.query.parser import parse_path
 from repro.updates import grammar_updates
 from repro.updates.batch import BatchBuilder, BatchOp, BatchStats, execute_batch
 from repro.updates.operations import UpdateError
@@ -95,6 +104,58 @@ def __getattr__(name: str):
 
         return DurableXml
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# ----------------------------------------------------------------------
+# gauge-source samplers (module-level so the registry holds no bound
+# method -- only a weakref -- to the document)
+# ----------------------------------------------------------------------
+def _sample_doc(ref: "weakref.ref") -> dict:
+    doc = ref()
+    if doc is None:
+        return {}
+    grammar = doc._grammar
+    pins = grammar.pinned_epochs()
+    return {
+        "element_count": doc._index.element_count,
+        "compressed_size": doc._size.total,
+        "epoch": grammar.epoch,
+        "pinned_snapshots": sum(pins.values()),
+        "updates_applied": doc.updates_applied,
+        "batches_applied": doc.batches_applied,
+        "rules_inlined_total": doc.rules_inlined_total,
+        "recompress_runs": doc.recompress_runs,
+    }
+
+
+def _sample_indexes(ref: "weakref.ref") -> dict:
+    doc = ref()
+    if doc is None:
+        return {}
+    data = {f"grammar_{key}": value
+            for key, value in doc._index.to_dict().items()}
+    if doc._label_index is not None:
+        data.update(
+            (f"label_{key}", value)
+            for key, value in doc._label_index.to_dict().items()
+        )
+    return data
+
+
+def _sample_shards(ref: "weakref.ref") -> dict:
+    doc = ref()
+    if doc is None or doc._shards is None:
+        return {}
+    data = doc._shards.stats.to_dict()
+    data["shard_count"] = len(doc._shards.heads)
+    return data
+
+
+def _sample_last_batch(ref: "weakref.ref") -> dict:
+    doc = ref()
+    if doc is None or doc.last_batch_stats is None:
+        return {}
+    return doc.last_batch_stats.to_dict()
 
 
 class CompressedXml:
@@ -125,6 +186,7 @@ class CompressedXml:
         incremental_recompress: bool = True,
         shard_width: Optional[int] = None,
         shard_merge_hysteresis: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._grammar = grammar
         # Writer lock: every mutator (and snapshot(), which must pin
@@ -187,6 +249,101 @@ class CompressedXml:
         self.rules_censused_total = 0
         self.rules_adapted_total = 0
         self.last_repair_stats: Optional[GrammarRePairStats] = None
+        self.last_batch_stats: Optional[BatchStats] = None
+        # Observability: resolve every metric handle once, here.  With a
+        # disabled registry (or NULL_REGISTRY) each handle is the shared
+        # no-op object, so the per-operation cost of instrumentation is
+        # two clock reads and two no-op calls -- the budget
+        # benchmarks/bench_obs.py gates at 5%.
+        self._bind_metrics(metrics)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _bind_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach to ``registry`` (the process-global default when
+        ``None``) and resolve every hot-path metric handle.
+
+        Declaring the full family surface here -- before a single
+        observation -- is deliberate: a Prometheus scrape of a fresh
+        document must already show every metric this document can emit.
+        """
+        obs = self._obs = (registry if registry is not None
+                           else default_registry())
+        update_ops = ("rename", "insert", "append_child", "delete")
+        self._m_update = {
+            op: obs.histogram(
+                "repro_update_seconds",
+                "Latency of one single-op update", op=op)
+            for op in update_ops
+        }
+        self._m_updates_total = {
+            op: obs.counter(
+                "repro_updates_total",
+                "Single-op updates applied", op=op)
+            for op in update_ops
+        }
+        self._m_batch = obs.histogram(
+            "repro_batch_seconds", "End-to-end apply_batch latency")
+        self._m_batch_stage = {
+            stage: obs.histogram(
+                "repro_batch_stage_seconds",
+                "apply_batch stage latency", stage=stage)
+            for stage in ("plan", "isolate", "apply", "settle")
+        }
+        self._m_batches_total = obs.counter(
+            "repro_batches_total", "Batches applied")
+        self._m_recompress = obs.histogram(
+            "repro_recompress_seconds", "End-to-end recompression latency")
+        self._m_recompress_stage = {
+            stage: obs.histogram(
+                "repro_recompress_stage_seconds",
+                "Recompression stage latency", stage=stage)
+            for stage in ("census", "rounds", "prune")
+        }
+        self._m_recompress_total = obs.counter(
+            "repro_recompress_total", "Recompression runs")
+        self._m_query_stage = {
+            stage: obs.histogram(
+                "repro_query_stage_seconds",
+                "Query stage latency", stage=stage)
+            for stage in ("parse", "walk")
+        }
+        self._m_queries_total = {
+            kind: obs.counter(
+                "repro_queries_total", "Queries evaluated", kind=kind)
+            for kind in ("select", "count")
+        }
+        self._m_query_pruned = obs.counter(
+            "repro_query_pruned_subtrees_total",
+            "Derivation subtrees skipped by census pruning")
+        self._m_query_matches = obs.counter(
+            "repro_query_matches_total", "Elements returned by select()")
+        if self._shards is not None:
+            self._shards.bind_metrics(obs)
+        # Gauge sources sample the live stats objects at collection time
+        # only.  The weakref keeps the (often process-global) registry
+        # from pinning this document alive; re-registration under the
+        # same name replaces a dead document's source with the new one.
+        ref = weakref.ref(self)
+        obs.register_source(
+            "repro_doc", lambda: _sample_doc(ref))
+        obs.register_source(
+            "repro_index", lambda: _sample_indexes(ref))
+        obs.register_source(
+            "repro_shard", lambda: _sample_shards(ref))
+        obs.register_source(
+            "repro_batch_last", lambda: _sample_last_batch(ref))
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The registry this document's instrumentation feeds."""
+        return self._obs
+
+    def metrics(self) -> dict:
+        """Compact metrics snapshot: counters, gauges, histogram
+        p50/p99, and the sampled stats-object sources."""
+        return self._obs.summary()
 
     # ------------------------------------------------------------------
     # construction
@@ -262,6 +419,7 @@ class CompressedXml:
                 parents=state.shard.parents,
                 **restore_kwargs,
             )
+            doc._shards.bind_metrics(doc._obs)
         if state.segments:
             doc._index.import_segments(state.segments)
         if state.label_counts is not None:
@@ -430,7 +588,18 @@ class CompressedXml:
         coordinate space as :meth:`rename`/:meth:`delete`/
         :meth:`apply_batch` targets.
         """
-        return engine_select(self._index, self.label_index, path)
+        clock = time.perf_counter
+        started = clock()
+        parsed = parse_path(path)
+        self._m_query_stage["parse"].observe(clock() - started)
+        reset_prune_counter()
+        walk_started = clock()
+        result = engine_select(self._index, self.label_index, parsed)
+        self._m_query_stage["walk"].observe(clock() - walk_started)
+        self._m_queries_total["select"].inc()
+        self._m_query_pruned.inc(read_prune_counter())
+        self._m_query_matches.inc(len(result))
+        return result
 
     def count(self, path: str) -> int:
         """Number of elements a label path selects.
@@ -438,7 +607,17 @@ class CompressedXml:
         ``//label`` is answered in O(1) from the label index's start-rule
         census; other shapes evaluate the path.
         """
-        return count_matches(self._index, self.label_index, path)
+        clock = time.perf_counter
+        started = clock()
+        parsed = parse_path(path)
+        self._m_query_stage["parse"].observe(clock() - started)
+        reset_prune_counter()
+        walk_started = clock()
+        result = count_matches(self._index, self.label_index, parsed)
+        self._m_query_stage["walk"].observe(clock() - walk_started)
+        self._m_queries_total["count"].inc()
+        self._m_query_pruned.inc(read_prune_counter())
+        return result
 
     def subtree_xml(
         self, element_index: int, indent: Optional[int] = None
@@ -465,12 +644,15 @@ class CompressedXml:
     # ------------------------------------------------------------------
     def rename(self, element_index: int, new_tag: str) -> None:
         """Relabel the ``element_index``-th element (document order)."""
+        started = time.perf_counter()
         with self._lock:
             position, steps = self._index.resolve_element(element_index)
             self.rules_inlined_total += grammar_updates.rename(
                 self._grammar, position, new_tag,
                 grammar_index=self._index, steps=steps, spine=self._spine())
             self._after_update()
+        self._m_update["rename"].observe(time.perf_counter() - started)
+        self._m_updates_total["rename"].inc()
 
     def insert(
         self,
@@ -488,6 +670,7 @@ class CompressedXml:
                 "inserting before the document root would create a forest"
             )
         siblings = [content] if isinstance(content, XmlNode) else list(content)
+        started = time.perf_counter()
         with self._lock:
             fragment = encode_forest(siblings, self._grammar.alphabet)
             position, steps = self._index.resolve_element(element_index)
@@ -495,6 +678,8 @@ class CompressedXml:
                 self._grammar, position, fragment,
                 grammar_index=self._index, steps=steps, spine=self._spine())
             self._after_update()
+        self._m_update["insert"].observe(time.perf_counter() - started)
+        self._m_updates_total["insert"].inc()
 
     def append_child(
         self,
@@ -514,6 +699,7 @@ class CompressedXml:
         so the isolation never runs past the derivation.
         """
         siblings = [content] if isinstance(content, XmlNode) else list(content)
+        started = time.perf_counter()
         with self._lock:
             fragment = encode_forest(siblings, self._grammar.alphabet)
             position = self._end_of_children_position(parent_element_index)
@@ -521,6 +707,8 @@ class CompressedXml:
                 self._grammar, position, fragment, grammar_index=self._index,
                 spine=self._spine())
             self._after_update()
+        self._m_update["append_child"].observe(time.perf_counter() - started)
+        self._m_updates_total["append_child"].inc()
 
     def _end_of_children_position(self, parent_element_index: int) -> int:
         """Binary preorder index of the parent's child-list terminator.
@@ -543,12 +731,15 @@ class CompressedXml:
         """
         if element_index == 0:
             raise UpdateError("deleting the document root is not allowed")
+        started = time.perf_counter()
         with self._lock:
             position, steps = self._index.resolve_element(element_index)
             self.rules_inlined_total += grammar_updates.delete(
                 self._grammar, position, grammar_index=self._index,
                 steps=steps, spine=self._spine())
             self._after_update()
+        self._m_update["delete"].observe(time.perf_counter() - started)
+        self._m_updates_total["delete"].inc()
 
     # ------------------------------------------------------------------
     # snapshots (MVCC read isolation)
@@ -671,7 +862,9 @@ class CompressedXml:
         the durability layer logs batches under, where replay must never
         reproduce a half-applied program.
         """
-        with self._lock:
+        started = time.perf_counter()
+        with trace_span("apply_batch", ops=len(ops),
+                        transactional=transactional), self._lock:
             base_epoch = self._grammar.epoch
             backup = self._transaction_backup() if transactional else None
             try:
@@ -692,11 +885,21 @@ class CompressedXml:
             self.updates_applied += stats.operations
             self.batches_applied += 1
             self.rules_inlined_total += stats.inlined_rules
+            settle_started = time.perf_counter()
             self._reshard()
             self._maybe_auto_recompress()
+            settle_seconds = time.perf_counter() - settle_started
             stats.base_epoch = base_epoch
             stats.commit_epoch = self._grammar.epoch
-            return stats
+            self.last_batch_stats = stats
+        self._m_batch.observe(time.perf_counter() - started)
+        stage = self._m_batch_stage
+        stage["plan"].observe(stats.plan_seconds)
+        stage["isolate"].observe(stats.isolate_seconds)
+        stage["apply"].observe(stats.apply_seconds)
+        stage["settle"].observe(settle_seconds)
+        self._m_batches_total.inc()
+        return stats
 
     def _transaction_backup(self):
         """Pin the pre-batch epoch as the rollback point.
@@ -829,9 +1032,10 @@ class CompressedXml:
         shard-scoped commits and holding new ones out until the rewrite
         finishes.
         """
-        with self._shard_locks.spine.exclusive():
-            with self._lock:
-                return self._recompress_locked(full)
+        with trace_span("recompress"):
+            with self._shard_locks.spine.exclusive():
+                with self._lock:
+                    return self._recompress_locked(full)
 
     def _recompress_locked(self, full: Optional[bool]) -> int:
         started = time.perf_counter()
@@ -869,7 +1073,14 @@ class CompressedXml:
         self._baselined = True
         self._last_compressed_size = max(1, self._size.total)
         self.recompress_runs += 1
-        self.recompress_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.recompress_seconds += elapsed
+        self._m_recompress.observe(elapsed)
+        stage = self._m_recompress_stage
+        stage["census"].observe(compressor.stats.census_seconds)
+        stage["rounds"].observe(compressor.stats.rounds_seconds)
+        stage["prune"].observe(compressor.stats.prune_seconds)
+        self._m_recompress_total.inc()
         self.maintenance_seconds += compressor.stats.maintenance_seconds
         self.rules_censused_total += compressor.stats.rules_censused
         self.rules_adapted_total += (

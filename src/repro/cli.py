@@ -9,6 +9,7 @@ Subcommands::
     repro-xml update    doc.grammar rename 3 newtag [-o out.grammar]
     repro-xml durable   init store/ --xml doc.xml   # crash-safe store
     repro-xml durable   update store/ rename 3 newtag
+    repro-xml durable   metrics store/ --prometheus # scrape endpoint text
     repro-xml experiment table3 figure2 ...         # regenerate results
 """
 
@@ -153,6 +154,9 @@ def _run_durable(args, DurableXml) -> int:
     with DurableXml.open(args.store) as store:
         recovery = store.last_recovery
         if action == "status":
+            if args.json:
+                _print_json(_status_dict(store))
+                return 0
             print(f"store:       {store.directory}")
             print(f"generation:  {store.generation}")
             print(f"wal bytes:   {store.wal_size}")
@@ -232,16 +236,72 @@ def _run_durable(args, DurableXml) -> int:
                 return 1
             return 0
         elif action == "health":
-            _print_health(store.health())
+            health = store.health()
+            if args.json:
+                _print_json(health)
+            else:
+                _print_health_table(health)
+        elif action == "metrics":
+            registry = store.metrics_registry
+            if args.prometheus:
+                sys.stdout.write(registry.render_prometheus())
+            else:
+                sys.stdout.write(registry.render_table())
         else:  # pragma: no cover - argparse restricts choices
             raise AssertionError(action)
     return 0
 
 
-def _print_health(health: dict) -> None:
+def _status_dict(store) -> dict:
+    """The pinned ``durable status --json`` schema."""
+    wal = store._wal.to_dict()
+    wal["segment_bytes_limit"] = store._wal_segment_bytes
+    recovery = store.last_recovery
+    return {
+        "directory": store.directory,
+        "generation": store.generation,
+        "degraded": store.degraded,
+        "element_count": store.element_count,
+        "compressed_size": store.compressed_size,
+        "wal": wal,
+        "recovery": recovery.to_dict() if recovery is not None else None,
+        "mvcc": store.mvcc_info(),
+    }
+
+
+def _print_json(payload: dict) -> None:
     import json
 
-    print(json.dumps(health, indent=2, sort_keys=True))
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _print_health_table(health: dict) -> None:
+    print(f"store:       {health['directory']}")
+    print(f"generation:  {health['generation']}")
+    print(f"elements:    {health['element_count']}")
+    print(f"degraded:    "
+          f"{'yes (read-only)' if health['degraded'] else 'no'}")
+    if health["degraded_cause"]:
+        print(f"cause:       {health['degraded_cause']}")
+    wal = health["wal"]
+    print(f"wal:         {wal['size_bytes']} bytes, "
+          f"{wal['segment_count']} segment(s), "
+          f"{wal['rotations']} rotation(s)")
+    if wal["tail_error"]:
+        print(f"wal tail:    {wal['tail_error']}")
+    mvcc = health["mvcc"]
+    print(f"mvcc:        epoch {mvcc['epoch']}, "
+          f"{mvcc['pinned_snapshots']} pinned snapshot(s), "
+          f"group commit "
+          f"{'on' if mvcc['group_commit'] else 'off'}")
+    if health["last_checkpoint_error"]:
+        print(f"checkpoint:  last error: "
+              f"{health['last_checkpoint_error']}")
+    scrub = health["last_scrub"]
+    if scrub is not None:
+        print(f"scrub:       {'clean' if scrub['ok'] else 'FINDINGS'} "
+              f"({scrub['repaired']} repaired)")
+    print("(full machine-readable report: durable health --json)")
 
 
 def _cmd_experiment(args) -> int:
@@ -329,7 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "action",
         choices=("init", "status", "update", "query", "checkpoint",
-                 "scrub", "health"),
+                 "scrub", "health", "metrics"),
     )
     p.add_argument("store", help="store directory")
     p.add_argument(
@@ -343,6 +403,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--repair", action="store_true",
         help="scrub: rebuild drifted indexes and retire corrupt files",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="status/health: emit the machine-readable JSON report",
+    )
+    p.add_argument(
+        "--prometheus", action="store_true",
+        help="metrics: emit Prometheus text exposition instead of the "
+        "human table",
     )
     p.set_defaults(handler=_cmd_durable)
 

@@ -91,6 +91,13 @@ class GrammarRePairStats:
     #: the component this PR's occurrence index replaces.  Replacement and
     #: pruning time is excluded (identical machinery on both paths).
     maintenance_seconds: float = 0.0
+    #: Stage wall times of the run: the occurrence census (the one full
+    #: build in incremental mode, every RETRIEVEOCCS pass in rescan
+    #: mode), the replacement rounds (everything between census and
+    #: prune), and the pruning phase.
+    census_seconds: float = 0.0
+    rounds_seconds: float = 0.0
+    prune_seconds: float = 0.0
 
     @property
     def blow_up(self) -> float:
@@ -98,6 +105,28 @@ class GrammarRePairStats:
         if self.final_size == 0:
             return 1.0
         return self.max_intermediate_size / self.final_size
+
+    def to_dict(self) -> dict:
+        """Flat numeric view (the shared stats-object protocol)."""
+        return {
+            "rounds": self.rounds,
+            "rules_created": self.rules_created,
+            "rules_pruned": self.rules_pruned,
+            "replacements": self.replacements,
+            "initial_size": self.initial_size,
+            "final_size": self.final_size,
+            "max_intermediate_size": self.max_intermediate_size,
+            "blow_up": self.blow_up,
+            "full_censuses": self.full_censuses,
+            "rules_censused": self.rules_censused,
+            "rules_adapted": self.rules_adapted,
+            "rules_partially_rescanned": self.rules_partially_rescanned,
+            "seed_rule_count": self.seed_rule_count or 0,
+            "maintenance_seconds": self.maintenance_seconds,
+            "census_seconds": self.census_seconds,
+            "rounds_seconds": self.rounds_seconds,
+            "prune_seconds": self.prune_seconds,
+        }
 
 
 class GrammarRePair:
@@ -179,12 +208,16 @@ class GrammarRePair:
         stats.size_trace.append(stats.initial_size)
         self._prune_hints = None
 
+        loop_started = time.perf_counter()
         if self.incremental:
             self._compress_incremental(working, stats, dirty_rules)
         else:
             self._compress_full_rescan(working, stats)
+        loop_elapsed = time.perf_counter() - loop_started
+        stats.rounds_seconds = max(0.0, loop_elapsed - stats.census_seconds)
 
         if self.prune:
+            prune_started = time.perf_counter()
             if self._prune_hints is not None:
                 counts, order, referencers, sizes = self._prune_hints
                 stats.rules_pruned = prune_grammar(
@@ -195,6 +228,7 @@ class GrammarRePair:
                 stats.rules_pruned = prune_grammar(
                     working, protected=self.barriers
                 )
+            stats.prune_seconds = time.perf_counter() - prune_started
         stats.final_size = working.size
         stats.size_trace.append(stats.final_size)
         if stats.final_size > stats.max_intermediate_size:
@@ -245,7 +279,9 @@ class GrammarRePair:
         clock = time.perf_counter
         started = clock()
         index.build(seed_rules=seed)
-        stats.maintenance_seconds += clock() - started
+        elapsed = clock() - started
+        stats.maintenance_seconds += elapsed
+        stats.census_seconds += elapsed
         try:
             while True:
                 started = clock()
@@ -336,6 +372,7 @@ class GrammarRePair:
             table = retrieve_occurrences(
                 working, opaque, barriers=self.barriers
             )
+            stats.census_seconds += clock() - started
             stats.full_censuses += 1
             census_count = sum(
                 1 for head in working.rules if head not in opaque

@@ -191,6 +191,14 @@ class GrammarIndex:
         self._locations.clear()
         self.wholesale_invalidations += 1
 
+    def to_dict(self) -> dict:
+        """Flat numeric view (the shared stats-object protocol)."""
+        return {
+            "evicted_rules": self.evicted_rules,
+            "wholesale_invalidations": self.wholesale_invalidations,
+            "cached_rules": len(self._node_segments),
+        }
+
     @property
     def cached_rule_count(self) -> int:
         """How many rules currently have computed tables."""

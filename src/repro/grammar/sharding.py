@@ -55,11 +55,13 @@ fresh digram rule application within the same spine rule, which is fine
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set
 
 from repro.grammar.slcf import Grammar, GrammarError
+from repro.obs.metrics import NULL_METRIC
 from repro.trees.node import Node, node_count
 from repro.trees.symbols import Symbol
 
@@ -124,6 +126,20 @@ class ShardStats:
     #: O(width)-bounded grammar it exists to guarantee.
     history: Deque[str] = field(default_factory=lambda: deque(maxlen=64))
 
+    def to_dict(self) -> dict:
+        """Flat numeric view (the shared stats-object protocol)."""
+        return {
+            "splits": self.splits,
+            "merges": self.merges,
+            "shards_created": self.shards_created,
+            "shards_removed": self.shards_removed,
+            "reshard_runs": self.reshard_runs,
+            "max_width_seen": self.max_width_seen,
+            "collected": self.collected,
+            "merges_suppressed": self.merges_suppressed,
+            "rebalance_epochs": self.rebalance_epochs,
+        }
+
 
 class ShardManager:
     """Keeps the spine rules of one mutable grammar inside a width budget.
@@ -176,6 +192,7 @@ class ShardManager:
         # notifications (for the indexes); they must not re-dirty us.
         self._resharding = False
         self.stats = ShardStats()
+        self._m_split = self._m_merge = self._m_demote = NULL_METRIC
         grammar.register_observer(self)
         # The grammar may arrive with an oversized start rule (a freshly
         # compressed document, a loaded grammar file): bring it inside the
@@ -218,12 +235,35 @@ class ShardManager:
         self._merge_deferred = set()
         self._resharding = False
         self.stats = ShardStats()
+        self._m_split = self._m_merge = self._m_demote = NULL_METRIC
         for head in self.heads:
             if head not in grammar.rules:
                 raise GrammarError(f"shard head {head!r} has no rule")
         grammar.register_observer(self)
         self.check_invariants()
         return self
+
+    def bind_metrics(self, registry) -> None:
+        """Resolve per-action latency histograms against ``registry``.
+
+        Wiring-time resolution: a disabled registry hands back the
+        shared null metric and the action sites stay branch-free.
+        """
+        self._m_split = registry.histogram(
+            "repro_reshard_stage_seconds",
+            "Latency of one shard rebalancing action",
+            stage="split",
+        )
+        self._m_merge = registry.histogram(
+            "repro_reshard_stage_seconds",
+            "Latency of one shard rebalancing action",
+            stage="merge",
+        )
+        self._m_demote = registry.histogram(
+            "repro_reshard_stage_seconds",
+            "Latency of one shard rebalancing action",
+            stage="demote",
+        )
 
     def export_state(self):
         """The serializable shard hierarchy: (width, prefix, parent map).
@@ -376,7 +416,9 @@ class ShardManager:
             while (head is not None and head.rank > 0
                    and grammar.has_rule(head)
                    and not self._has_parameter(grammar.rhs(head))):
+                demote_started = time.perf_counter()
                 head = self._demote(head, dropped_arguments)
+                self._m_demote.observe(time.perf_counter() - demote_started)
                 demoted += 1
         if dropped_arguments:
             # The dropped continuation arguments may have held the last
@@ -488,7 +530,9 @@ class ShardManager:
                 if width > stats.max_width_seen:
                     stats.max_width_seen = width
                 if width > upper:
+                    split_started = time.perf_counter()
                     owner = self._split(head, width)
+                    self._m_split.observe(time.perf_counter() - split_started)
                     actions += 1
                     if owner is not None:
                         # A shard split grafts its chunk composition into
@@ -508,7 +552,9 @@ class ShardManager:
                         stats.merges_suppressed += 1
                         self._merge_deferred.add(head)
                         continue
+                    merge_started = time.perf_counter()
                     owner = self._merge(head)
+                    self._m_merge.observe(time.perf_counter() - merge_started)
                     if owner is not None:
                         actions += 1
                         # The parent absorbed the shard's body: it may

@@ -1,0 +1,58 @@
+"""Unified observability: metrics registry, tracing, Prometheus export.
+
+The package is zero-dependency (stdlib only) and wired through every hot
+path of the system -- single-op updates, ``apply_batch`` stages,
+recompression, resharding, query evaluation, and the whole durable
+commit pipeline (WAL append, fsync, apply, checkpoint, recovery replay,
+scrub).  Three concepts:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` -- counters, gauges, and
+  fixed-bucket latency histograms (p50/p95/p99 plus exact counts), with
+  callback *gauge sources* for the pre-existing stats objects
+  (``BatchStats``, ``ShardStats``, index eviction counters, WAL shape)
+  and a Prometheus text-exposition renderer.
+* :class:`~repro.obs.tracing.Tracer` / :func:`~repro.obs.tracing
+  .trace_span` -- nested spans with monotonic timings, a bounded
+  in-memory ring of recent traces, and an optional slow-op threshold
+  that emits one structured line through stdlib ``logging``.
+* **No-op handles** -- a disabled registry (or tracer) hands out shared
+  null objects at wiring time, so instrumented code keeps a single
+  unconditional call per site and disabled overhead stays within the
+  benchmarked 5% budget (``benchmarks/bench_obs.py``).
+
+Instrumentation attaches per document (``CompressedXml(metrics=...)``)
+with a process-global default shared by everything that does not pass
+its own registry (:func:`default_registry`).
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    default_registry,
+    set_default_registry,
+    summarize_latencies,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+    trace_span,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "default_tracer",
+    "set_default_registry",
+    "set_default_tracer",
+    "summarize_latencies",
+    "trace_span",
+]

@@ -1,0 +1,593 @@
+"""Counters, gauges, fixed-bucket histograms, and Prometheus export.
+
+A :class:`MetricsRegistry` holds metric *families* (one name + type +
+help text) whose children are distinguished by label sets, exactly the
+Prometheus data model::
+
+    registry = MetricsRegistry()
+    commits = registry.counter("repro_commits_total", "Committed ops",
+                               op="rename")
+    latency = registry.histogram("repro_commit_seconds",
+                                 "End-to-end commit latency")
+    commits.inc()
+    latency.observe(0.0042)
+    print(registry.render_prometheus())
+
+Handles are resolved once at wiring time and are cheap to call; a
+registry constructed with ``enabled=False`` (or :data:`NULL_REGISTRY`)
+hands out shared no-op handles instead, so instrumented code never
+branches per operation.  Histograms use fixed latency buckets
+(:data:`LATENCY_BUCKETS`, seconds) and answer ``p50``/``p95``/``p99``
+by linear interpolation inside the owning bucket while keeping exact
+observation counts, sums, and min/max.
+
+*Gauge sources* (:meth:`MetricsRegistry.register_source`) adapt the
+code base's pre-existing stats objects: a source is a callable
+returning a flat ``{key: number}`` dict (the common ``to_dict()``
+protocol), sampled at collection/render time only -- registering one
+costs the hot paths nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "default_registry",
+    "set_default_registry",
+    "summarize_latencies",
+]
+
+#: Default histogram bucket upper bounds, in seconds: ~50us to 10s in a
+#: 1-2.5-5 ladder.  Everything above the last bound lands in the +Inf
+#: overflow bucket (still counted exactly; its quantiles interpolate
+#: towards the observed maximum).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary key into a legal Prometheus metric name."""
+    cleaned = _SANITIZE_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace(
+        '"', r"\""
+    )
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+# ----------------------------------------------------------------------
+# metric children
+# ----------------------------------------------------------------------
+class Counter:
+    """A monotonically increasing count (one label set)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (one label set)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact counts and quantiles.
+
+    ``observe(value)`` is O(log buckets); quantiles are answered from
+    the bucket counts by linear interpolation, clamped to the observed
+    ``min``/``max`` so a one-sample histogram reports that sample
+    exactly rather than a bucket midpoint.
+    """
+
+    __slots__ = ("buckets", "_counts", "_lock", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, buckets: Iterable[float] = LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(set(float(b) for b in buckets)))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last entry: +Inf
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile (0 < fraction <= 1) or ``nan``."""
+        with self._lock:
+            if self.count == 0:
+                return math.nan
+            rank = fraction * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if not bucket_count:
+                    continue
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    lo = self.buckets[index - 1] if index > 0 else 0.0
+                    hi = (self.buckets[index]
+                          if index < len(self.buckets) else self.maximum)
+                    lo = max(lo, self.minimum if previous == 0 else lo)
+                    hi = min(hi, self.maximum)
+                    if hi <= lo:
+                        return hi
+                    within = (rank - previous) / bucket_count
+                    return lo + (hi - lo) * within
+            return self.maximum  # pragma: no cover - defensive
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def snapshot(self) -> dict:
+        """Count, sum, and headline quantiles as plain numbers."""
+        with self._lock:
+            count, total = self.count, self.total
+        result = {
+            "count": count,
+            "sum_s": total,
+        }
+        if count:
+            result.update(
+                p50_s=self.percentile(0.50),
+                p95_s=self.percentile(0.95),
+                p99_s=self.percentile(0.99),
+                min_s=self.minimum,
+                max_s=self.maximum,
+                mean_s=total / count,
+            )
+        return result
+
+
+class _NullMetric:
+    """The shared no-op handle a disabled registry hands out.
+
+    Implements the whole Counter/Gauge/Histogram surface so wiring code
+    resolves one handle and never branches again.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, fraction: float) -> float:
+        return math.nan
+
+    def snapshot(self) -> dict:
+        return {"count": 0, "sum_s": 0.0}
+
+    @property
+    def value(self) -> float:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+NULL_METRIC = _NullMetric()
+
+
+# ----------------------------------------------------------------------
+# families and the registry
+# ----------------------------------------------------------------------
+class _Family:
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """A process- or document-scoped set of metric families.
+
+    ``enabled=False`` makes every factory method return the shared
+    :data:`NULL_METRIC`; nothing is declared, collected, or exported --
+    the disabled mode the overhead gate in ``bench_obs`` measures.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._sources: Dict[str, Callable[[], dict]] = {}
+
+    # -- declaration / handle resolution -------------------------------
+    def _child(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Dict[str, str],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        _check_name(name)
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already declared as {family.kind}"
+                )
+            child = family.children.get(key)
+            if child is None:
+                if kind == "counter":
+                    child = Counter()
+                elif kind == "gauge":
+                    child = Gauge()
+                else:
+                    child = Histogram(family.buckets or LATENCY_BUCKETS)
+                family.children[key] = child
+            return child
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        if not self.enabled:
+            return NULL_METRIC
+        return self._child(name, "counter", help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+        if not self.enabled:
+            return NULL_METRIC
+        return self._child(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_METRIC
+        return self._child(
+            name, "histogram", help_text, labels, buckets=tuple(buckets)
+        )
+
+    def register_source(self, name: str, source: Callable[[], dict]) -> None:
+        """Attach a callback sampled at collection time.
+
+        ``source()`` must return a flat ``{key: number}`` dict (the
+        shared ``to_dict()`` protocol of the stats objects); non-numeric
+        values are dropped at sampling time.  Re-registering a name
+        replaces the previous callback, so a fresh document adopting the
+        process-global registry supersedes a dead one instead of
+        accumulating.
+        """
+        if not self.enabled:
+            return
+        _check_name(sanitize_metric_name(name))
+        with self._lock:
+            self._sources[name] = source
+
+    def declared_names(self) -> List[str]:
+        """Every family name declared so far (wiring-time declarations
+        included, observed or not) -- the completeness contract the
+        bench-obs smoke job checks the export against."""
+        with self._lock:
+            return sorted(self._families)
+
+    # -- sampling -------------------------------------------------------
+    def _sample_sources(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            sources = list(self._sources.items())
+        sampled: Dict[str, Dict[str, float]] = {}
+        for name, source in sources:
+            try:
+                raw = source()
+            except Exception:  # pragma: no cover - defensive: a dying
+                continue       # source must not break collection
+            flat = {}
+            for key, value in (raw or {}).items():
+                if isinstance(value, bool):
+                    flat[key] = int(value)
+                elif isinstance(value, (int, float)):
+                    flat[key] = value
+            sampled[name] = flat
+        return sampled
+
+    def collect(self) -> dict:
+        """A structured snapshot: counters, gauges, histogram summaries,
+        and sampled gauge sources, keyed by family name and label set."""
+        result: dict = {"counters": {}, "gauges": {},
+                        "histograms": {}, "sources": self._sample_sources()}
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            for labels, child in sorted(family.children.items()):
+                full = family.name + _format_labels(labels)
+                if family.kind == "counter":
+                    result["counters"][full] = child.value
+                elif family.kind == "gauge":
+                    result["gauges"][full] = child.value
+                else:
+                    result["histograms"][full] = child.snapshot()
+        return result
+
+    def summary(self) -> dict:
+        """The compact operator view ``health()`` embeds: non-zero
+        counters, gauges, and per-histogram count + p50/p99 (ms)."""
+        collected = self.collect()
+        histograms = {}
+        for name, snap in collected["histograms"].items():
+            if not snap["count"]:
+                continue
+            histograms[name] = {
+                "count": snap["count"],
+                "p50_ms": round(snap["p50_s"] * 1000.0, 4),
+                "p99_ms": round(snap["p99_s"] * 1000.0, 4),
+            }
+        return {
+            "counters": {k: v for k, v in collected["counters"].items()
+                         if v},
+            "gauges": collected["gauges"],
+            "histograms": histograms,
+            "sources": collected["sources"],
+        }
+
+    # -- rendering ------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Every declared family is emitted, observed or not -- a scrape
+        must see the full metric surface, not just what has already
+        happened.  Gauge sources are emitted as gauges named
+        ``<source>_<key>`` (sanitized).
+        """
+        lines: List[str] = []
+        with self._lock:
+            families = [self._families[name]
+                        for name in sorted(self._families)]
+        for family in families:
+            help_text = family.help or family.name
+            lines.append(f"# HELP {family.name} {help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            children = sorted(family.children.items()) or [((), None)]
+            for labels, child in children:
+                if family.kind == "histogram":
+                    lines.extend(self._render_histogram(
+                        family, labels, child))
+                else:
+                    value = child.value if child is not None else 0
+                    lines.append(
+                        f"{family.name}{_format_labels(labels)} "
+                        f"{_format_value(value)}"
+                    )
+        for name, values in sorted(self._sample_sources().items()):
+            prefix = sanitize_metric_name(name)
+            for key in sorted(values):
+                metric = f"{prefix}_{sanitize_metric_name(key)}"
+                lines.append(f"# HELP {metric} sampled from source "
+                             f"{name}")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_format_value(values[key])}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def _render_histogram(self, family: _Family, labels, child) -> List[str]:
+        bounds = (child.buckets if child is not None
+                  else family.buckets or LATENCY_BUCKETS)
+        counts = child.bucket_counts() if child is not None \
+            else [0] * (len(bounds) + 1)
+        lines = []
+        cumulative = 0
+        for bound, bucket_count in zip(bounds, counts):
+            cumulative += bucket_count
+            bucket_labels = labels + (("le", _format_value(bound)),)
+            lines.append(
+                f"{family.name}_bucket{_format_labels(bucket_labels)} "
+                f"{cumulative}"
+            )
+        cumulative += counts[-1]
+        inf_labels = labels + (("le", "+Inf"),)
+        lines.append(
+            f"{family.name}_bucket{_format_labels(inf_labels)} {cumulative}"
+        )
+        total = child.total if child is not None else 0.0
+        count = child.count if child is not None else 0
+        rendered = _format_labels(labels)
+        lines.append(f"{family.name}_sum{rendered} {_format_value(total)}")
+        lines.append(f"{family.name}_count{rendered} {count}")
+        return lines
+
+    def render_table(self) -> str:
+        """A human-readable dump (the CLI ``durable metrics`` default)."""
+        collected = self.collect()
+        lines: List[str] = []
+        if collected["counters"]:
+            lines.append("counters:")
+            for name, value in sorted(collected["counters"].items()):
+                lines.append(f"  {name:<58} {value}")
+        if collected["gauges"]:
+            lines.append("gauges:")
+            for name, value in sorted(collected["gauges"].items()):
+                lines.append(f"  {name:<58} {_format_value(value)}")
+        if collected["histograms"]:
+            lines.append("histograms:            "
+                         "count      p50_ms      p95_ms      p99_ms")
+            for name, snap in sorted(collected["histograms"].items()):
+                if snap["count"]:
+                    lines.append(
+                        f"  {name:<48} {snap['count']:>6} "
+                        f"{snap['p50_s'] * 1000.0:>11.3f} "
+                        f"{snap['p95_s'] * 1000.0:>11.3f} "
+                        f"{snap['p99_s'] * 1000.0:>11.3f}"
+                    )
+                else:
+                    lines.append(f"  {name:<48} {0:>6}")
+        for name, values in sorted(collected["sources"].items()):
+            lines.append(f"source {name}:")
+            for key in sorted(values):
+                lines.append(f"  {key:<58} {_format_value(values[key])}")
+        return "\n".join(lines) + "\n" if lines else "(no metrics)\n"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    formatted = repr(float(value))
+    return formatted
+
+
+#: The always-disabled registry: pass as ``metrics=`` to opt a document
+#: out of instrumentation entirely (every handle is :data:`NULL_METRIC`).
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry documents attach to by default."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global default; returns the previous one.
+
+    Handles already resolved against the old registry keep feeding it
+    (resolution happens at wiring time); only documents constructed
+    afterwards see the new default.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+# ----------------------------------------------------------------------
+# benchmark helper
+# ----------------------------------------------------------------------
+def summarize_latencies(samples_s: Iterable[float]) -> dict:
+    """p50/p95/p99 (milliseconds) + count over raw latency samples.
+
+    The shared shape every ``benchmarks/bench_*.py`` records into its
+    ``BENCH_*.json`` (exact nearest-rank percentiles over the full
+    sample list, not the bucketed estimate the live histograms use).
+    """
+    ordered = sorted(samples_s)
+    if not ordered:
+        return {"count": 0, "p50_ms": None, "p95_ms": None, "p99_ms": None}
+
+    def rank(fraction: float) -> float:
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index] * 1000.0
+
+    return {
+        "count": len(ordered),
+        "p50_ms": round(rank(0.50), 4),
+        "p95_ms": round(rank(0.95), 4),
+        "p99_ms": round(rank(0.99), 4),
+        "mean_ms": round(sum(ordered) * 1000.0 / len(ordered), 4),
+        "max_ms": round(ordered[-1] * 1000.0, 4),
+    }

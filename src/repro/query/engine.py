@@ -26,6 +26,7 @@ decoded -- no full decompression, cost ``O(depth · rule-width + output)``.
 
 from __future__ import annotations
 
+import threading
 from itertools import islice
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -43,7 +44,27 @@ __all__ = [
     "count_matches",
     "iter_matching_elements",
     "extract_subtree",
+    "reset_prune_counter",
+    "read_prune_counter",
 ]
+
+#: Per-thread census-prune accounting for the observability layer: the
+#: facade resets it before a query's walk and reads it after, feeding
+#: the ``repro_query_pruned_subtrees_total`` counter.  Thread-local so
+#: concurrent snapshot readers never see each other's prunes; the walk
+#: itself accumulates into a local int and flushes once per generator
+#: close, keeping the hot loop free of thread-local traffic.
+_PRUNE_STATS = threading.local()
+
+
+def reset_prune_counter() -> None:
+    """Zero this thread's pruned-subtree count."""
+    _PRUNE_STATS.pruned = 0
+
+
+def read_prune_counter() -> int:
+    """Derivation subtrees census-pruned on this thread since the reset."""
+    return getattr(_PRUNE_STATS, "pruned", 0)
 
 #: The virtual context above the document root: XPath's root node.  A
 #: child step from here reaches element 0; a descendant step reaches every
@@ -111,60 +132,72 @@ def iter_matching_elements(
     stack: List[Tuple[Optional[Node], object, Optional[Symbol]]] = [
         (grammar.rhs(grammar.start), (), grammar.start)
     ]
-    while stack:
-        node, env, head = stack.pop()
-        if node is None:
-            position += env  # a pre-counted body-segment hop
-            continue
-        symbol = node.symbol
-        if symbol.is_parameter:
-            binding = env[symbol.param_index - 1]
-            stack.append((binding[0], binding[1], binding[2]))
-            continue
-        elems, matches = _elems_and_matches(
-            gindex, lindex, head, node, env, label
-        )
-        if position + elems <= lo:
-            position += elems  # entirely before the window
-            continue
-        if position >= hi:
-            return  # preorder: everything later starts even further right
-        if matches == 0:
-            position += elems  # census prune: nothing to report inside
-            continue
-        if symbol.is_terminal:
-            if not symbol.is_bottom:
-                if position >= lo and (label is None or symbol.name == label):
-                    yield position
-                position += 1
-            for child in reversed(node.children):
-                stack.append((child, env, head))
-            continue
-        if label is not None and lindex.rule_label_count(symbol, label) == 0:
-            # Every match below this application arrives through its
-            # arguments: hop over the whole body via the cached element
-            # segments (virtual preorder: seg0, arg1, seg1, ..., argk,
-            # segk) and visit only the argument subtrees.  This is what
-            # keeps a deep nested-application chain -- the shape update
-            # traffic leaves sibling lists in -- from being re-walked
-            # link by link.
-            segments = gindex.element_segments(symbol)
-            for child_pos in range(len(node.children), 0, -1):
-                if segments[child_pos]:
-                    stack.append((None, segments[child_pos], None))
-                stack.append((node.children[child_pos - 1], env, head))
-            if segments[0]:
-                stack.append((None, segments[0], None))
-            continue
-        outer_env = env
-        inner_env = tuple(
-            (child, outer_env, head)
-            + _elems_and_matches(
-                gindex, lindex, head, child, outer_env, label
+    pruned = 0
+    try:
+        while stack:
+            node, env, head = stack.pop()
+            if node is None:
+                position += env  # a pre-counted body-segment hop
+                continue
+            symbol = node.symbol
+            if symbol.is_parameter:
+                binding = env[symbol.param_index - 1]
+                stack.append((binding[0], binding[1], binding[2]))
+                continue
+            elems, matches = _elems_and_matches(
+                gindex, lindex, head, node, env, label
             )
-            for child in node.children
-        )
-        stack.append((grammar.rhs(symbol), inner_env, symbol))
+            if position + elems <= lo:
+                position += elems  # entirely before the window
+                continue
+            if position >= hi:
+                return  # preorder: everything later starts further right
+            if matches == 0:
+                position += elems  # census prune: nothing inside
+                pruned += 1
+                continue
+            if symbol.is_terminal:
+                if not symbol.is_bottom:
+                    if position >= lo and (
+                        label is None or symbol.name == label
+                    ):
+                        yield position
+                    position += 1
+                for child in reversed(node.children):
+                    stack.append((child, env, head))
+                continue
+            if (label is not None
+                    and lindex.rule_label_count(symbol, label) == 0):
+                # Every match below this application arrives through its
+                # arguments: hop over the whole body via the cached
+                # element segments (virtual preorder: seg0, arg1, seg1,
+                # ..., argk, segk) and visit only the argument subtrees.
+                # This is what keeps a deep nested-application chain --
+                # the shape update traffic leaves sibling lists in --
+                # from being re-walked link by link.
+                pruned += 1
+                segments = gindex.element_segments(symbol)
+                for child_pos in range(len(node.children), 0, -1):
+                    if segments[child_pos]:
+                        stack.append((None, segments[child_pos], None))
+                    stack.append((node.children[child_pos - 1], env, head))
+                if segments[0]:
+                    stack.append((None, segments[0], None))
+                continue
+            outer_env = env
+            inner_env = tuple(
+                (child, outer_env, head)
+                + _elems_and_matches(
+                    gindex, lindex, head, child, outer_env, label
+                )
+                for child in node.children
+            )
+            stack.append((grammar.rhs(symbol), inner_env, symbol))
+    finally:
+        if pruned:
+            _PRUNE_STATS.pruned = (
+                getattr(_PRUNE_STATS, "pruned", 0) + pruned
+            )
 
 
 def _iter_window_symbols(

@@ -55,8 +55,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
+import weakref
 from typing import List, Optional, Sequence, Union, TYPE_CHECKING
 
+from repro.obs.tracing import trace_span
 from repro.storage.faults import RetryPolicy, StorageIO
 from repro.storage.recovery import (
     RecoveredDocument,
@@ -135,6 +138,21 @@ def _normalize_content(
     return list(normalize(content))
 
 
+def _sample_store(ref: "weakref.ref") -> dict:
+    store = ref()
+    if store is None:
+        return {}
+    sample = {
+        "generation": store._generation,
+        "degraded": int(store.degraded),
+        "group_commit": int(store._group_commit),
+        "checkpoint_wal_bytes": store._checkpoint_wal_bytes,
+    }
+    for key, value in store._wal.to_dict().items():
+        sample["wal_" + key] = value
+    return sample
+
+
 class DurableXml:
     """A ``CompressedXml`` whose updates survive process death and
     whose storage survives a misbehaving disk.
@@ -187,6 +205,44 @@ class DurableXml:
         self.last_checkpoint_error: Optional[BaseException] = None
         #: The most recent :meth:`scrub` report, surfaced by health().
         self.last_scrub: Optional["ScrubReport"] = None
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Resolve the storage-side metric handles against the
+        document's registry (no-op handles when metrics are disabled)
+        and wire the per-site fsync histograms into the I/O layer."""
+        obs = self._doc.metrics_registry
+        self._obs = obs
+        self._io.bind_metrics(obs)
+        self._m_commit = obs.histogram(
+            "repro_commit_seconds", "durable commit latency (end to end)")
+        self._m_commit_stage = {
+            stage: obs.histogram(
+                "repro_commit_stage_seconds",
+                "durable commit latency by stage", stage=stage)
+            for stage in ("append", "apply", "fsync")
+        }
+        self._m_commits_total = {
+            op: obs.counter("repro_commits_total",
+                            "durable commits acknowledged", op=op)
+            for op in ("rename", "insert", "append", "delete", "batch")
+        }
+        self._m_commit_failures = obs.counter(
+            "repro_commit_failures_total",
+            "durable commits that raised (degradation or apply error)")
+        self._m_checkpoint = obs.histogram(
+            "repro_checkpoint_seconds", "checkpoint latency")
+        self._m_checkpoints_total = obs.counter(
+            "repro_checkpoints_total", "checkpoints committed")
+        self._m_degradations = obs.counter(
+            "repro_degradations_total",
+            "transitions into read-only degraded mode")
+        self._m_recovery = obs.histogram(
+            "repro_recovery_seconds", "recovery (open) latency")
+        self._m_scrub = obs.histogram(
+            "repro_scrub_seconds", "scrub pass latency")
+        ref = weakref.ref(self)
+        obs.register_source("repro_store", lambda: _sample_store(ref))
 
     # ------------------------------------------------------------------
     # construction
@@ -279,13 +335,16 @@ class DurableXml:
         """
         if io is None:
             io = StorageIO()
+        started = time.perf_counter()
         result = recover(directory, io=io,
                          wal_segment_bytes=wal_segment_bytes,
                          retry=retry, **doc_kwargs)
+        recovery_elapsed = time.perf_counter() - started
         self = cls(result.doc, directory, result.wal, result.generation,
                    io, checkpoint_wal_bytes,
                    wal_segment_bytes=wal_segment_bytes, retry=retry,
                    group_commit=group_commit)
+        self._m_recovery.observe(recovery_elapsed)
         self.last_recovery = result
         if result.continuation_generations:
             # The live state is snapshot.g + wal.g + the continuation
@@ -302,6 +361,8 @@ class DurableXml:
     # the commit protocol
     # ------------------------------------------------------------------
     def _degrade(self, cause: BaseException) -> None:
+        if self._degraded_cause is None:
+            self._m_degradations.inc()
         self._degraded_cause = cause
 
     def _require_writable(self) -> None:
@@ -318,13 +379,38 @@ class DurableXml:
         Dispatches to :meth:`_commit_group` in group-commit mode;
         ``heads`` are the shard heads the operation touches (resolved
         by the mutator wrappers, only when group commit is on).
+
+        The commit latency histogram covers append+apply+fsync only --
+        a cadence checkpoint triggered by this commit is timed by its
+        own histogram, not folded into the commit's.
         """
-        if self._group_commit:
-            return self._commit_group(record,
-                                      heads if heads is not None else ())
+        op = record.get("op", "unknown")
+        started = time.perf_counter()
+        with trace_span("commit", op=op,
+                        group_commit=self._group_commit):
+            try:
+                if self._group_commit:
+                    result = self._commit_group(
+                        record, heads if heads is not None else ())
+                else:
+                    result = self._commit_serial(record)
+            except Exception:
+                self._m_commit_failures.inc()
+                raise
+        self._m_commit.observe(time.perf_counter() - started)
+        counter = self._m_commits_total.get(op)
+        if counter is not None:
+            counter.inc()
+        self._maybe_checkpoint()
+        return result
+
+    def _commit_serial(self, record: dict):
+        """The serial commit path (see the module docstring)."""
         self._require_writable()
+        append_started = time.perf_counter()
         try:
-            token = self._wal.append(record)
+            with trace_span("wal_append"):
+                token = self._wal.append(record)
         except WalWriteError as exc:
             # Retries are exhausted: the disk is persistently refusing
             # writes.  The chain still ends at (or recovery will
@@ -336,8 +422,12 @@ class DurableXml:
                 f"store is now read-only: {exc}",
                 cause=exc,
             ) from exc
+        self._m_commit_stage["append"].observe(
+            time.perf_counter() - append_started)
+        apply_started = time.perf_counter()
         try:
-            result = apply_record(self._doc, record)
+            with trace_span("apply"):
+                result = apply_record(self._doc, record)
         except Exception:
             # The operation failed cleanly in memory (the single-op and
             # transactional-batch paths guarantee no partial state); it
@@ -353,7 +443,8 @@ class DurableXml:
                 # failed either way).
                 self._degrade(rollback_exc)
             raise
-        self._maybe_checkpoint()
+        self._m_commit_stage["apply"].observe(
+            time.perf_counter() - apply_started)
         return result
 
     def _commit_group(self, record: dict, heads: Sequence):
@@ -380,8 +471,10 @@ class DurableXml:
                     # chain is fsync'd during the cutover, making the
                     # late sync_to a cheap no-op).
                     wal = self._wal
+                    append_started = time.perf_counter()
                     try:
-                        token = wal.append_nosync(record)
+                        with trace_span("wal_append"):
+                            token = wal.append_nosync(record)
                     except WalWriteError as exc:
                         self._degrade(exc)
                         raise StoreDegraded(
@@ -389,16 +482,24 @@ class DurableXml:
                             f"and the store is now read-only: {exc}",
                             cause=exc,
                         ) from exc
+                    self._m_commit_stage["append"].observe(
+                        time.perf_counter() - append_started)
+                    apply_started = time.perf_counter()
                     try:
-                        result = apply_record(self._doc, record)
+                        with trace_span("apply"):
+                            result = apply_record(self._doc, record)
                     except Exception:
                         try:
                             wal.rollback_to(token)
                         except WalWriteError as rollback_exc:
                             self._degrade(rollback_exc)
                         raise
+                    self._m_commit_stage["apply"].observe(
+                        time.perf_counter() - apply_started)
+                fsync_started = time.perf_counter()
                 try:
-                    wal.sync_to(token)
+                    with trace_span("fsync"):
+                        wal.sync_to(token)
                 except WalWriteError as exc:
                     # The record was applied in memory but could not be
                     # made durable -- the same persistent-failure shape
@@ -409,7 +510,8 @@ class DurableXml:
                         f"failed and the store is now read-only: {exc}",
                         cause=exc,
                     ) from exc
-        self._maybe_checkpoint()
+                self._m_commit_stage["fsync"].observe(
+                    time.perf_counter() - fsync_started)
         return result
 
     def _single_op_heads(self, element_index: int) -> Sequence:
@@ -515,8 +617,18 @@ class DurableXml:
         pinned :class:`~repro.view.SnapshotView` while writers keep
         committing into the new chain.
         """
-        if self._group_commit:
-            return self._checkpoint_concurrent()
+        started = time.perf_counter()
+        with trace_span("checkpoint",
+                        group_commit=self._group_commit):
+            if self._group_commit:
+                generation = self._checkpoint_concurrent()
+            else:
+                generation = self._checkpoint_serial()
+        self._m_checkpoint.observe(time.perf_counter() - started)
+        self._m_checkpoints_total.inc()
+        return generation
+
+    def _checkpoint_serial(self) -> int:
         current = self._generation
         nxt = current + 1
         state = self._doc.export_state()
@@ -700,22 +812,20 @@ class DurableXml:
         See :mod:`repro.storage.scrub` for the full contract."""
         from repro.storage.scrub import run_scrub
 
-        report = run_scrub(self, repair=repair)
+        started = time.perf_counter()
+        with trace_span("scrub", repair=repair):
+            report = run_scrub(self, repair=repair)
+        self._m_scrub.observe(time.perf_counter() - started)
         self.last_scrub = report
         return report
 
     def health(self) -> dict:
         """A structured, disk-untouched report of the store's shape:
-        generation, segment chain, degradation, last errors, and the
-        most recent scrub findings."""
-        recovery = None
-        if self.last_recovery is not None:
-            recovery = {
-                "replayed": self.last_recovery.replayed,
-                "degraded": self.last_recovery.degraded,
-                "dropped_tail_record":
-                    self.last_recovery.dropped_tail_record,
-            }
+        generation, segment chain, degradation, last errors, the most
+        recent scrub findings, and a metrics summary."""
+        wal = self._wal.to_dict()
+        wal["segment_bytes_limit"] = self._wal_segment_bytes
+        wal["tail_error"] = self._wal.tail_error
         return {
             "directory": self._layout.directory,
             "generation": self._generation,
@@ -723,15 +833,7 @@ class DurableXml:
             "degraded": self.degraded,
             "degraded_cause": str(self._degraded_cause)
             if self._degraded_cause is not None else None,
-            "wal": {
-                "size_bytes": self._wal.size,
-                "segment_count": self._wal.segment_count,
-                "active_segment": self._wal.active_segment,
-                "active_segment_bytes": self._wal.active_segment_size,
-                "segment_bytes_limit": self._wal_segment_bytes,
-                "rotations": self._wal.rotations,
-                "tail_error": self._wal.tail_error,
-            },
+            "wal": wal,
             "mvcc": {
                 "group_commit": self._group_commit,
                 **self._doc.mvcc_info(),
@@ -739,9 +841,11 @@ class DurableXml:
             "checkpoint_wal_bytes": self._checkpoint_wal_bytes,
             "last_checkpoint_error": str(self.last_checkpoint_error)
             if self.last_checkpoint_error is not None else None,
-            "last_recovery": recovery,
+            "last_recovery": self.last_recovery.to_dict()
+            if self.last_recovery is not None else None,
             "last_scrub": self.last_scrub.summary()
             if self.last_scrub is not None else None,
+            "metrics": self._obs.summary(),
         }
 
     # ------------------------------------------------------------------

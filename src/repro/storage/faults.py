@@ -173,7 +173,34 @@ class StorageIO:
     :class:`FaultyIO`.  Reads are not routed through here -- a killed
     process cannot corrupt data by reading, and a read error surfaces
     naturally as the typed corruption errors of the scan/decode layers.
+
+    :meth:`bind_metrics` attaches a per-site fsync latency histogram
+    (``repro_fsync_seconds{site=...}``) -- fsync is where commit latency
+    actually lives, and the per-site split is what distinguishes "the
+    WAL device is slow" from "checkpoints are slow".  Unbound (the
+    default), :meth:`fsync` takes the original untimed path.
     """
+
+    #: Class-level default so subclasses with their own ``__init__``
+    #: (``FaultyIO``) need no cooperation; ``bind_metrics`` shadows it
+    #: with instance state.
+    _fsync_metrics: Optional[Dict[str, object]] = None
+    _metrics_registry = None
+
+    #: Sites pre-declared at bind time so a scrape sees the fsync
+    #: surface before the first sync happens (the rest appear lazily).
+    _FSYNC_SITES = ("wal:append", "wal:create", "wal:compact",
+                    "snapshot:write", "manifest:write")
+
+    def bind_metrics(self, registry) -> None:
+        """Resolve fsync latency histograms against ``registry``."""
+        self._metrics_registry = registry
+        self._fsync_metrics = {
+            site: registry.histogram(
+                "repro_fsync_seconds",
+                "fsync latency by storage site", site=site)
+            for site in self._FSYNC_SITES
+        }
 
     def crash_point(self, label: str) -> None:
         """Hook invoked at every labeled point; a no-op in production."""
@@ -194,8 +221,22 @@ class StorageIO:
 
     def fsync(self, handle: IO[bytes], site: str) -> None:
         self.crash_point(site + ":before-fsync")
-        handle.flush()
-        os.fsync(handle.fileno())
+        metrics = self._fsync_metrics
+        if metrics is None:
+            handle.flush()
+            os.fsync(handle.fileno())
+        else:
+            histogram = metrics.get(site)
+            if histogram is None:
+                histogram = metrics[site] = (
+                    self._metrics_registry.histogram(
+                        "repro_fsync_seconds",
+                        "fsync latency by storage site", site=site)
+                )
+            started = time.perf_counter()
+            handle.flush()
+            os.fsync(handle.fileno())
+            histogram.observe(time.perf_counter() - started)
         self.crash_point(site + ":after-fsync")
 
     def replace(self, source: str, destination: str, site: str) -> None:

@@ -215,6 +215,16 @@ class RecoveredDocument:
     #: one fresh generation with an immediate checkpoint.
     continuation_generations: List[int] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """Flat numeric view (the shared stats-object protocol)."""
+        return {
+            "generation": self.generation,
+            "replayed": self.replayed,
+            "degraded": self.degraded,
+            "dropped_tail_record": self.dropped_tail_record,
+            "continuation_generations": len(self.continuation_generations),
+        }
+
 
 def _replay(
     doc: "CompressedXml",

@@ -134,6 +134,18 @@ class ScrubReport:
             "repair_error": self.repair_error,
         }
 
+    def to_dict(self) -> dict:
+        """Flat numeric view (the shared stats-object protocol); the
+        full findings list stays on :meth:`summary`."""
+        return {
+            "ok": self.ok,
+            "generation": self.generation,
+            "findings": len(self.findings),
+            "repaired": self.repaired_count,
+            "elements_checked": self.checked.get("elements", 0),
+            "wal_records_checked": self.checked.get("wal_records", 0),
+        }
+
 
 # ----------------------------------------------------------------------
 # disk verification

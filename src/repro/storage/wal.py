@@ -764,6 +764,19 @@ class SegmentedWal:
         return [segment_path(self.directory, self.generation, seg)
                 for seg in range(self.segment_count)]
 
+    def to_dict(self) -> dict:
+        """Flat numeric view of the chain shape (the shared stats-object
+        protocol -- what ``health()`` and the metrics gauge source show)."""
+        return {
+            "generation": self.generation,
+            "size_bytes": self.size,
+            "segment_count": self.segment_count,
+            "active_segment": self.active_segment,
+            "active_segment_bytes": self.active_segment_size,
+            "rotations": self.rotations,
+            "record_count": self.record_count,
+        }
+
     @property
     def path(self) -> str:
         """The active segment's file (the append target)."""

@@ -44,6 +44,7 @@ plans a whole list of operations first and executes it in few strokes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING, Container, Iterable, List, Optional, Sequence, Tuple,
@@ -179,10 +180,34 @@ class BatchStats:
     #: new snapshots exactly at ``commit_epoch``.
     base_epoch: int = 0
     commit_epoch: int = 0
+    #: Where the batch spent its time (seconds): planning / index
+    #: adjustment, shared-path isolation, and spine edits.  The caller
+    #: (``apply_batch``) adds a fourth "settle" stage -- resharding and
+    #: the auto-recompression check -- to its own metrics.
+    plan_seconds: float = 0.0
+    isolate_seconds: float = 0.0
+    apply_seconds: float = 0.0
 
     @property
     def inlines_saved(self) -> int:
         return self.per_path_inlines - self.inlined_rules
+
+    def to_dict(self) -> dict:
+        """Flat numeric view (the shared stats-object protocol)."""
+        return {
+            "operations": self.operations,
+            "groups": self.groups,
+            "isolations": self.isolations,
+            "inlined_rules": self.inlined_rules,
+            "per_path_inlines": self.per_path_inlines,
+            "inlines_saved": self.inlines_saved,
+            "rules_touched": self.rules_touched,
+            "base_epoch": self.base_epoch,
+            "commit_epoch": self.commit_epoch,
+            "plan_seconds": self.plan_seconds,
+            "isolate_seconds": self.isolate_seconds,
+            "apply_seconds": self.apply_seconds,
+        }
 
 
 class BatchBuilder:
@@ -333,6 +358,7 @@ def execute_batch(
     """
     from repro.updates.grammar_updates import PlannedEdit, apply_isolated_batch
 
+    started = time.perf_counter()
     ops = list(ops)
     for position, op in enumerate(ops):
         if not isinstance(op, (BatchRename, BatchInsert, BatchAppend, BatchDelete)):
@@ -351,7 +377,15 @@ def execute_batch(
         stats.groups += 1
         stats.isolations += len(planned)
         stats.per_path_inlines += sum(p.enter_steps for p in planned)
-        inlined, touched = apply_isolated_batch(grammar, planned, spine=spine)
+        timings: dict = {}
+        group_started = time.perf_counter()
+        inlined, touched = apply_isolated_batch(
+            grammar, planned, spine=spine, timings=timings
+        )
+        group_elapsed = time.perf_counter() - group_started
+        isolate_s = timings.get("isolate_seconds", 0.0)
+        stats.isolate_seconds += isolate_s
+        stats.apply_seconds += max(0.0, group_elapsed - isolate_s)
         stats.inlined_rules += inlined
         stats.rules_touched += touched
         planned.clear()
@@ -439,4 +473,8 @@ def execute_batch(
         current_count += added
 
     flush()
+    total = time.perf_counter() - started
+    stats.plan_seconds = max(
+        0.0, total - stats.isolate_seconds - stats.apply_seconds
+    )
     return stats

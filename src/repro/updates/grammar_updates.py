@@ -23,6 +23,7 @@ whole update history (see :mod:`repro.updates.path_isolation`).
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Container, Iterable, List, Optional, Set, Tuple
 
 from repro.grammar.navigation import PathStep, resolve_preorder_path
@@ -243,6 +244,7 @@ def apply_isolated_batch(
     grammar: Grammar,
     planned: List[PlannedEdit],
     spine: Optional[Container[Symbol]] = None,
+    timings: Optional[dict] = None,
 ) -> Tuple[int, int]:
     """Execute one batch group against the isolated spine rules.
 
@@ -270,9 +272,12 @@ def apply_isolated_batch(
     """
     if not planned:
         return 0, 0
+    isolate_started = time.perf_counter()
     iso = isolate_many(
         grammar, [edit.steps for edit in planned], spine=spine
     )
+    if timings is not None:
+        timings["isolate_seconds"] = time.perf_counter() - isolate_started
     roots = iso.roots
     # Rules whose bodies *structurally* changed: an inline landed in
     # them, or (tracked below) a tree-level edit does.  Shards merely

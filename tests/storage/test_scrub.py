@@ -215,10 +215,12 @@ class TestHealth:
             "directory", "generation", "element_count", "degraded",
             "degraded_cause", "wal", "mvcc", "checkpoint_wal_bytes",
             "last_checkpoint_error", "last_recovery", "last_scrub",
+            "metrics",
         }
         assert set(health["wal"]) == {
-            "size_bytes", "segment_count", "active_segment",
-            "active_segment_bytes", "segment_bytes_limit", "rotations",
+            "generation", "size_bytes", "segment_count",
+            "active_segment", "active_segment_bytes",
+            "segment_bytes_limit", "rotations", "record_count",
             "tail_error",
         }
         assert set(health["mvcc"]) == {
@@ -235,6 +237,9 @@ class TestHealth:
         assert health["wal"]["segment_bytes_limit"] == 64
         assert health["last_checkpoint_error"] is None
         assert health["last_scrub"] is None
+        assert set(health["metrics"]) == {
+            "counters", "gauges", "histograms", "sources",
+        }
 
     def test_health_reflects_the_last_scrub(self, store):
         corrupt(compact_path(store.directory, 0))
@@ -252,8 +257,7 @@ class TestHealth:
         store.close()
         with DurableXml.open(directory) as reopened:
             recovery = reopened.health()["last_recovery"]
-            assert recovery == {
-                "replayed": 1,  # the post-checkpoint rename
-                "degraded": False,
-                "dropped_tail_record": False,
-            }
+            assert recovery["replayed"] == 1  # post-checkpoint rename
+            assert recovery["degraded"] is False
+            assert recovery["dropped_tail_record"] is False
+            assert recovery["continuation_generations"] == 0

@@ -203,12 +203,23 @@ class TestDurableScrubCli:
         assert "scrub:       clean" in capsys.readouterr().out
 
     def test_health_emits_json(self, durable_store, capsys):
-        assert main(["durable", "health", durable_store]) == 0
+        assert main(["durable", "health", durable_store, "--json"]) == 0
         health = json.loads(capsys.readouterr().out)
         assert health["generation"] == 1
         assert health["degraded"] is False
         assert health["wal"]["segment_count"] == 1
         assert health["last_recovery"]["replayed"] == 0
+        assert set(health["metrics"]) == {
+            "counters", "gauges", "histograms", "sources",
+        }
+
+    def test_health_default_is_human_readable(self, durable_store,
+                                              capsys):
+        assert main(["durable", "health", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "generation:  1" in out
+        assert "degraded:    no" in out
+        assert "durable health --json" in out
 
     def test_status_shows_chain_and_degradation(self, durable_store,
                                                 capsys):
@@ -216,6 +227,43 @@ class TestDurableScrubCli:
         out = capsys.readouterr().out
         assert "wal chain:   1 segment(s), active segment 0" in out
         assert "degraded:    no" in out
+
+    def test_status_json_schema(self, durable_store, capsys):
+        assert main(["durable", "status", durable_store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert set(status) == {
+            "directory", "generation", "degraded", "element_count",
+            "compressed_size", "wal", "recovery", "mvcc",
+        }
+        assert status["generation"] == 1
+        assert status["degraded"] is False
+        assert status["recovery"]["replayed"] == 0
+        assert status["wal"]["segment_count"] == 1
+        assert "epoch" in status["mvcc"]
+
+
+class TestDurableMetricsCli:
+    def test_metrics_table(self, durable_store, capsys):
+        assert main(["durable", "metrics", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "repro_recovery_seconds" in out
+
+    def test_metrics_prometheus_exposition(self, durable_store, capsys):
+        assert main(
+            ["durable", "metrics", durable_store, "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        # Every declared family is present, observed or not.
+        for family in (
+            "repro_fsync_seconds",
+            "repro_commit_seconds",
+            "repro_recompress_stage_seconds",
+            "repro_query_stage_seconds",
+            "repro_recovery_seconds",
+        ):
+            assert f"# TYPE {family} histogram" in out, family
+            assert f"{family}_count" in out, family
+        # Cumulative buckets end at +Inf and agree with _count.
+        assert 'le="+Inf"' in out
 
 
 class TestDurableErrorExits:
