@@ -130,6 +130,12 @@ def test_indexed_addressing_speedup():
 
 
 if __name__ == "__main__":
-    rows = run()
+    try:
+        from benchmarks._common import maybe_profile
+    except ImportError:  # run directly: benchmarks/ itself is sys.path[0]
+        from _common import maybe_profile
+
+    with maybe_profile("bench_addressing"):
+        rows = run()
     check_bounds(rows)
     print("bounds ok: >=10x at 50k edges, sublinear rename scaling")

@@ -23,3 +23,13 @@ def test_recompression_blowup(benchmark):
     assert worst in ("NCBI", "EXI-Weblog", "EXI-Telecomp", "Medline"), (
         "the worst blow-up should come from a strongly compressing corpus"
     )
+
+if __name__ == "__main__":
+    # Profiling entry point; the shape assertions live in the pytest
+    # path above.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_figure2 [--profile]
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_figure2"):
+        result = figure2.run(scales=BENCH_SCALES, seed=0)
+    print(result.render())

@@ -28,3 +28,13 @@ def test_optimization_effect(benchmark):
     # Final grammars stay logarithmic: the doubling structure is found.
     for final, base in zip(finals, bases):
         assert final <= base + 2
+
+if __name__ == "__main__":
+    # Profiling entry point; the shape assertions live in the pytest
+    # path above.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_figure3 [--profile]
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_figure3"):
+        result = figure3.run(ns=(5, 6, 7, 8, 9, 10))
+    print(result.render())

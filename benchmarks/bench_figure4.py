@@ -32,3 +32,14 @@ def test_updates_moderate_corpora(benchmark):
     # (paper: around 40%).
     final_rows = result.rows[-1]
     assert final_rows[2] > 1.05
+
+if __name__ == "__main__":
+    # Profiling entry point; the shape assertions live in the pytest
+    # path above.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_figure4 [--profile]
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_figure4"):
+        result = figure45.run(corpora=figure45.MODERATE, n_updates=200,
+                          recompress_every=50, scales=BENCH_SCALES, seed=0)
+    print(result.render())

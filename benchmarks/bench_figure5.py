@@ -30,3 +30,14 @@ def test_updates_extreme_corpora(benchmark):
     assert worst_naive > 2.0
     assert worst_gr <= 10.0
     assert worst_naive > 1.5 * worst_gr
+
+if __name__ == "__main__":
+    # Profiling entry point; the shape assertions live in the pytest
+    # path above.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_figure5 [--profile]
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_figure5"):
+        result = figure45.run(corpora=figure45.EXTREME, n_updates=200,
+                          recompress_every=50, scales=BENCH_SCALES, seed=0)
+    print(result.render())

@@ -33,3 +33,14 @@ def test_recompression_vs_udc(benchmark):
     # Space claim (Section V-C): far below udc on average.
     space = [row[5] for row in result.rows]
     assert sum(space) / len(space) < 60.0  # percent of udc's tree
+
+if __name__ == "__main__":
+    # Profiling entry point; the shape assertions live in the pytest
+    # path above.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_figure6 [--profile]
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_figure6"):
+        result = figure6.run(corpora=figure6.DEFAULT_CORPORA, n_renames=60,
+                         scales=BENCH_SCALES, seed=0)
+    print(result.render())

@@ -98,3 +98,35 @@ def test_decompression(benchmark):
     from repro.trees.node import node_count
 
     assert node_count(result) > 1000
+
+
+if __name__ == "__main__":
+    # Profiling entry point over the same primitives the pytest path
+    # measures.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_micro [--profile]
+    import time
+
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_micro"):
+        tree, alphabet = _prepared()
+        started = time.perf_counter()
+        grammar = GrammarRePair().compress_tree(deep_copy(tree), alphabet)
+        print(f"compress:   {time.perf_counter() - started:7.3f} s "
+              f"({grammar.size} edges)")
+        rng = random.Random(1)
+        from repro.grammar.properties import generated_node_count
+
+        total = generated_node_count(grammar)
+        started = time.perf_counter()
+        for _ in range(20):
+            working = grammar.copy()
+            isolate(working, rng.randrange(total))
+        print(f"isolate:    {time.perf_counter() - started:7.3f} s (20 ops)")
+        started = time.perf_counter()
+        streamed = sum(1 for _ in stream_preorder(grammar))
+        print(f"stream:     {time.perf_counter() - started:7.3f} s "
+              f"({streamed} symbols)")
+        started = time.perf_counter()
+        expand(grammar)
+        print(f"decompress: {time.perf_counter() - started:7.3f} s")

@@ -284,9 +284,15 @@ def test_query_smoke():
 
 
 if __name__ == "__main__":
+    try:
+        from benchmarks._common import maybe_profile
+    except ImportError:  # run directly: benchmarks/ itself is sys.path[0]
+        from _common import maybe_profile
+
     smoke = "--smoke" in sys.argv
     scale = SMOKE_SCALE if smoke else FULL_SCALE
-    report = run(smoke=smoke, **scale)
+    with maybe_profile("bench_query"):
+        report = run(smoke=smoke, **scale)
     check_schema(report)
     check_maintenance(report)
     if not smoke:

@@ -24,3 +24,13 @@ def test_static_compression_comparison(benchmark):
         assert gr_grammar <= dag * 1.2 + 4, name
         spread = max(tree_rp, gr_tree, gr_grammar)
         assert spread <= 2.0 * min(tree_rp, gr_tree, gr_grammar) + 16, name
+
+if __name__ == "__main__":
+    # Profiling entry point; the shape assertions live in the pytest
+    # path above.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_static_comparison [--profile]
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_static_comparison"):
+        result = static_comparison.run(scales=BENCH_SCALES, seed=0)
+    print(result.render())

@@ -26,3 +26,13 @@ def test_table3_compression(benchmark):
     c_edges = {row[0]: row[3] for row in result.rows}
     for extreme in ("EXI-Weblog", "EXI-Telecomp", "NCBI"):
         assert c_edges[extreme] < 150
+
+if __name__ == "__main__":
+    # Profiling entry point; the shape assertions live in the pytest
+    # path above.  Run from the repo root:
+    #   PYTHONPATH=src python -m benchmarks.bench_table3 [--profile]
+    from benchmarks._common import maybe_profile
+
+    with maybe_profile("bench_table3"):
+        result = table3.run(scales=BENCH_SCALES, seed=0)
+    print(result.render())

@@ -252,10 +252,16 @@ def check_wal_tax(report, max_slowdown=2.0):
 
 
 def main(argv=None):
+    try:
+        from benchmarks._common import maybe_profile
+    except ImportError:  # run directly: benchmarks/ itself is sys.path[0]
+        from _common import maybe_profile
+
     argv = sys.argv[1:] if argv is None else argv
     smoke = "--smoke" in argv
     scale = SMOKE_SCALE if smoke else FULL_SCALE
-    report = run(smoke=smoke, **scale)
+    with maybe_profile("bench_wal", argv=argv):
+        report = run(smoke=smoke, **scale)
     check_schema(report)
     if not smoke:
         check_wal_tax(report)

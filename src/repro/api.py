@@ -158,6 +158,15 @@ def _sample_last_batch(ref: "weakref.ref") -> dict:
     return doc.last_batch_stats.to_dict()
 
 
+def _sample_kernel(ref: "weakref.ref") -> dict:
+    doc = ref()
+    if doc is None:
+        return {}
+    info = doc._index.kernel_info()
+    info["enabled"] = int(info["enabled"])
+    return info
+
+
 class CompressedXml:
     """A grammar-compressed XML document supporting incremental updates.
 
@@ -187,6 +196,7 @@ class CompressedXml:
         shard_width: Optional[int] = None,
         shard_merge_hysteresis: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        use_kernel: Optional[bool] = None,
     ) -> None:
         self._grammar = grammar
         # Writer lock: every mutator (and snapshot(), which must pin
@@ -194,7 +204,11 @@ class CompressedXml:
         # reads on the live document are *not* locked -- concurrent
         # readers should hold a snapshot() instead.
         self._lock = threading.RLock()
-        self._index = GrammarIndex(grammar)
+        # Flat-array descent kernel (repro.grammar.kernel): None defers
+        # to REPRO_USE_KERNEL (default on).  Remembered so MVCC snapshot
+        # views inherit the same setting for their own indexes.
+        self._use_kernel = use_kernel
+        self._index = GrammarIndex(grammar, use_kernel=use_kernel)
         # The label census index is created on first query use -- write-only
         # workloads never pay for it.  Once created it is maintained through
         # the same observer channel as the structural index.
@@ -319,6 +333,19 @@ class CompressedXml:
             "Derivation subtrees skipped by census pruning")
         self._m_query_matches = obs.counter(
             "repro_query_matches_total", "Elements returned by select()")
+        # Kernel cold events (pack builds / observer evictions) go through
+        # registry counters; the per-descent hit/miss tallies stay plain
+        # ints on the kernel and export via the repro_kernel gauge source.
+        # The families are declared even with the kernel disabled so a
+        # scrape of a fresh document always shows the full surface.
+        kernel_builds = obs.counter(
+            "repro_kernel_builds_total", "Flat rule packs built")
+        kernel_evictions = obs.counter(
+            "repro_kernel_evictions_total",
+            "Flat rule packs evicted through the observer channel")
+        kernel = self._index.kernel
+        if kernel is not None:
+            kernel.set_metric_handles(kernel_builds, kernel_evictions)
         if self._shards is not None:
             self._shards.bind_metrics(obs)
         # Gauge sources sample the live stats objects at collection time
@@ -334,6 +361,8 @@ class CompressedXml:
             "repro_shard", lambda: _sample_shards(ref))
         obs.register_source(
             "repro_batch_last", lambda: _sample_last_batch(ref))
+        obs.register_source(
+            "repro_kernel", lambda: _sample_kernel(ref))
 
     @property
     def metrics_registry(self) -> MetricsRegistry:

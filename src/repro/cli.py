@@ -266,6 +266,7 @@ def _status_dict(store) -> dict:
         "wal": wal,
         "recovery": recovery.to_dict() if recovery is not None else None,
         "mvcc": store.mvcc_info(),
+        "kernel": store.document.index.kernel_info(),
     }
 
 

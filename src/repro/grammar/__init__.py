@@ -7,6 +7,12 @@ from repro.grammar.derivation import (
     inline_at,
 )
 from repro.grammar.index import GrammarIndex
+from repro.grammar.kernel import (
+    GrammarKernel,
+    RulePack,
+    SymbolTable,
+    global_symbol_table,
+)
 from repro.grammar.navigation import (
     PathStep,
     generates_same_tree,
@@ -42,7 +48,11 @@ __all__ = [
     "Grammar",
     "GrammarError",
     "GrammarIndex",
+    "GrammarKernel",
     "GrammarSizeTracker",
+    "RulePack",
+    "SymbolTable",
+    "global_symbol_table",
     "ShardManager",
     "ShardStats",
     "inline_at",

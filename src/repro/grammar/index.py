@@ -41,6 +41,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.grammar.kernel import (
+    DEFAULT_MIN_DOC_ELEMENTS,
+    GrammarKernel,
+    kernel_enabled_by_env,
+    kernel_iter_element_symbols,
+    kernel_locate_element,
+    kernel_resolve_preorder,
+)
 from repro.grammar.navigation import PathStep
 from repro.grammar.slcf import Grammar, GrammarError
 from repro.trees.node import Node
@@ -116,7 +124,13 @@ class GrammarIndex:
     on construction and can be released with :meth:`detach`.
     """
 
-    def __init__(self, grammar: Grammar, register: bool = True) -> None:
+    def __init__(
+        self,
+        grammar: Grammar,
+        register: bool = True,
+        use_kernel: Optional[bool] = None,
+        min_doc_elements: int = DEFAULT_MIN_DOC_ELEMENTS,
+    ) -> None:
         self._grammar = grammar
         self._node_segments: Dict[Symbol, List[int]] = {}
         self._elem_segments: Dict[Symbol, List[int]] = {}
@@ -134,6 +148,16 @@ class GrammarIndex:
         # asserted against these (untouched rules must keep their tables).
         self.evicted_rules = 0
         self.wholesale_invalidations = 0
+        # The flat-array descent kernel (see :mod:`repro.grammar.kernel`):
+        # per-rule packed integer encodings of the rule bodies, riding this
+        # index's observer forwarding so packs and tables share one
+        # invalidation lifetime.  ``None`` disables it (the object-graph
+        # fallback); default comes from ``REPRO_USE_KERNEL``.
+        if use_kernel is None:
+            use_kernel = kernel_enabled_by_env()
+        self._kernel: Optional[GrammarKernel] = (
+            GrammarKernel(self, min_doc_elements) if use_kernel else None
+        )
         self._registered = register
         if register:
             grammar.register_observer(self)
@@ -160,7 +184,13 @@ class GrammarIndex:
     def rule_relabeled(self, head: Symbol) -> None:
         """A terminal relabel changes no size any table here caches --
         keep everything (the tables reference live nodes, so even
-        ``tag_of`` stays correct through the relabeled symbol)."""
+        ``tag_of`` stays correct through the relabeled symbol).  The
+        kernel pack of the relabeled rule *does* go: it caches interned
+        symbol ids and names per position.  Only that one rule's pack --
+        dependents' packs reference the relabeled terminal solely through
+        this rule's body, which they never cache into their own arrays."""
+        if self._kernel is not None:
+            self._kernel.evict(head)
 
     def _evict(self, head: Symbol) -> None:
         """Drop cached tables of ``head`` and its transitive dependents.
@@ -171,6 +201,7 @@ class GrammarIndex:
         by definition (they recompute lazily).
         """
         self._locations.clear()
+        kernel = self._kernel
         stack = [head]
         while stack:
             current = stack.pop()
@@ -179,6 +210,10 @@ class GrammarIndex:
             del self._node_segments[current]
             del self._elem_segments[current]
             self._tables.pop(current, None)
+            if kernel is not None:
+                # A pack can only exist for a rule with computed tables
+                # (it aliases them), so the cascade reaches every pack.
+                kernel.evict(current)
             self.evicted_rules += 1
             stack.extend(self._dependents.pop(current, ()))
 
@@ -189,6 +224,8 @@ class GrammarIndex:
         self._tables.clear()
         self._dependents.clear()
         self._locations.clear()
+        if self._kernel is not None:
+            self._kernel.invalidate_all()
         self.wholesale_invalidations += 1
 
     def to_dict(self) -> dict:
@@ -198,6 +235,47 @@ class GrammarIndex:
             "wholesale_invalidations": self.wholesale_invalidations,
             "cached_rules": len(self._node_segments),
         }
+
+    # ------------------------------------------------------------------
+    # flat-array kernel access
+    # ------------------------------------------------------------------
+    def active_kernel(self) -> Optional[GrammarKernel]:
+        """The kernel, iff the flat descent may be used *right now*.
+
+        ``None`` when the kernel is disabled, while *reader* snapshots
+        are pinned on a live grammar (the object descent's ``rhs()``
+        reads double as the copy-on-write preservation points -- the
+        exact condition that also disables ``_locations`` memo hits;
+        frozen snapshot grammars have no ``_reader_pins`` and stay
+        kernel-served), or when the document has fewer than
+        ``min_doc_elements`` elements (descents bottom out too fast for
+        packing to amortize -- and a compressed start rule is a handful
+        of RHS nodes even for a huge document, so the gate is on the
+        document, not the rule).
+        """
+        kernel = self._kernel
+        if kernel is None or getattr(self._grammar, "_reader_pins", 0):
+            return None
+        # ``min_doc_elements == 0`` means "always on": skip the
+        # element-count summation, which would otherwise be paid once
+        # per descent.
+        threshold = kernel.min_doc_elements
+        if threshold and self.element_count < threshold:
+            return None
+        return kernel
+
+    def kernel_info(self) -> dict:
+        """Kernel stats for status surfaces (``durable status --json``)."""
+        if self._kernel is None:
+            return {"enabled": False}
+        return {"enabled": True, **self._kernel.to_dict()}
+
+    @property
+    def kernel(self) -> Optional[GrammarKernel]:
+        """The kernel object itself (``None`` when disabled) -- for
+        instrumentation wiring; descents must go through
+        :meth:`active_kernel`."""
+        return self._kernel
 
     @property
     def cached_rule_count(self) -> int:
@@ -252,6 +330,11 @@ class GrammarIndex:
         self._elem_segments.clear()
         self._tables.clear()
         self._dependents.clear()
+        if self._kernel is not None:
+            # A fresh table generation, not an eviction event: packs
+            # rebuild lazily per rule (no wholesale-invalidation count --
+            # snapshot opens must report ``rules_packed == 0`` cleanly).
+            self._kernel.reset()
         for head, (node_segs, elem_segs) in segments.items():
             if head not in grammar.rules:
                 raise GrammarError(
@@ -488,6 +571,21 @@ class GrammarIndex:
             # its own reads (see :meth:`Grammar.pin`).
             position, node, env, table, steps, parent, depth = cached
             return position, node, env, table, list(steps), parent, depth
+        kernel = self.active_kernel()
+        if kernel is not None:
+            # Flat-array descent (repro.grammar.kernel): same result
+            # tuple, binding 7-tuples whose slots 0..4 match _Binding, so
+            # memo entries and downstream size lookups are format-agnostic.
+            located = kernel_locate_element(
+                self, kernel, element_index, track_axes
+            )
+            position, node, env, table, steps, parent, depth = located
+            if len(self._locations) >= 4096:
+                self._locations.clear()
+            self._locations[key] = (
+                position, node, env, table, tuple(steps), parent, depth,
+            )
+            return position, node, env, table, steps, parent, depth
         node = grammar.rhs(grammar.start)
         table = self._tables[grammar.start]
         env: Tuple[_Binding, ...] = ()
@@ -609,6 +707,9 @@ class GrammarIndex:
         total = self.element_count  # ensures the start rule's tables
         if stop is None or stop > total:
             stop = total
+        kernel = self.active_kernel()
+        if kernel is not None:
+            return kernel_iter_element_symbols(self, kernel, start, stop)
         return self._iter_element_symbols(start, stop)
 
     def _iter_element_symbols(self, start: int, stop: int) -> Iterator[Symbol]:
@@ -685,6 +786,9 @@ class GrammarIndex:
                 f"preorder index {position} out of range for a tree of "
                 f"{total} nodes"
             )
+        kernel = self.active_kernel()
+        if kernel is not None:
+            return kernel_resolve_preorder(self, kernel, position)
         grammar = self._grammar
         node = grammar.rhs(grammar.start)
         table = self._tables[grammar.start]

@@ -1,0 +1,1042 @@
+"""Flat integer-array rule kernel for the descent/walk inner loops.
+
+Every hot read path of this code base -- element addressing, query walks,
+preorder resolution, windowed serialization -- descends the derivation by
+walking rule bodies.  The object-graph form of that walk pays, per step,
+several attribute loads (``node.symbol``), property calls
+(``symbol.is_parameter`` & friends), an ``id()``-keyed dict probe into the
+per-rule size table, and a method call for the parameter-adjusted subtree
+sizes.  This module packs each rule body once into parallel ``array('l')``
+segments -- the cache-friendly integer-sequence representation of Maneth &
+Sebastian's structural self-indexes -- so the same descents become integer
+compares and C-array reads:
+
+* :class:`SymbolTable` -- process-wide symbol interning (symbol object ->
+  small int id, identity-keyed like the symbols themselves),
+* :class:`RulePack` -- one rule body in preorder as parallel arrays:
+  ``(kind, symbol id, first-child, next-sibling, subtree-node-count,
+  subtree-element-count)`` per RHS node, aligned with (and built from) the
+  owning :class:`~repro.grammar.index.GrammarIndex` tables, plus parallel
+  object lists so kernel descents still return live ``Node``/``Symbol``
+  references and :class:`~repro.grammar.navigation.PathStep` paths,
+* :class:`GrammarKernel` -- the per-index pack cache: built lazily per
+  rule, evicted per rule through the same observer events the persistent
+  indexes ride (``set_rule``/``remove_rule``/in-place rewrites cascade
+  through ``GrammarIndex._evict``; relabels evict just the one pack whose
+  cached symbol ids went stale), never wholesale on the incremental path,
+* the kernel walk functions the index/query/navigation layers dispatch to
+  (:func:`kernel_locate_element`, :func:`kernel_resolve_preorder`,
+  :func:`kernel_iter_element_symbols`, :func:`kernel_stream_preorder`,
+  :func:`kernel_stream_elements`).
+
+Epoch/MVCC interplay
+--------------------
+Packs reference the live rule bodies, so their lifetime must match the
+object tables': any structural mutation evicts the rule's pack along with
+its size tables.  A pinned :class:`~repro.view.SnapshotView` owns its own
+:class:`GrammarIndex` over a frozen grammar (private, stable copy-on-write
+bodies), hence its own kernel whose packs can never be invalidated --
+pinned readers keep their flat tables exactly like the CoW rule tables.
+On the *live* document the kernel stands down while reader pins exist
+(``grammar._reader_pins``): the object descent's ``rhs()`` reads double as
+copy-on-write preservation points there (see ``_locate_element``), and the
+flat walk deliberately performs no rule-body reads.
+
+Fallback
+--------
+The object-graph path remains fully supported: construct the index with
+``use_kernel=False``, set ``REPRO_USE_KERNEL=0`` in the environment, or do
+nothing for documents smaller than ``min_doc_elements`` -- their descents
+bottom out after a handful of steps, too few for packing to amortize.
+(The gate is on the *document*, not the start rule: a well-compressed
+start rule is a handful of RHS nodes regardless of document size.)
+Interior rules are always packed on demand (one O(width) walk per rule,
+reused by every later descent).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.grammar.navigation import PathStep
+from repro.trees.symbols import Symbol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.grammar.index import GrammarIndex
+    from repro.query.label_index import LabelIndex
+
+__all__ = [
+    "SymbolTable",
+    "RulePack",
+    "GrammarKernel",
+    "global_symbol_table",
+    "kernel_enabled_by_env",
+    "DEFAULT_MIN_DOC_ELEMENTS",
+    "kernel_locate_element",
+    "kernel_resolve_preorder",
+    "kernel_iter_element_symbols",
+    "kernel_stream_preorder",
+    "kernel_stream_elements",
+]
+
+#: RHS-node kind codes (the ``kind`` array): integer compares replace the
+#: ``is_terminal``/``is_parameter``/``is_bottom`` property-call chain.
+KIND_BOTTOM = 0
+KIND_ELEMENT = 1
+KIND_NONTERMINAL = 2
+KIND_PARAMETER = 3
+
+#: Documents with fewer elements than this keep the object-graph
+#: descent: every walk terminates after a handful of steps, so packing
+#: buys nothing (the automatic small-document fallback).  The gate is
+#: per *document* -- a compressed start rule is tiny even for a huge
+#: document, so rule width says nothing about descent length.
+DEFAULT_MIN_DOC_ELEMENTS = 64
+
+
+def kernel_enabled_by_env() -> bool:
+    """The process-wide default: on unless ``REPRO_USE_KERNEL`` disables
+    it (the fallback CI job runs the whole tier-1 suite with ``0``)."""
+    return os.environ.get("REPRO_USE_KERNEL", "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+class SymbolTable:
+    """Process-wide interning of :class:`Symbol` objects to small ints.
+
+    Symbols are already interned per :class:`~repro.trees.symbols.Alphabet`
+    and compared by identity, so the table is identity-keyed too: two
+    alphabets (e.g. a live document and a snapshot reload) may both intern
+    a ``"entry"/2`` terminal and receive distinct ids -- ids are stable
+    per symbol *object*, which is exactly the equality the packs need.
+    The table only ever grows (append-only), so ids never get reused and
+    packs from different documents can safely coexist in one process.
+    """
+
+    __slots__ = ("_ids", "_symbols", "info")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Symbol, int] = {}
+        self._symbols: List[Symbol] = []
+        #: pack-build memo: Symbol -> ``(kind, code, rank, name)``.
+        #: Symbols are immutable (relabels intern fresh objects), so
+        #: entries never go stale; the dict collapses the per-node
+        #: property cascade of a pack build into one probe.
+        self.info: Dict[Symbol, Tuple[int, int, int, str]] = {}
+
+    def id_of(self, symbol: Symbol) -> int:
+        """The interned id, assigning the next one on first sight."""
+        sid = self._ids.get(symbol)
+        if sid is None:
+            sid = len(self._symbols)
+            self._ids[symbol] = sid
+            self._symbols.append(symbol)
+        return sid
+
+    def symbol_of(self, sid: int) -> Symbol:
+        """Inverse lookup (debugging / introspection)."""
+        return self._symbols[sid]
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+
+_GLOBAL_SYMBOLS = SymbolTable()
+
+
+def global_symbol_table() -> SymbolTable:
+    """The one process-wide table every kernel shares by default."""
+    return _GLOBAL_SYMBOLS
+
+
+class RulePack:
+    """One rule body, flattened to parallel preorder arrays.
+
+    For RHS preorder position ``i``:
+
+    * ``kind[i]`` -- :data:`KIND_BOTTOM` / :data:`KIND_ELEMENT` /
+      :data:`KIND_NONTERMINAL` / :data:`KIND_PARAMETER`,
+    * ``sym[i]`` -- interned symbol id; for parameters the 1-based
+      parameter index (the binding-environment slot),
+    * ``rank[i]`` -- child count,
+    * ``first[i]`` -- preorder position of the first child (``-1`` leaf),
+    * ``nxt[i]`` -- preorder position of the next sibling (``-1`` last),
+    * ``nnodes[i]`` / ``nelems[i]`` -- generated subtree sizes *without*
+      parameter contributions (identical to the ``GrammarIndex`` per-node
+      table the pack is built from; bindings supply the argument sizes),
+    * ``params[i]`` -- tuple of parameter indices occurring below ``i``,
+    * ``node_objs[i]`` / ``sym_objs[i]`` / ``sym_names[i]`` -- the live
+      ``Node``, its ``Symbol``, and the symbol's name, so kernel descents
+      return the same object-world results as the fallback path.
+
+    ``table`` / ``node_segs`` / ``elem_segs`` alias the owning index's
+    per-rule tables -- pack and tables are built and evicted together, so
+    the aliases can never outlive their targets.
+
+    Two derived views exist purely for walk speed:
+
+    * ``walk`` -- one tuple ``(kind, sym, rank, nxt, nnodes, nelems,
+      params, node_objs, sym_objs, sym_names, steps_enter, steps_target,
+      table)`` whose integer columns are *list* mirrors of the packed
+      arrays.  ``array('l')`` reads box a fresh ``int`` object on every
+      access; the mirrors box each value exactly once, at build time, and
+      a pack switch inside a walk becomes a single attribute load plus
+      one tuple unpack instead of eight attribute loads.
+    * ``walk_nodes`` -- the node-count descent's subset of ``walk``
+      (``kind, sym, rank, nxt, nnodes, params, sym_objs, steps_enter,
+      steps_target``): :func:`kernel_resolve_preorder` touches neither
+      element counts nor the object columns, so its pack switches unpack
+      nine columns instead of thirteen.
+    * ``steps_enter`` / ``steps_target`` -- one shared, immutable
+      :class:`PathStep` per position (``enters_rule`` true at nonterminal
+      positions, false at terminals; ``None`` elsewhere).  Consumers only
+      ever read ``.node`` / ``.enters_rule``, so every descent through a
+      position can return the same step object instead of allocating one.
+    """
+
+    __slots__ = (
+        "head", "n", "kind", "sym", "rank", "first", "nxt",
+        "nnodes", "nelems", "params", "node_objs", "sym_objs", "sym_names",
+        "table", "node_segs", "elem_segs", "_label_arrays", "hop_segs",
+        "walk", "walk_nodes", "steps_enter", "steps_target",
+    )
+
+    def __init__(self, head: Symbol) -> None:
+        self.head = head
+        #: per-label match-count arrays for the query walk, versioned by
+        #: the identity of the LabelIndex node table they were built from:
+        #: a census eviction anywhere below this rule (including callee
+        #: relabels, which change ancestor counts without touching
+        #: ancestor *structure*) rebuilds that dict, so an identity check
+        #: per rule entry keeps the flat counts consistent without a
+        #: second invalidation channel.  Entries are ``(node_table,
+        #: packed array, list mirror, hop-body dict)`` -- walks read the
+        #: mirror; the hop-body dict memoises the callee's own label
+        #: total per application position (the zero-census hop test),
+        #: which shares the entry's versioning: any census change below
+        #: an application changes this rule's counts too, so the entry
+        #: is rebuilt -- dropping the memo -- exactly when needed.
+        self._label_arrays: Dict[str, Tuple[dict, array, list, dict]] = {}
+        #: per-application-position ``(segments, kids)`` memo for the
+        #: zero-census hop (callee element segments + this rule's child
+        #: positions).  Both are purely structural, so the pack's own
+        #: lifetime is the correct version: any structural change at or
+        #: below the callee cascades an eviction through every applier,
+        #: discarding this pack -- and relabels, which do *not* evict
+        #: appliers, cannot change segments or child layout.
+        self.hop_segs: Dict[int, tuple] = {}
+
+    @property
+    def nbytes(self) -> int:
+        """Packed payload bytes (the memory-footprint gauge)."""
+        total = 0
+        for name in ("kind", "sym", "rank", "first", "nxt",
+                     "nnodes", "nelems"):
+            arr = getattr(self, name)
+            total += arr.itemsize * len(arr)
+        for entry in self._label_arrays.values():
+            arr = entry[1]
+            total += arr.itemsize * len(arr)
+        return total
+
+    def label_counts(self, lindex: "LabelIndex", label: str) -> list:
+        """Per-position ``label`` occurrence counts (census substrate of
+        the kernel query walk), aligned with the other arrays.  Returns
+        the boxed list mirror; the packed array backs ``nbytes``."""
+        ntab = lindex.node_table(self.head, label)
+        cached = self._label_arrays.get(label)
+        if cached is not None and cached[0] is ntab:
+            return cached[2]
+        arr = array("l", [ntab[id(node)][0] for node in self.node_objs])
+        counts = arr.tolist()
+        self._label_arrays[label] = (ntab, arr, counts, {})
+        return counts
+
+    def label_hop(self, lindex: "LabelIndex", label: str) -> Tuple[list, dict]:
+        """``(counts, hop-body memo)`` for ``label`` -- the walk-entry
+        bundle of the query walk.  The memo maps application positions to
+        the callee's own label total so repeated walks skip the
+        ``rule_label_count`` probe; it rides the entry's node-table
+        versioning (see ``_label_arrays``)."""
+        ntab = lindex.node_table(self.head, label)
+        cached = self._label_arrays.get(label)
+        if cached is not None and cached[0] is ntab:
+            return cached[2], cached[3]
+        arr = array("l", [ntab[id(node)][0] for node in self.node_objs])
+        counts = arr.tolist()
+        entry = (ntab, arr, counts, {})
+        self._label_arrays[label] = entry
+        return counts, entry[3]
+
+
+def _build_pack(index: "GrammarIndex", head: Symbol,
+                symbols: SymbolTable) -> RulePack:
+    """Flatten one rule body into a :class:`RulePack`.
+
+    One O(width) preorder walk; the per-node sizes come straight out of
+    the index's own table (``_ensure`` computes it bottom-up first), so
+    pack and object tables can never disagree.
+    """
+    index._ensure(head)
+    rhs = index.grammar.rhs(head)
+    table = index._tables[head]
+
+    order: List[object] = []
+    append = order.append
+    stack = [rhs]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        node = pop()
+        append(node)
+        kids = node.children
+        if kids:
+            extend(reversed(kids))
+    n = len(order)
+
+    kind_l = [0] * n
+    sym_l = [0] * n
+    rank_l = [0] * n
+    nnodes_l = [0] * n
+    nelems_l = [0] * n
+    params: List[Tuple[int, ...]] = [()] * n
+    node_objs: List[object] = order
+    sym_objs: List[Symbol] = [None] * n  # type: ignore[list-item]
+    sym_names: List[str] = [""] * n
+    steps_enter: List[Optional[PathStep]] = [None] * n
+    steps_target: List[Optional[PathStep]] = [None] * n
+
+    # One forward pass fills every per-node column.  Symbol facts come
+    # from the table's interning memo (one dict probe instead of the
+    # kind/rank/name property cascade); sizes come straight out of the
+    # index's own table (``_ensure`` computes it bottom-up first), so
+    # pack and object tables can never disagree.
+    si = symbols.info
+    id_of = symbols.id_of
+    for i, node in enumerate(order):
+        symbol = node.symbol
+        inf = si.get(symbol)
+        if inf is None:
+            if symbol.is_parameter:
+                inf = (KIND_PARAMETER, symbol.param_index,
+                       symbol.rank, symbol.name)
+            elif symbol.is_terminal:
+                k = KIND_BOTTOM if symbol.is_bottom else KIND_ELEMENT
+                inf = (k, id_of(symbol), symbol.rank, symbol.name)
+            else:
+                inf = (KIND_NONTERMINAL, id_of(symbol),
+                       symbol.rank, symbol.name)
+            si[symbol] = inf
+        k, code, r, name = inf
+        kind_l[i] = k
+        sym_l[i] = code
+        rank_l[i] = r
+        sym_objs[i] = symbol
+        sym_names[i] = name
+        if k <= KIND_ELEMENT:
+            steps_target[i] = PathStep(node, False)
+        elif k == KIND_NONTERMINAL:
+            steps_enter[i] = PathStep(node, True)
+        t_nodes, t_elems, t_params = table[id(node)]
+        nnodes_l[i] = t_nodes
+        nelems_l[i] = t_elems
+        if t_params:
+            params[i] = t_params
+
+    # Subtree spans in RHS nodes, without a position dict: a node's
+    # first child sits at ``i + 1`` and sibling subtrees are adjacent,
+    # so reversed preorder locates children by offset arithmetic (rank
+    # equals child count in a ranked alphabet).  Child spans are always
+    # ready because every node is visited after its descendants.
+    span = [1] * n
+    for i in range(n - 1, -1, -1):
+        r = rank_l[i]
+        if r:
+            total = 1
+            c = i + 1
+            for _ in range(r):
+                s = span[c]
+                total += s
+                c += s
+            span[i] = total
+
+    first_l = [-1] * n
+    nxt_l = [-1] * n
+    for i in range(n):
+        r = rank_l[i]
+        if r:
+            c = i + 1
+            first_l[i] = c
+            for _ in range(r - 1):
+                following = c + span[c]
+                nxt_l[c] = following
+                c = following
+
+    pack = RulePack(head)
+    pack.n = n
+    # Packed columns are built from the finished lists in one C-level
+    # conversion each; the walk tuples reuse the lists directly.
+    pack.kind = array("l", kind_l)
+    pack.sym = array("l", sym_l)
+    pack.rank = array("l", rank_l)
+    pack.first = array("l", first_l)
+    pack.nxt = array("l", nxt_l)
+    pack.nnodes = array("l", nnodes_l)
+    pack.nelems = array("l", nelems_l)
+    pack.params = params
+    pack.node_objs = node_objs
+    pack.sym_objs = sym_objs
+    pack.sym_names = sym_names
+    pack.table = table
+    pack.node_segs = index._node_segments[head]
+    pack.elem_segs = index._elem_segments[head]
+    pack.steps_enter = steps_enter
+    pack.steps_target = steps_target
+    pack.walk = (
+        kind_l, sym_l, rank_l, nxt_l, nnodes_l, nelems_l, params,
+        node_objs, sym_objs, sym_names, steps_enter, steps_target, table,
+    )
+    pack.walk_nodes = (
+        kind_l, sym_l, rank_l, nxt_l, nnodes_l, params, sym_objs,
+        steps_enter, steps_target,
+    )
+    return pack
+
+
+class GrammarKernel:
+    """The per-index pack cache (built lazily, evicted per rule).
+
+    Owned by a :class:`~repro.grammar.index.GrammarIndex`; the index
+    forwards its observer events here, so packs ride exactly the same
+    invalidation channel as the object tables -- plus relabel eviction
+    (the object tables survive relabels because they reference live
+    nodes; a pack caches symbol ids/names and must not).
+    """
+
+    __slots__ = (
+        "_index", "_packs", "symbols", "min_doc_elements",
+        "builds", "evictions", "hits", "misses", "wholesale_invalidations",
+        "_m_builds", "_m_evictions",
+    )
+
+    def __init__(
+        self,
+        index: "GrammarIndex",
+        min_doc_elements: int = DEFAULT_MIN_DOC_ELEMENTS,
+        symbols: Optional[SymbolTable] = None,
+    ) -> None:
+        self._index = index
+        self._packs: Dict[Symbol, RulePack] = {}
+        self.symbols = symbols if symbols is not None else _GLOBAL_SYMBOLS
+        self.min_doc_elements = min_doc_elements
+        self.builds = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+        self.wholesale_invalidations = 0
+        self._m_builds = None
+        self._m_evictions = None
+
+    # ------------------------------------------------------------------
+    # pack lifecycle
+    # ------------------------------------------------------------------
+    def pack(self, head: Symbol) -> RulePack:
+        """The rule's pack, building it (and its index tables) lazily.
+
+        ``hits``/``misses`` are counted here, i.e. at walk-entry and
+        cold-build granularity: the walk inner loops probe ``_packs``
+        directly (an inlined dict ``get``) and fall back to this method
+        only on a miss, so warm per-step probes cost no bookkeeping.
+        """
+        existing = self._packs.get(head)
+        if existing is not None:
+            self.hits += 1
+            return existing
+        self.misses += 1
+        built = _build_pack(self._index, head, self.symbols)
+        self._packs[head] = built
+        self.builds += 1
+        if self._m_builds is not None:
+            self._m_builds.inc()
+        return built
+
+    def evict(self, head: Symbol) -> None:
+        """Drop one rule's pack (observer channel; no-op when absent)."""
+        if self._packs.pop(head, None) is not None:
+            self.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
+
+    def invalidate_all(self) -> None:
+        """Wholesale reset -- must never fire on the incremental path
+        (the bench gates assert the counter stays 0)."""
+        if self._packs:
+            self._packs.clear()
+        self.wholesale_invalidations += 1
+
+    def reset(self) -> None:
+        """Forget every pack without counting it as a wholesale
+        invalidation: used when the index adopts imported snapshot
+        segments (a brand-new table generation, not an eviction event)."""
+        self._packs.clear()
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def set_metric_handles(self, builds, evictions) -> None:
+        """Adopt registry counters for the cold build/evict events; the
+        per-descent hit/miss tallies stay plain ints and export through
+        the ``repro_kernel`` gauge source instead."""
+        self._m_builds = builds
+        self._m_evictions = evictions
+
+    @property
+    def rules_packed(self) -> int:
+        return len(self._packs)
+
+    @property
+    def bytes_packed(self) -> int:
+        """Packed bytes across every cached pack.  Summed on demand --
+        the gauge source samples this at collection time only, and the
+        per-pack total moves when label arrays attach lazily."""
+        return sum(p.nbytes for p in self._packs.values())
+
+    def to_dict(self) -> dict:
+        """Flat numeric view (the shared stats-object protocol)."""
+        return {
+            "rules_packed": self.rules_packed,
+            "bytes_packed": self.bytes_packed,
+            "builds": self.builds,
+            "evictions": self.evictions,
+            "hits": self.hits,
+            "misses": self.misses,
+            "wholesale_invalidations": self.wholesale_invalidations,
+            "min_doc_elements": self.min_doc_elements,
+        }
+
+
+# ----------------------------------------------------------------------
+# kernel walks
+# ----------------------------------------------------------------------
+# Binding environments during kernel descents are tuples of 7-tuples
+#   (node, outer_env, outer_table, nodes, elems, outer_pack, pos)
+# -- a strict superset of the object path's 5-tuple _Binding: slots 0..4
+# keep every downstream consumer (``GrammarIndex._sizes``, the extent
+# and axis helpers, the ``_locations`` memo) working unchanged on either
+# path's results, slots 5..6 are what the flat walk itself descends on.
+#
+# Every walk below keeps the current pack's columns in locals via one
+# ``pack.walk`` unpack per pack switch, probes the pack cache with an
+# inlined ``kernel._packs.get`` (falling back to ``kernel.pack`` on a
+# miss), and appends the pack's *shared* per-position PathStep objects
+# instead of allocating steps -- the three constant-factor levers the
+# bench gates are built on.
+
+
+def kernel_locate_element(
+    index: "GrammarIndex",
+    kernel: GrammarKernel,
+    element_index: int,
+    track_axes: bool,
+):
+    """Flat-array twin of ``GrammarIndex._locate_element`` (same result
+    tuple, same shortcut/axis semantics); bounds are pre-checked."""
+    packs = kernel._packs
+    pack = kernel.pack(index.grammar.start)
+    (kind, sym, rank, nxt, nnodes, nelems, params, node_objs, sym_objs,
+     _names, steps_enter, steps_target, table) = pack.walk
+    pos = 0
+    env: Tuple = ()
+    remaining = element_index
+    position = 0
+    parent: Optional[int] = None
+    depth = 0
+    steps: List[PathStep] = []
+
+    while True:
+        k = kind[pos]
+        if k <= 1:  # terminal
+            if k == 1:
+                if remaining == 0:
+                    steps.append(steps_target[pos])
+                    return (position, node_objs[pos], env, table, steps,
+                            parent, depth)
+                remaining -= 1
+                position += 1
+                if rank[pos] == 2:
+                    # FCNS element: descend into the content subtree
+                    # (first child -- then this element is the target's
+                    # document parent so far) or, by the walk invariant
+                    # (``remaining`` < the current subtree's element
+                    # count), directly into the sibling subtree without
+                    # computing its size.
+                    child = pos + 1
+                    ce = nelems[child]
+                    cn = nnodes[child]
+                    pp = params[child]
+                    if pp:
+                        for p in pp:
+                            b = env[p - 1]
+                            cn += b[3]
+                            ce += b[4]
+                    if remaining < ce:
+                        parent = element_index - remaining - 1
+                        depth += 1
+                        pos = child
+                    else:
+                        remaining -= ce
+                        position += cn
+                        pos = nxt[child]
+                    continue
+            else:
+                position += 1
+            # Non-FCNS terminal: scan the first r-1 children, the last
+            # inherits the target by the same invariant.
+            r = rank[pos]
+            child = pos + 1
+            for _ in range(r - 1):
+                ce = nelems[child]
+                cn = nnodes[child]
+                pp = params[child]
+                if pp:
+                    for p in pp:
+                        b = env[p - 1]
+                        cn += b[3]
+                        ce += b[4]
+                if remaining < ce:
+                    break
+                remaining -= ce
+                position += cn
+                child = nxt[child]
+            pos = child
+            continue
+
+        if k == 3:  # parameter: hop to the bound argument
+            b = env[sym[pos] - 1]
+            pack = b[5]
+            pos = b[6]
+            env = b[1]
+            (kind, sym, rank, nxt, nnodes, nelems, params, node_objs,
+             sym_objs, _names, steps_enter, steps_target, table) = pack.walk
+            continue
+
+        # Nonterminal application (virtual preorder: seg0, arg1, seg1,
+        # ..., argk, segk -- see the object twin for the full story).
+        sobj = sym_objs[pos]
+        callee = packs.get(sobj)
+        if callee is None:
+            callee = kernel.pack(sobj)
+        r = rank[pos]
+        if not track_axes:
+            callee_nodes = callee.node_segs
+            callee_elems = callee.elem_segs
+            descend_to = -1
+            preceding_nodes = callee_nodes[0]
+            preceding_elems = callee_elems[0]
+            if remaining >= preceding_elems:
+                child = pos + 1
+                for child_pos in range(1, r + 1):
+                    ce = nelems[child]
+                    cn = nnodes[child]
+                    pp = params[child]
+                    if pp:
+                        for p in pp:
+                            b = env[p - 1]
+                            cn += b[3]
+                            ce += b[4]
+                    if remaining < preceding_elems + ce:
+                        remaining -= preceding_elems
+                        position += preceding_nodes
+                        descend_to = child
+                        break
+                    preceding_elems += ce + callee_elems[child_pos]
+                    preceding_nodes += cn + callee_nodes[child_pos]
+                    if remaining < preceding_elems:
+                        break  # a body segment after this arg: enter
+                    child = nxt[child]
+            if descend_to >= 0:
+                pos = descend_to
+                continue
+        steps.append(steps_enter[pos])
+        if r:
+            outer_env = env
+            child = pos + 1
+            ce = nelems[child]
+            cn = nnodes[child]
+            pp = params[child]
+            if pp:
+                for p in pp:
+                    b = outer_env[p - 1]
+                    cn += b[3]
+                    ce += b[4]
+            if r == 1:
+                env = ((node_objs[child], outer_env, table, cn, ce,
+                        pack, child),)
+            else:
+                bindings = [
+                    (node_objs[child], outer_env, table, cn, ce, pack, child)
+                ]
+                for _ in range(r - 1):
+                    child = nxt[child]
+                    ce = nelems[child]
+                    cn = nnodes[child]
+                    pp = params[child]
+                    if pp:
+                        for p in pp:
+                            b = outer_env[p - 1]
+                            cn += b[3]
+                            ce += b[4]
+                    bindings.append(
+                        (node_objs[child], outer_env, table, cn, ce,
+                         pack, child)
+                    )
+                env = tuple(bindings)
+        else:
+            env = ()
+        pack = callee
+        pos = 0
+        (kind, sym, rank, nxt, nnodes, nelems, params, node_objs,
+         sym_objs, _names, steps_enter, steps_target, table) = pack.walk
+
+
+def kernel_resolve_preorder(
+    index: "GrammarIndex",
+    kernel: GrammarKernel,
+    target: int,
+) -> List[PathStep]:
+    """Flat-array twin of ``GrammarIndex.resolve_preorder`` (node-count
+    descent; bounds pre-checked by the caller).
+
+    The hottest kernel loop, so it walks the trimmed ``walk_nodes``
+    columns and -- since its environments never escape (only ``steps``
+    are returned) -- uses private 4-tuple bindings
+    ``(nodes, outer_env, outer_pack, pos)`` instead of the 7-tuple
+    binding format the element descents share with the object path.
+    Child scans lean on the walk invariant (``remaining`` is always
+    smaller than the current subtree's node count: checked at the root,
+    preserved by every descent): a target that fell through the first
+    ``r - 1`` children must sit in the last one, whose size then never
+    needs computing.
+    """
+    packs = kernel._packs
+    pack = kernel.pack(index.grammar.start)
+    (kind, sym, rank, nxt, nnodes, params, sym_objs,
+     steps_enter, steps_target) = pack.walk_nodes
+    pos = 0
+    env: Tuple = ()
+    remaining = target
+    steps: List[PathStep] = []
+
+    while True:
+        k = kind[pos]
+        if k <= 1:  # terminal
+            if remaining == 0:
+                steps.append(steps_target[pos])
+                return steps
+            remaining -= 1  # the terminal itself
+            r = rank[pos]
+            child = pos + 1
+            if r == 2:  # FCNS: one size probe decides between the two
+                cn = nnodes[child]
+                pp = params[child]
+                if pp:
+                    for p in pp:
+                        cn += env[p - 1][0]
+                if remaining < cn:
+                    pos = child
+                else:
+                    remaining -= cn
+                    pos = nxt[child]
+            else:
+                for _ in range(r - 1):
+                    cn = nnodes[child]
+                    pp = params[child]
+                    if pp:
+                        for p in pp:
+                            cn += env[p - 1][0]
+                    if remaining < cn:
+                        break
+                    remaining -= cn
+                    child = nxt[child]
+                pos = child
+            continue
+
+        if k == 3:  # parameter: hop to the bound argument
+            b = env[sym[pos] - 1]
+            pos = b[3]
+            env = b[1]
+            pack = b[2]
+            (kind, sym, rank, nxt, nnodes, params, sym_objs,
+             steps_enter, steps_target) = pack.walk_nodes
+            continue
+
+        # Nonterminal application (virtual preorder: seg0, arg1, seg1,
+        # ..., argk, segk).
+        sobj = sym_objs[pos]
+        callee = packs.get(sobj)
+        if callee is None:
+            callee = kernel.pack(sobj)
+        preceding = callee.node_segs[0]
+        r = rank[pos]
+        if r == 1:
+            # The dominant shape after vertical/horizontal compression:
+            # one argument, so the size probe that decides arg-descent
+            # vs rule-entry is exactly the binding the entry needs.
+            child = pos + 1
+            cn = nnodes[child]
+            pp = params[child]
+            if pp:
+                for p in pp:
+                    cn += env[p - 1][0]
+            if preceding <= remaining < preceding + cn:
+                remaining -= preceding
+                pos = child
+                continue
+            steps.append(steps_enter[pos])
+            env = ((cn, env, pack, child),)
+        elif r:
+            callee_nodes = callee.node_segs
+            descend_to = -1
+            if remaining >= preceding:
+                child = pos + 1
+                for child_pos in range(1, r + 1):
+                    cn = nnodes[child]
+                    pp = params[child]
+                    if pp:
+                        for p in pp:
+                            cn += env[p - 1][0]
+                    if remaining < preceding + cn:
+                        remaining -= preceding
+                        descend_to = child
+                        break
+                    preceding += cn + callee_nodes[child_pos]
+                    if remaining < preceding:
+                        break  # a body segment after this arg: enter
+                    child = nxt[child]
+            if descend_to >= 0:
+                pos = descend_to
+                continue
+            steps.append(steps_enter[pos])
+            outer_env = env
+            bindings = []
+            child = pos + 1
+            for _ in range(r):
+                cn = nnodes[child]
+                pp = params[child]
+                if pp:
+                    for p in pp:
+                        cn += outer_env[p - 1][0]
+                bindings.append((cn, outer_env, pack, child))
+                child = nxt[child]
+            env = tuple(bindings)
+        else:
+            steps.append(steps_enter[pos])
+            env = ()
+        pack = callee
+        pos = 0
+        (kind, sym, rank, nxt, nnodes, params, sym_objs,
+         steps_enter, steps_target) = pack.walk_nodes
+
+
+def kernel_iter_element_symbols(
+    index: "GrammarIndex",
+    kernel: GrammarKernel,
+    start: int,
+    stop: int,
+) -> Iterator[Symbol]:
+    """Flat-array twin of ``GrammarIndex._iter_element_symbols``."""
+    if start >= stop:
+        return
+    to_skip = start
+    to_yield = stop - start
+    packs = kernel._packs
+    root = kernel.pack(index.grammar.start)
+    # Stack items: (pack, pos, env); env entries are the 7-tuple
+    # bindings.  Consecutive items overwhelmingly share a pack (children
+    # are pushed together), so the unpacked columns are cached across
+    # iterations and refreshed only when the popped pack changes.
+    stack = [(root, 0, ())]
+    cur = None
+    while stack:
+        pack, pos, env = stack.pop()
+        if pack is not cur:
+            cur = pack
+            (kind, sym, rank, nxt, nnodes, nelems, params, node_objs,
+             sym_objs, _names, _enter, _target, table) = pack.walk
+        k = kind[pos]
+        if k == 3:
+            b = env[sym[pos] - 1]
+            stack.append((b[5], b[6], b[1]))
+            continue
+        if to_skip:
+            elems = nelems[pos]
+            pp = params[pos]
+            if pp:
+                for p in pp:
+                    elems += env[p - 1][4]
+            if elems <= to_skip:
+                to_skip -= elems
+                continue  # window starts after this whole subtree
+        if k <= 1:
+            if k == 1:
+                if to_skip:
+                    to_skip -= 1
+                else:
+                    yield sym_objs[pos]
+                    to_yield -= 1
+                    if not to_yield:
+                        return
+            r = rank[pos]
+            if r == 2:
+                child = pos + 1
+                stack.append((pack, nxt[child], env))
+                stack.append((pack, child, env))
+            elif r == 1:
+                stack.append((pack, pos + 1, env))
+            elif r:
+                child = pos + 1
+                kids = []
+                for _ in range(r):
+                    kids.append(child)
+                    child = nxt[child]
+                for c in reversed(kids):
+                    stack.append((pack, c, env))
+        else:
+            sobj = sym_objs[pos]
+            callee = packs.get(sobj)
+            if callee is None:
+                callee = kernel.pack(sobj)
+            r = rank[pos]
+            outer_env = env
+            if r:
+                bindings = []
+                child = pos + 1
+                for _ in range(r):
+                    cn = nnodes[child]
+                    ce = nelems[child]
+                    pp = params[child]
+                    if pp:
+                        for p in pp:
+                            b = outer_env[p - 1]
+                            cn += b[3]
+                            ce += b[4]
+                    bindings.append(
+                        (node_objs[child], outer_env, table, cn, ce,
+                         pack, child)
+                    )
+                    child = nxt[child]
+                inner_env: Tuple = tuple(bindings)
+            else:
+                inner_env = ()
+            stack.append((callee, 0, inner_env))
+
+
+def kernel_stream_preorder(kernel: GrammarKernel) -> Iterator[Symbol]:
+    """Flat-array twin of :func:`repro.grammar.navigation.stream_preorder`
+    (whole-document terminal symbol stream; feeds ``extract_subtree``'s
+    root shortcut).  Environments are light (pack, pos, env) closures --
+    no counts are needed when nothing is skipped."""
+    index = kernel._index
+    packs = kernel._packs
+    stack = [(kernel.pack(index.grammar.start), 0, ())]
+    cur = None
+    while stack:
+        pack, pos, env = stack.pop()
+        if pack is not cur:
+            cur = pack
+            (kind, sym, rank, nxt, _nn, _ne, _pp, _no, sym_objs,
+             _names, _enter, _target, _table) = pack.walk
+        k = kind[pos]
+        if k == 3:
+            stack.append(env[sym[pos] - 1])
+            continue
+        if k <= 1:
+            yield sym_objs[pos]
+            r = rank[pos]
+            if r == 2:
+                child = pos + 1
+                stack.append((pack, nxt[child], env))
+                stack.append((pack, child, env))
+            elif r == 1:
+                stack.append((pack, pos + 1, env))
+            elif r:
+                child = pos + 1
+                kids = []
+                for _ in range(r):
+                    kids.append((pack, child, env))
+                    child = nxt[child]
+                stack.extend(reversed(kids))
+        else:
+            sobj = sym_objs[pos]
+            callee = packs.get(sobj)
+            if callee is None:
+                callee = kernel.pack(sobj)
+            r = rank[pos]
+            if r:
+                child = pos + 1
+                bindings = []
+                for _ in range(r):
+                    bindings.append((pack, child, env))
+                    child = nxt[child]
+                inner_env: Tuple = tuple(bindings)
+            else:
+                inner_env = ()
+            stack.append((callee, 0, inner_env))
+
+
+def kernel_stream_elements(
+    kernel: GrammarKernel,
+) -> Iterator[Tuple[int, str, Optional[int], int]]:
+    """Flat-array twin of :func:`repro.grammar.navigation.stream_elements`
+    (same ``(index, tag, parent, depth)`` stream, same FCNS contract)."""
+    index_counter = 0
+    packs = kernel._packs
+    root = kernel.pack(kernel._index.grammar.start)
+    # Items: (pack, pos, env, parent, depth); env entries (pack, pos, env).
+    stack = [(root, 0, (), None, 0)]
+    cur = None
+    while stack:
+        pack, pos, env, parent, depth = stack.pop()
+        if pack is not cur:
+            cur = pack
+            (kind, sym, rank, nxt, _nn, _ne, _pp, _no, sym_objs,
+             sym_names, _enter, _target, _table) = pack.walk
+        k = kind[pos]
+        if k == 3:
+            b = env[sym[pos] - 1]
+            stack.append((b[0], b[1], b[2], parent, depth))
+            continue
+        if k == 0:
+            continue
+        if k == 1:
+            if rank[pos] != 2:
+                raise ValueError(
+                    f"terminal {sym_objs[pos]!r} is not a "
+                    "binary-encoded element (rank 2) -- stream_elements "
+                    "requires an FCNS encoding"
+                )
+            first_child = pos + 1
+            sibling = nxt[first_child]
+            stack.append((pack, sibling, env, parent, depth))
+            stack.append((pack, first_child, env, index_counter, depth + 1))
+            yield index_counter, sym_names[pos], parent, depth
+            index_counter += 1
+            continue
+        sobj = sym_objs[pos]
+        callee = packs.get(sobj)
+        if callee is None:
+            callee = kernel.pack(sobj)
+        r = rank[pos]
+        if r:
+            child = pos + 1
+            bindings = []
+            for _ in range(r):
+                bindings.append((pack, child, env))
+                child = nxt[child]
+            inner_env: Tuple = tuple(bindings)
+        else:
+            inner_env = ()
+        stack.append((callee, 0, inner_env, parent, depth))

@@ -75,6 +75,7 @@ def stream_preorder(grammar: Grammar) -> Iterator[Symbol]:
 
 def stream_elements(
     grammar: Grammar,
+    index_hint=None,
 ) -> Iterator[Tuple[int, str, Optional[int], int]]:
     """Stream ``(element_index, tag, parent_index, depth)`` in document order.
 
@@ -86,7 +87,23 @@ def stream_elements(
     the parent -- the streaming ``O(N)`` ground truth the indexed axis
     primitives (:meth:`repro.grammar.index.GrammarIndex.parent_of` et al.)
     and the query engine are property-tested against.
+
+    ``index_hint`` may name the grammar's :class:`GrammarIndex`: when its
+    flat kernel is active the stream descends the packed rule arrays
+    instead of the object graph (same yields; this is what keeps the
+    full-document export paths on the fast kernel).  Callers that *are*
+    the oracle -- the storage scrub audits the indexes against this very
+    stream -- pass nothing and keep the independent object walk.
     """
+    if index_hint is not None and index_hint.grammar is grammar:
+        kernel = index_hint.active_kernel()
+        if kernel is not None:
+            # Imported lazily: the kernel module imports PathStep from
+            # this module at load time.
+            from repro.grammar.kernel import kernel_stream_elements
+
+            yield from kernel_stream_elements(kernel)
+            return
     index = 0
     # Items: (node, env, parent element index, depth); env as in
     # stream_preorder.

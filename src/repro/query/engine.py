@@ -31,6 +31,7 @@ from itertools import islice
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.grammar.index import GrammarIndex, check_element_index
+from repro.grammar.kernel import GrammarKernel, kernel_stream_preorder
 from repro.grammar.navigation import stream_preorder
 from repro.query.label_index import LabelIndex
 from repro.query.parser import CHILD, LabelPath, QueryStep, parse_path
@@ -122,6 +123,24 @@ def iter_matching_elements(
         hi = total
     if lo >= hi:
         return
+    kernel = gindex.active_kernel()
+    if kernel is not None:
+        yield from _iter_matching_kernel(
+            gindex, kernel, lindex, lo, hi, label
+        )
+        return
+    yield from _iter_matching_objects(gindex, lindex, lo, hi, label)
+
+
+def _iter_matching_objects(
+    gindex: GrammarIndex,
+    lindex: Optional[LabelIndex],
+    lo: int,
+    hi: int,
+    label: Optional[str],
+) -> Iterator[int]:
+    """The object-graph walk (the ``use_kernel=False`` fallback);
+    bounds already validated and clamped by the dispatcher."""
     grammar = gindex.grammar
     position = 0  # element index where the current subtree starts
     # Items: (node, env, head), or (None, skipped_elements, None) cursor
@@ -200,6 +219,191 @@ def iter_matching_elements(
             )
 
 
+def _iter_matching_kernel(
+    gindex: GrammarIndex,
+    kernel: GrammarKernel,
+    lindex: Optional[LabelIndex],
+    lo: int,
+    hi: int,
+    label: Optional[str],
+) -> Iterator[int]:
+    """Flat-array twin of the walk above (identical yields and prune
+    accounting), descending per-rule :class:`RulePack` arrays instead of
+    the object graph.
+
+    Stack items are ``(pack, pos, env, lc)`` with ``lc`` the pack's
+    per-position label-count array (``None`` when every element matches)
+    -- fetched once per rule entry, not per node, which also folds the
+    per-node ``node_table`` dict probes of the object walk into one
+    C-array read.  Hop markers are ``(None, skipped, None, None)``; env
+    entries ``(pack, pos, env, elements, matches, lc)``.
+    """
+    position = 0
+    packs = kernel._packs
+    root = kernel.pack(gindex.grammar.start)
+    root_lc = root.label_counts(lindex, label) if label is not None else None
+    # Consecutive stack items overwhelmingly share a pack (children are
+    # pushed together), so the unpacked ``pack.walk`` columns are cached
+    # across iterations and refreshed only when the popped pack changes.
+    # ``bodies`` (the pack's zero-hop memo for this label) rides along,
+    # with a walk-local cache so re-entering a pack after a callee
+    # detour is a single dict probe rather than a node-table check.
+    stack = [(root, 0, (), root_lc)]
+    cur = None
+    bodies: Optional[dict] = None
+    hop_segs: dict = {}
+    bodies_of: dict = {}
+    pruned = 0
+    try:
+        while stack:
+            pack, pos, env, lc = stack.pop()
+            if pack is not cur:
+                if pack is None:
+                    position += pos  # a pre-counted body-segment hop
+                    continue
+                cur = pack
+                (kind, sym, rank, nxt, _nn, nelems, all_params, _no,
+                 sym_objs, sym_names, _enter, _target, _table) = pack.walk
+                hop_segs = pack.hop_segs
+                if label is not None:
+                    bodies = bodies_of.get(pack)
+                    if bodies is None:
+                        bodies = pack.label_hop(lindex, label)[1]
+                        bodies_of[pack] = bodies
+            k = kind[pos]
+            if k == 3:
+                b = env[sym[pos] - 1]
+                stack.append((b[0], b[1], b[2], b[5]))
+                continue
+            elems = nelems[pos]
+            params = all_params[pos]
+            if label is None:
+                if params:
+                    for p in params:
+                        elems += env[p - 1][3]
+                matches = elems
+            else:
+                matches = lc[pos]
+                if params:
+                    for p in params:
+                        b = env[p - 1]
+                        elems += b[3]
+                        matches += b[4]
+            if position + elems <= lo:
+                position += elems  # entirely before the window
+                continue
+            if position >= hi:
+                return  # preorder: everything later starts further right
+            if matches == 0:
+                position += elems  # census prune: nothing inside
+                pruned += 1
+                continue
+            if k <= 1:
+                if k == 1:
+                    if position >= lo and (
+                        label is None or sym_names[pos] == label
+                    ):
+                        yield position
+                    position += 1
+                r = rank[pos]
+                if r == 2:
+                    child = pos + 1
+                    stack.append((pack, nxt[child], env, lc))
+                    stack.append((pack, child, env, lc))
+                elif r == 1:
+                    stack.append((pack, pos + 1, env, lc))
+                elif r:
+                    child = pos + 1
+                    kids = []
+                    for _ in range(r):
+                        kids.append(child)
+                        child = nxt[child]
+                    for c in reversed(kids):
+                        stack.append((pack, c, env, lc))
+                continue
+            sym_obj = sym_objs[pos]
+            if label is not None:
+                body = bodies.get(pos)
+                if body is None:
+                    body = lindex.rule_label_count(sym_obj, label)
+                    bodies[pos] = body
+                if body == 0:
+                    # Zero-census application: hop the body segments,
+                    # visit only the argument subtrees (same shape as
+                    # the object walk -- and deliberately *without*
+                    # packing the callee, which the walk never enters).
+                    # Segments and child layout are memoised per
+                    # position (both structural, so pack-versioned);
+                    # the leading segment is added inline instead of
+                    # via a hop marker.
+                    pruned += 1
+                    h = hop_segs.get(pos)
+                    if h is None:
+                        segments = gindex.element_segments(sym_obj)
+                        kids = []
+                        child = pos + 1
+                        for _ in range(rank[pos]):
+                            kids.append(child)
+                            child = nxt[child]
+                        h = (segments, kids)
+                        hop_segs[pos] = h
+                    segments, kids = h
+                    r = len(kids)
+                    if r == 1:
+                        s1 = segments[1]
+                        if s1:
+                            stack.append((None, s1, None, None))
+                        stack.append((pack, kids[0], env, lc))
+                    else:
+                        for child_pos in range(r, 0, -1):
+                            if segments[child_pos]:
+                                stack.append(
+                                    (None, segments[child_pos], None, None)
+                                )
+                            stack.append((pack, kids[child_pos - 1], env, lc))
+                    position += segments[0]
+                    continue
+            callee = packs.get(sym_obj)
+            if callee is None:
+                callee = kernel.pack(sym_obj)
+            callee_lc = (
+                callee.label_counts(lindex, label)
+                if label is not None else None
+            )
+            r = rank[pos]
+            if r:
+                outer_env = env
+                bindings = []
+                child = pos + 1
+                for _ in range(r):
+                    ce = nelems[child]
+                    if label is None:
+                        pp = all_params[child]
+                        if pp:
+                            for p in pp:
+                                ce += outer_env[p - 1][3]
+                        cm = ce
+                    else:
+                        cm = lc[child]
+                        pp = all_params[child]
+                        if pp:
+                            for p in pp:
+                                b = outer_env[p - 1]
+                                ce += b[3]
+                                cm += b[4]
+                    bindings.append((pack, child, outer_env, ce, cm, lc))
+                    child = nxt[child]
+                inner_env: Tuple = tuple(bindings)
+            else:
+                inner_env = ()
+            stack.append((callee, 0, inner_env, callee_lc))
+    finally:
+        if pruned:
+            _PRUNE_STATS.pruned = (
+                getattr(_PRUNE_STATS, "pruned", 0) + pruned
+            )
+
+
 def _iter_window_symbols(
     gindex: GrammarIndex, lo: int, hi: int
 ) -> Iterator[Symbol]:
@@ -211,6 +415,10 @@ def _iter_window_symbols(
     :func:`extract_subtree`.
     """
     if lo >= hi:
+        return
+    kernel = gindex.active_kernel()
+    if kernel is not None:
+        yield from _iter_window_kernel(gindex, kernel, lo, hi)
         return
     grammar = gindex.grammar
     position = 0
@@ -254,6 +462,79 @@ def _iter_window_symbols(
             stack.append((grammar.rhs(symbol), inner_env, symbol))
 
 
+def _iter_window_kernel(
+    gindex: GrammarIndex, kernel: GrammarKernel, lo: int, hi: int
+) -> Iterator[Symbol]:
+    """Flat-array twin of the node-window walk above.  Env entries are
+    ``(pack, pos, env, nodes)``."""
+    position = 0
+    packs = kernel._packs
+    stack = [(kernel.pack(gindex.grammar.start), 0, ())]
+    cur = None
+    while stack:
+        pack, pos, env = stack.pop()
+        if pack is not cur:
+            cur = pack
+            (kind, sym, rank, nxt, nnodes, _ne, all_params, _no,
+             sym_objs, _names, _enter, _target, _table) = pack.walk
+        k = kind[pos]
+        if k == 3:
+            b = env[sym[pos] - 1]
+            stack.append((b[0], b[1], b[2]))
+            continue
+        nodes = nnodes[pos]
+        pp = all_params[pos]
+        if pp:
+            for p in pp:
+                nodes += env[p - 1][3]
+        if position + nodes <= lo:
+            position += nodes
+            continue
+        if position >= hi:
+            return
+        if k <= 1:
+            if position >= lo:
+                yield sym_objs[pos]
+            position += 1
+            r = rank[pos]
+            if r == 2:
+                child = pos + 1
+                stack.append((pack, nxt[child], env))
+                stack.append((pack, child, env))
+            elif r == 1:
+                stack.append((pack, pos + 1, env))
+            elif r:
+                child = pos + 1
+                kids = []
+                for _ in range(r):
+                    kids.append(child)
+                    child = nxt[child]
+                for c in reversed(kids):
+                    stack.append((pack, c, env))
+        else:
+            sobj = sym_objs[pos]
+            callee = packs.get(sobj)
+            if callee is None:
+                callee = kernel.pack(sobj)
+            r = rank[pos]
+            if r:
+                outer_env = env
+                bindings = []
+                child = pos + 1
+                for _ in range(r):
+                    cn = nnodes[child]
+                    pp = all_params[child]
+                    if pp:
+                        for p in pp:
+                            cn += outer_env[p - 1][3]
+                    bindings.append((pack, child, outer_env, cn))
+                    child = nxt[child]
+                inner_env: Tuple = tuple(bindings)
+            else:
+                inner_env = ()
+            stack.append((callee, 0, inner_env))
+
+
 # ----------------------------------------------------------------------
 # subtree extraction (partial derivation)
 # ----------------------------------------------------------------------
@@ -278,6 +559,11 @@ def extract_subtree(gindex: GrammarIndex, element_index: int) -> XmlNode:
     if element_index == 0:
         if gindex.element_count == 0:  # pragma: no cover - no document
             raise IndexError("element index 0 out of range (0 elements)")
+        kernel = gindex.active_kernel()
+        if kernel is not None:
+            return decode_binary(
+                _rebuild_binary(kernel_stream_preorder(kernel), bottom)
+            )
         return decode_binary(
             _rebuild_binary(stream_preorder(gindex.grammar), bottom)
         )

@@ -68,6 +68,18 @@ class TestRoundTrip:
         assert doc2.label_index.wholesale_invalidations == 0
         assert doc2.index.wholesale_invalidations == 0
 
+    def test_reload_packs_no_kernel_rules_eagerly(self, tmp_path):
+        """The flat-kernel analog of rules_censused == 0: importing the
+        persisted segments must not build a single rule pack, and must
+        not count as a wholesale kernel invalidation either."""
+        doc = dirtied_doc()
+        _, doc2 = round_trip(doc, tmp_path)
+        kernel = doc2.index.kernel
+        if kernel is None:
+            pytest.skip("kernel disabled (REPRO_USE_KERNEL=0)")
+        assert kernel.rules_packed == 0
+        assert kernel.wholesale_invalidations == 0
+
     def test_reload_adopts_the_shard_spine(self, tmp_path):
         doc = dirtied_doc(shard_width=8)
         assert doc.shard_manager is not None

@@ -233,13 +233,17 @@ class TestDurableScrubCli:
         status = json.loads(capsys.readouterr().out)
         assert set(status) == {
             "directory", "generation", "degraded", "element_count",
-            "compressed_size", "wal", "recovery", "mvcc",
+            "compressed_size", "wal", "recovery", "mvcc", "kernel",
         }
         assert status["generation"] == 1
         assert status["degraded"] is False
         assert status["recovery"]["replayed"] == 0
         assert status["wal"]["segment_count"] == 1
         assert "epoch" in status["mvcc"]
+        assert "enabled" in status["kernel"]
+        if status["kernel"]["enabled"]:
+            # A status read alone must not force any eager packing.
+            assert status["kernel"]["wholesale_invalidations"] == 0
 
 
 class TestDurableMetricsCli:

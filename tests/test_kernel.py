@@ -1,0 +1,383 @@
+"""Flat-kernel equivalence and lifecycle tests (repro.grammar.kernel).
+
+The correctness bar is the object-graph traversal path: for random
+documents, random update/batch scripts, and random shard widths, every
+query the kernel serves (``select`` / ``count`` / ``tags`` windows /
+axes / ``subtree_xml``) must return exactly what ``use_kernel=False``
+returns -- before and after every single operation.  On top of parity,
+the lifecycle counters are pinned: rule edits evict individual packs,
+recompression never triggers a wholesale kernel invalidation, and
+snapshot reloads start with zero packed rules (packing is lazy).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CompressedXml
+from repro.grammar.kernel import (
+    DEFAULT_MIN_DOC_ELEMENTS,
+    SymbolTable,
+    global_symbol_table,
+    kernel_enabled_by_env,
+)
+from repro.storage.durable import DurableXml
+from repro.trees.symbols import Alphabet
+from repro.trees.unranked import XmlNode
+from repro.updates.batch import (
+    BatchAppend,
+    BatchDelete,
+    BatchInsert,
+    BatchRename,
+)
+
+from tests.grammar.test_index import replay_script
+from tests.strategies import (
+    batch_scripts,
+    label_paths,
+    shard_widths,
+    update_scripts,
+    xml_documents,
+)
+
+WEBLOG = (
+    "<log>"
+    + "".join(
+        f"<entry><ip/><status/><agent{i % 3}/></entry>" for i in range(40)
+    )
+    + "</log>"
+)
+
+#: Paths whose result sets the parity properties compare on every step.
+PARITY_PATHS = ("//a", "//b", "/a/b", "//c/d", "//*[2]", "//zz")
+
+
+def kernelized(tree, **kwargs):
+    """A document whose kernel is forced active regardless of size.
+
+    Hypothesis documents are tiny (well under the automatic
+    ``DEFAULT_MIN_DOC_ELEMENTS`` fallback), so the gate is lowered to
+    zero -- the production default is covered by the gating tests.
+    """
+    kwargs.setdefault("use_kernel", True)
+    doc = CompressedXml.from_document(tree, **kwargs)
+    kernel = doc.index.kernel
+    assert kernel is not None
+    kernel.min_doc_elements = 0
+    return doc
+
+
+def observe(doc, paths=PARITY_PATHS):
+    """Everything the kernel can influence, as one comparable value."""
+    n = doc.element_count
+    return {
+        "xml": doc.to_xml(),
+        "tags": list(doc.tags()),
+        "select": {path: doc.select(path) for path in paths},
+        "count": {path: doc.count(path) for path in paths},
+        "parents": [doc.parent_of(i) for i in range(n)],
+        "depths": [doc.depth_of(i) for i in range(n)],
+        "children": [list(doc.children(i)) for i in range(n)],
+        "subtrees": [doc.subtree_xml(i) for i in range(n)],
+        "windows": [list(doc.tags(i, min(i + 3, n))) for i in range(n)],
+    }
+
+
+class TestSymbolTable:
+    def test_interning_is_identity_keyed_and_stable(self):
+        alphabet = Alphabet()
+        a = alphabet.terminal("a", 2)
+        b = alphabet.terminal("b", 2)
+        table = SymbolTable()
+        ia, ib = table.id_of(a), table.id_of(b)
+        assert ia != ib
+        assert table.id_of(a) == ia  # stable on re-intern
+        assert table.symbol_of(ia) is a
+        assert table.symbol_of(ib) is b
+        assert len(table) == 2
+
+    def test_distinct_objects_get_distinct_ids(self):
+        # Identity interning: equal-looking symbols from different
+        # alphabets are different ids (packs never compare across docs).
+        a1 = Alphabet().terminal("a", 2)
+        a2 = Alphabet().terminal("a", 2)
+        table = SymbolTable()
+        assert table.id_of(a1) != table.id_of(a2)
+
+    def test_global_table_is_a_singleton(self):
+        assert global_symbol_table() is global_symbol_table()
+
+
+class TestKernelGating:
+    def test_small_documents_fall_back_automatically(self):
+        doc = CompressedXml.from_xml("<a><b/><c/></a>", use_kernel=True)
+        assert doc.element_count < DEFAULT_MIN_DOC_ELEMENTS
+        assert doc.index.kernel is not None
+        assert doc.index.active_kernel() is None
+        assert doc.select("//b") == [1]  # still answers, object path
+
+    def test_large_documents_engage_the_kernel(self):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=True)
+        assert doc.element_count >= DEFAULT_MIN_DOC_ELEMENTS
+        kernel = doc.index.active_kernel()
+        assert kernel is not None
+        doc.select("//status")
+        assert kernel.rules_packed > 0
+        assert kernel.builds > 0
+
+    def test_use_kernel_false_disables_entirely(self):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=False)
+        assert doc.index.kernel is None
+        assert doc.index.kernel_info() == {"enabled": False}
+        assert doc.count("//entry") == 40
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_USE_KERNEL", "0")
+        assert not kernel_enabled_by_env()
+        doc = CompressedXml.from_xml(WEBLOG)
+        assert doc.index.kernel is None
+        assert doc.count("//entry") == 40
+        monkeypatch.setenv("REPRO_USE_KERNEL", "1")
+        assert kernel_enabled_by_env()
+
+    def test_explicit_use_kernel_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_USE_KERNEL", "0")
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=True)
+        assert doc.index.kernel is not None
+
+    def test_reader_pins_suspend_the_live_kernel(self):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=True)
+        assert doc.index.active_kernel() is not None
+        with doc.snapshot() as view:
+            # The live document must fall back (rhs() reads under pins
+            # do copy-on-write preservation), the frozen view must not.
+            assert doc.index.active_kernel() is None
+            assert view._index.active_kernel() is not None
+            before = view.select("//status")
+            doc.rename(2, "renamed")
+            assert view.select("//status") == before
+        assert doc.index.active_kernel() is not None
+
+    def test_kernel_info_shape(self):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=True)
+        doc.select("//ip")
+        info = doc.index.kernel_info()
+        assert info["enabled"] is True
+        for key in ("rules_packed", "bytes_packed", "builds", "evictions",
+                    "hits", "misses", "wholesale_invalidations",
+                    "min_doc_elements"):
+            assert key in info, key
+        assert info["bytes_packed"] > 0
+        assert info["wholesale_invalidations"] == 0
+
+
+class TestKernelParity:
+    @given(xml_documents(max_elements=25),
+           st.one_of(st.none(), shard_widths()))
+    @settings(max_examples=40, deadline=None)
+    def test_static_parity(self, tree, width):
+        fast = kernelized(tree, shard_width=width)
+        slow = CompressedXml.from_document(tree, shard_width=width,
+                                           use_kernel=False)
+        assert observe(fast) == observe(slow)
+        assert fast.index.kernel.rules_packed > 0
+
+    @given(xml_documents(max_elements=25), label_paths())
+    @settings(max_examples=40, deadline=None)
+    def test_random_path_parity(self, tree, path):
+        fast = kernelized(tree)
+        slow = CompressedXml.from_document(tree, use_kernel=False)
+        assert fast.select(path) == slow.select(path), path
+        assert fast.count(path) == slow.count(path), path
+
+    @given(
+        xml_documents(max_elements=20),
+        update_scripts(max_ops=6),
+        st.one_of(st.none(), shard_widths()),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parity_after_update_scripts(self, tree, script, width):
+        """Pack invalidation is exercised: both documents are warmed,
+        then queried after every operation of the same script."""
+        fast = kernelized(tree, shard_width=width)
+        slow = CompressedXml.from_document(tree, shard_width=width,
+                                           use_kernel=False)
+        assert observe(fast) == observe(slow)
+        for (_, __) in zip(replay_script(fast, script),
+                           replay_script(slow, script)):
+            for path in PARITY_PATHS[:3]:
+                assert fast.select(path) == slow.select(path), path
+            assert list(fast.tags()) == list(slow.tags())
+        assert observe(fast) == observe(slow)
+        # Eviction must be surgical: a script of point updates (and even
+        # recompressions) never justifies dropping every pack at once.
+        assert fast.index.kernel.wholesale_invalidations == 0
+        assert fast.index.wholesale_invalidations == 0
+
+    @given(xml_documents(max_elements=15), batch_scripts(max_ops=8))
+    @settings(max_examples=20, deadline=None)
+    def test_parity_after_batches(self, tree, script):
+        fast = kernelized(tree)
+        slow = CompressedXml.from_document(tree, use_kernel=False)
+        fast.count("//a")
+        slow.count("//a")
+        for kind, fraction, tag, wide in script:
+            count = fast.element_count
+            content = [XmlNode(tag), XmlNode(tag)] if wide else XmlNode(tag)
+            if kind == "rename":
+                op = BatchRename(int(fraction * count), tag)
+            elif kind == "insert" and count > 1:
+                op = BatchInsert(1 + int(fraction * (count - 1)), content)
+            elif kind == "append":
+                op = BatchAppend(int(fraction * count), content)
+            elif kind == "delete" and count > 1:
+                op = BatchDelete(1 + int(fraction * (count - 1)))
+            else:
+                continue
+            fast.apply_batch([op])
+            slow.apply_batch([op])
+            for path in PARITY_PATHS[:3]:
+                assert fast.select(path) == slow.select(path), path
+        assert observe(fast) == observe(slow)
+        assert fast.index.kernel.wholesale_invalidations == 0
+
+
+class TestEvictionAccounting:
+    def warmed(self):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=True)
+        doc.select("//status")
+        doc.select("//ip")
+        list(doc.tags())
+        return doc, doc.index.kernel
+
+    def test_point_update_evicts_only_the_touched_spine(self):
+        doc, kernel = self.warmed()
+        packed_before = kernel.rules_packed
+        assert packed_before > 1
+        doc.rename(2, "ipaddr")
+        # Some packs die (the spine above the edit), but not all of them.
+        assert kernel.evictions > 0
+        assert kernel.rules_packed > 0
+        assert kernel.wholesale_invalidations == 0
+        assert doc.select("//ipaddr") == [2]
+
+    def test_recompression_is_not_wholesale(self):
+        doc, kernel = self.warmed()
+        doc.rename(2, "needle")
+        doc.append_child(0, XmlNode("trailer", [XmlNode("checksum")]))
+        evictions_before = kernel.evictions
+        doc.recompress()
+        doc.select("//needle")
+        list(doc.tags())
+        assert kernel.evictions > evictions_before
+        assert kernel.wholesale_invalidations == 0
+        assert doc.index.wholesale_invalidations == 0
+
+    def test_interleaved_traffic_never_goes_wholesale(self):
+        doc, kernel = self.warmed()
+        other = CompressedXml.from_xml(WEBLOG, use_kernel=False)
+        for step in range(12):
+            for target in (doc, other):
+                target.rename(2 + step * 3, f"t{step % 4}")
+                target.append_child(0, XmlNode(f"t{step % 4}"))
+                if step % 5 == 4:
+                    target.recompress()
+            assert doc.select("//t1") == other.select("//t1")
+            assert list(doc.tags()) == list(other.tags())
+        assert kernel.evictions > 0
+        assert kernel.wholesale_invalidations == 0
+        assert doc.to_xml() == other.to_xml()
+
+    def test_bytes_packed_tracks_pack_population(self):
+        doc, kernel = self.warmed()
+        assert kernel.bytes_packed > 0
+        assert kernel.to_dict()["bytes_packed"] == kernel.bytes_packed
+        doc.index.invalidate_all()
+        assert kernel.rules_packed == 0
+        assert kernel.bytes_packed == 0
+        assert kernel.wholesale_invalidations == 1
+
+
+class TestSnapshotReloadIsLazy:
+    def test_snapshot_reload_starts_unpacked(self, tmp_path):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=True)
+        doc.rename(2, "ipaddr")
+        expected = doc.select("//status")
+        doc.select("//status")  # warm: packs exist in the writer
+        assert doc.index.kernel.rules_packed > 0
+
+        path = str(tmp_path / "doc.snapshot")
+        doc.save_snapshot(path)
+        doc2 = CompressedXml.from_snapshot_file(path, use_kernel=True)
+
+        # Mirrors the rules_censused == 0 guarantee: restoring segments
+        # must not eagerly pack a single rule, nor count a wholesale
+        # invalidation for the import.
+        kernel = doc2.index.kernel
+        assert kernel is not None
+        assert kernel.rules_packed == 0
+        assert kernel.wholesale_invalidations == 0
+
+        assert doc2.select("//status") == expected
+        assert kernel.rules_packed > 0
+        assert kernel.wholesale_invalidations == 0
+
+    @pytest.mark.skipif(
+        not kernel_enabled_by_env(),
+        reason="DurableXml.open follows REPRO_USE_KERNEL, disabled here",
+    )
+    def test_durable_open_starts_unpacked(self, tmp_path):
+        store = str(tmp_path / "store")
+        doc = CompressedXml.from_xml(WEBLOG)
+        with DurableXml.create(store, doc) as durable:
+            durable.document.rename(2, "ipaddr")
+            expected = durable.document.select("//status")
+
+        with DurableXml.open(store) as durable:
+            kernel = durable.document.index.kernel
+            assert kernel is not None
+            assert kernel.rules_packed == 0
+            assert durable.document.select("//status") == expected
+            assert kernel.rules_packed > 0
+            assert kernel.wholesale_invalidations == 0
+
+    @given(xml_documents(max_elements=20))
+    @settings(max_examples=15, deadline=None)
+    def test_snapshot_round_trip_parity(self, tmp_path_factory, tree):
+        doc = kernelized(tree)
+        if doc.element_count > 2:
+            doc.rename(1, "renamed")
+        before = observe(doc)
+        tmp = tmp_path_factory.mktemp("ksnap")
+        path = str(tmp / "doc.snapshot")
+        doc.save_snapshot(path)
+        doc2 = CompressedXml.from_snapshot_file(path, use_kernel=True)
+        kernel = doc2.index.kernel
+        assert kernel.rules_packed == 0
+        kernel.min_doc_elements = 0
+        assert observe(doc2) == before
+        assert kernel.wholesale_invalidations == 0
+
+
+class TestKernelMetricsSurface:
+    def test_metrics_source_and_counters(self):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=True)
+        doc.select("//status")
+        metrics = doc.metrics()
+        source = metrics["sources"]["repro_kernel"]
+        assert source["enabled"] == 1
+        assert source["rules_packed"] > 0
+        assert source["bytes_packed"] > 0
+        prom = doc.metrics_registry.render_prometheus()
+        assert "repro_kernel_builds_total" in prom
+        assert "repro_kernel_evictions_total" in prom
+        assert "repro_kernel_rules_packed" in prom
+
+    def test_disabled_kernel_still_reports(self):
+        doc = CompressedXml.from_xml(WEBLOG, use_kernel=False)
+        doc.select("//status")
+        metrics = doc.metrics()
+        assert metrics["sources"]["repro_kernel"]["enabled"] == 0
+        prom = doc.metrics_registry.render_prometheus()
+        # Declared-at-wiring counters appear in exposition either way.
+        assert "repro_kernel_builds_total" in prom
